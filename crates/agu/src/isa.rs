@@ -1,0 +1,347 @@
+//! The address instruction set and address programs.
+//!
+//! The machine model follows the paper's Section 2 (plus the modify-
+//! register extension of their ref \[2\]): each memory access (`USE`) can
+//! carry one **free** post-modify of its address register — either an
+//! immediate within the auto-modify range `M` or the content of a modify
+//! register. Everything else (loading a register, updating it by an
+//! arbitrary immediate) occupies one instruction word and one cycle.
+
+use std::fmt;
+
+/// Index of an address register (`AR0`, `AR1`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u16);
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AR{}", self.0)
+    }
+}
+
+/// Index of a modify register (`M0`, `M1`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MrId(pub u16);
+
+impl fmt::Display for MrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// The free post-modify attached to a `USE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// No post-modify (an explicit `ADDA` may follow).
+    None,
+    /// Auto-increment/decrement by an immediate with `|delta| <= M`.
+    Auto {
+        /// The post-modify amount.
+        delta: i64,
+    },
+    /// Add the content of a modify register (free on machines that have
+    /// them).
+    Modify {
+        /// The modify register whose value is added.
+        mr: MrId,
+    },
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::None => Ok(()),
+            Update::Auto { delta } if *delta >= 0 => write!(f, "+={delta}"),
+            Update::Auto { delta } => write!(f, "-={}", -delta),
+            Update::Modify { mr } => write!(f, "+={mr}"),
+        }
+    }
+}
+
+/// One address instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressInstr {
+    /// Load an address register with an immediate address
+    /// (1 word, 1 cycle).
+    Lda {
+        /// Destination register.
+        reg: RegId,
+        /// Immediate address.
+        address: i64,
+    },
+    /// Load a modify register with an immediate value (1 word, 1 cycle).
+    Ldm {
+        /// Destination modify register.
+        mr: MrId,
+        /// Immediate value.
+        value: i64,
+    },
+    /// Explicitly update an address register by an immediate — the
+    /// paper's **unit-cost** address computation (1 word, 1 cycle).
+    Adda {
+        /// Register updated.
+        reg: RegId,
+        /// Amount added (may be negative).
+        delta: i64,
+    },
+    /// The memory access itself: indirect through `reg`, serving the
+    /// loop's access at `position`, with an optional free post-modify.
+    /// Addressing cost: 0 words, 0 cycles (the access rides on the
+    /// data-path instruction).
+    Use {
+        /// Register providing the address.
+        reg: RegId,
+        /// Position in the loop's per-iteration access sequence.
+        position: usize,
+        /// Free post-modify applied after the access.
+        update: Update,
+    },
+}
+
+impl AddressInstr {
+    /// Instruction words this instruction occupies.
+    pub fn words(&self) -> u64 {
+        match self {
+            AddressInstr::Lda { .. } | AddressInstr::Ldm { .. } | AddressInstr::Adda { .. } => 1,
+            AddressInstr::Use { .. } => 0,
+        }
+    }
+
+    /// Extra cycles this instruction costs.
+    pub fn cycles(&self) -> u64 {
+        self.words()
+    }
+}
+
+impl fmt::Display for AddressInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressInstr::Lda { reg, address } => write!(f, "LDA  {reg}, #{address:#06x}"),
+            AddressInstr::Ldm { mr, value } => write!(f, "LDM  {mr}, #{value}"),
+            AddressInstr::Adda { reg, delta } => write!(f, "ADDA {reg}, #{delta}"),
+            AddressInstr::Use {
+                reg,
+                position,
+                update,
+            } => {
+                write!(f, "USE  *{reg}{update}")?;
+                write!(f, "  ; a_{}", position + 1)
+            }
+        }
+    }
+}
+
+/// A complete address program for one loop: a prologue executed once and a
+/// body executed every iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressProgram {
+    prologue: Vec<AddressInstr>,
+    body: Vec<AddressInstr>,
+    address_registers: usize,
+    modify_values: Vec<i64>,
+}
+
+impl AddressProgram {
+    /// Assembles a program from parts.
+    ///
+    /// `modify_values[i]` is the value `LDM`-ed into `M<i>`;
+    /// `address_registers` is the number of `AR`s the program touches.
+    pub fn new(
+        prologue: Vec<AddressInstr>,
+        body: Vec<AddressInstr>,
+        address_registers: usize,
+        modify_values: Vec<i64>,
+    ) -> Self {
+        AddressProgram {
+            prologue,
+            body,
+            address_registers,
+            modify_values,
+        }
+    }
+
+    /// The prologue instructions (register initialization).
+    pub fn prologue(&self) -> &[AddressInstr] {
+        &self.prologue
+    }
+
+    /// The per-iteration body.
+    pub fn body(&self) -> &[AddressInstr] {
+        &self.body
+    }
+
+    /// Number of address registers used.
+    pub fn address_registers(&self) -> usize {
+        self.address_registers
+    }
+
+    /// The values held by modify registers (index = [`MrId`]).
+    pub fn modify_values(&self) -> &[i64] {
+        &self.modify_values
+    }
+
+    /// Static addressing words of the whole program
+    /// (prologue + one body copy).
+    pub fn words(&self) -> u64 {
+        self.prologue.iter().map(AddressInstr::words).sum::<u64>()
+            + self.body.iter().map(AddressInstr::words).sum::<u64>()
+    }
+
+    /// Addressing cycles of the prologue.
+    pub fn prologue_cycles(&self) -> u64 {
+        self.prologue.iter().map(AddressInstr::cycles).sum()
+    }
+
+    /// Extra addressing cycles per loop iteration — the quantity the
+    /// paper minimizes (`ADDA` count in the body).
+    pub fn cycles_per_iteration(&self) -> u64 {
+        self.body.iter().map(AddressInstr::cycles).sum()
+    }
+
+    /// Number of accesses (`USE`s) per iteration.
+    pub fn uses_per_iteration(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|i| matches!(i, AddressInstr::Use { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for AddressProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; prologue ({} words)", self.prologue_cycles())?;
+        for i in &self.prologue {
+            writeln!(f, "    {i}")?;
+        }
+        writeln!(
+            f,
+            "; loop body ({} extra addressing cycle(s)/iteration)",
+            self.cycles_per_iteration()
+        )?;
+        for i in &self.body {
+            writeln!(f, "    {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_and_cycles_per_instruction() {
+        let lda = AddressInstr::Lda {
+            reg: RegId(0),
+            address: 0x100,
+        };
+        let adda = AddressInstr::Adda {
+            reg: RegId(1),
+            delta: -3,
+        };
+        let ldm = AddressInstr::Ldm {
+            mr: MrId(0),
+            value: 4,
+        };
+        let use_ = AddressInstr::Use {
+            reg: RegId(0),
+            position: 0,
+            update: Update::Auto { delta: 1 },
+        };
+        assert_eq!((lda.words(), lda.cycles()), (1, 1));
+        assert_eq!((adda.words(), adda.cycles()), (1, 1));
+        assert_eq!((ldm.words(), ldm.cycles()), (1, 1));
+        assert_eq!((use_.words(), use_.cycles()), (0, 0));
+    }
+
+    #[test]
+    fn display_forms_are_assembly_like() {
+        assert_eq!(
+            AddressInstr::Lda {
+                reg: RegId(2),
+                address: 0x104
+            }
+            .to_string(),
+            "LDA  AR2, #0x0104"
+        );
+        assert_eq!(
+            AddressInstr::Adda {
+                reg: RegId(0),
+                delta: -4
+            }
+            .to_string(),
+            "ADDA AR0, #-4"
+        );
+        assert_eq!(
+            AddressInstr::Use {
+                reg: RegId(1),
+                position: 4,
+                update: Update::Auto { delta: -1 }
+            }
+            .to_string(),
+            "USE  *AR1-=1  ; a_5"
+        );
+        assert_eq!(
+            AddressInstr::Use {
+                reg: RegId(1),
+                position: 0,
+                update: Update::Modify { mr: MrId(3) }
+            }
+            .to_string(),
+            "USE  *AR1+=M3  ; a_1"
+        );
+        assert_eq!(
+            AddressInstr::Use {
+                reg: RegId(0),
+                position: 1,
+                update: Update::None
+            }
+            .to_string(),
+            "USE  *AR0  ; a_2"
+        );
+    }
+
+    #[test]
+    fn program_accounting() {
+        let program = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 0,
+                },
+                AddressInstr::Ldm {
+                    mr: MrId(0),
+                    value: 5,
+                },
+            ],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::Auto { delta: 1 },
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 7,
+                },
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 1,
+                    update: Update::None,
+                },
+            ],
+            1,
+            vec![5],
+        );
+        assert_eq!(program.words(), 3);
+        assert_eq!(program.prologue_cycles(), 2);
+        assert_eq!(program.cycles_per_iteration(), 1);
+        assert_eq!(program.uses_per_iteration(), 2);
+        assert_eq!(program.address_registers(), 1);
+        assert_eq!(program.modify_values(), &[5]);
+        let listing = program.to_string();
+        assert!(listing.contains("; prologue"));
+        assert!(listing.contains("LDM  M0, #5"));
+        assert!(listing.contains("ADDA AR0, #7"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Peephole optimization of address programs.
+//!
+//! The code generator emits tight programs, but address programs can also
+//! be assembled by hand or by composing passes — this module cleans up
+//! the classic slack patterns while provably preserving semantics (the
+//! test suite simulates before/after against the same trace):
+//!
+//! 1. `ADDA r, #0` is dropped;
+//! 2. consecutive `ADDA r, #a; ADDA r, #b` (no intervening use of `r`)
+//!    combine into one update;
+//! 3. an `ADDA r, #d` directly after `USE *r` with no post-modify is
+//!    folded into the access as a free auto-modify when `|d| <= M`, or
+//!    into a modify-register update when some `M<i>` holds `d`;
+//! 4. a prologue `LDA r, #x` shadowed by a later prologue `LDA r, #y`
+//!    (with no use of `r` in between — always true in a prologue) is
+//!    dropped.
+
+use raco_ir::AguSpec;
+
+use crate::isa::{AddressInstr, AddressProgram, MrId, Update};
+
+/// What a peephole run changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeepholeStats {
+    /// `ADDA #0` and shadowed `LDA` instructions removed.
+    pub removed: usize,
+    /// Adjacent `ADDA` pairs combined.
+    pub combined: usize,
+    /// `ADDA`s folded into a preceding `USE` as free updates.
+    pub folded: usize,
+}
+
+impl PeepholeStats {
+    /// Total word savings of the run.
+    pub fn words_saved(&self) -> usize {
+        self.removed + self.combined + self.folded
+    }
+}
+
+/// Optimizes `program` for `agu`, returning the cleaned program and what
+/// changed. Semantics are preserved exactly: the same registers hold the
+/// same values at every `USE`.
+pub fn optimize(program: &AddressProgram, agu: &AguSpec) -> (AddressProgram, PeepholeStats) {
+    let mut stats = PeepholeStats::default();
+    let prologue = clean_prologue(program.prologue(), &mut stats);
+    let mut body = program.body().to_vec();
+    // Iterate to a fixed point: folding can expose new combinations.
+    loop {
+        let before = stats;
+        body = drop_zero_addas(body, &mut stats);
+        body = combine_adjacent_addas(body, &mut stats);
+        body = fold_addas_into_uses(body, agu, program.modify_values(), &mut stats);
+        if stats == before {
+            break;
+        }
+    }
+    (
+        AddressProgram::new(
+            prologue,
+            body,
+            program.address_registers(),
+            program.modify_values().to_vec(),
+        ),
+        stats,
+    )
+}
+
+fn clean_prologue(prologue: &[AddressInstr], stats: &mut PeepholeStats) -> Vec<AddressInstr> {
+    // Keep only the *last* LDA/LDM per destination; order of survivors is
+    // preserved. Prologues contain no USEs, so this is always safe.
+    let mut out: Vec<AddressInstr> = Vec::with_capacity(prologue.len());
+    for (idx, instr) in prologue.iter().enumerate() {
+        let shadowed = match instr {
+            AddressInstr::Lda { reg, .. } => prologue[idx + 1..]
+                .iter()
+                .any(|later| matches!(later, AddressInstr::Lda { reg: r2, .. } if r2 == reg)),
+            AddressInstr::Ldm { mr, .. } => prologue[idx + 1..]
+                .iter()
+                .any(|later| matches!(later, AddressInstr::Ldm { mr: m2, .. } if m2 == mr)),
+            _ => false,
+        };
+        if shadowed {
+            stats.removed += 1;
+        } else {
+            out.push(*instr);
+        }
+    }
+    out
+}
+
+fn drop_zero_addas(body: Vec<AddressInstr>, stats: &mut PeepholeStats) -> Vec<AddressInstr> {
+    let before = body.len();
+    let out: Vec<AddressInstr> = body
+        .into_iter()
+        .filter(|i| !matches!(i, AddressInstr::Adda { delta: 0, .. }))
+        .collect();
+    stats.removed += before - out.len();
+    out
+}
+
+fn combine_adjacent_addas(
+    body: Vec<AddressInstr>,
+    stats: &mut PeepholeStats,
+) -> Vec<AddressInstr> {
+    let mut out: Vec<AddressInstr> = Vec::with_capacity(body.len());
+    for instr in body {
+        if let AddressInstr::Adda { reg, delta } = instr {
+            if let Some(AddressInstr::Adda {
+                reg: prev_reg,
+                delta: prev_delta,
+            }) = out.last().copied()
+            {
+                if prev_reg == reg {
+                    out.pop();
+                    stats.combined += 1;
+                    let sum = prev_delta + delta;
+                    if sum != 0 {
+                        out.push(AddressInstr::Adda { reg, delta: sum });
+                    } else {
+                        stats.removed += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        out.push(instr);
+    }
+    out
+}
+
+fn fold_addas_into_uses(
+    body: Vec<AddressInstr>,
+    agu: &AguSpec,
+    modify_values: &[i64],
+    stats: &mut PeepholeStats,
+) -> Vec<AddressInstr> {
+    let mut out: Vec<AddressInstr> = Vec::with_capacity(body.len());
+    for instr in body {
+        if let AddressInstr::Adda { reg, delta } = instr {
+            if let Some(AddressInstr::Use {
+                reg: use_reg,
+                position,
+                update: Update::None,
+            }) = out.last().copied()
+            {
+                if use_reg == reg {
+                    let folded = if agu.is_free_delta(delta) {
+                        Some(Update::Auto { delta })
+                    } else {
+                        modify_values
+                            .iter()
+                            .position(|&v| v == delta)
+                            .map(|mr| Update::Modify {
+                                mr: MrId(mr as u16),
+                            })
+                    };
+                    if let Some(update) = folded {
+                        out.pop();
+                        out.push(AddressInstr::Use {
+                            reg,
+                            position,
+                            update,
+                        });
+                        stats.folded += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(instr);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::RegId;
+    use crate::sim;
+    use raco_ir::{dsl, MemoryLayout, Trace};
+
+    fn agu() -> AguSpec {
+        AguSpec::new(2, 1).unwrap()
+    }
+
+    #[test]
+    fn zero_addas_are_dropped() {
+        let program = AddressProgram::new(
+            vec![],
+            vec![
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 0,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 3,
+                },
+            ],
+            1,
+            vec![],
+        );
+        let (opt, stats) = optimize(&program, &agu());
+        assert_eq!(opt.body().len(), 1);
+        assert_eq!(stats.removed, 1);
+    }
+
+    #[test]
+    fn adjacent_addas_combine_and_cancel() {
+        let program = AddressProgram::new(
+            vec![],
+            vec![
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 5,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: -5,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(1),
+                    delta: 2,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(1),
+                    delta: 3,
+                },
+            ],
+            2,
+            vec![],
+        );
+        let (opt, stats) = optimize(&program, &agu());
+        assert_eq!(
+            opt.body(),
+            &[AddressInstr::Adda {
+                reg: RegId(1),
+                delta: 5
+            }]
+        );
+        assert_eq!(stats.combined, 2);
+        assert_eq!(stats.removed, 1, "the cancelled pair disappears");
+    }
+
+    #[test]
+    fn addas_fold_into_preceding_uses() {
+        let program = AddressProgram::new(
+            vec![],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: -1,
+                },
+            ],
+            1,
+            vec![],
+        );
+        let (opt, stats) = optimize(&program, &agu());
+        assert_eq!(
+            opt.body(),
+            &[AddressInstr::Use {
+                reg: RegId(0),
+                position: 0,
+                update: Update::Auto { delta: -1 },
+            }]
+        );
+        assert_eq!(stats.folded, 1);
+        assert_eq!(opt.cycles_per_iteration(), 0);
+    }
+
+    #[test]
+    fn over_range_addas_fold_through_modify_registers() {
+        let program = AddressProgram::new(
+            vec![AddressInstr::Ldm {
+                mr: MrId(0),
+                value: 7,
+            }],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 7,
+                },
+            ],
+            1,
+            vec![7],
+        );
+        let machine = AguSpec::new(1, 1).unwrap().with_modify_registers(1);
+        let (opt, stats) = optimize(&program, &machine);
+        assert_eq!(stats.folded, 1);
+        assert!(matches!(
+            opt.body()[0],
+            AddressInstr::Use {
+                update: Update::Modify { mr: MrId(0) },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shadowed_prologue_loads_are_removed() {
+        let program = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 1,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(1),
+                    address: 9,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 2,
+                },
+            ],
+            vec![],
+            2,
+            vec![],
+        );
+        let (opt, stats) = optimize(&program, &agu());
+        assert_eq!(opt.prologue().len(), 2);
+        assert_eq!(stats.removed, 1);
+        assert!(matches!(
+            opt.prologue()[1],
+            AddressInstr::Lda {
+                reg: RegId(0),
+                address: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn fixed_point_chains_fold_after_combine() {
+        // ADDA +3 then ADDA -2 combine to +1, which then folds into the
+        // preceding USE — only reachable via the fixed-point loop.
+        let program = AddressProgram::new(
+            vec![],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 3,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: -2,
+                },
+            ],
+            1,
+            vec![],
+        );
+        let (opt, stats) = optimize(&program, &agu());
+        assert_eq!(opt.body().len(), 1);
+        assert_eq!(stats.combined, 1);
+        assert_eq!(stats.folded, 1);
+    }
+
+    #[test]
+    fn optimized_programs_simulate_identically() {
+        // Build a deliberately slack program for a real loop, optimize,
+        // and verify both against the same trace.
+        let spec = dsl::parse_loop(
+            "for (i = 0; i < 16; i++) { y[i] = x[i] + x[i + 3]; }",
+        )
+        .unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0x10, 0x40);
+        let trace = Trace::capture(&spec, &layout, 10);
+        // Hand-written program: one register per array, x hops +3/-2 via
+        // separate ADDAs, y steps via redundant ADDA 0 + ADDA 1.
+        let slack = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 0x99, // shadowed
+                },
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 0x10,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(1),
+                    address: 0x50,
+                },
+            ],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 2,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: 1,
+                },
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 1,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(0),
+                    delta: -2,
+                },
+                AddressInstr::Use {
+                    reg: RegId(1),
+                    position: 2,
+                    update: Update::None,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(1),
+                    delta: 0,
+                },
+                AddressInstr::Adda {
+                    reg: RegId(1),
+                    delta: 1,
+                },
+            ],
+            2,
+            vec![],
+        );
+        let machine = AguSpec::new(2, 2).unwrap();
+        let before = sim::run(&slack, &trace, &machine).expect("slack verifies");
+        let (opt, stats) = optimize(&slack, &machine);
+        let after = sim::run(&opt, &trace, &machine).expect("optimized verifies");
+        assert!(stats.words_saved() >= 3, "stats: {stats:?}");
+        assert!(
+            after.explicit_updates_per_iteration() < before.explicit_updates_per_iteration()
+        );
+        assert_eq!(after.accesses_checked(), before.accesses_checked());
+    }
+}

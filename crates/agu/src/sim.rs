@@ -1,0 +1,572 @@
+//! Cycle-accurate simulation of address programs.
+//!
+//! The simulator is the ground truth of the whole pipeline: it executes an
+//! [`AddressProgram`] iteration by iteration against a reference
+//! [`Trace`] and fails loudly if any access is served with a wrong
+//! address, if a "free" update exceeds the machine's capabilities, or if
+//! the program uses more registers than the machine has. Integration and
+//! property tests assert that the allocator-predicted cost equals the
+//! simulator-measured explicit update count.
+
+use std::fmt;
+
+use raco_ir::{AguSpec, Trace};
+
+use crate::isa::{AddressInstr, AddressProgram, Update};
+
+/// Errors detected while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program needs more address registers than the machine has.
+    TooManyAddressRegisters {
+        /// Registers the program uses.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// The program needs more modify registers than the machine has.
+    TooManyModifyRegisters {
+        /// Modify registers the program loads.
+        needed: usize,
+        /// Modify registers available.
+        available: usize,
+    },
+    /// A `USE` read the wrong address.
+    AddressMismatch {
+        /// Iteration of the failing access.
+        iteration: u64,
+        /// Sequence position of the failing access.
+        position: usize,
+        /// Address the trace expects.
+        expected: i64,
+        /// Address the register held.
+        got: i64,
+    },
+    /// An `Auto` post-modify exceeded the auto-modify range.
+    FreeDeltaViolation {
+        /// The offending delta.
+        delta: i64,
+        /// The machine's range `M`.
+        modify_range: u32,
+    },
+    /// A `USE` referenced a register the program never declared.
+    UnknownRegister {
+        /// The register index.
+        reg: u16,
+    },
+    /// A `Modify` update referenced an unloaded modify register.
+    UnknownModifyRegister {
+        /// The modify register index.
+        mr: u16,
+    },
+    /// The accesses of one iteration were not served in sequence order
+    /// `0, 1, 2, …`.
+    PositionOrderViolation {
+        /// Iteration in which the order broke.
+        iteration: u64,
+        /// Position that was expected next.
+        expected: usize,
+        /// Position actually served.
+        got: usize,
+    },
+    /// An iteration served fewer accesses than the trace contains.
+    IncompleteIteration {
+        /// The incomplete iteration.
+        iteration: u64,
+        /// Accesses served.
+        served: usize,
+        /// Accesses expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyAddressRegisters { needed, available } => write!(
+                f,
+                "program uses {needed} address registers, machine has {available}"
+            ),
+            SimError::TooManyModifyRegisters { needed, available } => write!(
+                f,
+                "program loads {needed} modify registers, machine has {available}"
+            ),
+            SimError::AddressMismatch {
+                iteration,
+                position,
+                expected,
+                got,
+            } => write!(
+                f,
+                "iteration {iteration}, access a_{}: expected address {expected:#x}, register held {got:#x}",
+                position + 1
+            ),
+            SimError::FreeDeltaViolation {
+                delta,
+                modify_range,
+            } => write!(
+                f,
+                "auto-modify by {delta} exceeds the machine range M = {modify_range}"
+            ),
+            SimError::UnknownRegister { reg } => write!(f, "unknown address register AR{reg}"),
+            SimError::UnknownModifyRegister { mr } => {
+                write!(f, "unknown modify register M{mr}")
+            }
+            SimError::PositionOrderViolation {
+                iteration,
+                expected,
+                got,
+            } => write!(
+                f,
+                "iteration {iteration}: expected access a_{}, program served a_{}",
+                expected + 1,
+                got + 1
+            ),
+            SimError::IncompleteIteration {
+                iteration,
+                served,
+                expected,
+            } => write!(
+                f,
+                "iteration {iteration} served {served} of {expected} accesses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Statistics of a successful simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimReport {
+    iterations: u64,
+    accesses_checked: u64,
+    prologue_cycles: u64,
+    explicit_updates_per_iteration: u64,
+    total_addressing_cycles: u64,
+}
+
+impl SimReport {
+    /// Iterations executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Accesses validated against the trace.
+    pub fn accesses_checked(&self) -> u64 {
+        self.accesses_checked
+    }
+
+    /// One-time addressing cycles spent in the prologue.
+    pub fn prologue_cycles(&self) -> u64 {
+        self.prologue_cycles
+    }
+
+    /// Explicit (unit-cost) address computations per iteration — the
+    /// quantity the paper's algorithm minimizes.
+    pub fn explicit_updates_per_iteration(&self) -> u64 {
+        self.explicit_updates_per_iteration
+    }
+
+    /// Total addressing cycles over the whole run
+    /// (prologue + per-iteration updates).
+    pub fn total_addressing_cycles(&self) -> u64 {
+        self.total_addressing_cycles
+    }
+}
+
+/// Executes `program` against `trace` on machine `agu`.
+///
+/// Runs `trace.iterations()` iterations and checks every access address.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered; the report is only produced
+/// for a fully verified run.
+pub fn run(
+    program: &AddressProgram,
+    trace: &Trace,
+    agu: &AguSpec,
+) -> Result<SimReport, SimError> {
+    if program.address_registers() > agu.address_registers() {
+        return Err(SimError::TooManyAddressRegisters {
+            needed: program.address_registers(),
+            available: agu.address_registers(),
+        });
+    }
+    if program.modify_values().len() > agu.modify_registers() {
+        return Err(SimError::TooManyModifyRegisters {
+            needed: program.modify_values().len(),
+            available: agu.modify_registers(),
+        });
+    }
+
+    let mut regs = vec![0i64; program.address_registers()];
+    let mut mrs = vec![0i64; program.modify_values().len()];
+    let mut prologue_cycles = 0;
+    for instr in program.prologue() {
+        prologue_cycles += instr.cycles();
+        step(instr, &mut regs, &mut mrs, agu, None, 0, &mut 0)?;
+    }
+
+    let per_iter = trace.accesses_per_iteration();
+    let mut accesses_checked = 0u64;
+    let mut explicit_per_iter = 0u64;
+    for iteration in 0..trace.iterations() {
+        let mut next_position = 0usize;
+        let mut explicit_this_iter = 0u64;
+        for instr in program.body() {
+            step(
+                instr,
+                &mut regs,
+                &mut mrs,
+                agu,
+                Some((trace, iteration, &mut next_position)),
+                iteration,
+                &mut explicit_this_iter,
+            )?;
+        }
+        if next_position != per_iter {
+            return Err(SimError::IncompleteIteration {
+                iteration,
+                served: next_position,
+                expected: per_iter,
+            });
+        }
+        accesses_checked += next_position as u64;
+        explicit_per_iter = explicit_this_iter;
+    }
+
+    Ok(SimReport {
+        iterations: trace.iterations(),
+        accesses_checked,
+        prologue_cycles,
+        explicit_updates_per_iteration: explicit_per_iter,
+        total_addressing_cycles: prologue_cycles + trace.iterations() * explicit_per_iter,
+    })
+}
+
+fn step(
+    instr: &AddressInstr,
+    regs: &mut [i64],
+    mrs: &mut [i64],
+    agu: &AguSpec,
+    trace_ctx: Option<(&Trace, u64, &mut usize)>,
+    iteration: u64,
+    explicit: &mut u64,
+) -> Result<(), SimError> {
+    match instr {
+        AddressInstr::Lda { reg, address } => {
+            let slot = regs
+                .get_mut(usize::from(reg.0))
+                .ok_or(SimError::UnknownRegister { reg: reg.0 })?;
+            *slot = *address;
+            *explicit += 1;
+        }
+        AddressInstr::Ldm { mr, value } => {
+            let slot = mrs
+                .get_mut(usize::from(mr.0))
+                .ok_or(SimError::UnknownModifyRegister { mr: mr.0 })?;
+            *slot = *value;
+            *explicit += 1;
+        }
+        AddressInstr::Adda { reg, delta } => {
+            let slot = regs
+                .get_mut(usize::from(reg.0))
+                .ok_or(SimError::UnknownRegister { reg: reg.0 })?;
+            *slot += delta;
+            *explicit += 1;
+        }
+        AddressInstr::Use {
+            reg,
+            position,
+            update,
+        } => {
+            let value = *regs
+                .get(usize::from(reg.0))
+                .ok_or(SimError::UnknownRegister { reg: reg.0 })?;
+            if let Some((trace, iter, next_position)) = trace_ctx {
+                if *position != *next_position {
+                    return Err(SimError::PositionOrderViolation {
+                        iteration: iter,
+                        expected: *next_position,
+                        got: *position,
+                    });
+                }
+                let entry = trace.entry(iter, *position).ok_or(
+                    SimError::IncompleteIteration {
+                        iteration: iter,
+                        served: *next_position,
+                        expected: trace.accesses_per_iteration(),
+                    },
+                )?;
+                if entry.address != value {
+                    return Err(SimError::AddressMismatch {
+                        iteration: iter,
+                        position: *position,
+                        expected: entry.address,
+                        got: value,
+                    });
+                }
+                *next_position += 1;
+            }
+            // Apply the free post-modify.
+            let delta = match update {
+                Update::None => 0,
+                Update::Auto { delta } => {
+                    if !agu.is_free_delta(*delta) {
+                        return Err(SimError::FreeDeltaViolation {
+                            delta: *delta,
+                            modify_range: agu.modify_range(),
+                        });
+                    }
+                    *delta
+                }
+                Update::Modify { mr } => *mrs
+                    .get(usize::from(mr.0))
+                    .ok_or(SimError::UnknownModifyRegister { mr: mr.0 })?,
+            };
+            regs[usize::from(reg.0)] += delta;
+            let _ = iteration;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::CodeGenerator;
+    use crate::isa::{MrId, RegId};
+    use raco_core::Optimizer;
+    use raco_ir::{examples, MemoryLayout};
+
+    fn simulate_paper(k: usize, iterations: u64) -> SimReport {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(k, 1).unwrap();
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0x100, 256);
+        let program = CodeGenerator::new(agu)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        let trace = Trace::capture(&spec, &layout, iterations);
+        run(&program, &trace, &agu).expect("verified run")
+    }
+
+    #[test]
+    fn zero_cost_scheme_verifies_with_zero_updates() {
+        let report = simulate_paper(3, 25);
+        assert_eq!(report.iterations(), 25);
+        assert_eq!(report.accesses_checked(), 25 * 7);
+        assert_eq!(report.explicit_updates_per_iteration(), 0);
+        assert_eq!(report.prologue_cycles(), 3);
+        assert_eq!(report.total_addressing_cycles(), 3);
+    }
+
+    #[test]
+    fn constrained_scheme_measures_the_allocated_cost() {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(2, 1).unwrap();
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        let report = simulate_paper(2, 10);
+        assert_eq!(
+            report.explicit_updates_per_iteration(),
+            u64::from(alloc.total_cost()),
+            "simulator-measured updates must equal the predicted cost"
+        );
+    }
+
+    #[test]
+    fn wrong_base_address_is_caught() {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(3, 1).unwrap();
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0x100, 256);
+        let program = CodeGenerator::new(agu)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        // Trace captured with a *different* layout.
+        let wrong = MemoryLayout::contiguous(&spec, 0x200, 256);
+        let trace = Trace::capture(&spec, &wrong, 4);
+        let err = run(&program, &trace, &agu).unwrap_err();
+        assert!(matches!(err, SimError::AddressMismatch { iteration: 0, .. }));
+    }
+
+    #[test]
+    fn over_range_auto_updates_are_rejected() {
+        let agu = AguSpec::new(1, 1).unwrap();
+        let spec = examples::paper_loop();
+        let layout = MemoryLayout::contiguous(&spec, 0, 64);
+        let trace = Trace::capture(&spec, &layout, 1);
+        let program = AddressProgram::new(
+            vec![AddressInstr::Lda {
+                reg: RegId(0),
+                address: 3,
+            }],
+            vec![AddressInstr::Use {
+                reg: RegId(0),
+                position: 0,
+                update: Update::Auto { delta: 5 },
+            }],
+            1,
+            vec![],
+        );
+        let err = run(&program, &trace, &agu).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::FreeDeltaViolation {
+                delta: 5,
+                modify_range: 1
+            }
+        );
+    }
+
+    #[test]
+    fn register_budget_violations_are_rejected() {
+        let spec = examples::paper_loop();
+        let agu_big = AguSpec::new(3, 1).unwrap();
+        let agu_small = AguSpec::new(2, 1).unwrap();
+        let alloc = Optimizer::new(agu_big).allocate_loop(&spec).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0, 64);
+        let program = CodeGenerator::new(agu_big)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        let trace = Trace::capture(&spec, &layout, 1);
+        assert_eq!(
+            run(&program, &trace, &agu_small).unwrap_err(),
+            SimError::TooManyAddressRegisters {
+                needed: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn modify_register_budget_is_checked() {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(1, 1).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0, 64);
+        let trace = Trace::capture(&spec, &layout, 1);
+        let program = AddressProgram::new(
+            vec![AddressInstr::Ldm {
+                mr: MrId(0),
+                value: 9,
+            }],
+            vec![],
+            1,
+            vec![9],
+        );
+        assert_eq!(
+            run(&program, &trace, &agu).unwrap_err(),
+            SimError::TooManyModifyRegisters {
+                needed: 1,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn incomplete_iterations_are_detected() {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(1, 1).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0, 64);
+        let trace = Trace::capture(&spec, &layout, 1);
+        // Body serves only access 0.
+        let program = AddressProgram::new(
+            vec![AddressInstr::Lda {
+                reg: RegId(0),
+                address: 3, // A[i+1] at i = 2, base 0
+            }],
+            vec![AddressInstr::Use {
+                reg: RegId(0),
+                position: 0,
+                update: Update::Auto { delta: 0 },
+            }],
+            1,
+            vec![],
+        );
+        let err = run(&program, &trace, &agu).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncompleteIteration {
+                iteration: 0,
+                served: 1,
+                expected: 7
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_order_positions_are_detected() {
+        let spec = examples::paper_loop();
+        let agu = AguSpec::new(1, 1).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0, 64);
+        let trace = Trace::capture(&spec, &layout, 1);
+        let program = AddressProgram::new(
+            vec![AddressInstr::Lda {
+                reg: RegId(0),
+                address: 2,
+            }],
+            vec![AddressInstr::Use {
+                reg: RegId(0),
+                position: 1,
+                update: Update::None,
+            }],
+            1,
+            vec![],
+        );
+        let err = run(&program, &trace, &agu).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PositionOrderViolation {
+                iteration: 0,
+                expected: 0,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn modify_register_updates_verify_end_to_end() {
+        let spec = examples::scattered();
+        let agu = AguSpec::new(2, 1).unwrap().with_modify_registers(2);
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0, 256);
+        let program = CodeGenerator::new(agu)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        let trace = Trace::capture(&spec, &layout, 12);
+        let report = run(&program, &trace, &agu).expect("verified run");
+        assert_eq!(report.accesses_checked(), 12 * 4);
+        // Modify registers eliminate some explicit updates vs the plain
+        // machine.
+        let plain = AguSpec::new(2, 1).unwrap();
+        let plain_program = CodeGenerator::new(plain)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        let plain_report = run(&plain_program, &trace, &plain).expect("verified run");
+        assert!(
+            report.explicit_updates_per_iteration()
+                < plain_report.explicit_updates_per_iteration()
+        );
+    }
+
+    #[test]
+    fn negative_stride_loops_simulate_correctly() {
+        let spec = raco_ir::dsl::parse_loop(
+            "for (i = 63; i > 0; i--) { s += h[63 - i] * x[i]; }",
+        )
+        .unwrap();
+        let agu = AguSpec::new(2, 1).unwrap();
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 0x40, 128);
+        let program = CodeGenerator::new(agu)
+            .generate(&spec, &alloc, &layout)
+            .unwrap();
+        let trace = Trace::capture(&spec, &layout, 30);
+        let report = run(&program, &trace, &agu).expect("verified run");
+        assert_eq!(report.accesses_checked(), 60);
+        assert_eq!(report.explicit_updates_per_iteration(), 0);
+    }
+}

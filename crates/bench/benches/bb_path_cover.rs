@@ -1,0 +1,75 @@
+//! Timing of Phase 1: exact branch-and-bound minimum zero-cost cover
+//! (with bounds pre-pass) as the pattern size `N` grows.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raco_core::random::{PatternGenerator, Spread};
+use raco_graph::{bb, BbOptions, DistanceModel};
+
+fn bench_bb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_bb");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [8usize, 16, 24, 32] {
+        // A fixed bag of patterns so every sample sees the same workload.
+        let generator = PatternGenerator::new(n).spread(Spread::Medium, 1);
+        let models: Vec<DistanceModel> = (0..16)
+            .map(|s| DistanceModel::new(&generator.generate(s), 1))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for dm in &models {
+                    let result = bb::min_zero_cost_cover_with(
+                        black_box(dm),
+                        BbOptions {
+                            node_limit: 500_000,
+                            memoize: true,
+                        },
+                    );
+                    black_box(result.map(|r| r.virtual_registers()).ok());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bb_memoization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_bb_memoization");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let generator = PatternGenerator::new(20).spread(Spread::Wide, 1);
+    let models: Vec<DistanceModel> = (0..8)
+        .map(|s| DistanceModel::new(&generator.generate(s), 1))
+        .collect();
+    for memoize in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if memoize { "memo" } else { "no_memo" }),
+            &memoize,
+            |b, &memoize| {
+                b.iter(|| {
+                    for dm in &models {
+                        let result = bb::min_zero_cost_cover_with(
+                            black_box(dm),
+                            BbOptions {
+                                node_limit: 500_000,
+                                memoize,
+                            },
+                        );
+                        black_box(result.ok());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bb, bench_bb_memoization);
+criterion_main!(benches);

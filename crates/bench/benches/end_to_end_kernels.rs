@@ -1,0 +1,74 @@
+//! End-to-end pipeline timing on real kernels: allocation, code
+//! generation and a short verified simulation.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raco_agu::codegen::CodeGenerator;
+use raco_agu::sim;
+use raco_core::Optimizer;
+use raco_ir::{AguSpec, MemoryLayout, Trace};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let agu = AguSpec::new(4, 1).unwrap();
+    for kernel in [
+        raco_kernels::fir(8),
+        raco_kernels::biquad(),
+        raco_kernels::n_complex_updates(),
+        raco_kernels::fft_butterfly(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, kernel| {
+                let layout = MemoryLayout::contiguous(kernel.spec(), 0x800, 0x400);
+                let trace = Trace::capture(kernel.spec(), &layout, 16);
+                b.iter(|| {
+                    let alloc = Optimizer::new(agu)
+                        .allocate_loop(black_box(kernel.spec()))
+                        .expect("kernels fit the machine");
+                    let program = CodeGenerator::new(agu)
+                        .generate(kernel.spec(), &alloc, &layout)
+                        .expect("codegen succeeds");
+                    let report = sim::run(&program, &trace, &agu).expect("verified");
+                    black_box(report.explicit_updates_per_iteration());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_allocation_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_loop");
+    group
+        .sample_size(40)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let agu = AguSpec::new(4, 1).unwrap();
+    let suite = raco_kernels::suite();
+    group.bench_function("whole_suite", |b| {
+        b.iter(|| {
+            for kernel in &suite {
+                if kernel.spec().patterns().len() <= 4 {
+                    black_box(
+                        Optimizer::new(agu)
+                            .allocate_loop(black_box(kernel.spec()))
+                            .expect("fits")
+                            .total_cost(),
+                    );
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_allocation_only);
+criterion_main!(benches);

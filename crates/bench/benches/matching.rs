@@ -1,0 +1,54 @@
+//! Timing of the Hopcroft–Karp matching / relaxed minimum path cover
+//! (the Phase-1 lower bound) on large patterns.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raco_core::random::{PatternGenerator, Spread};
+use raco_graph::{matching, DistanceModel};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_min_path_cover");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [32usize, 128, 512] {
+        let generator = PatternGenerator::new(n).spread(Spread::Medium, 1);
+        let models: Vec<DistanceModel> = (0..4)
+            .map(|s| DistanceModel::new(&generator.generate(s), 1))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for dm in &models {
+                    black_box(matching::min_path_cover(black_box(dm)).register_count());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover_size_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_size_only");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let generator = PatternGenerator::new(256).spread(Spread::Tight, 1);
+    let models: Vec<DistanceModel> = (0..4)
+        .map(|s| DistanceModel::new(&generator.generate(s), 1))
+        .collect();
+    group.bench_function("n256_tight", |b| {
+        b.iter(|| {
+            for dm in &models {
+                black_box(matching::min_path_cover_size(black_box(dm)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_cover_size_only);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Timing of Phase 2: greedy min-cost path merging from `K̃` all the way
+//! down to one register, by pattern size and strategy.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raco_core::random::{PatternGenerator, Spread};
+use raco_core::{phase1, phase2, CostModel, MergeStrategy};
+use raco_graph::{BbOptions, DistanceModel, PathCover};
+
+fn prepared_covers(n: usize, count: u64) -> Vec<(DistanceModel, PathCover)> {
+    let generator = PatternGenerator::new(n).spread(Spread::Medium, 1);
+    (0..count)
+        .map(|s| {
+            let dm = DistanceModel::new(&generator.generate(s), 1);
+            let p1 = phase1::run(
+                &dm,
+                BbOptions {
+                    node_limit: 200_000,
+                    memoize: true,
+                },
+            );
+            let cover = p1.cover().clone();
+            (dm, cover)
+        })
+        .collect()
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2_merge_to_one");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [16usize, 32, 64] {
+        let inputs = prepared_covers(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for (dm, cover) in &inputs {
+                    let report = phase2::merge_until(
+                        black_box(cover),
+                        1,
+                        dm,
+                        CostModel::steady_state(),
+                        MergeStrategy::GreedyMinCost,
+                    );
+                    black_box(report.cover().register_count());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2_strategy");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let inputs = prepared_covers(32, 8);
+    for (label, strategy) in [
+        ("greedy", MergeStrategy::GreedyMinCost),
+        ("random", MergeStrategy::Random { seed: 1 }),
+        ("first_pair", MergeStrategy::FirstPair),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| {
+                    for (dm, cover) in &inputs {
+                        let report = phase2::merge_until(
+                            black_box(cover),
+                            2,
+                            dm,
+                            CostModel::steady_state(),
+                            *strategy,
+                        );
+                        black_box(report.cover().register_count());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merging, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Timing of the complementary offset-assignment algorithms (SOA/GOA).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use raco_oa::{goa, soa, AccessSequence, VarId};
+
+fn random_sequence(vars: usize, len: usize, seed: u64) -> AccessSequence {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let accesses = (0..len)
+        .map(|_| VarId(rng.gen_range(0..vars) as u32))
+        .collect();
+    AccessSequence::new(accesses, vars)
+}
+
+fn bench_liao(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soa_liao");
+    group
+        .sample_size(40)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for (vars, len) in [(8usize, 64usize), (16, 128), (32, 256)] {
+        let seqs: Vec<AccessSequence> = (0..8)
+            .map(|s| random_sequence(vars, len, s))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{vars}_l{len}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    for seq in &seqs {
+                        let layout = soa::liao(black_box(seq));
+                        black_box(layout.cost(seq, 1));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_goa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goa");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let seqs: Vec<AccessSequence> = (0..4).map(|s| random_sequence(10, 60, s)).collect();
+    for k in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                for seq in &seqs {
+                    black_box(goa::run(black_box(seq), k).cost());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_liao, bench_goa);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! E6 — ablation of Phase 2: merge strategies (greedy / random / first /
+//! worst) under both cost models, plus the optimality gap of the
+//! two-phase heuristic against the exhaustive oracle on small instances.
+//!
+//! Usage: `e6_ablation [--samples N]` (default 150; the oracle part
+//! always uses N ≤ 10 patterns).
+
+use raco_bench::stats::Summary;
+use raco_bench::sweep::{sample_seed, CellKey};
+use raco_bench::table::{f1, f2, Table};
+use raco_core::random::{PatternGenerator, Spread};
+use raco_core::{exact, phase1, phase2, CostModel, MergeStrategy};
+use raco_graph::{BbOptions, DistanceModel};
+
+fn strategy_cost(
+    dm: &DistanceModel,
+    k: usize,
+    cost_model: CostModel,
+    strategy: MergeStrategy,
+) -> u32 {
+    let p1 = phase1::run(
+        dm,
+        BbOptions {
+            node_limit: 500_000,
+            memoize: true,
+        },
+    );
+    let p2 = phase2::merge_until(p1.cover(), k, dm, cost_model, strategy);
+    cost_model.cover_cost(p2.cover(), dm)
+}
+
+fn main() {
+    let samples = raco_bench::samples_arg(150);
+    println!("E6 — merge-strategy and cost-model ablation ({samples} samples/cell)\n");
+
+    // Part 1: strategies under the steady-state cost model, plus a
+    // simulated-annealing probe seeded from the greedy solution (how much
+    // headroom does the constructive heuristic leave?).
+    let mut table = Table::new(
+        "Mean cost by merge strategy (N = 16, M = 1, medium spread)",
+        &["K", "greedy", "greedy+anneal", "random", "first-pair", "worst-case"],
+    );
+    let generator = PatternGenerator::new(16).spread(Spread::Medium, 1);
+    for k in [1usize, 2, 3, 4] {
+        let key = CellKey {
+            n: 16,
+            m: 1,
+            k,
+            spread: Spread::Medium,
+        };
+        let mut per_strategy: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let mut annealed: Vec<f64> = Vec::new();
+        for s in 0..samples {
+            let seed = sample_seed(0xAB1A7E, &key, s);
+            let pattern = generator.generate(seed);
+            let dm = DistanceModel::new(&pattern, 1);
+            let strategies = [
+                MergeStrategy::GreedyMinCost,
+                MergeStrategy::Random { seed },
+                MergeStrategy::FirstPair,
+                MergeStrategy::WorstCost,
+            ];
+            for (i, strat) in strategies.into_iter().enumerate() {
+                per_strategy[i].push(f64::from(strategy_cost(
+                    &dm,
+                    k,
+                    CostModel::steady_state(),
+                    strat,
+                )));
+            }
+            // Annealing probe on top of the greedy result.
+            let p1 = phase1::run(
+                &dm,
+                BbOptions {
+                    node_limit: 500_000,
+                    memoize: true,
+                },
+            );
+            let greedy = phase2::merge_until(
+                p1.cover(),
+                k,
+                &dm,
+                CostModel::steady_state(),
+                MergeStrategy::GreedyMinCost,
+            );
+            let probe = raco_core::anneal::anneal(
+                &dm,
+                k,
+                greedy.cover().clone(),
+                CostModel::steady_state(),
+                raco_core::anneal::AnnealOptions {
+                    seed,
+                    iterations: 4_000,
+                    ..raco_core::anneal::AnnealOptions::default()
+                },
+            );
+            annealed.push(f64::from(probe.cost()));
+        }
+        table.push_row(vec![
+            k.to_string(),
+            f2(Summary::of(&per_strategy[0]).mean),
+            f2(Summary::of(&annealed).mean),
+            f2(Summary::of(&per_strategy[1]).mean),
+            f2(Summary::of(&per_strategy[2]).mean),
+            f2(Summary::of(&per_strategy[3]).mean),
+        ]);
+    }
+    table.emit("e6_strategies");
+
+    // Part 2: steady-state vs paper-literal cost model (what the greedy
+    // criterion optimizes vs what the loop executes).
+    let mut cm_table = Table::new(
+        "Steady-state cost achieved when merging optimizes each cost model (K = 2)",
+        &["N", "merge by steady-state", "merge by intra-only", "penalty %"],
+    );
+    for n in [8usize, 12, 16, 24] {
+        let generator = PatternGenerator::new(n).spread(Spread::Medium, 1);
+        let key = CellKey {
+            n,
+            m: 1,
+            k: 2,
+            spread: Spread::Medium,
+        };
+        let mut ss = Vec::new();
+        let mut literal = Vec::new();
+        for s in 0..samples {
+            let pattern = generator.generate(sample_seed(0xC057, &key, s));
+            let dm = DistanceModel::new(&pattern, 1);
+            // Merge greedily under each model, always *measuring* steady state.
+            let p1 = phase1::run(
+                &dm,
+                BbOptions {
+                    node_limit: 500_000,
+                    memoize: true,
+                },
+            );
+            let by_ss = phase2::merge_until(
+                p1.cover(),
+                2,
+                &dm,
+                CostModel::steady_state(),
+                MergeStrategy::GreedyMinCost,
+            );
+            let by_lit = phase2::merge_until(
+                p1.cover(),
+                2,
+                &dm,
+                CostModel::paper_literal(),
+                MergeStrategy::GreedyMinCost,
+            );
+            ss.push(f64::from(
+                CostModel::steady_state().cover_cost(by_ss.cover(), &dm),
+            ));
+            literal.push(f64::from(
+                CostModel::steady_state().cover_cost(by_lit.cover(), &dm),
+            ));
+        }
+        let (ssm, litm) = (Summary::of(&ss).mean, Summary::of(&literal).mean);
+        cm_table.push_row(vec![
+            n.to_string(),
+            f2(ssm),
+            f2(litm),
+            f1(if ssm > 0.0 { (litm - ssm) / ssm * 100.0 } else { 0.0 }),
+        ]);
+    }
+    cm_table.emit("e6_cost_models");
+
+    // Part 3: optimality gap on small instances (exhaustive oracle).
+    let mut gap_table = Table::new(
+        "Two-phase heuristic vs exhaustive optimum (N = 9, M = 1)",
+        &["K", "mean heuristic", "mean optimal", "mean gap", "optimal %"],
+    );
+    let generator = PatternGenerator::new(9).spread(Spread::Medium, 1);
+    let oracle_samples = samples.min(100);
+    for k in [1usize, 2, 3] {
+        let key = CellKey {
+            n: 9,
+            m: 1,
+            k,
+            spread: Spread::Medium,
+        };
+        let mut heuristics = Vec::new();
+        let mut optimals = Vec::new();
+        let mut hit = 0usize;
+        for s in 0..oracle_samples {
+            let pattern = generator.generate(sample_seed(0x6A9, &key, s));
+            let dm = DistanceModel::new(&pattern, 1);
+            let h = strategy_cost(&dm, k, CostModel::steady_state(), MergeStrategy::GreedyMinCost);
+            let (opt, _) = exact::optimal_allocation(&dm, k, CostModel::steady_state());
+            heuristics.push(f64::from(h));
+            optimals.push(f64::from(opt));
+            if h == opt {
+                hit += 1;
+            }
+        }
+        gap_table.push_row(vec![
+            k.to_string(),
+            f2(Summary::of(&heuristics).mean),
+            f2(Summary::of(&optimals).mean),
+            f2(Summary::of(&heuristics).mean - Summary::of(&optimals).mean),
+            f1(hit as f64 / oracle_samples as f64 * 100.0),
+        ]);
+    }
+    gap_table.emit("e6_optimality_gap");
+}

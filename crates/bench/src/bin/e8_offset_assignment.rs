@@ -1,0 +1,94 @@
+//! E8 — the complementary scalar side (paper refs [4, 5]): Liao's SOA
+//! heuristic vs the naive first-use layout, and GOA over a register
+//! sweep. Random access sequences, seeded and reproducible.
+//!
+//! Usage: `e8_offset_assignment [--samples N]` (default 200).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use raco_bench::stats::{reduction_percent, Summary};
+use raco_bench::table::{f1, f2, Table};
+use raco_oa::{exhaustive, goa, soa, AccessSequence, StackLayout, VarId};
+
+fn random_sequence(vars: usize, len: usize, seed: u64) -> AccessSequence {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Zipf-ish skew: low ids are hotter, like real scalar temporaries.
+    let accesses: Vec<VarId> = (0..len)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            let v = ((vars as f64) * r * r) as usize;
+            VarId(v.min(vars - 1) as u32)
+        })
+        .collect();
+    AccessSequence::new(accesses, vars)
+}
+
+fn main() {
+    let samples = raco_bench::samples_arg(200);
+    println!("E8 — offset assignment for scalars (refs [4, 5])\n");
+
+    // SOA: Liao vs first-use vs optimal (small instances).
+    let mut table = Table::new(
+        "SOA cost: Liao's heuristic vs first-use layout (random sequences)",
+        &[
+            "vars", "len", "first-use", "liao", "reduction %", "optimal", "liao=opt %",
+        ],
+    );
+    for (vars, len) in [(5usize, 20usize), (6, 30), (8, 40), (8, 60)] {
+        let mut naive_costs = Vec::new();
+        let mut liao_costs = Vec::new();
+        let mut opt_costs = Vec::new();
+        let mut hits = 0usize;
+        for s in 0..samples {
+            let seq = random_sequence(vars, len, 0x0FF5E7 ^ ((s as u64) << 8) ^ vars as u64);
+            let naive = StackLayout::first_use(&seq).cost(&seq, 1);
+            let liao = soa::cost(&seq, &soa::liao(&seq));
+            naive_costs.push(f64::from(naive));
+            liao_costs.push(f64::from(liao));
+            if vars <= 8 {
+                let (_, opt) = exhaustive::optimal_soa(&seq);
+                opt_costs.push(f64::from(opt));
+                if liao == opt {
+                    hits += 1;
+                }
+            }
+        }
+        let naive_mean = Summary::of(&naive_costs).mean;
+        let liao_mean = Summary::of(&liao_costs).mean;
+        table.push_row(vec![
+            vars.to_string(),
+            len.to_string(),
+            f2(naive_mean),
+            f2(liao_mean),
+            f1(reduction_percent(naive_mean, liao_mean)),
+            f2(Summary::of(&opt_costs).mean),
+            f1(hits as f64 / samples as f64 * 100.0),
+        ]);
+    }
+    table.emit("e8_soa");
+
+    // GOA: register sweep.
+    let mut goa_table = Table::new(
+        "GOA cost by address-register count (random sequences, 8 vars, len 48)",
+        &["k", "mean cost", "vs k=1 %"],
+    );
+    let mut base = 0.0;
+    for k in 1..=4usize {
+        let mut costs = Vec::new();
+        for s in 0..samples.min(100) {
+            let seq = random_sequence(8, 48, 0x60A ^ (s as u64) << 4);
+            costs.push(f64::from(goa::run(&seq, k).cost()));
+        }
+        let mean = Summary::of(&costs).mean;
+        if k == 1 {
+            base = mean;
+        }
+        goa_table.push_row(vec![
+            k.to_string(),
+            f2(mean),
+            f1(reduction_percent(base, mean)),
+        ]);
+    }
+    goa_table.emit("e8_goa");
+}

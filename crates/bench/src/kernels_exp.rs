@@ -1,0 +1,179 @@
+//! Kernel compilation-model comparison (experiments E4 and E7).
+//!
+//! Three compilation models per kernel:
+//!
+//! 1. **explicit** — a regular C compiler without AGU optimization:
+//!    every access recomputes its address in the data path (two
+//!    instructions per access);
+//! 2. **chain** — naive AGU use: the minimum number of registers (one
+//!    per array), each serving its array's accesses in original order
+//!    with no allocation intelligence;
+//! 3. **optimized** — the paper's two-phase allocation on `K` registers
+//!    (optionally with modify registers), emitted by `raco-agu` and
+//!    *verified by simulation* before being reported.
+
+use raco_agu::codegen::CodeGenerator;
+use raco_agu::metrics::{improvement_percent, ProgramMetrics};
+use raco_agu::sim;
+use raco_core::Optimizer;
+use raco_graph::{DistanceModel, PathCover};
+use raco_ir::{AguSpec, MemoryLayout, Trace};
+use raco_kernels::Kernel;
+
+/// The comparison row of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Accesses per iteration.
+    pub accesses: usize,
+    /// Compute (data-path) instructions per iteration.
+    pub compute: u64,
+    /// Explicit-addressing baseline: code words.
+    pub explicit_words: u64,
+    /// Explicit-addressing baseline: total cycles.
+    pub explicit_cycles: u64,
+    /// Naive chaining: code words.
+    pub chain_words: u64,
+    /// Naive chaining: total cycles.
+    pub chain_cycles: u64,
+    /// Optimized: code words.
+    pub opt_words: u64,
+    /// Optimized: total cycles.
+    pub opt_cycles: u64,
+    /// Code-size improvement vs explicit addressing, percent.
+    pub size_improvement_pct: f64,
+    /// Speed improvement vs explicit addressing, percent.
+    pub speed_improvement_pct: f64,
+}
+
+/// Compares the three compilation models on one kernel.
+///
+/// The optimized program is generated and simulated against the reference
+/// trace; a mismatch panics (it would be a codegen bug, and silently
+/// reporting numbers from broken code would be worse).
+///
+/// # Panics
+///
+/// Panics if the kernel needs more arrays than `k` registers, or if the
+/// generated code fails simulation.
+pub fn compare_kernel(kernel: &Kernel, agu: AguSpec, iterations: u64) -> KernelRow {
+    let spec = kernel.spec();
+    let compute = kernel.compute_ops();
+    let n = spec.len();
+
+    // Model 1: explicit addressing.
+    let explicit = ProgramMetrics::explicit_addressing(n);
+
+    // Model 2: naive chaining — one register per array, accesses served
+    // in original order (single chain per array).
+    let arrays = spec.patterns();
+    let chain_cost: u64 = arrays
+        .iter()
+        .map(|p| {
+            let dm = DistanceModel::new(p, agu.modify_range());
+            u64::from(PathCover::single_chain(p.len()).total_cost(&dm, true))
+        })
+        .sum();
+    let chain = ProgramMetrics::synthetic(arrays.len() as u64, chain_cost, n as u64);
+
+    // Model 3: the paper's optimizer, emitted and verified.
+    let alloc = Optimizer::new(agu)
+        .allocate_loop(spec)
+        .unwrap_or_else(|e| panic!("kernel {} does not allocate: {e}", kernel.name()));
+    let layout = MemoryLayout::contiguous(spec, 0x1000, 0x400);
+    let program = CodeGenerator::new(agu)
+        .generate(spec, &alloc, &layout)
+        .unwrap_or_else(|e| panic!("kernel {} does not emit: {e}", kernel.name()));
+    let trace = Trace::capture(spec, &layout, iterations);
+    let report = sim::run(&program, &trace, &agu)
+        .unwrap_or_else(|e| panic!("kernel {} fails simulation: {e}", kernel.name()));
+    assert_eq!(
+        report.explicit_updates_per_iteration(),
+        program.cycles_per_iteration(),
+        "simulation and static accounting must agree"
+    );
+    let opt = ProgramMetrics::of(&program);
+
+    let explicit_words = explicit.code_words(compute);
+    let explicit_cycles = explicit.cycles(compute, iterations);
+    let opt_words = opt.code_words(compute);
+    let opt_cycles = opt.cycles(compute, iterations);
+    KernelRow {
+        name: kernel.name().to_owned(),
+        accesses: n,
+        compute,
+        explicit_words,
+        explicit_cycles,
+        chain_words: chain.code_words(compute),
+        chain_cycles: chain.cycles(compute, iterations),
+        opt_words,
+        opt_cycles,
+        size_improvement_pct: improvement_percent(explicit_words, opt_words),
+        speed_improvement_pct: improvement_percent(explicit_cycles, opt_cycles),
+    }
+}
+
+/// Runs the comparison over a whole suite.
+pub fn compare_suite(kernels: &[Kernel], agu: AguSpec, iterations: u64) -> Vec<KernelRow> {
+    kernels
+        .iter()
+        .map(|k| compare_kernel(k, agu, iterations))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_improves_both_axes() {
+        let agu = AguSpec::new(4, 1).unwrap();
+        let row = compare_kernel(&raco_kernels::fir(4), agu, 128);
+        assert!(row.size_improvement_pct > 0.0, "{row:?}");
+        assert!(row.speed_improvement_pct > 0.0, "{row:?}");
+        assert!(row.opt_cycles < row.chain_cycles || row.chain_cycles == row.opt_cycles);
+    }
+
+    #[test]
+    fn optimized_never_loses_to_naive_chaining_on_cycles() {
+        let agu = AguSpec::new(6, 1).unwrap();
+        for kernel in raco_kernels::suite() {
+            if kernel.spec().patterns().len() > agu.address_registers() {
+                continue;
+            }
+            let row = compare_kernel(&kernel, agu, 64);
+            assert!(
+                row.opt_cycles <= row.chain_cycles,
+                "{}: optimized {} vs chain {}",
+                row.name,
+                row.opt_cycles,
+                row.chain_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn suite_comparison_is_reproducible() {
+        let agu = AguSpec::new(4, 1).unwrap();
+        let kernels = vec![raco_kernels::dot_product(), raco_kernels::biquad()];
+        let a = compare_suite(&kernels, agu, 32);
+        let b = compare_suite(&kernels, agu, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modify_registers_help_the_matmul_column() {
+        let plain = AguSpec::new(4, 1).unwrap();
+        let with_mr = AguSpec::new(4, 1).unwrap().with_modify_registers(2);
+        let kernel = raco_kernels::matmul_inner(8);
+        let a = compare_kernel(&kernel, plain, 64);
+        let b = compare_kernel(&kernel, with_mr, 64);
+        assert!(
+            b.opt_cycles < a.opt_cycles,
+            "modify registers must absorb the stride-8 wraps: {} vs {}",
+            b.opt_cycles,
+            a.opt_cycles
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal descriptive statistics for experiment aggregation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Half-width of the normal-approximation 95 % confidence interval.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        let ci95 = 1.96 * stddev / (n as f64).sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci95,
+            min,
+            max,
+        }
+    }
+}
+
+/// Percentage reduction of `optimized` relative to `baseline`
+/// (`(baseline - optimized) / baseline * 100`); `0` when the baseline is
+/// not positive.
+pub fn reduction_percent(baseline: f64, optimized: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - optimized) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!((s.min, s.max), (4.0, 4.0));
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Sample variance of 1..4 is 5/3.
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+    }
+
+    #[test]
+    fn single_observation_has_zero_spread() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_is_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn reduction_percent_behaviour() {
+        assert_eq!(reduction_percent(10.0, 6.0), 40.0);
+        assert_eq!(reduction_percent(0.0, 5.0), 0.0);
+        assert!(reduction_percent(10.0, 12.0) < 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The statistical random-pattern sweep (experiment E3, Results ¶1).
+//!
+//! Section 4 of the paper: *"We have determined the number of unit-cost
+//! address computations for random access patterns and a variety of
+//! parameters N, M, and K. […] the address register allocation determined
+//! by path merging reduces the addressing cost by about 40 % on the
+//! average, as compared to the 'naive' solution."*
+//!
+//! The sweep reproduces exactly that comparison: for every parameter cell
+//! `(N, M, K, spread)` it draws seeded random patterns, runs Phase 1 once
+//! per pattern and then merges the same Phase-1 cover twice — once with
+//! the paper's greedy min-cost strategy and once with the naive
+//! arbitrary-pair baseline — and reports the mean costs and the relative
+//! reduction.
+
+use raco_core::random::{PatternGenerator, Spread};
+use raco_core::{phase1, phase2, CostModel, MergeStrategy};
+use raco_graph::{BbOptions, DistanceModel};
+
+use crate::stats::{reduction_percent, Summary};
+
+/// One parameter cell of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Accesses per pattern (the paper's `N`).
+    pub n: usize,
+    /// Auto-modify range (the paper's `M`).
+    pub m: u32,
+    /// Physical address registers (the paper's `K`).
+    pub k: usize,
+    /// Offset-distribution preset.
+    pub spread: Spread,
+}
+
+/// Aggregated results of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell parameters.
+    pub key: CellKey,
+    /// Greedy (paper) merge costs.
+    pub greedy: Summary,
+    /// Naive (arbitrary-pair) merge costs.
+    pub naive: Summary,
+    /// Mean number of virtual registers `K̃`.
+    pub mean_virtual_registers: f64,
+    /// Fraction of samples where the register constraint actually bound
+    /// (`K < K̃`), i.e. where merging happened at all.
+    pub constrained_fraction: f64,
+    /// Mean cost reduction of greedy vs naive, in percent.
+    pub reduction_pct: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Values of `N` to sweep.
+    pub ns: Vec<usize>,
+    /// Values of `M` to sweep.
+    pub ms: Vec<u32>,
+    /// Values of `K` to sweep.
+    pub ks: Vec<usize>,
+    /// Offset spreads to sweep.
+    pub spreads: Vec<Spread>,
+    /// Random patterns per cell.
+    pub samples: usize,
+    /// Base RNG seed (same seed ⇒ identical tables).
+    pub base_seed: u64,
+    /// Phase-1 branch-and-bound node budget per pattern.
+    pub node_limit: u64,
+}
+
+impl Default for SweepConfig {
+    /// The grid used by experiment E3: `N ∈ {8, 12, 16, 20, 24, 32}`,
+    /// `M ∈ {1, 2, 4}`, `K ∈ {1, 2, 3, 4}`, all three spreads,
+    /// 200 samples per cell.
+    fn default() -> Self {
+        SweepConfig {
+            ns: vec![8, 12, 16, 20, 24, 32],
+            ms: vec![1, 2, 4],
+            ks: vec![1, 2, 3, 4],
+            spreads: Spread::all().to_vec(),
+            samples: 200,
+            base_seed: 0x5EED_DA7E,
+            node_limit: 200_000,
+        }
+    }
+}
+
+/// Derives a per-sample seed from the cell parameters (splitmix64-style
+/// mixing so neighbouring cells do not share patterns).
+pub fn sample_seed(base: u64, key: &CellKey, sample: usize) -> u64 {
+    let mut z = base
+        ^ (key.n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(key.m).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (key.k as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+        ^ (key.spread.span(key.m) as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ (sample as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The cost of one pattern under both merge strategies:
+/// `(greedy, naive, virtual_registers)`.
+pub fn measure_pattern(
+    dm: &DistanceModel,
+    k: usize,
+    node_limit: u64,
+    naive_seed: u64,
+) -> (u32, u32, usize) {
+    let cost_model = CostModel::steady_state();
+    let p1 = phase1::run(
+        dm,
+        BbOptions {
+            node_limit,
+            memoize: true,
+        },
+    );
+    let greedy = phase2::merge_until(
+        p1.cover(),
+        k,
+        dm,
+        cost_model,
+        MergeStrategy::GreedyMinCost,
+    );
+    let naive = phase2::merge_until(
+        p1.cover(),
+        k,
+        dm,
+        cost_model,
+        MergeStrategy::Random { seed: naive_seed },
+    );
+    (
+        cost_model.cover_cost(greedy.cover(), dm),
+        cost_model.cover_cost(naive.cover(), dm),
+        p1.virtual_registers(),
+    )
+}
+
+/// Runs one cell of the sweep.
+pub fn run_cell(key: CellKey, samples: usize, base_seed: u64, node_limit: u64) -> CellResult {
+    let generator = PatternGenerator::new(key.n).spread(key.spread, key.m);
+    let mut greedy_costs = Vec::with_capacity(samples);
+    let mut naive_costs = Vec::with_capacity(samples);
+    let mut virt_total = 0usize;
+    let mut constrained = 0usize;
+    for s in 0..samples {
+        let seed = sample_seed(base_seed, &key, s);
+        let pattern = generator.generate(seed);
+        let dm = DistanceModel::new(&pattern, key.m);
+        let (g, nv, virt) = measure_pattern(&dm, key.k, node_limit, seed ^ 0x00C0_FFEE);
+        greedy_costs.push(f64::from(g));
+        naive_costs.push(f64::from(nv));
+        virt_total += virt;
+        if virt > key.k {
+            constrained += 1;
+        }
+    }
+    let greedy = Summary::of(&greedy_costs);
+    let naive = Summary::of(&naive_costs);
+    let reduction_pct = reduction_percent(naive.mean, greedy.mean);
+    CellResult {
+        key,
+        greedy,
+        naive,
+        mean_virtual_registers: virt_total as f64 / samples as f64,
+        constrained_fraction: constrained as f64 / samples as f64,
+        reduction_pct,
+    }
+}
+
+/// Runs the whole sweep grid.
+pub fn run_sweep(config: &SweepConfig) -> Vec<CellResult> {
+    let mut results = Vec::new();
+    for &spread in &config.spreads {
+        for &n in &config.ns {
+            for &m in &config.ms {
+                for &k in &config.ks {
+                    let key = CellKey { n, m, k, spread };
+                    results.push(run_cell(
+                        key,
+                        config.samples,
+                        config.base_seed,
+                        config.node_limit,
+                    ));
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Average reduction over all cells where the naive baseline actually
+/// paid something (cells where both strategies are free carry no signal).
+pub fn overall_reduction(results: &[CellResult]) -> f64 {
+    let informative: Vec<f64> = results
+        .iter()
+        .filter(|c| c.naive.mean > 0.0)
+        .map(|c| c.reduction_pct)
+        .collect();
+    if informative.is_empty() {
+        return 0.0;
+    }
+    informative.iter().sum::<f64>() / informative.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell() -> CellKey {
+        CellKey {
+            n: 10,
+            m: 1,
+            k: 2,
+            spread: Spread::Medium,
+        }
+    }
+
+    #[test]
+    fn cells_are_reproducible() {
+        let a = run_cell(small_cell(), 25, 1, 100_000);
+        let b = run_cell(small_cell(), 25, 1, 100_000);
+        assert_eq!(a.greedy.mean, b.greedy.mean);
+        assert_eq!(a.naive.mean, b.naive.mean);
+    }
+
+    #[test]
+    fn greedy_beats_naive_on_average() {
+        let cell = run_cell(small_cell(), 50, 42, 100_000);
+        assert!(
+            cell.greedy.mean <= cell.naive.mean,
+            "greedy {} vs naive {}",
+            cell.greedy.mean,
+            cell.naive.mean
+        );
+        assert!(cell.reduction_pct >= 0.0);
+        assert!(cell.mean_virtual_registers >= 1.0);
+    }
+
+    #[test]
+    fn generous_registers_make_both_free() {
+        let cell = run_cell(
+            CellKey {
+                n: 6,
+                m: 2,
+                k: 6,
+                spread: Spread::Tight,
+            },
+            30,
+            7,
+            100_000,
+        );
+        assert_eq!(cell.greedy.mean, 0.0);
+        assert_eq!(cell.naive.mean, 0.0);
+        assert_eq!(cell.constrained_fraction, 0.0);
+    }
+
+    #[test]
+    fn sample_seeds_differ_across_cells_and_samples() {
+        let k1 = small_cell();
+        let mut k2 = small_cell();
+        k2.n = 11;
+        assert_ne!(sample_seed(1, &k1, 0), sample_seed(1, &k2, 0));
+        assert_ne!(sample_seed(1, &k1, 0), sample_seed(1, &k1, 1));
+        assert_ne!(sample_seed(1, &k1, 0), sample_seed(2, &k1, 0));
+    }
+
+    #[test]
+    fn overall_reduction_ignores_free_cells() {
+        let free = run_cell(
+            CellKey {
+                n: 4,
+                m: 4,
+                k: 4,
+                spread: Spread::Tight,
+            },
+            10,
+            3,
+            100_000,
+        );
+        let paid = run_cell(small_cell(), 10, 3, 100_000);
+        let overall = overall_reduction(&[free.clone(), paid.clone()]);
+        assert_eq!(overall, paid.reduction_pct);
+        assert_eq!(overall_reduction(&[free]), 0.0);
+    }
+}

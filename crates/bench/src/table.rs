@@ -1,0 +1,184 @@
+//! Markdown and CSV table output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple table with string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown with a title line
+    /// and column-aligned cells.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, comma-separated; cells
+    /// containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, self.to_csv())
+    }
+
+    /// Prints the Markdown form to stdout and writes the CSV next to the
+    /// experiments directory under `<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.to_markdown());
+        let path = crate::experiments_dir().join(format!("{name}.csv"));
+        match self.write_csv(&path) {
+            Ok(()) => println!("(csv written to {})\n", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Formats a float with one decimal digit (table cells).
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimal digits (table cells).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| name  | value |"));
+        assert!(md.contains("| alpha | 1     |"));
+        assert!(md.contains("| ----- | ----- |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\",\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn row_width_is_validated() {
+        let mut t = Table::new("x", &["a", "b"]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.push_row(vec!["only-one".into()]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(39.96), "40.0");
+        assert_eq!(f2(1.005), "1.00"); // bankers-ish rounding is fine
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("t", &["x"]).is_empty());
+    }
+}

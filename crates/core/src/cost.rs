@@ -1,0 +1,89 @@
+//! The cost model configuration.
+
+use raco_graph::{DistanceModel, Path, PathCover};
+
+/// Selects how path costs are measured.
+///
+/// The paper defines `C(P)` as the number of over-range consecutive pairs
+/// *inside* a path (Section 3.2). For the cost to agree with what the loop
+/// actually executes in steady state, the back-edge (wrap) step of each
+/// register must be counted too — Phase 1 requires it to be free for every
+/// virtual register, so a merge that breaks a wrap genuinely costs an
+/// instruction. [`CostModel::steady_state`] therefore includes wrap costs
+/// and is the default; [`CostModel::paper_literal`] reproduces the
+/// intra-only definition for ablation experiments.
+///
+/// # Examples
+///
+/// ```
+/// use raco_core::CostModel;
+/// use raco_graph::{DistanceModel, Path};
+///
+/// let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+/// let p = Path::new(vec![0, 2, 4, 5]).unwrap(); // (a_1, a_3, a_5, a_6)
+/// assert_eq!(CostModel::paper_literal().path_cost(&p, &dm), 0);
+/// assert_eq!(CostModel::steady_state().path_cost(&p, &dm), 1); // wrap = 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    include_wrap: bool,
+}
+
+impl CostModel {
+    /// Steady-state cost: intra-path unit costs plus the wrap step.
+    pub fn steady_state() -> Self {
+        CostModel { include_wrap: true }
+    }
+
+    /// Paper-literal `C(P)`: intra-path unit costs only.
+    pub fn paper_literal() -> Self {
+        CostModel {
+            include_wrap: false,
+        }
+    }
+
+    /// Whether wrap (back-edge) steps are charged.
+    pub fn includes_wrap(&self) -> bool {
+        self.include_wrap
+    }
+
+    /// Cost of a single path under this model.
+    pub fn path_cost(&self, path: &Path, dm: &DistanceModel) -> u32 {
+        path.cost(dm, self.include_wrap)
+    }
+
+    /// Total cost of a cover under this model.
+    pub fn cover_cost(&self, cover: &PathCover, dm: &DistanceModel) -> u32 {
+        cover.total_cost(dm, self.include_wrap)
+    }
+}
+
+impl Default for CostModel {
+    /// Defaults to [`CostModel::steady_state`].
+    fn default() -> Self {
+        CostModel::steady_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_steady_state() {
+        assert_eq!(CostModel::default(), CostModel::steady_state());
+        assert!(CostModel::steady_state().includes_wrap());
+        assert!(!CostModel::paper_literal().includes_wrap());
+    }
+
+    #[test]
+    fn cover_cost_matches_sum_of_paths() {
+        let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+        let cover = PathCover::single_chain(7);
+        let model = CostModel::steady_state();
+        let by_paths: u32 = cover.paths().iter().map(|p| model.path_cost(p, &dm)).sum();
+        assert_eq!(model.cover_cost(&cover, &dm), by_paths);
+        assert_eq!(model.cover_cost(&cover, &dm), 5);
+        assert_eq!(CostModel::paper_literal().cover_cost(&cover, &dm), 4);
+    }
+}

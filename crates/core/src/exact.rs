@@ -1,0 +1,128 @@
+//! Exact optimal allocation for small instances (quality oracle).
+//!
+//! The overall problem — partition the access sequence into at most `K`
+//! order-preserving subsequences minimizing total unit-cost updates — is
+//! solved exactly here by exhaustive partition enumeration (Bell-number
+//! complexity, so `N <= 12`). Experiment E6 uses this to measure the
+//! optimality gap of the two-phase heuristic; tests use it as an oracle.
+
+use raco_graph::{brute, DistanceModel, PathCover};
+
+use crate::cost::CostModel;
+
+/// The exact optimum: minimum achievable cost with at most `k` registers,
+/// together with an optimal cover.
+///
+/// # Panics
+///
+/// Panics if `dm.len() > 12` or `k == 0` (see
+/// [`brute::min_cost_allocation_brute`]).
+///
+/// # Examples
+///
+/// ```
+/// use raco_core::{exact, CostModel};
+/// use raco_graph::DistanceModel;
+///
+/// let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+/// let (cost, _) = exact::optimal_allocation(&dm, 3, CostModel::steady_state());
+/// assert_eq!(cost, 0); // K̃ = 3
+/// let (cost, _) = exact::optimal_allocation(&dm, 2, CostModel::steady_state());
+/// assert_eq!(cost, 2); // a_7 forces either a paid wrap or a lone register
+/// ```
+pub fn optimal_allocation(
+    dm: &DistanceModel,
+    k: usize,
+    cost_model: CostModel,
+) -> (u32, PathCover) {
+    brute::min_cost_allocation_brute(dm, k, cost_model.includes_wrap())
+}
+
+/// Difference between `cost` and the exact optimum for the same instance.
+///
+/// Returns `None` when the instance is too large for the oracle
+/// (`dm.len() > 12`).
+pub fn optimality_gap(
+    dm: &DistanceModel,
+    k: usize,
+    cost_model: CostModel,
+    cost: u32,
+) -> Option<u32> {
+    if dm.len() > 12 || k == 0 {
+        return None;
+    }
+    let (optimal, _) = optimal_allocation(dm, k, cost_model);
+    Some(cost.saturating_sub(optimal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MergeStrategy, Optimizer};
+    use raco_ir::AguSpec;
+
+    #[test]
+    fn paper_example_optimum_by_k() {
+        let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+        let model = CostModel::steady_state();
+        let by_k: Vec<u32> = (1..=4)
+            .map(|k| optimal_allocation(&dm, k, model).0)
+            .collect();
+        assert_eq!(by_k[3], 0);
+        assert_eq!(by_k[2], 0);
+        // With K = 2 the optimum is 2: any path containing a_7 and another
+        // access pays its wrap (only offset -2 closes onto -2), and no
+        // complement path is simultaneously free.
+        assert_eq!(by_k[1], 2);
+        assert!(by_k[0] >= by_k[1]);
+    }
+
+    #[test]
+    fn heuristic_gap_is_zero_on_the_paper_example() {
+        let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+        for k in 1..=3 {
+            let agu = AguSpec::new(k, 1).unwrap();
+            let alloc = Optimizer::new(agu).allocate_model(dm.clone());
+            let gap = optimality_gap(&dm, k, CostModel::steady_state(), alloc.cost())
+                .expect("small instance");
+            assert_eq!(gap, 0, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn greedy_dominates_worst_case_against_the_oracle() {
+        let dm = DistanceModel::from_offsets(&[0, 3, 1, 4, 2, 5], 1, 1);
+        let k = 2;
+        let greedy = Optimizer::new(AguSpec::new(k, 1).unwrap())
+            .allocate_model(dm.clone())
+            .cost();
+        let worst = Optimizer::new(AguSpec::new(k, 1).unwrap())
+            .strategy(MergeStrategy::WorstCost)
+            .allocate_model(dm.clone())
+            .cost();
+        let (optimal, _) = optimal_allocation(&dm, k, CostModel::steady_state());
+        assert!(optimal <= greedy);
+        assert!(greedy <= worst);
+    }
+
+    #[test]
+    fn gap_is_none_for_large_instances() {
+        let offsets: Vec<i64> = (0..20).collect();
+        let dm = DistanceModel::from_offsets(&offsets, 1, 1);
+        assert_eq!(optimality_gap(&dm, 2, CostModel::steady_state(), 5), None);
+    }
+
+    #[test]
+    fn paper_literal_cost_model_is_respected() {
+        let dm = DistanceModel::from_offsets(&[0, 5, 0, 5], 1, 1);
+        // Intra-only: {(a1,a3),(a2,a4)} both have one zero step (0→0, 5→5)
+        // → cost 0 even though wraps cost under steady state.
+        let (cost, _) = optimal_allocation(&dm, 2, CostModel::paper_literal());
+        assert_eq!(cost, 0);
+        let (cost_ss, _) = optimal_allocation(&dm, 2, CostModel::steady_state());
+        assert_eq!(cost_ss, 0, "wraps 0+1-0 = 1 and 5+1-5 = 1 are free too");
+        // With only one register the interleaving costs intra steps.
+        let (cost1, _) = optimal_allocation(&dm, 1, CostModel::paper_literal());
+        assert_eq!(cost1, 3);
+    }
+}

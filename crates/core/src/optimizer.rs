@@ -1,0 +1,478 @@
+//! The end-to-end optimizer: Phase 1 + Phase 2 behind one call.
+
+use std::fmt;
+
+use raco_graph::{BbOptions, DistanceModel, PathCover};
+use raco_ir::{AccessPattern, AguSpec, ArrayId, LoopSpec};
+
+use crate::cost::CostModel;
+use crate::partition;
+use crate::phase1::{self, Phase1Report};
+use crate::phase2::{self, MergeStrategy, Phase2Report};
+
+/// Configuration of the two-phase allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerOptions {
+    /// Cost model used by Phase 2 and reported costs.
+    pub cost_model: CostModel,
+    /// Branch-and-bound budget for Phase 1.
+    pub bb: BbOptions,
+    /// Merge-candidate selection for Phase 2.
+    pub strategy: MergeStrategy,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            cost_model: CostModel::steady_state(),
+            bb: BbOptions::default(),
+            strategy: MergeStrategy::GreedyMinCost,
+        }
+    }
+}
+
+/// Errors produced by multi-array allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// The loop accesses more arrays than the machine has address
+    /// registers; every array needs at least one dedicated register
+    /// (registers cannot cheaply jump between address spaces).
+    InsufficientRegisters {
+        /// Number of accessed arrays.
+        arrays: usize,
+        /// Number of available address registers.
+        registers: usize,
+    },
+    /// The loop contains no array accesses.
+    EmptyLoop,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::InsufficientRegisters { arrays, registers } => write!(
+                f,
+                "loop accesses {arrays} arrays but the AGU has only {registers} address registers"
+            ),
+            AllocError::EmptyLoop => f.write_str("loop contains no array accesses"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The paper's two-phase register-constrained allocator.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use raco_core::Optimizer;
+/// use raco_ir::{examples, AguSpec};
+///
+/// let spec = examples::paper_loop();
+/// let alloc = Optimizer::new(AguSpec::new(2, 1)?).allocate(&spec.patterns()[0]);
+/// assert_eq!(alloc.register_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Optimizer {
+    agu: AguSpec,
+    options: OptimizerOptions,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for the given machine with default options
+    /// (steady-state cost model, greedy merging).
+    pub fn new(agu: AguSpec) -> Self {
+        Optimizer {
+            agu,
+            options: OptimizerOptions::default(),
+        }
+    }
+
+    /// Creates an optimizer with explicit options.
+    pub fn with_options(agu: AguSpec, options: OptimizerOptions) -> Self {
+        Optimizer { agu, options }
+    }
+
+    /// Replaces the merge strategy (builder style).
+    #[must_use]
+    pub fn strategy(mut self, strategy: MergeStrategy) -> Self {
+        self.options.strategy = strategy;
+        self
+    }
+
+    /// Replaces the cost model (builder style).
+    #[must_use]
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.options.cost_model = cost_model;
+        self
+    }
+
+    /// Replaces the Phase-1 branch-and-bound options (builder style).
+    #[must_use]
+    pub fn bb_options(mut self, bb: BbOptions) -> Self {
+        self.options.bb = bb;
+        self
+    }
+
+    /// The machine this optimizer targets.
+    pub fn agu(&self) -> &AguSpec {
+        &self.agu
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &OptimizerOptions {
+        &self.options
+    }
+
+    /// Allocates the accesses of a single-array pattern to the machine's
+    /// `K` address registers (the paper's core problem).
+    pub fn allocate(&self, pattern: &AccessPattern) -> Allocation {
+        self.allocate_model(DistanceModel::new(pattern, self.agu.modify_range()))
+    }
+
+    /// Allocates directly from a [`DistanceModel`] — the algorithm-only
+    /// entry point used by experiments on synthetic offset lists.
+    pub fn allocate_model(&self, dm: DistanceModel) -> Allocation {
+        self.allocate_model_with_registers(dm, self.agu.address_registers())
+    }
+
+    fn allocate_model_with_registers(&self, dm: DistanceModel, k: usize) -> Allocation {
+        let phase1 = phase1::run(&dm, self.options.bb);
+        let phase2 = phase2::merge_until(
+            phase1.cover(),
+            k,
+            &dm,
+            self.options.cost_model,
+            self.options.strategy,
+        );
+        let cost = self.options.cost_model.cover_cost(phase2.cover(), &dm);
+        Allocation {
+            dm,
+            cost,
+            phase1,
+            phase2,
+        }
+    }
+
+    /// Allocates every array of a loop, distributing the `K` registers
+    /// across arrays so that the total cost is minimal (each array needs
+    /// at least one register of its own).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::EmptyLoop`] for loops without accesses and
+    /// [`AllocError::InsufficientRegisters`] when the loop touches more
+    /// arrays than there are registers.
+    pub fn allocate_loop(&self, spec: &LoopSpec) -> Result<LoopAllocation, AllocError> {
+        let patterns = spec.patterns();
+        if patterns.is_empty() {
+            return Err(AllocError::EmptyLoop);
+        }
+        let k = self.agu.address_registers();
+        if patterns.len() > k {
+            return Err(AllocError::InsufficientRegisters {
+                arrays: patterns.len(),
+                registers: k,
+            });
+        }
+        // Cost curve per pattern: cost with 1..=k registers.
+        let mut curves: Vec<Vec<u32>> = Vec::with_capacity(patterns.len());
+        for p in &patterns {
+            curves.push(self.cost_curve(p, k));
+        }
+        let assignment =
+            partition::distribute_registers(&curves, k).expect("arity checked above");
+        let per_array = patterns
+            .iter()
+            .zip(&assignment)
+            .map(|(p, &ka)| {
+                let dm = DistanceModel::new(p, self.agu.modify_range());
+                (p.array(), self.allocate_model_with_registers(dm, ka))
+            })
+            .collect::<Vec<_>>();
+        let total_cost = per_array.iter().map(|(_, a)| a.cost()).sum();
+        Ok(LoopAllocation {
+            per_array,
+            registers: assignment,
+            total_cost,
+        })
+    }
+
+    /// The cost of allocating `pattern` with `1..=k_max` registers, as a
+    /// vector indexed by `k - 1`.
+    ///
+    /// Computed from a single merge trajectory (merging from `K̃` all the
+    /// way down to one register), so a whole register sweep costs one
+    /// allocation. A budget of `k` registers admits any allocation with
+    /// **at most** `k` paths, so the value at `k` is the minimum
+    /// trajectory cost over register counts `<= k` — this matters when
+    /// Phase 1 fell back to a relaxed cover, where merging can *reduce*
+    /// cost (paths that individually pay their wraps combine into a
+    /// cheaper chain). The curve is therefore non-increasing in `k` by
+    /// construction.
+    pub fn cost_curve(&self, pattern: &AccessPattern, k_max: usize) -> Vec<u32> {
+        let dm = DistanceModel::new(pattern, self.agu.modify_range());
+        let phase1 = phase1::run(&dm, self.options.bb);
+        let base_cost = self.options.cost_model.cover_cost(phase1.cover(), &dm);
+        let phase2 = phase2::merge_until(
+            phase1.cover(),
+            1,
+            &dm,
+            self.options.cost_model,
+            self.options.strategy,
+        );
+        let mut running_min = u32::MAX;
+        (1..=k_max)
+            .map(|k| {
+                let at_k = phase2.cost_at(k).unwrap_or(base_cost);
+                running_min = running_min.min(at_k);
+                running_min
+            })
+            .collect()
+    }
+}
+
+/// The result of allocating one access pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    dm: DistanceModel,
+    cost: u32,
+    phase1: Phase1Report,
+    phase2: Phase2Report,
+}
+
+impl Allocation {
+    /// The final path cover: one path per used address register.
+    pub fn cover(&self) -> &PathCover {
+        self.phase2.cover()
+    }
+
+    /// Unit-cost address computations per steady-state iteration under the
+    /// configured cost model.
+    pub fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    /// Number of address registers actually used.
+    pub fn register_count(&self) -> usize {
+        self.cover().register_count()
+    }
+
+    /// The paper's `K̃`: virtual registers needed for a zero-cost scheme.
+    pub fn virtual_registers(&self) -> usize {
+        self.phase1.virtual_registers()
+    }
+
+    /// `true` if the allocation incurs no unit-cost computations.
+    pub fn is_zero_cost(&self) -> bool {
+        self.cost == 0
+    }
+
+    /// The Phase-1 report (cover, bounds, search statistics).
+    pub fn phase1(&self) -> &Phase1Report {
+        &self.phase1
+    }
+
+    /// The Phase-2 report (merge records, cost trajectory).
+    pub fn phase2(&self) -> &Phase2Report {
+        &self.phase2
+    }
+
+    /// The distance model the allocation was computed against.
+    pub fn distance_model(&self) -> &DistanceModel {
+        &self.dm
+    }
+
+    /// A human-readable summary of both phases, merges and register
+    /// paths (see [`crate::AllocationReport`]).
+    pub fn report(&self) -> crate::AllocationReport<'_> {
+        crate::AllocationReport::new(self)
+    }
+}
+
+/// The result of allocating a whole loop (possibly several arrays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopAllocation {
+    per_array: Vec<(ArrayId, Allocation)>,
+    registers: Vec<usize>,
+    total_cost: u32,
+}
+
+impl LoopAllocation {
+    /// Per-array allocations, in [`ArrayId`] order of appearance.
+    pub fn per_array(&self) -> &[(ArrayId, Allocation)] {
+        &self.per_array
+    }
+
+    /// The allocation of a specific array, if it is accessed by the loop.
+    pub fn for_array(&self, id: ArrayId) -> Option<&Allocation> {
+        self.per_array
+            .iter()
+            .find(|(a, _)| *a == id)
+            .map(|(_, alloc)| alloc)
+    }
+
+    /// Registers granted to each array (parallel to
+    /// [`per_array`](Self::per_array)).
+    pub fn registers(&self) -> &[usize] {
+        &self.registers
+    }
+
+    /// Total registers used across arrays.
+    pub fn total_registers(&self) -> usize {
+        self.per_array
+            .iter()
+            .map(|(_, a)| a.register_count())
+            .sum()
+    }
+
+    /// Total unit-cost computations per iteration across all arrays.
+    pub fn total_cost(&self) -> u32 {
+        self.total_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raco_ir::dsl::parse_loop;
+
+    fn paper_pattern() -> AccessPattern {
+        AccessPattern::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1)
+    }
+
+    #[test]
+    fn zero_cost_when_k_at_least_k_tilde() {
+        let alloc = Optimizer::new(AguSpec::new(3, 1).unwrap()).allocate(&paper_pattern());
+        assert_eq!(alloc.virtual_registers(), 3);
+        assert_eq!(alloc.register_count(), 3);
+        assert!(alloc.is_zero_cost());
+        assert!(alloc.phase2().records().is_empty());
+    }
+
+    #[test]
+    fn one_merge_when_one_register_short() {
+        let alloc = Optimizer::new(AguSpec::new(2, 1).unwrap()).allocate(&paper_pattern());
+        assert_eq!(alloc.register_count(), 2);
+        assert_eq!(alloc.phase2().records().len(), 1);
+        assert!(alloc.cost() >= 1);
+    }
+
+    #[test]
+    fn excess_registers_are_not_wasted_on_extra_paths() {
+        let alloc = Optimizer::new(AguSpec::new(8, 1).unwrap()).allocate(&paper_pattern());
+        assert_eq!(alloc.register_count(), 3, "K̃ = 3 paths suffice");
+        assert!(alloc.is_zero_cost());
+    }
+
+    #[test]
+    fn cost_curve_is_monotone_and_reaches_zero_at_k_tilde() {
+        let opt = Optimizer::new(AguSpec::new(8, 1).unwrap());
+        let curve = opt.cost_curve(&paper_pattern(), 8);
+        assert_eq!(curve.len(), 8);
+        for w in curve.windows(2) {
+            assert!(w[0] >= w[1], "more registers can never cost more: {curve:?}");
+        }
+        assert_eq!(curve[2], 0, "zero cost at K̃ = 3");
+        assert!(curve[0] > 0);
+        assert_eq!(curve[7], 0);
+    }
+
+    #[test]
+    fn allocate_model_matches_allocate() {
+        let opt = Optimizer::new(AguSpec::new(2, 1).unwrap());
+        let via_pattern = opt.allocate(&paper_pattern());
+        let via_model = opt.allocate_model(DistanceModel::from_offsets(
+            &[1, 0, 2, -1, 1, 0, -2],
+            1,
+            1,
+        ));
+        assert_eq!(via_pattern, via_model);
+    }
+
+    #[test]
+    fn builder_options_round_trip() {
+        let opt = Optimizer::new(AguSpec::new(2, 1).unwrap())
+            .strategy(MergeStrategy::FirstPair)
+            .cost_model(CostModel::paper_literal())
+            .bb_options(BbOptions {
+                node_limit: 1000,
+                memoize: false,
+            });
+        assert_eq!(opt.options().strategy, MergeStrategy::FirstPair);
+        assert_eq!(opt.options().cost_model, CostModel::paper_literal());
+        assert_eq!(opt.options().bb.node_limit, 1000);
+        assert_eq!(opt.agu().address_registers(), 2);
+    }
+
+    #[test]
+    fn loop_allocation_splits_registers_across_arrays() {
+        let spec = parse_loop(
+            "for (i = 1; i < 255; i++) {
+                y[i] = x[i - 1] + x[i] + x[i + 1];
+            }",
+        )
+        .unwrap();
+        let alloc = Optimizer::new(AguSpec::new(4, 1).unwrap())
+            .allocate_loop(&spec)
+            .unwrap();
+        assert_eq!(alloc.per_array().len(), 2);
+        assert!(alloc.total_registers() <= 4);
+        assert_eq!(alloc.total_cost(), 0, "x chain and y singleton are free");
+        let x = spec.array_id("x").unwrap();
+        assert!(alloc.for_array(x).is_some());
+        assert!(alloc.for_array(raco_ir::ArrayId::from_index(9)).is_none());
+    }
+
+    #[test]
+    fn loop_allocation_rejects_too_many_arrays() {
+        let spec = parse_loop(
+            "for (i = 0; i < 9; i++) { a[i] = b[i] + c[i] + d[i]; }",
+        )
+        .unwrap();
+        let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
+            .allocate_loop(&spec)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::InsufficientRegisters {
+                arrays: 4,
+                registers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn loop_allocation_rejects_empty_loops() {
+        let spec = parse_loop("for (i = 0; i < 9; i++) { s = t; }").unwrap();
+        let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
+            .allocate_loop(&spec)
+            .unwrap_err();
+        assert_eq!(err, AllocError::EmptyLoop);
+    }
+
+    #[test]
+    fn loop_allocation_prefers_needy_arrays() {
+        // `a` is a free chain (1 register is enough); `b` is scattered and
+        // profits from every extra register.
+        let spec = parse_loop(
+            "for (i = 0; i < 64; i++) {
+                s = a[i] + b[i] + b[i + 10] + b[i + 20];
+            }",
+        )
+        .unwrap();
+        let alloc = Optimizer::new(AguSpec::new(4, 1).unwrap())
+            .allocate_loop(&spec)
+            .unwrap();
+        let a = spec.array_id("a").unwrap();
+        let b = spec.array_id("b").unwrap();
+        assert_eq!(alloc.for_array(a).unwrap().register_count(), 1);
+        assert_eq!(alloc.for_array(b).unwrap().register_count(), 3);
+        assert_eq!(alloc.total_cost(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Seeded random access-pattern generation.
+//!
+//! Section 4 of the paper evaluates the heuristic on "random access
+//! patterns and a variety of parameters N, M, and K" without specifying
+//! the offset distribution. We draw offsets uniformly from a symmetric
+//! range whose width scales with `M` through [`Spread`] presets, and we
+//! document the choice in DESIGN.md; experiment E3 sweeps all presets to
+//! show the conclusion is insensitive to it.
+//!
+//! All generation is seeded and reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use raco_ir::AccessPattern;
+
+/// Offset-range presets relative to the auto-modify range `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spread {
+    /// Offsets in `[-2M, 2M]` — dense patterns, many zero-cost edges.
+    Tight,
+    /// Offsets in `[-4M, 4M]` — the default used by experiment E3.
+    Medium,
+    /// Offsets in `[-8M, 8M]` — sparse patterns, few zero-cost edges.
+    Wide,
+}
+
+impl Spread {
+    /// Half-width of the offset range for auto-modify range `m`.
+    pub fn span(self, m: u32) -> i64 {
+        let m = i64::from(m.max(1));
+        match self {
+            Spread::Tight => 2 * m,
+            Spread::Medium => 4 * m,
+            Spread::Wide => 8 * m,
+        }
+    }
+
+    /// All presets, for sweeps.
+    pub fn all() -> [Spread; 3] {
+        [Spread::Tight, Spread::Medium, Spread::Wide]
+    }
+
+    /// Short lowercase name (table labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Spread::Tight => "tight",
+            Spread::Medium => "medium",
+            Spread::Wide => "wide",
+        }
+    }
+}
+
+/// A reproducible generator of random access patterns.
+///
+/// # Examples
+///
+/// ```
+/// use raco_core::random::PatternGenerator;
+///
+/// let gen = PatternGenerator::new(10).offset_span(4).stride(1);
+/// let a = gen.generate(7);
+/// let b = gen.generate(7);
+/// assert_eq!(a, b, "same seed, same pattern");
+/// assert_eq!(a.len(), 10);
+/// assert!(a.offsets().iter().all(|&o| (-4..=4).contains(&o)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternGenerator {
+    n: usize,
+    min_offset: i64,
+    max_offset: i64,
+    stride: i64,
+}
+
+impl PatternGenerator {
+    /// A generator of `n`-access patterns with offsets in `[-8, 8]` and
+    /// stride 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "patterns must contain at least one access");
+        PatternGenerator {
+            n,
+            min_offset: -8,
+            max_offset: 8,
+            stride: 1,
+        }
+    }
+
+    /// Sets the offset range to `[-span, span]` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span < 0`.
+    #[must_use]
+    pub fn offset_span(mut self, span: i64) -> Self {
+        assert!(span >= 0, "span must be non-negative");
+        self.min_offset = -span;
+        self.max_offset = span;
+        self
+    }
+
+    /// Sets an explicit offset range (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn offset_range(mut self, min: i64, max: i64) -> Self {
+        assert!(min <= max, "empty offset range");
+        self.min_offset = min;
+        self.max_offset = max;
+        self
+    }
+
+    /// Sets the effective stride (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    #[must_use]
+    pub fn stride(mut self, stride: i64) -> Self {
+        assert!(stride != 0, "stride must be non-zero");
+        self.stride = stride;
+        self
+    }
+
+    /// Applies a [`Spread`] preset for auto-modify range `m`.
+    #[must_use]
+    pub fn spread(self, spread: Spread, m: u32) -> Self {
+        self.offset_span(spread.span(m))
+    }
+
+    /// Number of accesses generated per pattern.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Generators always produce at least one access.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Generates the offsets for `seed`.
+    pub fn generate_offsets(&self, seed: u64) -> Vec<i64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..self.n)
+            .map(|_| rng.gen_range(self.min_offset..=self.max_offset))
+            .collect()
+    }
+
+    /// Generates a full [`AccessPattern`] for `seed`.
+    pub fn generate(&self, seed: u64) -> AccessPattern {
+        AccessPattern::from_offsets(&self.generate_offsets(seed), self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = PatternGenerator::new(16).offset_span(5);
+        assert_eq!(gen.generate_offsets(1), gen.generate_offsets(1));
+        assert_ne!(gen.generate_offsets(1), gen.generate_offsets(2));
+    }
+
+    #[test]
+    fn offsets_respect_the_range() {
+        let gen = PatternGenerator::new(200).offset_range(-3, 7);
+        let offsets = gen.generate_offsets(99);
+        assert!(offsets.iter().all(|&o| (-3..=7).contains(&o)));
+        // Both extremes are reachable over enough draws.
+        assert!(offsets.iter().any(|&o| o < 0));
+        assert!(offsets.iter().any(|&o| o > 5));
+    }
+
+    #[test]
+    fn spread_presets_scale_with_m() {
+        assert_eq!(Spread::Tight.span(1), 2);
+        assert_eq!(Spread::Medium.span(1), 4);
+        assert_eq!(Spread::Wide.span(2), 16);
+        assert_eq!(Spread::Tight.span(0), 2, "m = 0 is clamped to 1");
+        assert_eq!(Spread::all().len(), 3);
+        assert_eq!(Spread::Medium.name(), "medium");
+    }
+
+    #[test]
+    fn pattern_carries_stride() {
+        let p = PatternGenerator::new(4).stride(-2).generate(0);
+        assert_eq!(p.stride(), -2);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_length_generators_are_rejected() {
+        let _ = PatternGenerator::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty offset range")]
+    fn inverted_ranges_are_rejected() {
+        let _ = PatternGenerator::new(1).offset_range(3, -3);
+    }
+}

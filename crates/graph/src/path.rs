@@ -1,0 +1,552 @@
+//! Paths and path covers over an access pattern.
+//!
+//! A *path* is an order-preserving subsequence of the access pattern: the
+//! accesses one address register serves each iteration. A *path cover*
+//! partitions all accesses into node-disjoint paths — one per (virtual or
+//! physical) address register. Both phases of the paper's algorithm
+//! (Section 3) manipulate these objects: Phase 1 finds a minimum zero-cost
+//! cover, Phase 2 merges paths until the register constraint is met.
+
+use std::fmt;
+
+use crate::distance::DistanceModel;
+
+/// Errors produced when constructing a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathError {
+    /// Paths must contain at least one access.
+    Empty,
+    /// Access indices must be strictly increasing (the merge operation `⊕`
+    /// "retains the order of array accesses in the original access
+    /// pattern", Section 3.2).
+    NotIncreasing {
+        /// Position within the index list where monotonicity broke.
+        at: usize,
+    },
+    /// The two paths being merged share an access.
+    Overlapping {
+        /// The access index present in both paths.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => f.write_str("a path must contain at least one access"),
+            PathError::NotIncreasing { at } => {
+                write!(f, "path indices must be strictly increasing (violated at position {at})")
+            }
+            PathError::Overlapping { index } => {
+                write!(f, "paths overlap at access index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// An order-preserving subsequence of the access pattern — the accesses
+/// served by one address register per iteration.
+///
+/// # Examples
+///
+/// The paper's Section 2 observes that `(a_1, a_3, a_5, a_6)` is a path of
+/// the example graph realizable with auto-increment/decrement only:
+///
+/// ```
+/// use raco_graph::{DistanceModel, Path};
+///
+/// let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+/// let p = Path::new(vec![0, 2, 4, 5]).unwrap(); // a_1, a_3, a_5, a_6
+/// assert_eq!(p.intra_cost(&dm), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    indices: Vec<usize>,
+}
+
+impl Path {
+    /// Creates a path from strictly increasing access indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Empty`] or [`PathError::NotIncreasing`] if the
+    /// index list is empty or out of order.
+    pub fn new(indices: Vec<usize>) -> Result<Self, PathError> {
+        if indices.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for at in 1..indices.len() {
+            if indices[at] <= indices[at - 1] {
+                return Err(PathError::NotIncreasing { at });
+            }
+        }
+        Ok(Path { indices })
+    }
+
+    /// Creates a path containing the single access `index`.
+    pub fn singleton(index: usize) -> Self {
+        Path {
+            indices: vec![index],
+        }
+    }
+
+    /// The access indices in pattern order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of accesses on the path.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Paths are never empty; this always returns `false` and exists for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// First access (the register's position at the top of an iteration).
+    pub fn head(&self) -> usize {
+        self.indices[0]
+    }
+
+    /// Last access (the register's position at the end of an iteration).
+    pub fn tail(&self) -> usize {
+        *self.indices.last().expect("paths are non-empty")
+    }
+
+    /// `true` if the path contains access `index`.
+    pub fn contains(&self, index: usize) -> bool {
+        self.indices.binary_search(&index).is_ok()
+    }
+
+    /// The paper's merge operation `P_i ⊕ P_j`: the union of both access
+    /// sets, re-ordered by position in the original access pattern
+    /// (Section 3.2: merging `(a_1, a_4, a_6)` and `(a_3, a_5)` yields
+    /// `(a_1, a_3, a_4, a_5, a_6)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Overlapping`] if the paths share an access.
+    pub fn merge(&self, other: &Path) -> Result<Path, PathError> {
+        let mut merged = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (0, 0);
+        while a < self.len() && b < other.len() {
+            let (x, y) = (self.indices[a], other.indices[b]);
+            if x == y {
+                return Err(PathError::Overlapping { index: x });
+            }
+            if x < y {
+                merged.push(x);
+                a += 1;
+            } else {
+                merged.push(y);
+                b += 1;
+            }
+        }
+        merged.extend_from_slice(&self.indices[a..]);
+        merged.extend_from_slice(&other.indices[b..]);
+        Ok(Path { indices: merged })
+    }
+
+    /// Number of unit-cost updates *inside* the path: consecutive pairs
+    /// whose intra-iteration distance exceeds `M`. This is the paper's
+    /// `C(P)` in its literal form (Section 3.2).
+    pub fn intra_cost(&self, dm: &DistanceModel) -> u32 {
+        self.indices
+            .windows(2)
+            .filter(|w| !dm.free_intra(w[0], w[1]))
+            .count() as u32
+    }
+
+    /// `1` if the back-edge step (tail of iteration `t` to head of
+    /// iteration `t+1`) exceeds `M`, else `0`.
+    pub fn wrap_cost(&self, dm: &DistanceModel) -> u32 {
+        u32::from(!dm.free_wrap(self.tail(), self.head()))
+    }
+
+    /// Steady-state unit-cost updates per iteration for this path:
+    /// [`intra_cost`](Self::intra_cost) plus, when `include_wrap` is set,
+    /// [`wrap_cost`](Self::wrap_cost).
+    ///
+    /// `include_wrap = true` is the faithful steady-state model (the
+    /// paper's Phase 1 requires the wrap step of every virtual register to
+    /// be free, so merged-path costs are measured the same way);
+    /// `include_wrap = false` is the paper-literal `C(P)`.
+    pub fn cost(&self, dm: &DistanceModel, include_wrap: bool) -> u32 {
+        self.intra_cost(dm) + if include_wrap { self.wrap_cost(dm) } else { 0 }
+    }
+
+    /// The post-modify deltas along the path within one iteration
+    /// (`len() - 1` entries).
+    pub fn intra_steps(&self, dm: &DistanceModel) -> Vec<i64> {
+        self.indices
+            .windows(2)
+            .map(|w| dm.intra_distance(w[0], w[1]))
+            .collect()
+    }
+
+    /// The back-edge post-modify delta (tail → head, next iteration).
+    pub fn wrap_step(&self, dm: &DistanceModel) -> i64 {
+        dm.wrap_distance(self.tail(), self.head())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (k, i) in self.indices.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "a_{}", i + 1)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Errors produced when constructing a [`PathCover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoverError {
+    /// An access appears on more than one path.
+    Duplicated {
+        /// The duplicated access index.
+        index: usize,
+    },
+    /// An access appears on no path.
+    Missing {
+        /// The uncovered access index.
+        index: usize,
+    },
+    /// A path references an access index `>= n`.
+    OutOfRange {
+        /// The out-of-range access index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Duplicated { index } => {
+                write!(f, "access {index} is covered by more than one path")
+            }
+            CoverError::Missing { index } => write!(f, "access {index} is not covered"),
+            CoverError::OutOfRange { index } => {
+                write!(f, "access index {index} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// A partition of all `n` accesses into node-disjoint paths.
+///
+/// Covers are kept in canonical order (paths sorted by head index), so two
+/// covers with the same path set compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use raco_graph::{DistanceModel, Path, PathCover};
+///
+/// let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+/// let cover = PathCover::new(
+///     vec![
+///         Path::new(vec![0, 2, 4, 5]).unwrap(), // (a_1, a_3, a_5, a_6)
+///         Path::new(vec![1, 3, 6]).unwrap(),    // (a_2, a_4, a_7)
+///     ],
+///     7,
+/// )
+/// .unwrap();
+/// assert_eq!(cover.register_count(), 2);
+/// assert_eq!(cover.total_cost(&dm, false), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCover {
+    paths: Vec<Path>,
+    n: usize,
+}
+
+impl PathCover {
+    /// Creates a cover of `n` accesses, validating completeness and
+    /// disjointness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoverError`] if any access is missing, duplicated or
+    /// out of range.
+    pub fn new(paths: Vec<Path>, n: usize) -> Result<Self, CoverError> {
+        let mut seen = vec![false; n];
+        for p in &paths {
+            for &i in p.indices() {
+                if i >= n {
+                    return Err(CoverError::OutOfRange { index: i });
+                }
+                if seen[i] {
+                    return Err(CoverError::Duplicated { index: i });
+                }
+                seen[i] = true;
+            }
+        }
+        if let Some(index) = seen.iter().position(|covered| !covered) {
+            return Err(CoverError::Missing { index });
+        }
+        let mut cover = PathCover { paths, n };
+        cover.canonicalize();
+        Ok(cover)
+    }
+
+    /// The all-singletons cover: one register per access.
+    pub fn singletons(n: usize) -> Self {
+        PathCover {
+            paths: (0..n).map(Path::singleton).collect(),
+            n,
+        }
+    }
+
+    /// The one-path cover: every access chained onto a single register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn single_chain(n: usize) -> Self {
+        assert!(n > 0, "a cover needs at least one access");
+        PathCover {
+            paths: vec![Path::new((0..n).collect()).expect("0..n is increasing")],
+            n,
+        }
+    }
+
+    fn canonicalize(&mut self) {
+        self.paths.sort_by_key(Path::head);
+    }
+
+    /// The paths, sorted by head access.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of accesses covered.
+    pub fn accesses(&self) -> usize {
+        self.n
+    }
+
+    /// Number of paths — i.e. the number of address registers the cover
+    /// uses.
+    pub fn register_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total steady-state unit-cost updates per iteration, summed over all
+    /// paths (see [`Path::cost`] for `include_wrap`).
+    pub fn total_cost(&self, dm: &DistanceModel, include_wrap: bool) -> u32 {
+        self.paths.iter().map(|p| p.cost(dm, include_wrap)).sum()
+    }
+
+    /// `true` if every step of every path — including every back-edge
+    /// step — is free. Phase 1 of the paper computes the minimum cover
+    /// with this property.
+    pub fn is_zero_cost(&self, dm: &DistanceModel) -> bool {
+        self.total_cost(dm, true) == 0
+    }
+
+    /// Replaces paths `i` and `j` by their merge `P_i ⊕ P_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Overlapping`] if the paths share an access
+    /// (impossible for covers built through [`PathCover::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn merge_pair(&mut self, i: usize, j: usize) -> Result<(), PathError> {
+        assert!(i != j, "cannot merge a path with itself");
+        let merged = self.paths[i].merge(&self.paths[j])?;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        self.paths.swap_remove(hi);
+        self.paths[lo] = merged;
+        self.canonicalize();
+        Ok(())
+    }
+
+    /// The path serving access `index`, if any.
+    pub fn path_of(&self, index: usize) -> Option<&Path> {
+        self.paths.iter().find(|p| p.contains(index))
+    }
+}
+
+impl fmt::Display for PathCover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.paths.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_dm() -> DistanceModel {
+        DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1)
+    }
+
+    #[test]
+    fn path_construction_validates_order() {
+        assert_eq!(Path::new(vec![]).unwrap_err(), PathError::Empty);
+        assert_eq!(
+            Path::new(vec![0, 2, 2]).unwrap_err(),
+            PathError::NotIncreasing { at: 2 }
+        );
+        assert_eq!(
+            Path::new(vec![3, 1]).unwrap_err(),
+            PathError::NotIncreasing { at: 1 }
+        );
+        let p = Path::new(vec![0, 2, 5]).unwrap();
+        assert_eq!((p.head(), p.tail(), p.len()), (0, 5, 3));
+        assert!(p.contains(2));
+        assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn merge_matches_paper_example() {
+        // Section 3.2: (a_1, a_4, a_6) ⊕ (a_3, a_5) = (a_1, a_3, a_4, a_5, a_6)
+        let p1 = Path::new(vec![0, 3, 5]).unwrap();
+        let p2 = Path::new(vec![2, 4]).unwrap();
+        let merged = p1.merge(&p2).unwrap();
+        assert_eq!(merged.indices(), &[0, 2, 3, 4, 5]);
+        // Merge is symmetric.
+        assert_eq!(p2.merge(&p1).unwrap(), merged);
+    }
+
+    #[test]
+    fn merge_rejects_overlap() {
+        let p1 = Path::new(vec![0, 3]).unwrap();
+        let p2 = Path::new(vec![3, 4]).unwrap();
+        assert_eq!(
+            p1.merge(&p2).unwrap_err(),
+            PathError::Overlapping { index: 3 }
+        );
+    }
+
+    #[test]
+    fn paper_zero_cost_path() {
+        let dm = paper_dm();
+        // (a_1, a_3, a_5, a_6): offsets 1 → 2 → 1 → 0, all steps |d| <= 1.
+        let p = Path::new(vec![0, 2, 4, 5]).unwrap();
+        assert_eq!(p.intra_cost(&dm), 0);
+        assert_eq!(p.intra_steps(&dm), vec![1, -1, -1]);
+        // Wrap: offset 0 tail → offset 1 head next iteration: 1 + 1 - 0 = 2.
+        assert_eq!(p.wrap_step(&dm), 2);
+        assert_eq!(p.wrap_cost(&dm), 1);
+        assert_eq!(p.cost(&dm, false), 0);
+        assert_eq!(p.cost(&dm, true), 1);
+    }
+
+    #[test]
+    fn singleton_wrap_cost_is_stride_freeness() {
+        let dm = paper_dm();
+        let p = Path::singleton(3);
+        assert_eq!(p.intra_cost(&dm), 0);
+        assert_eq!(p.wrap_step(&dm), 1);
+        assert_eq!(p.wrap_cost(&dm), 0);
+    }
+
+    #[test]
+    fn cover_validation() {
+        let mk = |v: Vec<Vec<usize>>| {
+            PathCover::new(v.into_iter().map(|x| Path::new(x).unwrap()).collect(), 4)
+        };
+        assert!(mk(vec![vec![0, 1], vec![2, 3]]).is_ok());
+        assert_eq!(
+            mk(vec![vec![0, 1], vec![1, 2], vec![3]]).unwrap_err(),
+            CoverError::Duplicated { index: 1 }
+        );
+        assert_eq!(
+            mk(vec![vec![0, 1], vec![3]]).unwrap_err(),
+            CoverError::Missing { index: 2 }
+        );
+        assert_eq!(
+            mk(vec![vec![0, 1], vec![2, 3, 7]]).unwrap_err(),
+            CoverError::OutOfRange { index: 7 }
+        );
+    }
+
+    #[test]
+    fn covers_are_canonicalized() {
+        let a = PathCover::new(
+            vec![Path::new(vec![1, 3]).unwrap(), Path::new(vec![0, 2]).unwrap()],
+            4,
+        )
+        .unwrap();
+        let b = PathCover::new(
+            vec![Path::new(vec![0, 2]).unwrap(), Path::new(vec![1, 3]).unwrap()],
+            4,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.paths()[0].head(), 0);
+    }
+
+    #[test]
+    fn singleton_and_chain_covers() {
+        let s = PathCover::singletons(3);
+        assert_eq!(s.register_count(), 3);
+        assert_eq!(s.accesses(), 3);
+        let c = PathCover::single_chain(3);
+        assert_eq!(c.register_count(), 1);
+        assert_eq!(c.paths()[0].indices(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_pair_reduces_register_count() {
+        let mut cover = PathCover::singletons(4);
+        cover.merge_pair(0, 2).unwrap();
+        assert_eq!(cover.register_count(), 3);
+        assert!(cover.path_of(0).unwrap().contains(2));
+        assert_eq!(cover.path_of(3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn total_cost_sums_paths() {
+        let dm = paper_dm();
+        // Chain everything: offsets 1,0,2,-1,1,0,-2 → steps -1,2,-3,2,-1,-2
+        // → intra cost 4; wrap: 1 + 1 - (-2) = 4 → +1.
+        let chain = PathCover::single_chain(7);
+        assert_eq!(chain.total_cost(&dm, false), 4);
+        assert_eq!(chain.total_cost(&dm, true), 5);
+        assert!(!chain.is_zero_cost(&dm));
+    }
+
+    #[test]
+    fn display_is_one_based_like_the_paper() {
+        let p = Path::new(vec![0, 2, 4]).unwrap();
+        assert_eq!(p.to_string(), "(a_1, a_3, a_5)");
+        let cover = PathCover::new(
+            vec![Path::new(vec![0]).unwrap(), Path::new(vec![1]).unwrap()],
+            2,
+        )
+        .unwrap();
+        assert_eq!(cover.to_string(), "{(a_1), (a_2)}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge a path with itself")]
+    fn merge_pair_rejects_same_index() {
+        let mut cover = PathCover::singletons(2);
+        let _ = cover.merge_pair(1, 1);
+    }
+}

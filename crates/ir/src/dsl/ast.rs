@@ -1,0 +1,359 @@
+//! Abstract syntax tree of the loop DSL.
+//!
+//! The AST mirrors the source closely so that loops can be pretty-printed
+//! back (see [`crate::pretty`]) and inspected by tools. Lowering to the
+//! flat [`crate::LoopSpec`] happens in [`crate::dsl::lower_loop`].
+
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Comparison operators in the loop condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=`
+    Ne,
+    /// `==`
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Ne => "!=",
+            CmpOp::Eq => "==",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` (reads the left-hand side)
+    AddAssign,
+    /// `-=` (reads the left-hand side)
+    SubAssign,
+    /// `*=` (reads the left-hand side)
+    MulAssign,
+}
+
+impl AssignOp {
+    /// The operator's source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+        }
+    }
+
+    /// `true` for compound assignments, which read their left-hand side
+    /// before writing it.
+    pub fn reads_lhs(self) -> bool {
+        !matches!(self, AssignOp::Assign)
+    }
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable (or the loop variable).
+    Var(String),
+    /// Array element `array[index]`.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression (must be affine in the loop variable to lower).
+        index: Box<Expr>,
+    },
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Binary operation `lhs op rhs`.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Visits every array reference in evaluation order (depth-first,
+    /// left-to-right), calling `f(array_name, index_expr)`.
+    pub fn visit_indices<'a>(&'a self, f: &mut impl FnMut(&'a str, &'a Expr)) {
+        match self {
+            Expr::Num(_) | Expr::Var(_) => {}
+            Expr::Index { array, index } => {
+                // Index sub-expressions are address arithmetic, not memory
+                // accesses; they are intentionally not visited.
+                f(array, index);
+            }
+            Expr::Neg(e) => e.visit_indices(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_indices(f);
+                rhs.visit_indices(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Var(v) => f.write_str(v),
+            Expr::Index { array, index } => write!(f, "{array}[{index}]"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Binary { op, lhs, rhs } => {
+                let needs_parens = |e: &Expr, parent: BinOp| match e {
+                    Expr::Binary { op, .. } => {
+                        matches!(parent, BinOp::Mul | BinOp::Div)
+                            && matches!(op, BinOp::Add | BinOp::Sub)
+                    }
+                    _ => false,
+                };
+                if needs_parens(lhs, *op) {
+                    write!(f, "({lhs})")?;
+                } else {
+                    write!(f, "{lhs}")?;
+                }
+                write!(f, " {op} ")?;
+                if needs_parens(rhs, *op) || matches!(op, BinOp::Sub | BinOp::Div) && matches!(**rhs, Expr::Binary { .. }) {
+                    write!(f, "({rhs})")
+                } else {
+                    write!(f, "{rhs}")
+                }
+            }
+        }
+    }
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LValue {
+    /// A scalar variable (kept in a data register, no memory access).
+    Scalar(String),
+    /// An array element.
+    Element {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Expr,
+    },
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Scalar(v) => f.write_str(v),
+            LValue::Element { array, index } => write!(f, "{array}[{index}]"),
+        }
+    }
+}
+
+/// One assignment statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stmt {
+    /// Assignment target.
+    pub lhs: LValue,
+    /// Assignment operator.
+    pub op: AssignOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// Byte span of the statement in the original source (empty when the
+    /// statement was constructed programmatically).
+    pub span: super::lexer::Span,
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {};", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// The loop condition `var <cmp> bound`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side of the comparison (often a symbolic bound like `N`).
+    pub bound: Expr,
+}
+
+/// The loop-variable update clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// `i++`
+    Increment,
+    /// `i--`
+    Decrement,
+    /// `i += k` / `i = i + k` (`k` may be negative for `-=` / `i = i - k`)
+    Step(i64),
+}
+
+impl Update {
+    /// The per-iteration stride this update produces.
+    pub fn stride(self) -> i64 {
+        match self {
+            Update::Increment => 1,
+            Update::Decrement => -1,
+            Update::Step(k) => k,
+        }
+    }
+}
+
+/// A parsed `for` loop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForLoop {
+    /// Loop-variable name.
+    pub var: String,
+    /// Initial value if the init expression is a constant, else `None`
+    /// (symbolic starts lower to `0`).
+    pub start: Option<i64>,
+    /// Raw init expression (for printing).
+    pub init: Expr,
+    /// Loop condition.
+    pub cond: Cond,
+    /// Update clause.
+    pub update: Update,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_parenthesizes_by_precedence() {
+        let e = Expr::binary(
+            BinOp::Mul,
+            Expr::binary(BinOp::Add, Expr::Var("i".into()), Expr::Num(1)),
+            Expr::Var("c".into()),
+        );
+        assert_eq!(e.to_string(), "(i + 1) * c");
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::Var("a".into()),
+            Expr::binary(BinOp::Mul, Expr::Var("b".into()), Expr::Num(2)),
+        );
+        assert_eq!(e.to_string(), "a + b * 2");
+    }
+
+    #[test]
+    fn stmt_display_round_trips_symbols() {
+        let s = Stmt {
+            lhs: LValue::Element {
+                array: "A".into(),
+                index: Expr::Var("i".into()),
+            },
+            op: AssignOp::AddAssign,
+            rhs: Expr::Num(3),
+            span: Default::default(),
+        };
+        assert_eq!(s.to_string(), "A[i] += 3;");
+    }
+
+    #[test]
+    fn visit_indices_is_left_to_right() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::Index {
+                array: "A".into(),
+                index: Box::new(Expr::Var("i".into())),
+            },
+            Expr::Index {
+                array: "B".into(),
+                index: Box::new(Expr::Num(0)),
+            },
+        );
+        let mut seen = Vec::new();
+        e.visit_indices(&mut |name, _| seen.push(name.to_owned()));
+        assert_eq!(seen, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn update_strides() {
+        assert_eq!(Update::Increment.stride(), 1);
+        assert_eq!(Update::Decrement.stride(), -1);
+        assert_eq!(Update::Step(-3).stride(), -3);
+    }
+
+    #[test]
+    fn assign_op_reads_lhs() {
+        assert!(!AssignOp::Assign.reads_lhs());
+        assert!(AssignOp::AddAssign.reads_lhs());
+        assert!(AssignOp::SubAssign.reads_lhs());
+        assert!(AssignOp::MulAssign.reads_lhs());
+    }
+}

@@ -1,0 +1,271 @@
+//! Lowering from the DSL AST to the flat [`LoopSpec`] IR.
+//!
+//! Lowering walks every statement, extracts array accesses in evaluation
+//! order (right-hand-side reads left-to-right, then the left-hand-side read
+//! for compound assignments, then the left-hand-side write) and folds each
+//! index expression into the affine form `c*i + d`.
+
+use super::ast::{Expr, ForLoop, LValue, Stmt};
+use super::lexer::Span;
+use super::parser::{LowerError, ParseErrorKind};
+use crate::model::{AccessKind, ArrayId, LoopSpec};
+
+/// Lowers a parsed [`ForLoop`] to a [`LoopSpec`].
+///
+/// Exposed publicly as [`crate::dsl::parse_loop`], which also attaches the
+/// source text to error positions; calling this directly is useful when the
+/// AST was built programmatically.
+///
+/// # Errors
+///
+/// Returns an error (without line/column resolution — see
+/// [`crate::dsl::parse_loop`]) when an index expression is not affine in
+/// the loop variable or when one array is indexed with mixed coefficients.
+pub fn lower_loop(ast: &ForLoop) -> Result<LoopSpec, LowerError> {
+    let mut spec = LoopSpec::try_new("loop", &ast.var, ast.update.stride()).map_err(|_| {
+        // The parser already rejects zero strides; this is a safety net for
+        // programmatically-built ASTs.
+        LowerError::new(ParseErrorKind::ZeroStride, Span::default())
+    })?;
+    spec.set_start(ast.start.unwrap_or(0));
+    for stmt in &ast.body {
+        lower_stmt(&mut spec, &ast.var, stmt)?;
+    }
+    Ok(spec)
+}
+
+fn lower_stmt(spec: &mut LoopSpec, var: &str, stmt: &Stmt) -> Result<(), LowerError> {
+    // Right-hand-side reads, in evaluation order.
+    let mut rhs_refs: Vec<(&str, &Expr)> = Vec::new();
+    stmt.rhs.visit_indices(&mut |name, idx| rhs_refs.push((name, idx)));
+    for (name, idx) in rhs_refs {
+        push(spec, var, name, idx, AccessKind::Read, stmt.span)?;
+    }
+    // Left-hand side.
+    if let LValue::Element { array, index } = &stmt.lhs {
+        if stmt.op.reads_lhs() {
+            push(spec, var, array, index, AccessKind::Read, stmt.span)?;
+        }
+        push(spec, var, array, index, AccessKind::Write, stmt.span)?;
+    }
+    Ok(())
+}
+
+fn push(
+    spec: &mut LoopSpec,
+    var: &str,
+    array: &str,
+    index: &Expr,
+    kind: AccessKind,
+    span: Span,
+) -> Result<(), LowerError> {
+    let (coeff, offset) = affine(index, var).map_err(|kind| LowerError::new(kind, span))?;
+    let id = resolve_array(spec, array, coeff, span)?;
+    spec.push_access(id, offset, kind)
+        .expect("id resolved against this spec");
+    Ok(())
+}
+
+fn resolve_array(
+    spec: &mut LoopSpec,
+    name: &str,
+    coeff: i64,
+    span: Span,
+) -> Result<ArrayId, LowerError> {
+    match spec.array_id(name) {
+        Some(id) => {
+            let first = spec
+                .array_info(id)
+                .expect("array_id returned a valid id")
+                .coefficient();
+            if first != coeff {
+                return Err(LowerError::new(
+                    ParseErrorKind::MixedCoefficients {
+                        array: name.to_owned(),
+                        first,
+                        second: coeff,
+                    },
+                    span,
+                ));
+            }
+            Ok(id)
+        }
+        None => Ok(spec.add_array(name, coeff)),
+    }
+}
+
+/// Folds an index expression into `(coefficient, constant)` such that the
+/// expression equals `coefficient * var + constant`.
+fn affine(e: &Expr, var: &str) -> Result<(i64, i64), ParseErrorKind> {
+    match e {
+        Expr::Num(n) => Ok((0, *n)),
+        Expr::Var(v) => {
+            if v == var {
+                Ok((1, 0))
+            } else {
+                Err(ParseErrorKind::SymbolicIndex(v.clone()))
+            }
+        }
+        Expr::Index { array, .. } => Err(ParseErrorKind::ArrayInIndex(array.clone())),
+        Expr::Neg(inner) => {
+            let (c, d) = affine(inner, var)?;
+            Ok((
+                c.checked_neg().ok_or(ParseErrorKind::IndexOverflow)?,
+                d.checked_neg().ok_or(ParseErrorKind::IndexOverflow)?,
+            ))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            use super::ast::BinOp;
+            let (lc, ld) = affine(lhs, var)?;
+            let (rc, rd) = affine(rhs, var)?;
+            let add = |a: i64, b: i64| a.checked_add(b).ok_or(ParseErrorKind::IndexOverflow);
+            let sub = |a: i64, b: i64| a.checked_sub(b).ok_or(ParseErrorKind::IndexOverflow);
+            let mul = |a: i64, b: i64| a.checked_mul(b).ok_or(ParseErrorKind::IndexOverflow);
+            match op {
+                BinOp::Add => Ok((add(lc, rc)?, add(ld, rd)?)),
+                BinOp::Sub => Ok((sub(lc, rc)?, sub(ld, rd)?)),
+                BinOp::Mul => {
+                    if lc == 0 {
+                        Ok((mul(ld, rc)?, mul(ld, rd)?))
+                    } else if rc == 0 {
+                        Ok((mul(rd, lc)?, mul(rd, ld)?))
+                    } else {
+                        Err(ParseErrorKind::NonAffineIndex)
+                    }
+                }
+                BinOp::Div => Err(ParseErrorKind::DivisionInIndex),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_for;
+
+    fn lower(src: &str) -> LoopSpec {
+        lower_loop(&parse_for(src).unwrap()).unwrap()
+    }
+
+    fn lower_err(src: &str) -> ParseErrorKind {
+        lower_loop(&parse_for(src).unwrap()).unwrap_err().kind().clone()
+    }
+
+    #[test]
+    fn affine_forms() {
+        let check = |src: &str, want: (i64, i64)| {
+            let ast = parse_for(&format!("for (i = 0; i < 9; i++) {{ s = A[{src}]; }}"))
+                .unwrap();
+            let spec = lower_loop(&ast).unwrap();
+            let info = &spec.arrays()[0];
+            assert_eq!(
+                (info.coefficient(), spec.accesses()[0].offset),
+                want,
+                "index `{src}`"
+            );
+        };
+        check("i", (1, 0));
+        check("i + 3", (1, 3));
+        check("i - 2", (1, -2));
+        check("2 * i", (2, 0));
+        check("2 * i + 1", (2, 1));
+        check("i * 3 - 4", (3, -4));
+        check("7 - i", (-1, 7));
+        check("-i", (-1, 0));
+        check("-(i + 1)", (-1, -1));
+        check("(i + 1) * 2", (2, 2));
+        check("5", (0, 5));
+        check("i + i", (2, 0));
+        check("2 * (3 * i + 1) - i", (5, 2));
+    }
+
+    #[test]
+    fn non_affine_indices_are_rejected() {
+        assert_eq!(
+            lower_err("for (i = 0; i < 9; i++) { s = A[i * i]; }"),
+            ParseErrorKind::NonAffineIndex
+        );
+        assert_eq!(
+            lower_err("for (i = 0; i < 9; i++) { s = A[i / 2]; }"),
+            ParseErrorKind::DivisionInIndex
+        );
+        assert_eq!(
+            lower_err("for (i = 0; i < 9; i++) { s = A[B[i]]; }"),
+            ParseErrorKind::ArrayInIndex("B".into())
+        );
+        assert_eq!(
+            lower_err("for (i = 0; i < 9; i++) { s = A[n + 1]; }"),
+            ParseErrorKind::SymbolicIndex("n".into())
+        );
+    }
+
+    #[test]
+    fn scalar_statements_produce_no_accesses() {
+        let spec = lower("for (i = 0; i < 9; i++) { s = t * 2; t += 1; }");
+        assert!(spec.is_empty());
+    }
+
+    #[test]
+    fn evaluation_order_rhs_then_lhs() {
+        let spec = lower("for (i = 0; i < 9; i++) { A[i] = B[i+1] + C[i-1]; }");
+        let names: Vec<&str> = spec
+            .accesses()
+            .iter()
+            .map(|a| spec.array_info(a.array).unwrap().name())
+            .collect();
+        assert_eq!(names, vec!["B", "C", "A"]);
+        assert_eq!(spec.accesses()[2].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn negative_stride_loops_lower() {
+        let spec = lower("for (i = 9; i > 0; i--) { s += A[i]; }");
+        assert_eq!(spec.stride(), -1);
+        assert_eq!(spec.start(), 9);
+    }
+
+    #[test]
+    fn coefficient_zero_arrays_are_loop_invariant() {
+        let spec = lower("for (i = 0; i < 9; i++) { s += T[3]; }");
+        let p = &spec.patterns()[0];
+        assert_eq!(p.stride(), 0);
+        assert_eq!(p.offsets(), vec![3]);
+    }
+
+    #[test]
+    fn consistent_nonunit_coefficients_are_fine() {
+        let spec = lower("for (i = 0; i < 9; i++) { s = X[2*i] + X[2*i + 1]; }");
+        let p = &spec.patterns()[0];
+        assert_eq!(p.offsets(), vec![0, 1]);
+        assert_eq!(p.stride(), 2);
+    }
+
+    #[test]
+    fn mixed_coefficient_error_names_the_array() {
+        match lower_err("for (i = 0; i < 9; i++) { s = X[i] + X[2*i]; }") {
+            ParseErrorKind::MixedCoefficients {
+                array,
+                first,
+                second,
+            } => {
+                assert_eq!(array, "X");
+                assert_eq!((first, second), (1, 2));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_statements_accumulate_in_order() {
+        let spec = lower(
+            "for (i = 2; i <= 100; i++) {
+                s = A[i+1] + A[i] + A[i+2];
+                t = A[i-1] * A[i+1];
+                u = A[i] - A[i-2];
+            }",
+        );
+        let p = &spec.patterns()[0];
+        assert_eq!(p.offsets(), vec![1, 0, 2, -1, 1, 0, -2]);
+    }
+}

@@ -1,0 +1,214 @@
+//! A small C-like loop language.
+//!
+//! The DSL exists so that loops — the paper's inputs — can be written as
+//! text instead of hand-assembled IR. It understands a single `for` loop
+//! whose body is a list of assignments over scalars and array elements with
+//! affine index expressions:
+//!
+//! ```text
+//! for (i = 2; i <= N; i++) {
+//!     acc  = acc + A[i + 1] * A[i];     // reads A[i+1], A[i]
+//!     B[2*i] += A[i - 1];               // reads A[i-1], B[2i]; writes B[2i]
+//! }
+//! ```
+//!
+//! * Index expressions must be affine in the loop variable: `c*i + d` with
+//!   integer constants `c`, `d` (written in any arithmetically equivalent
+//!   form, e.g. `63 - i`).
+//! * All accesses to one array must share the same coefficient `c`; the
+//!   uniform-distance model of the paper cannot represent mixed
+//!   coefficients, and [`parse_loop`] reports them as errors.
+//! * Scalars are assumed to live in data registers and do not contribute
+//!   memory accesses.
+//!
+//! The access order produced for each statement is: all reads of the
+//! right-hand side from left to right, then (for compound assignments) the
+//! read of the left-hand side, then the write of the left-hand side.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = raco_ir::dsl::parse_loop(
+//!     "for (i = 0; i < 64; i++) { y[i] = x[i + 1] - x[i - 1]; }",
+//! )?;
+//! assert_eq!(spec.len(), 3);
+//! assert_eq!(spec.stride(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{AssignOp, BinOp, CmpOp, Cond, Expr, ForLoop, LValue, Stmt, Update};
+pub use lexer::Span;
+pub use lower::lower_loop;
+pub use parser::{LowerError, ParseError, ParseErrorKind};
+
+use crate::model::LoopSpec;
+
+/// Parses a `for` loop from source text and lowers it to a [`LoopSpec`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the byte span and a line/column
+/// rendering for lexical errors, syntax errors and lowering errors
+/// (non-affine indices, mixed coefficients, zero stride …).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = raco_ir::dsl::parse_loop(
+///     "for (i = 2; i <= 100; i++) { s += A[i]; }",
+/// )?;
+/// assert_eq!(spec.var(), "i");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_loop(source: &str) -> Result<LoopSpec, ParseError> {
+    let ast = parse_for(source)?;
+    lower::lower_loop(&ast).map_err(|e| e.attach_source(source))
+}
+
+/// Parses a `for` loop into its [`ForLoop`] AST without lowering.
+///
+/// Useful for pretty printing or custom analyses.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntax errors.
+pub fn parse_for(source: &str) -> Result<ForLoop, ParseError> {
+    parser::Parser::new(source)?.parse_for_loop()
+}
+
+/// Parses a whole program — one or more `for` loops — and lowers each to
+/// a [`LoopSpec`] named `loop0`, `loop1`, ….
+///
+/// Real DSP sources contain several kernels back to back; each loop is an
+/// independent allocation problem (address registers are re-initialized
+/// between loops), so the result is simply a list.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first lexical, syntax or lowering
+/// error.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let loops = raco_ir::dsl::parse_program(
+///     "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+///      for (j = 0; j < 4; j++) { z[j] = y[2 * j]; }",
+/// )?;
+/// assert_eq!(loops.len(), 2);
+/// assert_eq!(loops[1].name(), "loop1");
+/// assert_eq!(loops[1].var(), "j");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(source: &str) -> Result<Vec<LoopSpec>, ParseError> {
+    let asts = parser::Parser::new(source)?.parse_program()?;
+    asts.iter()
+        .enumerate()
+        .map(|(i, ast)| {
+            let mut spec = lower::lower_loop(ast).map_err(|e| e.attach_source(source))?;
+            spec.set_name(&format!("loop{i}"));
+            Ok(spec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AccessKind;
+
+    #[test]
+    fn end_to_end_single_array() {
+        let spec = parse_loop("for (i = 2; i <= N; i++) { s = A[i+1] + A[i] + A[i+2]; }")
+            .expect("parse");
+        assert_eq!(spec.var(), "i");
+        assert_eq!(spec.start(), 2);
+        assert_eq!(spec.stride(), 1);
+        let p = &spec.patterns()[0];
+        assert_eq!(p.offsets(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn compound_assignment_reads_then_writes_lhs() {
+        let spec = parse_loop("for (i = 0; i < 8; i++) { A[i] += B[i+3]; }").expect("parse");
+        let kinds: Vec<_> = spec.accesses().iter().map(|a| (a.offset, a.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (3, AccessKind::Read),  // RHS read of B[i+3]
+                (0, AccessKind::Read),  // LHS read of A[i]
+                (0, AccessKind::Write), // LHS write of A[i]
+            ]
+        );
+    }
+
+    #[test]
+    fn reversed_affine_form_is_accepted() {
+        let spec = parse_loop("for (i = 0; i < 8; i++) { y[i] = h[7 - i]; }").expect("parse");
+        let h = spec
+            .patterns()
+            .into_iter()
+            .find(|p| p.array_name() == "h")
+            .unwrap();
+        assert_eq!(h.offsets(), vec![7]);
+        assert_eq!(h.stride(), -1); // coefficient -1, loop stride 1
+    }
+
+    #[test]
+    fn mixed_coefficients_are_reported() {
+        let err = parse_loop("for (i = 0; i < 8; i++) { A[i] = A[2*i]; }").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::MixedCoefficients { .. }));
+    }
+
+    #[test]
+    fn error_positions_use_line_and_column() {
+        let err = parse_loop("for (i = 0; i < 8; i++) {\n  A[j] = 1;\n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:"), "expected line 2 in `{msg}`");
+    }
+
+    #[test]
+    fn programs_parse_multiple_loops_with_independent_variables() {
+        let loops = parse_program(
+            "// stage 1
+             for (i = 0; i < 8; i++) { t[i] = x[i] * w[7 - i]; }
+             /* stage 2 */
+             for (k = 8; k > 0; k--) { y[k] = t[k] + t[k - 1]; }",
+        )
+        .unwrap();
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].name(), "loop0");
+        assert_eq!(loops[0].var(), "i");
+        assert_eq!(loops[1].var(), "k");
+        assert_eq!(loops[1].stride(), -1);
+        assert_eq!(loops[0].patterns().len(), 3);
+    }
+
+    #[test]
+    fn program_errors_point_at_the_offending_loop() {
+        let err = parse_program(
+            "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+             for (j = 0; j < 8; j++) { y[j] = x[q]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::SymbolicIndex(_)));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn single_loop_still_rejects_trailing_garbage() {
+        assert!(parse_loop("for (i = 0; i < 8; i++) { } for").is_err());
+        assert!(parse_program("for (i = 0; i < 8; i++) { } for").is_err());
+    }
+}

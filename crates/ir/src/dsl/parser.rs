@@ -1,0 +1,681 @@
+//! Recursive-descent parser for the loop DSL.
+
+use std::fmt;
+
+use super::ast::{AssignOp, BinOp, CmpOp, Cond, Expr, ForLoop, LValue, Stmt, Update};
+use super::lexer::{self, LexErrorKind, Span, Token, TokenKind};
+
+/// The different ways parsing or lowering can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// A character the lexer does not understand.
+    UnexpectedChar(char),
+    /// A `/* …` comment that never closes.
+    UnterminatedComment,
+    /// An integer literal that does not fit in `i64`.
+    IntegerOverflow,
+    /// The parser found `found` where it expected `expected`.
+    UnexpectedToken {
+        /// Human-readable description of the found token.
+        found: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+    },
+    /// The loop condition compares a variable other than the loop variable.
+    CondVarMismatch {
+        /// The loop variable declared in the init clause.
+        expected: String,
+        /// The variable actually used in the condition.
+        found: String,
+    },
+    /// The update clause changes a variable other than the loop variable.
+    UpdateVarMismatch {
+        /// The loop variable declared in the init clause.
+        expected: String,
+        /// The variable actually updated.
+        found: String,
+    },
+    /// The update step is not a compile-time constant.
+    NonConstantStride,
+    /// The update step is zero.
+    ZeroStride,
+    /// An index expression references a symbol that is neither the loop
+    /// variable nor a constant.
+    SymbolicIndex(String),
+    /// An index expression is not affine in the loop variable
+    /// (e.g. `i * i`).
+    NonAffineIndex,
+    /// An index expression contains a nested array access.
+    ArrayInIndex(String),
+    /// An index expression contains a division.
+    DivisionInIndex,
+    /// Affine folding of an index expression overflowed `i64`.
+    IndexOverflow,
+    /// Accesses to one array use different loop-variable coefficients.
+    MixedCoefficients {
+        /// The array name.
+        array: String,
+        /// Coefficient of the first access.
+        first: i64,
+        /// Conflicting coefficient.
+        second: i64,
+    },
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ParseErrorKind::UnterminatedComment => f.write_str("unterminated block comment"),
+            ParseErrorKind::IntegerOverflow => f.write_str("integer literal overflows i64"),
+            ParseErrorKind::UnexpectedToken { found, expected } => {
+                write!(f, "found {found}, expected {expected}")
+            }
+            ParseErrorKind::CondVarMismatch { expected, found } => write!(
+                f,
+                "loop condition tests `{found}` but the loop variable is `{expected}`"
+            ),
+            ParseErrorKind::UpdateVarMismatch { expected, found } => write!(
+                f,
+                "loop update changes `{found}` but the loop variable is `{expected}`"
+            ),
+            ParseErrorKind::NonConstantStride => {
+                f.write_str("loop update step must be a constant")
+            }
+            ParseErrorKind::ZeroStride => f.write_str("loop update step must be non-zero"),
+            ParseErrorKind::SymbolicIndex(name) => {
+                write!(f, "index uses symbol `{name}` which is not the loop variable")
+            }
+            ParseErrorKind::NonAffineIndex => {
+                f.write_str("index expression is not affine in the loop variable")
+            }
+            ParseErrorKind::ArrayInIndex(name) => {
+                write!(f, "index expression contains array access `{name}[…]`")
+            }
+            ParseErrorKind::DivisionInIndex => {
+                f.write_str("division is not supported in index expressions")
+            }
+            ParseErrorKind::IndexOverflow => f.write_str("index expression overflows i64"),
+            ParseErrorKind::MixedCoefficients {
+                array,
+                first,
+                second,
+            } => write!(
+                f,
+                "array `{array}` is indexed with mixed loop-variable coefficients {first} and {second}"
+            ),
+        }
+    }
+}
+
+/// A parse or lowering error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    span: Span,
+    line: usize,
+    col: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, span: Span, source: &str) -> Self {
+        let (line, col) = span.line_col(source);
+        ParseError {
+            kind,
+            span,
+            line,
+            col,
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+
+    /// The byte span of the offending source region.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}:{}: {}", self.line, self.col, self.kind)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A lowering error that has not yet been resolved against source text.
+///
+/// [`crate::dsl::lower_loop`] returns this error because lowering operates
+/// on an AST, which may have been built programmatically and therefore has
+/// no source text; [`LowerError::attach_source`] upgrades it to a
+/// [`ParseError`] with line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    kind: ParseErrorKind,
+    span: Span,
+}
+
+impl LowerError {
+    pub(crate) fn new(kind: ParseErrorKind, span: Span) -> Self {
+        LowerError { kind, span }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+
+    /// Byte span of the offending AST node in the original source (empty
+    /// for programmatically built ASTs).
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Resolves the span against `source`, producing a [`ParseError`] with
+    /// line/column information.
+    pub fn attach_source(self, source: &str) -> ParseError {
+        ParseError::new(self.kind, self.span, source)
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.kind)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+pub(crate) struct Parser<'s> {
+    source: &'s str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    pub(crate) fn new(source: &'s str) -> Result<Self, ParseError> {
+        let tokens = lexer::tokenize(source).map_err(|e| {
+            let kind = match e.kind {
+                LexErrorKind::UnexpectedChar(c) => ParseErrorKind::UnexpectedChar(c),
+                LexErrorKind::UnterminatedBlockComment => ParseErrorKind::UnterminatedComment,
+                LexErrorKind::IntegerOverflow => ParseErrorKind::IntegerOverflow,
+            };
+            ParseError::new(kind, e.span, source)
+        })?;
+        Ok(Parser {
+            source,
+            tokens,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, kind: ParseErrorKind, span: Span) -> ParseError {
+        ParseError::new(kind, span, self.source)
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        let t = self.peek();
+        self.error(
+            ParseErrorKind::UnexpectedToken {
+                found: t.kind.to_string(),
+                expected: expected.to_owned(),
+            },
+            t.span,
+        )
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::Ident(name) => Ok((name, t.span)),
+                    _ => unreachable!("peeked an identifier"),
+                }
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    /// Parses a complete `for` loop; trailing tokens are an error.
+    pub(crate) fn parse_for_loop(mut self) -> Result<ForLoop, ParseError> {
+        let ast = self.parse_one_for()?;
+        if self.peek().kind != TokenKind::Eof {
+            return Err(self.unexpected("end of input"));
+        }
+        Ok(ast)
+    }
+
+    /// Parses a whole program: one or more `for` loops.
+    pub(crate) fn parse_program(mut self) -> Result<Vec<ForLoop>, ParseError> {
+        let mut loops = Vec::new();
+        loop {
+            loops.push(self.parse_one_for()?);
+            if self.peek().kind == TokenKind::Eof {
+                return Ok(loops);
+            }
+        }
+    }
+
+    fn parse_one_for(&mut self) -> Result<ForLoop, ParseError> {
+        self.expect(&TokenKind::KwFor, "`for`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+
+        // init: var = expr
+        let (var, _) = self.expect_ident("loop variable")?;
+        self.expect(&TokenKind::Assign, "`=` in loop init")?;
+        let init = self.parse_expr()?;
+        let start = const_eval(&init);
+        self.expect(&TokenKind::Semi, "`;` after loop init")?;
+
+        // cond: var <cmp> expr
+        let (cond_var, cond_span) = self.expect_ident("loop variable in condition")?;
+        if cond_var != var {
+            return Err(self.error(
+                ParseErrorKind::CondVarMismatch {
+                    expected: var,
+                    found: cond_var,
+                },
+                cond_span,
+            ));
+        }
+        let op = match self.peek().kind {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::EqEq => CmpOp::Eq,
+            _ => return Err(self.unexpected("comparison operator")),
+        };
+        self.bump();
+        let bound = self.parse_expr()?;
+        let cond = Cond { op, bound };
+        self.expect(&TokenKind::Semi, "`;` after loop condition")?;
+
+        // update
+        let update = self.parse_update(&var)?;
+        self.expect(&TokenKind::RParen, "`)` after loop header")?;
+
+        // body
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.unexpected("`}` or a statement"));
+            }
+            body.push(self.parse_stmt()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(ForLoop {
+            var,
+            start,
+            init,
+            cond,
+            update,
+            body,
+        })
+    }
+
+    fn parse_update(&mut self, var: &str) -> Result<Update, ParseError> {
+        let (name, span) = self.expect_ident("loop variable in update")?;
+        if name != var {
+            return Err(self.error(
+                ParseErrorKind::UpdateVarMismatch {
+                    expected: var.to_owned(),
+                    found: name,
+                },
+                span,
+            ));
+        }
+        let step = match self.peek().kind {
+            TokenKind::PlusPlus => {
+                self.bump();
+                return Ok(Update::Increment);
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                return Ok(Update::Decrement);
+            }
+            TokenKind::PlusAssign => {
+                self.bump();
+                let e = self.parse_expr()?;
+                const_eval(&e)
+            }
+            TokenKind::MinusAssign => {
+                self.bump();
+                let e = self.parse_expr()?;
+                const_eval(&e).and_then(i64::checked_neg)
+            }
+            TokenKind::Assign => {
+                // i = i + k  |  i = i - k
+                self.bump();
+                let (name2, span2) = self.expect_ident("loop variable")?;
+                if name2 != var {
+                    return Err(self.error(
+                        ParseErrorKind::UpdateVarMismatch {
+                            expected: var.to_owned(),
+                            found: name2,
+                        },
+                        span2,
+                    ));
+                }
+                let negate = match self.peek().kind {
+                    TokenKind::Plus => false,
+                    TokenKind::Minus => true,
+                    _ => return Err(self.unexpected("`+` or `-` in loop update")),
+                };
+                self.bump();
+                let e = self.parse_expr()?;
+                let k = const_eval(&e);
+                if negate {
+                    k.and_then(i64::checked_neg)
+                } else {
+                    k
+                }
+            }
+            _ => return Err(self.unexpected("`++`, `--`, `+=`, `-=` or `=` in loop update")),
+        };
+        match step {
+            Some(0) => Err(self.error(ParseErrorKind::ZeroStride, span)),
+            Some(k) => Ok(Update::Step(k)),
+            None => Err(self.error(ParseErrorKind::NonConstantStride, span)),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start_span = self.peek().span;
+        let (name, _) = self.expect_ident("a statement")?;
+        let lhs = if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let index = self.parse_expr()?;
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            LValue::Element { array: name, index }
+        } else {
+            LValue::Scalar(name)
+        };
+        let op = match self.peek().kind {
+            TokenKind::Assign => AssignOp::Assign,
+            TokenKind::PlusAssign => AssignOp::AddAssign,
+            TokenKind::MinusAssign => AssignOp::SubAssign,
+            TokenKind::StarAssign => AssignOp::MulAssign,
+            _ => return Err(self.unexpected("assignment operator")),
+        };
+        self.bump();
+        let rhs = self.parse_expr()?;
+        let end = self.expect(&TokenKind::Semi, "`;` after statement")?;
+        Ok(Stmt {
+            lhs,
+            op,
+            rhs,
+            span: Span::new(start_span.start, end.span.end),
+        })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                let (name, _) = self.expect_ident("identifier")?;
+                if self.peek().kind == TokenKind::LBracket {
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    Ok(Expr::Index {
+                        array: name,
+                        index: Box::new(index),
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+/// Constant-folds an expression; `None` if it references any variable.
+pub(crate) fn const_eval(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Num(n) => Some(*n),
+        Expr::Var(_) | Expr::Index { .. } => None,
+        Expr::Neg(inner) => const_eval(inner)?.checked_neg(),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = const_eval(lhs)?;
+            let r = const_eval(rhs)?;
+            match op {
+                BinOp::Add => l.checked_add(r),
+                BinOp::Sub => l.checked_sub(r),
+                BinOp::Mul => l.checked_mul(r),
+                BinOp::Div => {
+                    if r == 0 {
+                        None
+                    } else {
+                        l.checked_div(r)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ForLoop {
+        Parser::new(src).unwrap().parse_for_loop().unwrap()
+    }
+
+    fn parse_err(src: &str) -> ParseError {
+        match Parser::new(src) {
+            Ok(p) => p.parse_for_loop().unwrap_err(),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn parses_all_update_forms() {
+        assert_eq!(parse("for (i = 0; i < 9; i++) { }").update, Update::Increment);
+        assert_eq!(parse("for (i = 9; i > 0; i--) { }").update, Update::Decrement);
+        assert_eq!(
+            parse("for (i = 0; i < 9; i += 2) { }").update,
+            Update::Step(2)
+        );
+        assert_eq!(
+            parse("for (i = 9; i > 0; i -= 3) { }").update,
+            Update::Step(-3)
+        );
+        assert_eq!(
+            parse("for (i = 0; i < 9; i = i + 4) { }").update,
+            Update::Step(4)
+        );
+        assert_eq!(
+            parse("for (i = 9; i > 0; i = i - 1) { }").update,
+            Update::Step(-1)
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_symbolic_strides() {
+        assert_eq!(
+            *parse_err("for (i = 0; i < 9; i += 0) { }").kind(),
+            ParseErrorKind::ZeroStride
+        );
+        assert_eq!(
+            *parse_err("for (i = 0; i < 9; i += n) { }").kind(),
+            ParseErrorKind::NonConstantStride
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_condition_and_update_variables() {
+        assert!(matches!(
+            parse_err("for (i = 0; j < 9; i++) { }").kind(),
+            ParseErrorKind::CondVarMismatch { .. }
+        ));
+        assert!(matches!(
+            parse_err("for (i = 0; i < 9; j++) { }").kind(),
+            ParseErrorKind::UpdateVarMismatch { .. }
+        ));
+        assert!(matches!(
+            parse_err("for (i = 0; i < 9; i = j + 1) { }").kind(),
+            ParseErrorKind::UpdateVarMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn captures_constant_and_symbolic_starts() {
+        assert_eq!(parse("for (i = 2; i <= 9; i++) { }").start, Some(2));
+        assert_eq!(parse("for (i = 1 + 1; i <= 9; i++) { }").start, Some(2));
+        assert_eq!(parse("for (i = n0; i <= 9; i++) { }").start, None);
+    }
+
+    #[test]
+    fn parses_statement_shapes() {
+        let ast = parse(
+            "for (i = 0; i < 9; i++) {
+                s = A[i] * 2;
+                A[i + 1] += s - 1;
+                t *= 3;
+            }",
+        );
+        assert_eq!(ast.body.len(), 3);
+        assert_eq!(ast.body[0].to_string(), "s = A[i] * 2;");
+        assert_eq!(ast.body[1].to_string(), "A[i + 1] += s - 1;");
+        assert_eq!(ast.body[2].to_string(), "t *= 3;");
+    }
+
+    #[test]
+    fn expression_precedence_is_conventional() {
+        let ast = parse("for (i = 0; i < 9; i++) { s = 1 + 2 * 3; }");
+        match &ast.body[0].rhs {
+            Expr::Binary { op: BinOp::Add, .. } => {}
+            other => panic!("expected top-level add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_trailing_garbage() {
+        assert!(matches!(
+            parse_err("for (i = 0; i < 9; i++) { } extra").kind(),
+            ParseErrorKind::UnexpectedToken { .. }
+        ));
+    }
+
+    #[test]
+    fn reports_missing_semicolon_with_position() {
+        let err = parse_err("for (i = 0; i < 9; i++) { s = 1 }");
+        assert!(matches!(err.kind(), ParseErrorKind::UnexpectedToken { .. }));
+        assert_eq!(err.line(), 1);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn unexpected_eof_inside_body() {
+        assert!(matches!(
+            parse_err("for (i = 0; i < 9; i++) { s = 1;").kind(),
+            ParseErrorKind::UnexpectedToken { .. }
+        ));
+    }
+
+    #[test]
+    fn const_eval_folds_and_rejects() {
+        let p = |src: &str| {
+            Parser::new(src)
+                .unwrap()
+                .parse_expr()
+                .unwrap()
+        };
+        assert_eq!(const_eval(&p("1 + 2 * 3")), Some(7));
+        assert_eq!(const_eval(&p("-(4) / 2")), Some(-2));
+        assert_eq!(const_eval(&p("4 / 0")), None);
+        assert_eq!(const_eval(&p("x + 1")), None);
+    }
+
+    #[test]
+    fn statement_spans_cover_the_statement() {
+        let src = "for (i = 0; i < 9; i++) { s = A[i]; }";
+        let ast = parse(src);
+        let span = ast.body[0].span;
+        assert_eq!(&src[span.start..span.end], "s = A[i];");
+    }
+}

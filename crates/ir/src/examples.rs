@@ -1,0 +1,86 @@
+//! Canned example loops, including the paper's running example.
+
+use crate::dsl;
+use crate::model::LoopSpec;
+
+/// DSL source of the paper's running example (Section 2).
+///
+/// The loop performs seven accesses to array `A` with offsets
+/// `1, 0, 2, -1, 1, 0, -2` — the access pattern drawn in Figure 1.
+pub const PAPER_LOOP_SOURCE: &str = "\
+for (i = 2; i <= 100; i++) {
+    /* a_1 */ s1 = A[i + 1];  /* offset  1 */
+    /* a_2 */ s2 = A[i];      /* offset  0 */
+    /* a_3 */ s3 = A[i + 2];  /* offset  2 */
+    /* a_4 */ s4 = A[i - 1];  /* offset -1 */
+    /* a_5 */ s5 = A[i + 1];  /* offset  1 */
+    /* a_6 */ s6 = A[i];      /* offset  0 */
+    /* a_7 */ s7 = A[i - 2];  /* offset -2 */
+}";
+
+/// The paper's running example as a [`LoopSpec`]: seven accesses to one
+/// array with offsets `1, 0, 2, -1, 1, 0, -2`, loop stride `1`.
+///
+/// # Examples
+///
+/// ```
+/// let spec = raco_ir::examples::paper_loop();
+/// assert_eq!(spec.patterns()[0].offsets(), vec![1, 0, 2, -1, 1, 0, -2]);
+/// ```
+pub fn paper_loop() -> LoopSpec {
+    dsl::parse_loop(PAPER_LOOP_SOURCE).expect("the paper example is valid DSL")
+}
+
+/// A three-tap symmetric FIR-like loop touching one array at offsets
+/// `-1, 0, 1` plus an output array — a friendly smoke-test input.
+pub fn three_tap() -> LoopSpec {
+    dsl::parse_loop(
+        "for (i = 1; i < 255; i++) {
+            y[i] = x[i - 1] + x[i] + x[i + 1];
+        }",
+    )
+    .expect("valid DSL")
+}
+
+/// A deliberately register-hungry loop: accesses far apart (offsets
+/// `0, 10, 20, 30`) so that with `M = 1` every access needs its own
+/// register for a zero-cost scheme.
+pub fn scattered() -> LoopSpec {
+    dsl::parse_loop(
+        "for (i = 0; i < 64; i++) {
+            s = A[i] + A[i + 10] + A[i + 20] + A[i + 30];
+        }",
+    )
+    .expect("valid DSL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loop_matches_figure_1() {
+        let spec = paper_loop();
+        assert_eq!(spec.len(), 7);
+        assert_eq!(spec.stride(), 1);
+        assert_eq!(spec.start(), 2);
+        let p = &spec.patterns()[0];
+        assert_eq!(p.offsets(), vec![1, 0, 2, -1, 1, 0, -2]);
+        assert_eq!(p.array_name(), "A");
+    }
+
+    #[test]
+    fn three_tap_has_two_arrays() {
+        let spec = three_tap();
+        assert_eq!(spec.patterns().len(), 2);
+        let x = spec.pattern_for(spec.array_id("x").unwrap()).unwrap();
+        assert_eq!(x.offsets(), vec![-1, 0, 1]);
+    }
+
+    #[test]
+    fn scattered_offsets_are_far_apart() {
+        let spec = scattered();
+        let p = &spec.patterns()[0];
+        assert_eq!(p.offsets(), vec![0, 10, 20, 30]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Address-generation-unit (AGU) machine model.
+//!
+//! The paper's machine model (Section 2): the AGU owns `K` address
+//! registers; a post-increment/decrement by `d` with `|d| <= M` executes in
+//! parallel with the data path (zero cost), while any larger update costs
+//! one extra instruction (unit cost). Many real DSPs additionally provide
+//! *modify registers* whose content can be added to an address register for
+//! free — the optional `modify_registers` field models those (used by the
+//! E7 extension experiment; see their ref \[2\], Araujo et al., ISSS 1996).
+
+use std::fmt;
+
+/// Errors produced when constructing an [`AguSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// At least one address register is required.
+    NoAddressRegisters,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoAddressRegisters => {
+                f.write_str("an AGU needs at least one address register")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Description of an address-generation unit.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use raco_ir::AguSpec;
+///
+/// // Four address registers, free auto-modify within |d| <= 1:
+/// let agu = AguSpec::new(4, 1)?;
+/// assert!(agu.is_free_delta(-1));
+/// assert!(!agu.is_free_delta(2));
+///
+/// // Extended machine with two modify registers:
+/// let agu = AguSpec::new(4, 1)?.with_modify_registers(2);
+/// assert_eq!(agu.modify_registers(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AguSpec {
+    address_registers: usize,
+    modify_range: u32,
+    modify_registers: usize,
+}
+
+impl AguSpec {
+    /// Creates an AGU with `address_registers` address registers (the
+    /// paper's `K`) and auto-modify range `modify_range` (the paper's `M`).
+    ///
+    /// A `modify_range` of zero is allowed and means only re-using the same
+    /// address is free — useful as a degenerate case in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NoAddressRegisters`] if
+    /// `address_registers == 0`.
+    pub fn new(address_registers: usize, modify_range: u32) -> Result<Self, SpecError> {
+        if address_registers == 0 {
+            return Err(SpecError::NoAddressRegisters);
+        }
+        Ok(AguSpec {
+            address_registers,
+            modify_range,
+            modify_registers: 0,
+        })
+    }
+
+    /// Adds `count` modify registers to the machine (builder style).
+    ///
+    /// A modify register holds an arbitrary signed constant; adding its
+    /// content to an address register is as free as an in-range
+    /// auto-modify. Allocation of values to modify registers is performed
+    /// by `raco-agu`.
+    #[must_use]
+    pub fn with_modify_registers(mut self, count: usize) -> Self {
+        self.modify_registers = count;
+        self
+    }
+
+    /// Number of address registers `K`.
+    pub fn address_registers(&self) -> usize {
+        self.address_registers
+    }
+
+    /// Auto-modify range `M`: post-updates with `|d| <= M` are free.
+    pub fn modify_range(&self) -> u32 {
+        self.modify_range
+    }
+
+    /// Number of modify registers (zero on the plain paper machine).
+    pub fn modify_registers(&self) -> usize {
+        self.modify_registers
+    }
+
+    /// `true` if a post-update by `delta` is free via auto-modify
+    /// (ignoring modify registers, whose contents are allocation-dependent).
+    pub fn is_free_delta(&self, delta: i64) -> bool {
+        delta.unsigned_abs() <= u64::from(self.modify_range)
+    }
+
+    /// A machine in the spirit of the TI TMS320C2x family: eight address
+    /// (auxiliary) registers, auto-increment/decrement by one.
+    pub fn tms320c2x_like() -> Self {
+        AguSpec {
+            address_registers: 8,
+            modify_range: 1,
+            modify_registers: 0,
+        }
+    }
+
+    /// A machine in the spirit of the Motorola DSP56002: eight address
+    /// registers, auto-modify by one, with offset (modify) registers.
+    pub fn dsp56k_like() -> Self {
+        AguSpec {
+            address_registers: 8,
+            modify_range: 1,
+            modify_registers: 4,
+        }
+    }
+
+    /// A machine in the spirit of the Analog Devices ADSP-210x: four
+    /// address registers per DAG with four modify registers.
+    pub fn adsp210x_like() -> Self {
+        AguSpec {
+            address_registers: 4,
+            modify_range: 1,
+            modify_registers: 4,
+        }
+    }
+
+    /// Returns a copy with a different register count, keeping the other
+    /// parameters — convenient for register-constraint sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NoAddressRegisters`] if `k == 0`.
+    pub fn with_address_registers(&self, k: usize) -> Result<Self, SpecError> {
+        if k == 0 {
+            return Err(SpecError::NoAddressRegisters);
+        }
+        let mut copy = *self;
+        copy.address_registers = k;
+        Ok(copy)
+    }
+}
+
+impl Default for AguSpec {
+    /// The default machine matches the paper's running example:
+    /// `K = 1` register constraint is *not* assumed; we default to a small
+    /// generic AGU with `K = 4`, `M = 1`.
+    fn default() -> Self {
+        AguSpec {
+            address_registers: 4,
+            modify_range: 1,
+            modify_registers: 0,
+        }
+    }
+}
+
+impl fmt::Display for AguSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AGU(K={}, M={}, MR={})",
+            self.address_registers, self.modify_range, self.modify_registers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_registers() {
+        assert_eq!(AguSpec::new(0, 1).unwrap_err(), SpecError::NoAddressRegisters);
+        assert!(AguSpec::new(1, 0).is_ok());
+    }
+
+    #[test]
+    fn free_delta_respects_range_symmetrically() {
+        let agu = AguSpec::new(2, 3).unwrap();
+        for d in -3..=3 {
+            assert!(agu.is_free_delta(d), "delta {d} should be free");
+        }
+        assert!(!agu.is_free_delta(4));
+        assert!(!agu.is_free_delta(-4));
+    }
+
+    #[test]
+    fn zero_range_only_frees_zero_delta() {
+        let agu = AguSpec::new(1, 0).unwrap();
+        assert!(agu.is_free_delta(0));
+        assert!(!agu.is_free_delta(1));
+        assert!(!agu.is_free_delta(-1));
+    }
+
+    #[test]
+    fn builder_and_presets() {
+        let agu = AguSpec::tms320c2x_like();
+        assert_eq!((agu.address_registers(), agu.modify_range()), (8, 1));
+        assert_eq!(agu.modify_registers(), 0);
+        assert_eq!(AguSpec::dsp56k_like().modify_registers(), 4);
+        assert_eq!(AguSpec::adsp210x_like().address_registers(), 4);
+        let agu = AguSpec::new(2, 1).unwrap().with_modify_registers(3);
+        assert_eq!(agu.modify_registers(), 3);
+    }
+
+    #[test]
+    fn with_address_registers_replaces_k_only() {
+        let agu = AguSpec::dsp56k_like().with_address_registers(2).unwrap();
+        assert_eq!(agu.address_registers(), 2);
+        assert_eq!(agu.modify_registers(), 4);
+        assert!(AguSpec::default().with_address_registers(0).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let agu = AguSpec::new(4, 1).unwrap().with_modify_registers(2);
+        assert_eq!(agu.to_string(), "AGU(K=4, M=1, MR=2)");
+    }
+
+    #[test]
+    fn default_is_documented_shape() {
+        let agu = AguSpec::default();
+        assert_eq!(agu.address_registers(), 4);
+        assert_eq!(agu.modify_range(), 1);
+    }
+
+    #[test]
+    fn large_delta_does_not_overflow() {
+        let agu = AguSpec::new(1, u32::MAX).unwrap();
+        assert!(agu.is_free_delta(i64::from(u32::MAX)));
+        assert!(agu.is_free_delta(-i64::from(u32::MAX)));
+        assert!(!agu.is_free_delta(i64::from(u32::MAX) + 1));
+        assert!(!agu.is_free_delta(i64::MAX));
+        // i64::MIN.unsigned_abs() must not panic:
+        let agu = AguSpec::new(1, 0).unwrap();
+        assert!(!agu.is_free_delta(i64::MIN));
+    }
+}

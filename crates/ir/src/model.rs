@@ -1,0 +1,609 @@
+//! Core data model: loops, array accesses and access patterns.
+//!
+//! The paper's input is a program loop containing a fixed, ordered sequence
+//! of array accesses, each described by a constant offset with respect to
+//! the loop variable (e.g. `A[i+1]` has offset `+1`). [`LoopSpec`] captures
+//! exactly that, for any number of distinct arrays; [`AccessPattern`] is the
+//! per-array projection consumed by the allocation algorithms in
+//! `raco-graph` / `raco-core`.
+
+use std::fmt;
+
+/// Identifier of an array within one [`LoopSpec`].
+///
+/// `ArrayId`s are dense indices handed out by [`LoopSpec::add_array`]; they
+/// are only meaningful relative to the loop that created them.
+///
+/// # Examples
+///
+/// ```
+/// use raco_ir::LoopSpec;
+/// let mut spec = LoopSpec::new("demo", "i", 1);
+/// let a = spec.add_array("A", 1);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(u32);
+
+impl ArrayId {
+    /// Creates an id from a raw dense index.
+    ///
+    /// Mostly useful in tests; prefer the ids returned by
+    /// [`LoopSpec::add_array`].
+    pub fn from_index(index: u32) -> Self {
+        ArrayId(index)
+    }
+
+    /// The dense index of this array within its loop.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array#{}", self.0)
+    }
+}
+
+/// Whether an access reads or writes memory.
+///
+/// The addressing cost model of the paper does not distinguish reads from
+/// writes — both occupy one slot in the access sequence — but the
+/// distinction is preserved for listings, traces and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// The access loads from memory.
+    Read,
+    /// The access stores to memory.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One array access inside a loop body.
+///
+/// The access touches `array[c * i + offset]` where `i` is the loop
+/// variable and `c` is the per-array coefficient recorded in [`ArrayInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The array being accessed.
+    pub array: ArrayId,
+    /// Constant offset relative to `coefficient * loop-variable`.
+    pub offset: i64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Per-array metadata of a loop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayInfo {
+    name: String,
+    coefficient: i64,
+}
+
+impl ArrayInfo {
+    /// The source-level name of the array.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Coefficient `c` of the loop variable in every index expression of
+    /// this array (`array[c*i + d]`).
+    ///
+    /// A coefficient of `0` denotes loop-invariant accesses; the effective
+    /// address stride of such an array is zero.
+    pub fn coefficient(&self) -> i64 {
+        self.coefficient
+    }
+}
+
+/// Errors produced while building or validating a [`LoopSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An access referenced an [`ArrayId`] that does not belong to the loop.
+    UnknownArray(ArrayId),
+    /// A loop was declared with stride zero, which would never terminate
+    /// and makes inter-iteration distances meaningless.
+    ZeroStride,
+    /// Two accesses to the same array used different loop-variable
+    /// coefficients, which the uniform-distance model cannot represent.
+    MixedCoefficients {
+        /// Name of the offending array.
+        array: String,
+        /// Coefficient recorded first.
+        first: i64,
+        /// Conflicting coefficient seen later.
+        second: i64,
+    },
+    /// The loop contains no array accesses at all.
+    EmptyLoop,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownArray(id) => write!(f, "access references unknown {id}"),
+            IrError::ZeroStride => f.write_str("loop stride must be non-zero"),
+            IrError::MixedCoefficients {
+                array,
+                first,
+                second,
+            } => write!(
+                f,
+                "array `{array}` is indexed with mixed loop-variable coefficients {first} and {second}"
+            ),
+            IrError::EmptyLoop => f.write_str("loop contains no array accesses"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// A single innermost loop with a fixed sequence of array accesses.
+///
+/// This is the paper's problem input: per iteration the loop performs the
+/// same ordered sequence of accesses, and the loop variable advances by
+/// [`stride`](Self::stride) each iteration.
+///
+/// # Examples
+///
+/// Building the paper's running example by hand (see
+/// [`examples::paper_loop`](crate::examples::paper_loop) for the canned
+/// version):
+///
+/// ```
+/// use raco_ir::{AccessKind, LoopSpec};
+///
+/// let mut spec = LoopSpec::new("paper", "i", 1);
+/// let a = spec.add_array("A", 1);
+/// for off in [1, 0, 2, -1, 1, 0, -2] {
+///     spec.push_access(a, off, AccessKind::Read).unwrap();
+/// }
+/// assert_eq!(spec.accesses().len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpec {
+    name: String,
+    var: String,
+    start: i64,
+    stride: i64,
+    arrays: Vec<ArrayInfo>,
+    accesses: Vec<Access>,
+}
+
+impl LoopSpec {
+    /// Creates an empty loop.
+    ///
+    /// `name` labels the loop in listings, `var` is the loop-variable name
+    /// and `stride` its per-iteration increment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`; use [`LoopSpec::try_new`] for a fallible
+    /// variant.
+    pub fn new(name: &str, var: &str, stride: i64) -> Self {
+        Self::try_new(name, var, stride).expect("loop stride must be non-zero")
+    }
+
+    /// Fallible variant of [`LoopSpec::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ZeroStride`] if `stride == 0`.
+    pub fn try_new(name: &str, var: &str, stride: i64) -> Result<Self, IrError> {
+        if stride == 0 {
+            return Err(IrError::ZeroStride);
+        }
+        Ok(LoopSpec {
+            name: name.to_owned(),
+            var: var.to_owned(),
+            start: 0,
+            stride,
+            arrays: Vec::new(),
+            accesses: Vec::new(),
+        })
+    }
+
+    /// Sets the initial value of the loop variable (used by address traces).
+    pub fn set_start(&mut self, start: i64) -> &mut Self {
+        self.start = start;
+        self
+    }
+
+    /// Renames the loop (listings and diagnostics).
+    pub fn set_name(&mut self, name: &str) -> &mut Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Registers an array with loop-variable coefficient `coefficient` and
+    /// returns its id.
+    ///
+    /// If an array with the same name already exists its id is returned
+    /// unchanged (the coefficient of the first registration wins; use
+    /// [`LoopSpec::array_info`] to inspect it).
+    pub fn add_array(&mut self, name: &str, coefficient: i64) -> ArrayId {
+        if let Some(pos) = self.arrays.iter().position(|a| a.name == name) {
+            return ArrayId(pos as u32);
+        }
+        self.arrays.push(ArrayInfo {
+            name: name.to_owned(),
+            coefficient,
+        });
+        ArrayId((self.arrays.len() - 1) as u32)
+    }
+
+    /// Appends an access to the end of the per-iteration access sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownArray`] if `array` was not created by
+    /// [`LoopSpec::add_array`] on this loop.
+    pub fn push_access(
+        &mut self,
+        array: ArrayId,
+        offset: i64,
+        kind: AccessKind,
+    ) -> Result<usize, IrError> {
+        if array.index() >= self.arrays.len() {
+            return Err(IrError::UnknownArray(array));
+        }
+        self.accesses.push(Access {
+            array,
+            offset,
+            kind,
+        });
+        Ok(self.accesses.len() - 1)
+    }
+
+    /// The loop's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop-variable name.
+    pub fn var(&self) -> &str {
+        &self.var
+    }
+
+    /// Initial value of the loop variable.
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Per-iteration increment of the loop variable. Never zero.
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// All registered arrays, indexable by [`ArrayId::index`].
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Metadata of one array.
+    pub fn array_info(&self, id: ArrayId) -> Option<&ArrayInfo> {
+        self.arrays.get(id.index())
+    }
+
+    /// Looks an array up by its source-level name.
+    pub fn array_id(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|pos| ArrayId(pos as u32))
+    }
+
+    /// The ordered per-iteration access sequence.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Total number of accesses per iteration (the paper's `N`).
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` if the loop performs no array accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Validates the loop: non-zero stride, at least one access, all
+    /// accesses referencing known arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`IrError`].
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.stride == 0 {
+            return Err(IrError::ZeroStride);
+        }
+        if self.accesses.is_empty() {
+            return Err(IrError::EmptyLoop);
+        }
+        for acc in &self.accesses {
+            if acc.array.index() >= self.arrays.len() {
+                return Err(IrError::UnknownArray(acc.array));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the [`AccessPattern`] of one array, or `None` if the array
+    /// is never accessed.
+    ///
+    /// The pattern's *effective stride* is
+    /// `loop stride × array coefficient`: that is how far the address of a
+    /// fixed index expression moves from one iteration to the next.
+    pub fn pattern_for(&self, id: ArrayId) -> Option<AccessPattern> {
+        let info = self.array_info(id)?;
+        let accesses: Vec<PatternAccess> = self
+            .accesses
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.array == id)
+            .map(|(position, a)| PatternAccess {
+                position,
+                offset: a.offset,
+                kind: a.kind,
+            })
+            .collect();
+        if accesses.is_empty() {
+            return None;
+        }
+        Some(AccessPattern {
+            array: id,
+            array_name: info.name.clone(),
+            stride: self.stride * info.coefficient,
+            accesses,
+        })
+    }
+
+    /// Extracts the access patterns of every array that is accessed at
+    /// least once, in [`ArrayId`] order.
+    pub fn patterns(&self) -> Vec<AccessPattern> {
+        (0..self.arrays.len() as u32)
+            .filter_map(|i| self.pattern_for(ArrayId(i)))
+            .collect()
+    }
+}
+
+/// One access within an [`AccessPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternAccess {
+    /// Position of this access in the loop's *global* access sequence
+    /// (across all arrays). Strictly increasing within a pattern.
+    pub position: usize,
+    /// Constant offset relative to the scaled loop variable.
+    pub offset: i64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// The per-array access sequence the allocation algorithms operate on.
+///
+/// An `AccessPattern` is an ordered list of offsets (the paper writes them
+/// `a_1 … a_N`) together with the *effective stride*: the amount every
+/// offset's address advances between consecutive loop iterations.
+///
+/// # Examples
+///
+/// ```
+/// use raco_ir::AccessPattern;
+/// let p = AccessPattern::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1);
+/// assert_eq!(p.len(), 7);
+/// assert_eq!(p.offset(2), 2);
+/// assert_eq!(p.stride(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessPattern {
+    array: ArrayId,
+    array_name: String,
+    stride: i64,
+    accesses: Vec<PatternAccess>,
+}
+
+impl AccessPattern {
+    /// Builds a pattern directly from a list of offsets, for algorithm-only
+    /// use (single anonymous array, positions `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty.
+    pub fn from_offsets(offsets: &[i64], stride: i64) -> Self {
+        assert!(!offsets.is_empty(), "pattern must contain accesses");
+        AccessPattern {
+            array: ArrayId(0),
+            array_name: "A".to_owned(),
+            stride,
+            accesses: offsets
+                .iter()
+                .enumerate()
+                .map(|(position, &offset)| PatternAccess {
+                    position,
+                    offset,
+                    kind: AccessKind::Read,
+                })
+                .collect(),
+        }
+    }
+
+    /// The array this pattern projects.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// Source-level name of the array.
+    pub fn array_name(&self) -> &str {
+        &self.array_name
+    }
+
+    /// Effective per-iteration address stride
+    /// (`loop stride × array coefficient`).
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// Number of accesses in the pattern (the paper's `N` when the loop
+    /// touches a single array).
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` if the pattern contains no accesses. Patterns built through
+    /// the public constructors are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The accesses in pattern order.
+    pub fn accesses(&self) -> &[PatternAccess] {
+        &self.accesses
+    }
+
+    /// Offset of the `i`-th access of the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn offset(&self, i: usize) -> i64 {
+        self.accesses[i].offset
+    }
+
+    /// All offsets in pattern order.
+    pub fn offsets(&self) -> Vec<i64> {
+        self.accesses.iter().map(|a| a.offset).collect()
+    }
+
+    /// Global sequence position of the `i`-th pattern access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn position(&self, i: usize) -> usize {
+        self.accesses[i].position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_array_loop() -> LoopSpec {
+        let mut spec = LoopSpec::new("t", "i", 1);
+        let a = spec.add_array("A", 1);
+        let b = spec.add_array("B", 2);
+        spec.push_access(a, 0, AccessKind::Read).unwrap();
+        spec.push_access(b, 1, AccessKind::Read).unwrap();
+        spec.push_access(a, 2, AccessKind::Write).unwrap();
+        spec.push_access(b, -1, AccessKind::Read).unwrap();
+        spec
+    }
+
+    #[test]
+    fn array_ids_are_dense_and_deduplicated() {
+        let mut spec = LoopSpec::new("t", "i", 1);
+        let a = spec.add_array("A", 1);
+        let b = spec.add_array("B", 1);
+        let a2 = spec.add_array("A", 5); // duplicate name: id reused,
+        assert_eq!(a, a2); // first coefficient wins
+        assert_eq!(spec.array_info(a).unwrap().coefficient(), 1);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn push_access_rejects_foreign_ids() {
+        let mut spec = LoopSpec::new("t", "i", 1);
+        let err = spec
+            .push_access(ArrayId::from_index(3), 0, AccessKind::Read)
+            .unwrap_err();
+        assert_eq!(err, IrError::UnknownArray(ArrayId::from_index(3)));
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        assert_eq!(LoopSpec::try_new("t", "i", 0).unwrap_err(), IrError::ZeroStride);
+    }
+
+    #[test]
+    fn validate_flags_empty_loop() {
+        let spec = LoopSpec::new("t", "i", 1);
+        assert_eq!(spec.validate().unwrap_err(), IrError::EmptyLoop);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_loop() {
+        assert_eq!(two_array_loop().validate(), Ok(()));
+    }
+
+    #[test]
+    fn pattern_projection_keeps_global_positions() {
+        let spec = two_array_loop();
+        let pa = spec.pattern_for(ArrayId::from_index(0)).unwrap();
+        assert_eq!(pa.offsets(), vec![0, 2]);
+        assert_eq!(pa.position(0), 0);
+        assert_eq!(pa.position(1), 2);
+        assert_eq!(pa.stride(), 1);
+
+        let pb = spec.pattern_for(ArrayId::from_index(1)).unwrap();
+        assert_eq!(pb.offsets(), vec![1, -1]);
+        assert_eq!(pb.position(0), 1);
+        assert_eq!(pb.position(1), 3);
+        // effective stride = loop stride (1) * coefficient (2)
+        assert_eq!(pb.stride(), 2);
+    }
+
+    #[test]
+    fn patterns_skips_unused_arrays() {
+        let mut spec = two_array_loop();
+        spec.add_array("unused", 1);
+        assert_eq!(spec.patterns().len(), 2);
+    }
+
+    #[test]
+    fn pattern_for_unused_array_is_none() {
+        let mut spec = two_array_loop();
+        let u = spec.add_array("unused", 1);
+        assert!(spec.pattern_for(u).is_none());
+    }
+
+    #[test]
+    fn from_offsets_builds_anonymous_pattern() {
+        let p = AccessPattern::from_offsets(&[3, -3], 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.stride(), 2);
+        assert_eq!(p.array_name(), "A");
+        assert_eq!(p.position(1), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must contain accesses")]
+    fn from_offsets_rejects_empty() {
+        let _ = AccessPattern::from_offsets(&[], 1);
+    }
+
+    #[test]
+    fn display_impls_are_informative() {
+        assert_eq!(ArrayId::from_index(4).to_string(), "array#4");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+        let err = IrError::MixedCoefficients {
+            array: "A".into(),
+            first: 1,
+            second: 2,
+        };
+        assert!(err.to_string().contains("mixed"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Pretty printers for loops and access patterns.
+//!
+//! Two renderings are provided: the C-like source of a parsed
+//! [`ForLoop`] AST, and the paper-style annotated
+//! access listing of a [`LoopSpec`] (compare the example loop in Section 2
+//! of the paper, where each access is labelled `a_k` and its offset is
+//! shown as a comment).
+
+use std::fmt::Write as _;
+
+use crate::dsl::ForLoop;
+use crate::model::{AccessKind, LoopSpec};
+
+/// Renders a parsed AST back to C-like source.
+///
+/// The output is normalized (one statement per line, canonical spacing)
+/// but semantically identical to the input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ast = raco_ir::dsl::parse_for("for(i=0;i<8;i++){y[i]=x[i+1];}")?;
+/// let printed = raco_ir::pretty::print_for(&ast);
+/// assert!(printed.contains("for (i = 0; i < 8; i++) {"));
+/// assert!(printed.contains("    y[i] = x[i + 1];"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_for(ast: &ForLoop) -> String {
+    use crate::dsl::Update;
+    let update = match ast.update {
+        Update::Increment => format!("{}++", ast.var),
+        Update::Decrement => format!("{}--", ast.var),
+        Update::Step(k) if k >= 0 => format!("{} += {k}", ast.var),
+        Update::Step(k) => format!("{} -= {}", ast.var, -k),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "for ({} = {}; {} {} {}; {update}) {{",
+        ast.var, ast.init, ast.var, ast.cond.op, ast.cond.bound
+    );
+    for stmt in &ast.body {
+        let _ = writeln!(out, "    {stmt}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`LoopSpec`] as the paper-style annotated access listing.
+///
+/// Each access appears on its own line labelled `a_k`, exactly like the
+/// example loop of the paper's Section 2.
+///
+/// # Examples
+///
+/// ```
+/// use raco_ir::{examples, pretty};
+/// let listing = pretty::print_access_listing(&examples::paper_loop());
+/// assert!(listing.contains("/* a_1 */ A[i+1]"));
+/// assert!(listing.contains("/* offset 1 */"));
+/// ```
+pub fn print_access_listing(spec: &LoopSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "for ({v} = {start}; …; {v} += {stride})",
+        v = spec.var(),
+        start = spec.start(),
+        stride = spec.stride()
+    );
+    out.push_str("{\n");
+    for (k, acc) in spec.accesses().iter().enumerate() {
+        let name = spec
+            .array_info(acc.array)
+            .map(|a| a.name().to_owned())
+            .unwrap_or_else(|| acc.array.to_string());
+        let coeff = spec
+            .array_info(acc.array)
+            .map(|a| a.coefficient())
+            .unwrap_or(1);
+        let index = index_text(spec.var(), coeff, acc.offset);
+        let rw = match acc.kind {
+            AccessKind::Read => "",
+            AccessKind::Write => " (write)",
+        };
+        let _ = writeln!(
+            out,
+            "  /* a_{} */ {name}[{index}] /* offset {} */{rw}",
+            k + 1,
+            acc.offset
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Formats the index expression `coeff*var + offset` the way a programmer
+/// would write it (`i`, `i+1`, `i-2`, `2*i+1`, `3`, …).
+fn index_text(var: &str, coeff: i64, offset: i64) -> String {
+    let var_part = match coeff {
+        0 => String::new(),
+        1 => var.to_owned(),
+        -1 => format!("-{var}"),
+        c => format!("{c}*{var}"),
+    };
+    match (var_part.is_empty(), offset) {
+        (true, d) => d.to_string(),
+        (false, 0) => var_part,
+        (false, d) if d > 0 => format!("{var_part}+{d}"),
+        (false, d) => format!("{var_part}{d}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{parse_for, parse_loop};
+
+    #[test]
+    fn print_for_round_trips_through_the_parser() {
+        let src = "for (i = 2; i <= 100; i += 2) {
+            acc = acc + A[i + 1] * A[i];
+            B[2 * i] += A[i - 1];
+        }";
+        let ast = parse_for(src).unwrap();
+        let printed = print_for(&ast);
+        let reparsed = parse_for(&printed).unwrap();
+        // Compare lowered semantics rather than spans.
+        let a = crate::dsl::lower_loop(&ast).unwrap();
+        let b = crate::dsl::lower_loop(&reparsed).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn listing_matches_paper_format() {
+        let spec = parse_loop(
+            "for (i = 2; i <= 100; i++) { s = A[i+1] + A[i] + A[i+2] + A[i-1]; }",
+        )
+        .unwrap();
+        let listing = print_access_listing(&spec);
+        assert!(listing.contains("/* a_1 */ A[i+1] /* offset 1 */"));
+        assert!(listing.contains("/* a_2 */ A[i] /* offset 0 */"));
+        assert!(listing.contains("/* a_4 */ A[i-1] /* offset -1 */"));
+    }
+
+    #[test]
+    fn listing_marks_writes() {
+        let spec = parse_loop("for (i = 0; i < 4; i++) { A[i] = 1; }").unwrap();
+        assert!(print_access_listing(&spec).contains("(write)"));
+    }
+
+    #[test]
+    fn index_text_covers_coefficients() {
+        assert_eq!(index_text("i", 1, 0), "i");
+        assert_eq!(index_text("i", 1, 3), "i+3");
+        assert_eq!(index_text("i", 1, -2), "i-2");
+        assert_eq!(index_text("i", 0, 5), "5");
+        assert_eq!(index_text("i", 2, 1), "2*i+1");
+        assert_eq!(index_text("i", -1, 7), "-i+7");
+        assert_eq!(index_text("i", 0, 0), "0");
+    }
+
+    #[test]
+    fn print_for_update_forms() {
+        for (src, needle) in [
+            ("for (i = 0; i < 8; i++) { }", "i++"),
+            ("for (i = 8; i > 0; i--) { }", "i--"),
+            ("for (i = 0; i < 8; i += 3) { }", "i += 3"),
+            ("for (i = 8; i > 0; i -= 2) { }", "i -= 2"),
+        ] {
+            let printed = print_for(&parse_for(src).unwrap());
+            assert!(printed.contains(needle), "`{printed}` lacks `{needle}`");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Reference address traces.
+//!
+//! A trace is the ground truth of what addresses a loop touches, iteration
+//! by iteration, under a concrete [`MemoryLayout`]. The AGU simulator in
+//! `raco-agu` executes generated address code and checks it against a
+//! trace; mismatches indicate a codegen or allocation bug.
+
+use std::fmt;
+
+use crate::model::{AccessKind, ArrayId, LoopSpec};
+
+/// Assigns base addresses to the arrays of a loop.
+///
+/// Addresses are abstract word addresses (element size is one word, the
+/// common case on fixed-point DSPs); they may be negative during analysis,
+/// which is harmless because only address *differences* matter to the cost
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use raco_ir::{dsl, MemoryLayout};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = dsl::parse_loop("for (i = 0; i < 8; i++) { y[i] = x[i+1]; }")?;
+/// let layout = MemoryLayout::contiguous(&spec, 0x100, 64);
+/// // `x` is registered first: right-hand-side reads lower before writes.
+/// let x = spec.array_id("x").unwrap();
+/// let y = spec.array_id("y").unwrap();
+/// assert_eq!(layout.base(x), Some(0x100));
+/// assert_eq!(layout.base(y), Some(0x100 + 64));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    bases: Vec<i64>,
+}
+
+impl MemoryLayout {
+    /// Lays the loop's arrays out contiguously starting at `origin`, each
+    /// `array_words` words long, in [`ArrayId`] order.
+    pub fn contiguous(spec: &LoopSpec, origin: i64, array_words: i64) -> Self {
+        let bases = (0..spec.arrays().len() as i64)
+            .map(|i| origin + i * array_words)
+            .collect();
+        MemoryLayout { bases }
+    }
+
+    /// Builds a layout from explicit per-array base addresses (indexed by
+    /// [`ArrayId::index`]).
+    pub fn from_bases(bases: Vec<i64>) -> Self {
+        MemoryLayout { bases }
+    }
+
+    /// Base address of `array`, or `None` if the layout does not cover it.
+    pub fn base(&self, array: ArrayId) -> Option<i64> {
+        self.bases.get(array.index()).copied()
+    }
+
+    /// Number of arrays covered.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// `true` if no array has a base address.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+}
+
+/// One executed access in a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Iteration number, starting at zero.
+    pub iteration: u64,
+    /// Position of the access in the loop's per-iteration sequence.
+    pub position: usize,
+    /// Array accessed.
+    pub array: ArrayId,
+    /// Effective word address.
+    pub address: i64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "it {:>3} pos {:>2}: {} {} @ {:#06x}",
+            self.iteration, self.position, self.kind, self.array, self.address
+        )
+    }
+}
+
+/// The sequence of addresses a loop touches over a number of iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    accesses_per_iteration: usize,
+}
+
+impl Trace {
+    /// Records the reference trace of `spec` under `layout` for
+    /// `iterations` iterations, beginning at the loop's
+    /// [`start`](LoopSpec::start) value.
+    ///
+    /// The address of access `array[c*i + d]` in iteration `t` is
+    /// `base(array) + c * (start + t * stride) + d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not cover an accessed array.
+    pub fn capture(spec: &LoopSpec, layout: &MemoryLayout, iterations: u64) -> Self {
+        let mut entries = Vec::with_capacity(spec.len() * iterations as usize);
+        for t in 0..iterations {
+            let i = spec.start() + t as i64 * spec.stride();
+            for (position, acc) in spec.accesses().iter().enumerate() {
+                let info = spec
+                    .array_info(acc.array)
+                    .expect("validated spec has known arrays");
+                let base = layout
+                    .base(acc.array)
+                    .expect("layout must cover every accessed array");
+                entries.push(TraceEntry {
+                    iteration: t,
+                    position,
+                    array: acc.array,
+                    address: base + info.coefficient() * i + acc.offset,
+                    kind: acc.kind,
+                });
+            }
+        }
+        Trace {
+            entries,
+            accesses_per_iteration: spec.len(),
+        }
+    }
+
+    /// All entries, iteration-major then position order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of accesses per loop iteration.
+    pub fn accesses_per_iteration(&self) -> usize {
+        self.accesses_per_iteration
+    }
+
+    /// Number of captured iterations.
+    pub fn iterations(&self) -> u64 {
+        self.entries
+            .len()
+            .checked_div(self.accesses_per_iteration)
+            .unwrap_or(0) as u64
+    }
+
+    /// The entry for `(iteration, position)`, if captured.
+    pub fn entry(&self, iteration: u64, position: usize) -> Option<&TraceEntry> {
+        if position >= self.accesses_per_iteration {
+            return None;
+        }
+        self.entries
+            .get(iteration as usize * self.accesses_per_iteration + position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_loop;
+
+    fn spec() -> LoopSpec {
+        parse_loop("for (i = 2; i <= 100; i++) { y[i] = x[i+1] - x[i-1]; }").unwrap()
+    }
+
+    #[test]
+    fn contiguous_layout_spaces_arrays() {
+        let spec = spec();
+        let layout = MemoryLayout::contiguous(&spec, 10, 100);
+        let x = spec.array_id("x").unwrap();
+        let y = spec.array_id("y").unwrap();
+        assert_eq!(layout.base(x), Some(10));
+        assert_eq!(layout.base(y), Some(110));
+        assert_eq!(layout.len(), 2);
+        assert!(!layout.is_empty());
+        assert_eq!(layout.base(ArrayId::from_index(7)), None);
+    }
+
+    #[test]
+    fn trace_addresses_follow_the_loop_variable() {
+        let spec = spec();
+        let layout = MemoryLayout::contiguous(&spec, 0, 1000);
+        let trace = Trace::capture(&spec, &layout, 3);
+        assert_eq!(trace.iterations(), 3);
+        assert_eq!(trace.accesses_per_iteration(), 3);
+        // iteration 0, i = 2: x[3], x[1], y[2] with x at 0, y at 1000
+        let addrs: Vec<i64> = trace.entries().iter().take(3).map(|e| e.address).collect();
+        assert_eq!(addrs, vec![3, 1, 1002]);
+        // iteration 2, i = 4: x[5], x[3], y[4]
+        let addrs: Vec<i64> = trace
+            .entries()
+            .iter()
+            .skip(6)
+            .map(|e| e.address)
+            .collect();
+        assert_eq!(addrs, vec![5, 3, 1004]);
+    }
+
+    #[test]
+    fn entry_lookup_by_iteration_and_position() {
+        let spec = spec();
+        let layout = MemoryLayout::contiguous(&spec, 0, 1000);
+        let trace = Trace::capture(&spec, &layout, 2);
+        assert_eq!(trace.entry(1, 0).unwrap().address, 4); // i = 3, x[i+1]
+        assert_eq!(trace.entry(1, 5), None);
+        assert_eq!(trace.entry(9, 0), None);
+    }
+
+    #[test]
+    fn negative_stride_and_coefficient() {
+        let spec = parse_loop("for (i = 7; i > 0; i--) { s += h[7 - i]; }").unwrap();
+        let layout = MemoryLayout::contiguous(&spec, 100, 8);
+        let trace = Trace::capture(&spec, &layout, 3);
+        // i = 7, 6, 5 → h[0], h[1], h[2]
+        let addrs: Vec<i64> = trace.entries().iter().map(|e| e.address).collect();
+        assert_eq!(addrs, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn kinds_and_display_are_preserved() {
+        let spec = spec();
+        let layout = MemoryLayout::contiguous(&spec, 0, 1000);
+        let trace = Trace::capture(&spec, &layout, 1);
+        assert_eq!(trace.entries()[0].kind, AccessKind::Read);
+        assert_eq!(trace.entries()[2].kind, AccessKind::Write);
+        let line = trace.entries()[2].to_string();
+        assert!(line.contains("write"), "display was `{line}`");
+    }
+
+    #[test]
+    fn zero_iterations_is_empty() {
+        let spec = spec();
+        let layout = MemoryLayout::contiguous(&spec, 0, 1000);
+        let trace = Trace::capture(&spec, &layout, 0);
+        assert!(trace.entries().is_empty());
+        assert_eq!(trace.iterations(), 0);
+    }
+}

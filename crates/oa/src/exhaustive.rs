@@ -1,0 +1,134 @@
+//! Exhaustive oracles for offset assignment (small instances).
+
+use crate::sequence::{AccessSequence, StackLayout};
+
+/// The optimal SOA layout by enumerating all `variables!` permutations.
+///
+/// # Panics
+///
+/// Panics if the sequence has more than 9 variables (9! = 362 880
+/// layouts is the practical limit for tests).
+///
+/// # Examples
+///
+/// ```
+/// use raco_oa::{exhaustive, AccessSequence};
+/// let (seq, _) = AccessSequence::from_names(&["a", "c", "a", "c", "b"]);
+/// let (layout, cost) = exhaustive::optimal_soa(&seq);
+/// assert_eq!(cost, 0); // put a next to c, b next to either
+/// assert_eq!(layout.variables(), 3);
+/// ```
+pub fn optimal_soa(seq: &AccessSequence) -> (StackLayout, u32) {
+    let n = seq.variables();
+    assert!(n <= 9, "exhaustive SOA limited to 9 variables");
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best: Option<(Vec<usize>, u32)> = None;
+    permute(&mut perm, 0, &mut |p| {
+        let layout = StackLayout::new(p.to_vec());
+        let cost = layout.cost(seq, 1);
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((p.to_vec(), cost));
+        }
+    });
+    let (offsets, cost) = best.expect("n >= 1 has at least one permutation");
+    (StackLayout::new(offsets), cost)
+}
+
+/// The optimal GOA cost by enumerating all variable→register assignments
+/// (with [`crate::goa::evaluate_assignment`] scoring, which itself uses
+/// the Liao heuristic per register — so this is "optimal partition,
+/// heuristic layout").
+///
+/// # Panics
+///
+/// Panics if `variables > 10` or `k == 0`.
+pub fn optimal_goa_partition(seq: &AccessSequence, k: usize) -> (Vec<usize>, u32) {
+    let n = seq.variables();
+    assert!(n <= 10, "exhaustive GOA limited to 10 variables");
+    assert!(k > 0, "GOA needs at least one register");
+    let mut assignment = vec![0usize; n];
+    let mut best: Option<(Vec<usize>, u32)> = None;
+    enumerate_assignments(&mut assignment, 0, k, &mut |a| {
+        let cost = crate::goa::evaluate_assignment(seq, a, k);
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((a.to_vec(), cost));
+        }
+    });
+    best.expect("at least one assignment exists")
+}
+
+fn permute(perm: &mut Vec<usize>, at: usize, f: &mut impl FnMut(&[usize])) {
+    if at == perm.len() {
+        f(perm);
+        return;
+    }
+    for i in at..perm.len() {
+        perm.swap(at, i);
+        permute(perm, at + 1, f);
+        perm.swap(at, i);
+    }
+}
+
+fn enumerate_assignments(
+    assignment: &mut Vec<usize>,
+    at: usize,
+    k: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if at == assignment.len() {
+        f(assignment);
+        return;
+    }
+    for r in 0..k {
+        assignment[at] = r;
+        enumerate_assignments(assignment, at + 1, k, f);
+    }
+    assignment[at] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{goa, soa};
+
+    #[test]
+    fn optimal_soa_is_a_lower_bound_for_liao() {
+        for names in [
+            vec!["a", "b", "c", "a", "b", "d"],
+            vec!["p", "q", "p", "r", "q", "r", "p"],
+            vec!["a", "b", "c", "d", "e", "a", "e"],
+        ] {
+            let (seq, _) = AccessSequence::from_names(&names);
+            let (_, optimal) = optimal_soa(&seq);
+            let heuristic = soa::cost(&seq, &soa::liao(&seq));
+            assert!(optimal <= heuristic, "{names:?}");
+        }
+    }
+
+    #[test]
+    fn goa_heuristic_is_bounded_by_optimal_partition() {
+        let (seq, _) = AccessSequence::from_names(&[
+            "a", "x", "b", "y", "a", "x", "b", "y",
+        ]);
+        for k in 1..=3 {
+            let (_, optimal) = optimal_goa_partition(&seq, k);
+            let heuristic = goa::run(&seq, k).cost();
+            assert!(optimal <= heuristic, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn permutation_count_is_factorial() {
+        let mut count = 0;
+        let mut perm: Vec<usize> = (0..5).collect();
+        permute(&mut perm, 0, &mut |_| count += 1);
+        assert_eq!(count, 120);
+    }
+
+    #[test]
+    fn single_variable_optimum_is_zero() {
+        let (seq, _) = AccessSequence::from_names(&["v", "v"]);
+        assert_eq!(optimal_soa(&seq).1, 0);
+        assert_eq!(optimal_goa_partition(&seq, 2).1, 0);
+    }
+}

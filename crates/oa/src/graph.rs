@@ -1,0 +1,143 @@
+//! The access graph of Liao's SOA formulation.
+
+use crate::sequence::{AccessSequence, VarId};
+
+/// The weighted *access graph*: one node per variable, and an undirected
+/// edge `{u, v}` weighted by how often `u` and `v` are accessed
+/// consecutively. A maximum-weight Hamiltonian path maximizes the number
+/// of free (distance-1) transitions — Liao's reduction of SOA.
+///
+/// # Examples
+///
+/// ```
+/// use raco_oa::{AccessGraph, AccessSequence};
+/// let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "b", "c"]);
+/// let g = AccessGraph::build(&seq);
+/// assert_eq!(g.weight(raco_oa::VarId(0), raco_oa::VarId(1)), 3); // a-b ×3
+/// assert_eq!(g.weight(raco_oa::VarId(1), raco_oa::VarId(2)), 1); // b-c ×1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessGraph {
+    variables: usize,
+    /// Upper-triangular weight matrix, indexed via [`Self::key`].
+    weights: Vec<u32>,
+}
+
+impl AccessGraph {
+    /// Builds the access graph of a sequence.
+    pub fn build(seq: &AccessSequence) -> Self {
+        let n = seq.variables();
+        let mut g = AccessGraph {
+            variables: n,
+            weights: vec![0; n * n],
+        };
+        for w in seq.accesses().windows(2) {
+            if w[0] != w[1] {
+                let k = g.key(w[0], w[1]);
+                g.weights[k] += 1;
+            }
+        }
+        g
+    }
+
+    fn key(&self, u: VarId, v: VarId) -> usize {
+        let (a, b) = if u.index() <= v.index() {
+            (u.index(), v.index())
+        } else {
+            (v.index(), u.index())
+        };
+        a * self.variables + b
+    }
+
+    /// Number of variables (nodes).
+    pub fn variables(&self) -> usize {
+        self.variables
+    }
+
+    /// Weight of the edge `{u, v}` (0 if absent).
+    pub fn weight(&self, u: VarId, v: VarId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        self.weights[self.key(u, v)]
+    }
+
+    /// All edges with positive weight, as `(u, v, weight)` with
+    /// `u < v`, sorted by descending weight then ascending `(u, v)` —
+    /// the deterministic order Liao's greedy heuristic consumes.
+    pub fn edges_by_weight(&self) -> Vec<(VarId, VarId, u32)> {
+        let mut edges = Vec::new();
+        for a in 0..self.variables {
+            for b in (a + 1)..self.variables {
+                let w = self.weights[a * self.variables + b];
+                if w > 0 {
+                    edges.push((VarId(a as u32), VarId(b as u32), w));
+                }
+            }
+        }
+        edges.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        edges
+    }
+
+    /// Total weight of all edges — equals the number of consecutive
+    /// access pairs over distinct variables.
+    pub fn total_weight(&self) -> u32 {
+        let mut sum = 0;
+        for a in 0..self.variables {
+            for b in (a + 1)..self.variables {
+                sum += self.weights[a * self.variables + b];
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_symmetric_and_exclude_self_pairs() {
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "b", "a", "c", "a"]);
+        let g = AccessGraph::build(&seq);
+        // Adjacent pairs: (a,b), (b,b) ignored, (b,a), (a,c), (c,a).
+        assert_eq!(g.weight(VarId(0), VarId(1)), 2);
+        assert_eq!(g.weight(VarId(1), VarId(0)), 2);
+        assert_eq!(g.weight(VarId(0), VarId(2)), 2);
+        assert_eq!(g.weight(VarId(0), VarId(0)), 0);
+        assert_eq!(g.total_weight(), 4);
+    }
+
+    #[test]
+    fn edges_sorted_by_weight_then_index() {
+        let (seq, _) = AccessSequence::from_names(&["a", "c", "a", "b", "a", "c"]);
+        let g = AccessGraph::build(&seq);
+        let edges = g.edges_by_weight();
+        // a-c weight 3 (a c, a c, and c a), a-b weight 2 (a b, b a).
+        assert_eq!(edges[0], (VarId(0), VarId(1), 3)); // c has id 1
+        assert_eq!(edges[1], (VarId(0), VarId(2), 2));
+    }
+
+    #[test]
+    fn ties_are_ordered_lexicographically() {
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "c", "d"]);
+        let g = AccessGraph::build(&seq);
+        let edges = g.edges_by_weight();
+        assert_eq!(
+            edges,
+            vec![
+                (VarId(0), VarId(1), 1),
+                (VarId(1), VarId(2), 1),
+                (VarId(2), VarId(3), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_variable_graph_has_no_edges() {
+        let (seq, _) = AccessSequence::from_names(&["a", "a", "a"]);
+        let g = AccessGraph::build(&seq);
+        assert!(g.edges_by_weight().is_empty());
+        assert_eq!(g.variables(), 1);
+    }
+}

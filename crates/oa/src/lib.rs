@@ -1,0 +1,50 @@
+//! # raco-oa — offset assignment for scalar variables
+//!
+//! The DATE 1998 paper optimizes **array** address computation and
+//! declares itself "complementary to work done on optimized addressing of
+//! scalar program variables" — its refs \[4\] (Liao et al., PLDI 1995,
+//! *Simple Offset Assignment*) and \[5\] (Leupers/Marwedel, ICCAD 1996,
+//! *General Offset Assignment*). This crate implements that complementary
+//! side, so the repository covers both halves of DSP address optimization:
+//!
+//! * **SOA** ([`soa`]): place scalar variables in one stack frame such
+//!   that a single address register with free post-increment/decrement
+//!   (range `M`, classically 1) serves an access sequence with as few
+//!   explicit address loads as possible. Liao's maximum-weight
+//!   path-cover heuristic on the *access graph* is implemented with
+//!   deterministic tie-breaking, plus a frequency-biased tie-break
+//!   variant.
+//! * **GOA** ([`goa`]): the general problem with `k` address registers —
+//!   variables are partitioned across registers, each partition solved as
+//!   an SOA subproblem.
+//! * **Oracles** ([`exhaustive`]): optimal layouts/partitions by
+//!   enumeration for small instances, used in tests and the E8
+//!   experiment.
+//!
+//! ## Example
+//!
+//! ```
+//! use raco_oa::{soa, AccessSequence};
+//!
+//! // The classic motivating shape: variables accessed in a zig-zag.
+//! let (seq, names) = AccessSequence::from_names(&["a", "b", "c", "a", "b", "d", "a", "c"]);
+//! let layout = soa::liao(&seq);
+//! let cost = layout.cost(&seq, 1);
+//! // The naive first-use layout is never better than Liao here:
+//! let naive = raco_oa::StackLayout::first_use(&seq);
+//! assert!(cost <= naive.cost(&seq, 1));
+//! assert_eq!(names.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exhaustive;
+pub mod goa;
+mod graph;
+mod sequence;
+pub mod soa;
+
+pub use graph::AccessGraph;
+pub use sequence::{AccessSequence, StackLayout, VarId};

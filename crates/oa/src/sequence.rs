@@ -1,0 +1,288 @@
+//! Access sequences over scalar variables, and stack layouts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a scalar variable within one [`AccessSequence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A linear sequence of scalar-variable accesses — the input of offset
+/// assignment.
+///
+/// # Examples
+///
+/// ```
+/// use raco_oa::AccessSequence;
+/// let (seq, names) = AccessSequence::from_names(&["a", "b", "a"]);
+/// assert_eq!(seq.len(), 3);
+/// assert_eq!(seq.variables(), 2);
+/// assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessSequence {
+    accesses: Vec<VarId>,
+    variables: usize,
+}
+
+impl AccessSequence {
+    /// Builds a sequence from dense variable ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is empty or `variables` does not cover every
+    /// id used.
+    pub fn new(accesses: Vec<VarId>, variables: usize) -> Self {
+        assert!(!accesses.is_empty(), "sequence must contain accesses");
+        assert!(
+            accesses.iter().all(|v| v.index() < variables),
+            "all accessed variables must be declared"
+        );
+        AccessSequence {
+            accesses,
+            variables,
+        }
+    }
+
+    /// Builds a sequence from variable names, assigning dense ids in
+    /// first-use order. Returns the sequence and the id-to-name table.
+    pub fn from_names(names: &[&str]) -> (Self, Vec<String>) {
+        let mut table: HashMap<&str, u32> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let accesses = names
+            .iter()
+            .map(|&n| {
+                let next = table.len() as u32;
+                let id = *table.entry(n).or_insert_with(|| {
+                    order.push(n.to_owned());
+                    next
+                });
+                VarId(id)
+            })
+            .collect();
+        (
+            AccessSequence {
+                accesses,
+                variables: order.len(),
+            },
+            order,
+        )
+    }
+
+    /// The accesses in program order.
+    pub fn accesses(&self) -> &[VarId] {
+        &self.accesses
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Sequences are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of distinct variables.
+    pub fn variables(&self) -> usize {
+        self.variables
+    }
+
+    /// Per-variable access counts.
+    pub fn frequencies(&self) -> Vec<u32> {
+        let mut freq = vec![0u32; self.variables];
+        for v in &self.accesses {
+            freq[v.index()] += 1;
+        }
+        freq
+    }
+
+    /// The subsequence of accesses to variables for which `keep` is true,
+    /// preserving order (used by GOA to evaluate one partition).
+    pub fn project(&self, keep: &[bool]) -> Option<AccessSequence> {
+        let accesses: Vec<VarId> = self
+            .accesses
+            .iter()
+            .copied()
+            .filter(|v| keep[v.index()])
+            .collect();
+        if accesses.is_empty() {
+            return None;
+        }
+        Some(AccessSequence {
+            accesses,
+            variables: self.variables,
+        })
+    }
+}
+
+/// A placement of every variable at a distinct stack offset.
+///
+/// Offsets are `0..variables`; the cost model charges one explicit address
+/// instruction whenever consecutive accesses are more than `m` slots
+/// apart (the classic SOA cost has `m = 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StackLayout {
+    offset_of: Vec<usize>,
+}
+
+impl StackLayout {
+    /// Builds a layout from a permutation `offset_of[var] = slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset_of` is not a permutation of `0..len`.
+    pub fn new(offset_of: Vec<usize>) -> Self {
+        let mut seen = vec![false; offset_of.len()];
+        for &o in &offset_of {
+            assert!(o < offset_of.len() && !seen[o], "layout must be a permutation");
+            seen[o] = true;
+        }
+        StackLayout { offset_of }
+    }
+
+    /// The identity layout: variable `i` at slot `i`.
+    pub fn identity(variables: usize) -> Self {
+        StackLayout {
+            offset_of: (0..variables).collect(),
+        }
+    }
+
+    /// Variables laid out in order of first use — what a naive compiler
+    /// does and the baseline of experiment E8.
+    pub fn first_use(seq: &AccessSequence) -> Self {
+        let mut offset_of = vec![usize::MAX; seq.variables()];
+        let mut next = 0;
+        for v in seq.accesses() {
+            if offset_of[v.index()] == usize::MAX {
+                offset_of[v.index()] = next;
+                next += 1;
+            }
+        }
+        // Unaccessed variables (possible in projections) go last.
+        for slot in &mut offset_of {
+            if *slot == usize::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        StackLayout { offset_of }
+    }
+
+    /// Stack slot of `var`.
+    pub fn offset(&self, var: VarId) -> usize {
+        self.offset_of[var.index()]
+    }
+
+    /// Number of variables placed.
+    pub fn variables(&self) -> usize {
+        self.offset_of.len()
+    }
+
+    /// The SOA cost of serving `seq` with one address register of
+    /// auto-modify range `m` under this layout: the number of consecutive
+    /// access pairs farther than `m` slots apart.
+    pub fn cost(&self, seq: &AccessSequence, m: u32) -> u32 {
+        seq.accesses()
+            .windows(2)
+            .filter(|w| {
+                let a = self.offset(w[0]) as i64;
+                let b = self.offset(w[1]) as i64;
+                (a - b).unsigned_abs() > u64::from(m)
+            })
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_names_assigns_first_use_ids() {
+        let (seq, names) = AccessSequence::from_names(&["x", "y", "x", "z"]);
+        assert_eq!(names, vec!["x", "y", "z"]);
+        assert_eq!(
+            seq.accesses(),
+            &[VarId(0), VarId(1), VarId(0), VarId(2)]
+        );
+        assert_eq!(seq.variables(), 3);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn frequencies_count_accesses() {
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "a"]);
+        assert_eq!(seq.frequencies(), vec![3, 1]);
+    }
+
+    #[test]
+    fn project_keeps_order_and_rejects_empty() {
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "c", "a"]);
+        let sub = seq.project(&[true, false, true]).unwrap();
+        assert_eq!(sub.accesses(), &[VarId(0), VarId(2), VarId(0)]);
+        assert_eq!(seq.project(&[false, false, false]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain accesses")]
+    fn empty_sequences_are_rejected() {
+        let _ = AccessSequence::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be declared")]
+    fn out_of_range_ids_are_rejected() {
+        let _ = AccessSequence::new(vec![VarId(3)], 2);
+    }
+
+    #[test]
+    fn identity_and_first_use_layouts() {
+        let (seq, _) = AccessSequence::from_names(&["b", "a", "b"]);
+        let id = StackLayout::identity(2);
+        assert_eq!(id.offset(VarId(0)), 0);
+        let fu = StackLayout::first_use(&seq);
+        assert_eq!(fu.offset(VarId(0)), 0, "b used first");
+        assert_eq!(fu.offset(VarId(1)), 1);
+        assert_eq!(fu.variables(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn layouts_must_be_permutations() {
+        let _ = StackLayout::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn cost_counts_over_range_hops() {
+        // Layout a=0, b=1, c=2; sequence a c a b: hops 2, 2, 1 → cost 2.
+        let (seq, _) = AccessSequence::from_names(&["a", "c", "a", "b"]);
+        let layout = StackLayout::new(vec![0, 2, 1]); // a=0, c=1? careful:
+        // from_names ids: a=0, c=1, b=2. offsets: a→0, c→2, b→1.
+        let layout2 = StackLayout::new(vec![0, 2, 1]);
+        assert_eq!(layout, layout2);
+        // hops: a(0)→c(2) = 2 over; c(2)→a(0) = 2 over; a(0)→b(1) = 1 ok.
+        assert_eq!(layout.cost(&seq, 1), 2);
+        assert_eq!(layout.cost(&seq, 2), 0);
+    }
+
+    #[test]
+    fn single_access_sequences_cost_zero() {
+        let (seq, _) = AccessSequence::from_names(&["a"]);
+        assert_eq!(StackLayout::first_use(&seq).cost(&seq, 1), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Simple Offset Assignment — Liao's heuristic (the paper's ref \[4\]).
+//!
+//! Liao et al. showed that SOA is equivalent to finding a maximum-weight
+//! path cover of the access graph: edges inside the cover become
+//! distance-1 neighbours in the stack frame, so every covered adjacency
+//! executes with a free post-increment/decrement. The greedy heuristic
+//! scans edges by descending weight and accepts an edge unless it would
+//! give a node degree 3 or close a cycle — exactly Kruskal with a degree
+//! constraint.
+
+use crate::graph::AccessGraph;
+use crate::sequence::{AccessSequence, StackLayout};
+
+/// Tie-breaking rule for equal-weight edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TieBreak {
+    /// Lexicographic on `(u, v)` — Liao's original behaviour is
+    /// unspecified; this is the deterministic default.
+    Lexicographic,
+    /// Prefer edges whose endpoints have higher total access frequency —
+    /// a variant in the spirit of Leupers' tie-break studies, useful as an
+    /// ablation.
+    FrequencyBiased,
+}
+
+/// Runs Liao's SOA heuristic with the default (lexicographic) tie-break.
+///
+/// # Examples
+///
+/// ```
+/// use raco_oa::{soa, AccessSequence};
+/// let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "b", "c", "b"]);
+/// let layout = soa::liao(&seq);
+/// // a and b are adjacent in every good layout: their edge weight is 3.
+/// let dist = (layout.offset(raco_oa::VarId(0)) as i64
+///     - layout.offset(raco_oa::VarId(1)) as i64).abs();
+/// assert_eq!(dist, 1);
+/// ```
+pub fn liao(seq: &AccessSequence) -> StackLayout {
+    liao_with(seq, TieBreak::Lexicographic)
+}
+
+/// Runs Liao's SOA heuristic with an explicit tie-break rule.
+pub fn liao_with(seq: &AccessSequence, tie_break: TieBreak) -> StackLayout {
+    let graph = AccessGraph::build(seq);
+    let n = graph.variables();
+    let mut edges = graph.edges_by_weight();
+    if tie_break == TieBreak::FrequencyBiased {
+        let freq = seq.frequencies();
+        edges.sort_by(|x, y| {
+            y.2.cmp(&x.2)
+                .then_with(|| {
+                    let fx = freq[x.0.index()] + freq[x.1.index()];
+                    let fy = freq[y.0.index()] + freq[y.1.index()];
+                    fy.cmp(&fx)
+                })
+                .then(x.0.cmp(&y.0))
+                .then(x.1.cmp(&y.1))
+        });
+    }
+
+    // Greedy path cover: degree <= 2 per node, no cycles (union-find).
+    let mut degree = vec![0u8; n];
+    let mut uf = UnionFind::new(n);
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, v, _) in edges {
+        let (ui, vi) = (u.index(), v.index());
+        if degree[ui] >= 2 || degree[vi] >= 2 {
+            continue;
+        }
+        if uf.find(ui) == uf.find(vi) {
+            continue; // would close a cycle
+        }
+        uf.union(ui, vi);
+        degree[ui] += 1;
+        degree[vi] += 1;
+        adjacency[ui].push(vi);
+        adjacency[vi].push(ui);
+    }
+
+    // Concatenate the resulting paths into one frame layout.
+    let mut offset_of = vec![usize::MAX; n];
+    let mut next_slot = 0;
+    for start in 0..n {
+        if degree[start] >= 2 || offset_of[start] != usize::MAX {
+            continue; // interior node or already placed
+        }
+        // Walk the path from this endpoint (isolated nodes are length-1).
+        let mut prev = usize::MAX;
+        let mut cur = start;
+        loop {
+            offset_of[cur] = next_slot;
+            next_slot += 1;
+            let next = adjacency[cur].iter().copied().find(|&x| x != prev);
+            match next {
+                Some(n2) if offset_of[n2] == usize::MAX => {
+                    prev = cur;
+                    cur = n2;
+                }
+                _ => break,
+            }
+        }
+    }
+    // Degree-2 cycles cannot occur (union-find), so everything is placed.
+    debug_assert!(offset_of.iter().all(|&o| o != usize::MAX));
+    StackLayout::new(offset_of)
+}
+
+/// The SOA cost of a sequence under a layout with auto-modify range 1 —
+/// convenience wrapper matching the classic formulation.
+pub fn cost(seq: &AccessSequence, layout: &StackLayout) -> u32 {
+    layout.cost(seq, 1)
+}
+
+/// Disjoint-set forest with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            self.parent[x] = self.find(self.parent[x]);
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use crate::sequence::VarId;
+
+    #[test]
+    fn heavy_edges_become_neighbours() {
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "b", "a", "c"]);
+        let layout = liao(&seq);
+        let d = (layout.offset(VarId(0)) as i64 - layout.offset(VarId(1)) as i64).abs();
+        assert_eq!(d, 1, "a-b edge (weight 4) must be kept");
+    }
+
+    #[test]
+    fn liao_matches_optimum_on_small_cases() {
+        for names in [
+            vec!["a", "b", "c", "a", "b", "d", "a", "c"],
+            vec!["a", "b", "c", "d", "a", "c"],
+            vec!["x", "y", "x", "z", "y", "z", "x"],
+            vec!["a", "b", "b", "a"],
+        ] {
+            let (seq, _) = AccessSequence::from_names(&names);
+            let heuristic = cost(&seq, &liao(&seq));
+            let optimal = exhaustive::optimal_soa(&seq).1;
+            assert!(
+                heuristic <= optimal + 1,
+                "Liao within 1 of optimum on {names:?}: {heuristic} vs {optimal}"
+            );
+            assert!(heuristic >= optimal);
+        }
+    }
+
+    #[test]
+    fn zigzag_beats_first_use() {
+        // First-use order a,b,c places c two away from a, but the sequence
+        // alternates a-c heavily.
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "c", "a", "c", "a", "c"]);
+        let naive = StackLayout::first_use(&seq).cost(&seq, 1);
+        let opt = cost(&seq, &liao(&seq));
+        assert!(opt < naive, "Liao {opt} must beat first-use {naive}");
+    }
+
+    #[test]
+    fn single_variable_and_two_variable_sequences() {
+        let (seq, _) = AccessSequence::from_names(&["a", "a", "a"]);
+        assert_eq!(cost(&seq, &liao(&seq)), 0);
+        let (seq, _) = AccessSequence::from_names(&["a", "b", "a", "b"]);
+        assert_eq!(cost(&seq, &liao(&seq)), 0);
+    }
+
+    #[test]
+    fn tie_breaks_are_deterministic_and_comparable() {
+        let (seq, _) =
+            AccessSequence::from_names(&["a", "b", "c", "d", "a", "b", "c", "d", "a", "d"]);
+        let lex1 = liao_with(&seq, TieBreak::Lexicographic);
+        let lex2 = liao_with(&seq, TieBreak::Lexicographic);
+        assert_eq!(lex1, lex2);
+        let freq = liao_with(&seq, TieBreak::FrequencyBiased);
+        // Both must produce valid layouts over the same variables.
+        assert_eq!(freq.variables(), lex1.variables());
+    }
+
+    #[test]
+    fn layout_is_always_a_permutation() {
+        // Dense graph with many ties — exercises path concatenation.
+        let (seq, _) = AccessSequence::from_names(&[
+            "a", "b", "c", "d", "e", "a", "c", "e", "b", "d", "a", "e",
+        ]);
+        let layout = liao(&seq);
+        let mut seen = vec![false; layout.variables()];
+        for v in 0..layout.variables() {
+            let o = layout.offset(VarId(v as u32));
+            assert!(!seen[o]);
+            seen[o] = true;
+        }
+    }
+}

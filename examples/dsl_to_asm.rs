@@ -1,0 +1,47 @@
+//! From C-like source to verified AGU assembly.
+//!
+//! Parses a loop written in the `raco-ir` DSL, allocates address
+//! registers with the paper's two-phase algorithm, emits the address
+//! program, and proves it correct by simulating it against the reference
+//! address trace.
+//!
+//! Run with: `cargo run --example dsl_to_asm`
+
+use raco::agu::codegen::CodeGenerator;
+use raco::agu::sim;
+use raco::core::Optimizer;
+use raco::ir::{dsl, AguSpec, MemoryLayout, Trace};
+
+const SOURCE: &str = "
+for (i = 1; i < 255; i++) {
+    // A symmetric 3-tap smoother with distinct in/out arrays.
+    y[i] = c0 * x[i - 1] + c1 * x[i] + c0 * x[i + 1];
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("source:\n{SOURCE}\n");
+    let spec = dsl::parse_loop(SOURCE)?;
+
+    let agu = AguSpec::new(3, 1)?;
+    let allocation = Optimizer::new(agu).allocate_loop(&spec)?;
+    println!(
+        "allocation: {} register(s), {} unit-cost update(s)/iteration",
+        allocation.total_registers(),
+        allocation.total_cost()
+    );
+
+    let layout = MemoryLayout::contiguous(&spec, 0x0400, 0x0100);
+    let program = CodeGenerator::new(agu).generate(&spec, &allocation, &layout)?;
+    println!("\n{program}");
+
+    // Prove the program serves every access of 100 iterations correctly.
+    let trace = Trace::capture(&spec, &layout, 100);
+    let report = sim::run(&program, &trace, &agu)?;
+    println!(
+        "simulation: {} iterations, {} accesses checked, {} explicit update(s)/iteration ✓",
+        report.iterations(),
+        report.accesses_checked(),
+        report.explicit_updates_per_iteration()
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! The complementary scalar side (the paper's refs [4, 5]): simple and
+//! general offset assignment for the scalar temporaries of a code block.
+//!
+//! Run with: `cargo run --example offset_assignment`
+
+use raco::oa::{exhaustive, goa, soa, AccessSequence, StackLayout, VarId};
+
+fn main() {
+    // The access sequence of an imaginary expression block.
+    let names = [
+        "a", "b", "c", "a", "d", "b", "a", "c", "d", "b", "a", "d",
+    ];
+    let (seq, table) = AccessSequence::from_names(&names);
+    println!("access sequence: {}", names.join(" "));
+    println!("variables: {}\n", table.join(", "));
+
+    let show = |label: &str, layout: &StackLayout| {
+        let mut slots: Vec<(usize, &str)> = table
+            .iter()
+            .enumerate()
+            .map(|(v, name)| (layout.offset(VarId(v as u32)), name.as_str()))
+            .collect();
+        slots.sort_unstable();
+        let frame: Vec<&str> = slots.into_iter().map(|(_, n)| n).collect();
+        println!(
+            "{label:<18} frame [{}]  cost {}",
+            frame.join(" "),
+            layout.cost(&seq, 1)
+        );
+    };
+
+    show("first-use order", &StackLayout::first_use(&seq));
+    show("Liao SOA", &soa::liao(&seq));
+    let (optimal, cost) = exhaustive::optimal_soa(&seq);
+    show("optimal (oracle)", &optimal);
+    assert_eq!(cost, optimal.cost(&seq, 1));
+
+    println!("\nGOA with k address registers:");
+    for k in 1..=3 {
+        let solution = goa::run(&seq, k);
+        let groups: Vec<String> = (0..k)
+            .map(|r| {
+                let members: Vec<&str> = table
+                    .iter()
+                    .enumerate()
+                    .filter(|(v, _)| solution.register_of(VarId(*v as u32)) == r)
+                    .map(|(_, n)| n.as_str())
+                    .collect();
+                format!("AR{r}{{{}}}", members.join(","))
+            })
+            .collect();
+        println!("  k = {k}: cost {:<2} {}", solution.cost(), groups.join(" "));
+    }
+}

@@ -1,0 +1,23 @@
+//! Quickstart: optimize the paper's running example.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use raco::core::Optimizer;
+use raco::ir::{examples, pretty, AguSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The example loop from Section 2 of the paper: seven accesses to
+    // array A with offsets 1, 0, 2, -1, 1, 0, -2.
+    let spec = examples::paper_loop();
+    println!("{}", pretty::print_access_listing(&spec));
+
+    let pattern = &spec.patterns()[0];
+
+    // An AGU with auto-modify range M = 1 and K = 2 address registers.
+    let agu = AguSpec::new(2, 1)?;
+    let allocation = Optimizer::new(agu).allocate(pattern);
+
+    // The report shows both phases, every merge and the register paths.
+    println!("{}", allocation.report());
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! Cross-crate pipeline tests: DSL source → IR → allocation → address
+//! code → verified simulation, over a variety of loop shapes.
+
+use raco::agu::codegen::CodeGenerator;
+use raco::agu::sim;
+use raco::core::{AllocError, Optimizer};
+use raco::ir::{dsl, AguSpec, MemoryLayout, Trace};
+
+/// Compiles and verifies a DSL loop, returning the measured explicit
+/// updates per iteration.
+fn compile_and_verify(source: &str, agu: AguSpec, iterations: u64) -> u64 {
+    let spec = dsl::parse_loop(source).expect("source parses");
+    let alloc = Optimizer::new(agu).allocate_loop(&spec).expect("allocates");
+    let layout = MemoryLayout::contiguous(&spec, 0x1000, 0x200);
+    let program = CodeGenerator::new(agu)
+        .generate(&spec, &alloc, &layout)
+        .expect("emits");
+    let trace = Trace::capture(&spec, &layout, iterations);
+    let report = sim::run(&program, &trace, &agu).expect("verifies");
+    if agu.modify_registers() == 0 {
+        assert_eq!(
+            report.explicit_updates_per_iteration(),
+            u64::from(alloc.total_cost()),
+            "prediction must match measurement for {source}"
+        );
+    } else {
+        // Modify registers absorb over-range deltas at code generation,
+        // after the allocator's cost model: measured <= predicted.
+        assert!(
+            report.explicit_updates_per_iteration() <= u64::from(alloc.total_cost()),
+            "measurement exceeds prediction for {source}"
+        );
+    }
+    report.explicit_updates_per_iteration()
+}
+
+#[test]
+fn forward_loop_with_two_arrays() {
+    let cost = compile_and_verify(
+        "for (i = 1; i < 100; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }",
+        AguSpec::new(3, 1).unwrap(),
+        64,
+    );
+    assert_eq!(cost, 0, "x chains forward, y is a free singleton");
+}
+
+#[test]
+fn backward_loop_negative_stride() {
+    let cost = compile_and_verify(
+        "for (i = 99; i > 0; i--) { s += a[i] * b[i]; }",
+        AguSpec::new(2, 1).unwrap(),
+        64,
+    );
+    assert_eq!(cost, 0);
+}
+
+#[test]
+fn reversed_coefficient_array() {
+    // h runs backwards relative to i: effective stride -1.
+    let cost = compile_and_verify(
+        "for (i = 0; i < 32; i++) { acc += x[i] * h[31 - i]; }",
+        AguSpec::new(2, 1).unwrap(),
+        30,
+    );
+    assert_eq!(cost, 0);
+}
+
+#[test]
+fn interleaved_complex_coefficient_two() {
+    let cost = compile_and_verify(
+        "for (i = 0; i < 64; i++) { y[2*i] = x[2*i] - x[2*i+1]; y[2*i+1] = x[2*i] + x[2*i+1]; }",
+        AguSpec::new(4, 1).unwrap(),
+        48,
+    );
+    assert_eq!(cost, 0, "stride 2 with offsets 0/1 chains freely");
+}
+
+#[test]
+fn loop_invariant_array_is_free() {
+    let cost = compile_and_verify(
+        "for (i = 0; i < 64; i++) { s += t[3] * x[i]; }",
+        AguSpec::new(2, 1).unwrap(),
+        20,
+    );
+    assert_eq!(cost, 0, "coefficient-0 array has stride 0: stays put");
+}
+
+#[test]
+fn big_stride_needs_explicit_updates_without_modify_registers() {
+    let agu = AguSpec::new(2, 1).unwrap();
+    let cost = compile_and_verify(
+        "for (i = 0; i < 8; i++) { acc += a[i] * b[8 * i]; }",
+        agu,
+        8,
+    );
+    assert!(cost >= 1, "the stride-8 column access cannot be free");
+
+    let with_mr = AguSpec::new(2, 1).unwrap().with_modify_registers(1);
+    let cost_mr = compile_and_verify(
+        "for (i = 0; i < 8; i++) { acc += a[i] * b[8 * i]; }",
+        with_mr,
+        8,
+    );
+    assert!(cost_mr < cost, "a modify register absorbs the +8 step");
+}
+
+#[test]
+fn compound_assignment_read_write_pairs_verify() {
+    let cost = compile_and_verify(
+        "for (i = 0; i < 50; i++) { a[i] += b[i]; }",
+        AguSpec::new(2, 1).unwrap(),
+        32,
+    );
+    // a is read and written at the same address: distance 0 is free.
+    assert_eq!(cost, 0);
+}
+
+#[test]
+fn insufficient_registers_is_a_clean_error() {
+    let spec =
+        dsl::parse_loop("for (i = 0; i < 9; i++) { a[i] = b[i] + c[i]; }").unwrap();
+    let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
+        .allocate_loop(&spec)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        AllocError::InsufficientRegisters {
+            arrays: 3,
+            registers: 2
+        }
+    );
+}
+
+#[test]
+fn scalar_only_loop_is_a_clean_error() {
+    let spec = dsl::parse_loop("for (i = 0; i < 9; i++) { s = s * 2; }").unwrap();
+    let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
+        .allocate_loop(&spec)
+        .unwrap_err();
+    assert_eq!(err, AllocError::EmptyLoop);
+}
+
+#[test]
+fn register_partitioning_favours_the_hungry_array() {
+    let spec = dsl::parse_loop(
+        "for (i = 0; i < 64; i++) {
+            s = mono[i] + sparse[i] + sparse[i + 16] + sparse[i + 32];
+        }",
+    )
+    .unwrap();
+    let alloc = Optimizer::new(AguSpec::new(4, 1).unwrap())
+        .allocate_loop(&spec)
+        .unwrap();
+    let mono = spec.array_id("mono").unwrap();
+    let sparse = spec.array_id("sparse").unwrap();
+    assert_eq!(alloc.for_array(mono).unwrap().register_count(), 1);
+    assert_eq!(alloc.for_array(sparse).unwrap().register_count(), 3);
+    assert_eq!(alloc.total_cost(), 0);
+}
+
+#[test]
+fn larger_modify_range_never_hurts() {
+    let source = "for (i = 2; i <= 100; i++) {
+        s1 = A[i+1]; s2 = A[i]; s3 = A[i+2]; s4 = A[i-1];
+        s5 = A[i+1]; s6 = A[i]; s7 = A[i-2];
+    }";
+    let mut last = u64::MAX;
+    for m in 1..=4u32 {
+        let cost = compile_and_verify(source, AguSpec::new(2, m).unwrap(), 16);
+        assert!(cost <= last, "M = {m} must not cost more than M = {}", m - 1);
+        last = cost;
+    }
+    assert_eq!(last, 0, "M = 4 covers every distance in the example");
+}
+
+#[test]
+fn long_unrolled_loop_allocates_and_verifies() {
+    // 32 accesses with a deliberately adversarial interleaving.
+    let mut body = String::new();
+    for j in 0..16 {
+        body.push_str(&format!(
+            "t{j} = A[i + {}] + A[i - {}];\n",
+            j % 5,
+            (j * 3) % 7
+        ));
+    }
+    let source = format!("for (i = 10; i < 1000; i++) {{\n{body}}}");
+    let cost = compile_and_verify(&source, AguSpec::new(4, 1).unwrap(), 25);
+    // Not asserting an exact number (heuristic), but it must be bounded
+    // by one update per access.
+    assert!(cost <= 32);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the DSL front end: printing and re-parsing
+//! round-trips, affine index extraction, and program-level parsing.
+
+use proptest::prelude::*;
+
+use raco::ir::dsl::{self, AssignOp, BinOp, CmpOp, Cond, Expr, ForLoop, LValue, Stmt, Update};
+use raco::ir::pretty;
+
+/// Strategy: a random expression over the loop variable `i`, scalars and
+/// array elements (depth-limited).
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-30i64..=30).prop_map(Expr::Num),
+        Just(Expr::Var("i".to_owned())),
+        Just(Expr::Var("s".to_owned())),
+        (-6i64..=6).prop_map(|d| Expr::Index {
+            array: "A".to_owned(),
+            index: Box::new(Expr::binary(
+                BinOp::Add,
+                Expr::Var("i".to_owned()),
+                Expr::Num(d),
+            )),
+        }),
+        (-6i64..=6).prop_map(|d| Expr::Index {
+            array: "B".to_owned(),
+            index: Box::new(Expr::binary(
+                BinOp::Sub,
+                Expr::Num(d),
+                Expr::Var("i".to_owned()),
+            )),
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(BinOp::Sub, a, b)),
+            // Multiplication only by a constant keeps indices affine.
+            (inner.clone(), -4i64..=4).prop_map(|(a, c)| Expr::binary(BinOp::Mul, a, Expr::Num(c))),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    (
+        prop_oneof![
+            Just(LValue::Scalar("acc".to_owned())),
+            (-4i64..=4).prop_map(|d| LValue::Element {
+                array: "Y".to_owned(),
+                index: Expr::binary(BinOp::Add, Expr::Var("i".to_owned()), Expr::Num(d)),
+            }),
+        ],
+        prop_oneof![
+            Just(AssignOp::Assign),
+            Just(AssignOp::AddAssign),
+            Just(AssignOp::SubAssign),
+            Just(AssignOp::MulAssign),
+        ],
+        expr(),
+    )
+        .prop_map(|(lhs, op, rhs)| Stmt {
+            lhs,
+            op,
+            rhs,
+            span: Default::default(),
+        })
+}
+
+fn for_loop() -> impl Strategy<Value = ForLoop> {
+    (
+        -8i64..=8,
+        1i64..=200,
+        prop_oneof![
+            Just(Update::Increment),
+            Just(Update::Decrement),
+            (2i64..=4).prop_map(Update::Step),
+            (-4i64..=-2).prop_map(Update::Step),
+        ],
+        prop::collection::vec(stmt(), 1..=5),
+    )
+        .prop_map(|(start, bound, update, body)| ForLoop {
+            var: "i".to_owned(),
+            start: Some(start),
+            init: Expr::Num(start),
+            cond: Cond {
+                op: if update.stride() > 0 { CmpOp::Lt } else { CmpOp::Gt },
+                bound: Expr::Num(bound),
+            },
+            update,
+            body,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn print_parse_round_trip_preserves_semantics(ast in for_loop()) {
+        let printed = pretty::print_for(&ast);
+        let reparsed = dsl::parse_for(&printed)
+            .unwrap_or_else(|e| panic!("printed source must re-parse: {e}\n{printed}"));
+        // Compare lowered semantics (spans differ); both may fail to
+        // lower only in exactly the same way (e.g. mixed coefficients).
+        match (dsl::lower_loop(&ast), dsl::lower_loop(&reparsed)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "printed:\n{}", printed),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea.kind(), eb.kind()),
+            (a, b) => prop_assert!(false, "lowering diverged: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn affine_indices_lower_to_coefficient_and_offset(
+        coeff in -5i64..=5,
+        offset in -50i64..=50,
+    ) {
+        // Render `coeff*i + offset` in a randomly chosen textual shape.
+        let index = match (coeff, offset) {
+            (0, d) => format!("{d}"),
+            (1, 0) => "i".to_owned(),
+            (1, d) if d > 0 => format!("i + {d}"),
+            (1, d) => format!("i - {}", -d),
+            (-1, d) => format!("{d} - i"),
+            (c, 0) => format!("{c} * i"),
+            (c, d) if d > 0 => format!("{c} * i + {d}"),
+            (c, d) => format!("{c} * i - {}", -d),
+        };
+        let src = format!("for (i = 0; i < 9; i++) {{ s = A[{index}]; }}");
+        let spec = dsl::parse_loop(&src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let info = &spec.arrays()[0];
+        let expected_coeff = if coeff == -1 && offset != 0 { -1 } else { coeff };
+        prop_assert_eq!(info.coefficient(), expected_coeff, "{}", src);
+        prop_assert_eq!(spec.accesses()[0].offset, offset, "{}", src);
+    }
+
+    #[test]
+    fn programs_concatenate_loops(count in 1usize..=4) {
+        let src: String = (0..count)
+            .map(|j| format!("for (i = 0; i < 8; i++) {{ y[i] = x[i + {j}]; }}\n"))
+            .collect();
+        let loops = dsl::parse_program(&src).expect("valid program");
+        prop_assert_eq!(loops.len(), count);
+        for (j, spec) in loops.iter().enumerate() {
+            let expected_name = format!("loop{j}");
+            prop_assert_eq!(spec.name(), expected_name.as_str());
+            let x = spec.pattern_for(spec.array_id("x").unwrap()).unwrap();
+            prop_assert_eq!(x.offsets(), vec![j as i64]);
+        }
+    }
+
+    #[test]
+    fn listings_mention_every_access(ast in for_loop()) {
+        if let Ok(spec) = dsl::lower_loop(&ast) {
+            if spec.is_empty() {
+                return Ok(());
+            }
+            let listing = pretty::print_access_listing(&spec);
+            for k in 1..=spec.len() {
+                prop_assert!(
+                    listing.contains(&format!("a_{k} ")),
+                    "listing lacks a_{k}:\n{listing}"
+                );
+            }
+        }
+    }
+}

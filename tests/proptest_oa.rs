@@ -1,0 +1,95 @@
+//! Property-based tests of the offset-assignment crate (SOA/GOA).
+
+use proptest::prelude::*;
+
+use raco::oa::{exhaustive, goa, soa, AccessSequence, StackLayout, VarId};
+
+fn sequence() -> impl Strategy<Value = AccessSequence> {
+    (2usize..=7, 2usize..=24).prop_flat_map(|(vars, len)| {
+        prop::collection::vec(0u32..vars as u32, len..=len)
+            .prop_map(move |ids| {
+                AccessSequence::new(ids.into_iter().map(VarId).collect(), vars)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn liao_layout_is_a_permutation(seq in sequence()) {
+        let layout = soa::liao(&seq);
+        let mut seen = vec![false; layout.variables()];
+        for v in 0..layout.variables() {
+            let slot = layout.offset(VarId(v as u32));
+            prop_assert!(slot < seen.len());
+            prop_assert!(!seen[slot]);
+            seen[slot] = true;
+        }
+    }
+
+    #[test]
+    fn liao_is_bounded_by_oracle_and_worst_case(seq in sequence()) {
+        let liao_cost = soa::cost(&seq, &soa::liao(&seq));
+        // Lower bound: the exhaustive optimum (vars <= 7 by construction).
+        let (_, optimal) = exhaustive::optimal_soa(&seq);
+        prop_assert!(liao_cost >= optimal);
+        // Upper bound: every consecutive pair over distinct variables.
+        let pairs = seq
+            .accesses()
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count() as u32;
+        prop_assert!(liao_cost <= pairs);
+    }
+
+    #[test]
+    fn costs_respect_the_modify_range(seq in sequence(), m in 1u32..=3) {
+        let layout = StackLayout::first_use(&seq);
+        // Larger ranges can only reduce cost.
+        prop_assert!(layout.cost(&seq, m + 1) <= layout.cost(&seq, m));
+        // Range >= vars - 1 makes everything free.
+        let huge = seq.variables() as u32;
+        prop_assert_eq!(layout.cost(&seq, huge), 0);
+    }
+
+    #[test]
+    fn goa_with_more_registers_never_beats_its_own_seed(seq in sequence()) {
+        // The GOA heuristic starts from the single-register solution and
+        // only accepts strict improvements, so cost(k) <= cost(1).
+        let single = goa::run(&seq, 1).cost();
+        for k in 2..=3 {
+            prop_assert!(goa::run(&seq, k).cost() <= single);
+        }
+    }
+
+    #[test]
+    fn goa_assignment_covers_every_variable(seq in sequence(), k in 1usize..=4) {
+        let solution = goa::run(&seq, k);
+        prop_assert_eq!(solution.assignment().len(), seq.variables());
+        for v in 0..seq.variables() {
+            prop_assert!(solution.register_of(VarId(v as u32)) < solution.registers());
+        }
+        // The reported cost must equal re-evaluating the assignment.
+        prop_assert_eq!(
+            solution.cost(),
+            goa::evaluate_assignment(&seq, solution.assignment(), solution.registers())
+        );
+    }
+
+    #[test]
+    fn projections_preserve_per_variable_counts(seq in sequence()) {
+        let keep: Vec<bool> = (0..seq.variables()).map(|v| v % 2 == 0).collect();
+        if let Some(sub) = seq.project(&keep) {
+            let full = seq.frequencies();
+            let projected = sub.frequencies();
+            for v in 0..seq.variables() {
+                if keep[v] {
+                    prop_assert_eq!(projected[v], full[v]);
+                } else {
+                    prop_assert_eq!(projected[v], 0);
+                }
+            }
+        }
+    }
+}
