@@ -238,7 +238,9 @@ impl CodeGenerator {
                 body.push(AddressInstr::Use {
                     reg,
                     position,
-                    update: Update::Modify { mr: MrId(mr as u16) },
+                    update: Update::Modify {
+                        mr: MrId(mr as u16),
+                    },
                 });
             } else {
                 body.push(AddressInstr::Use {
@@ -403,10 +405,7 @@ mod tests {
             .generate_pattern(&pattern, &allocation, 0x200)
             .unwrap();
         assert_eq!(program.uses_per_iteration(), 7);
-        assert_eq!(
-            program.cycles_per_iteration(),
-            u64::from(allocation.cost())
-        );
+        assert_eq!(program.cycles_per_iteration(), u64::from(allocation.cost()));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`sim`] — a cycle-accurate simulator that executes the address
 //!   program against a reference [`Trace`](raco_ir::Trace) and asserts
 //!   every access hits the right address;
+//! * [`listing`] — assembly of many per-loop programs into one unit
+//!   listing (the batch driver's output format);
 //! * [`metrics`] — code-size and cycle accounting, including the
 //!   explicit-addressing baseline of a "regular C compiler" used by
 //!   experiment E4.
@@ -48,6 +50,7 @@
 
 pub mod codegen;
 pub mod isa;
+pub mod listing;
 pub mod metrics;
 pub mod modify;
 pub mod peephole;
@@ -55,6 +58,7 @@ pub mod sim;
 
 pub use codegen::{CodeGenError, CodeGenerator};
 pub use isa::{AddressInstr, AddressProgram, MrId, RegId, Update};
+pub use listing::ProgramListing;
 pub use metrics::ProgramMetrics;
 pub use modify::ModifyAllocation;
 pub use sim::{SimError, SimReport};

@@ -1,0 +1,225 @@
+//! Multi-loop listing assembly.
+//!
+//! A batch compilation produces one [`AddressProgram`] per loop; real
+//! DSP toolchains emit them back to back into a single program listing
+//! with per-section headers and a trailer summarizing the whole unit.
+//! This module renders that listing: sections in input order, each with
+//! its loop label, register/modify-register usage and cost line, then a
+//! unit-wide summary suitable for code-size reports.
+
+use std::fmt;
+
+use crate::isa::AddressProgram;
+
+/// One named section of a [`ProgramListing`].
+#[derive(Debug, Clone)]
+pub struct ListingSection {
+    name: String,
+    program: AddressProgram,
+}
+
+impl ListingSection {
+    /// A section named `name` (usually the loop label) for `program`.
+    pub fn new(name: impl Into<String>, program: AddressProgram) -> Self {
+        ListingSection {
+            name: name.into(),
+            program,
+        }
+    }
+
+    /// The section label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The section's address program.
+    pub fn program(&self) -> &AddressProgram {
+        &self.program
+    }
+}
+
+/// An assembled multi-loop listing.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use raco_agu::codegen::CodeGenerator;
+/// use raco_agu::listing::ProgramListing;
+/// use raco_core::Optimizer;
+/// use raco_ir::{dsl, AguSpec, MemoryLayout};
+///
+/// let agu = AguSpec::new(3, 1)?;
+/// let mut listing = ProgramListing::new("unit");
+/// for spec in dsl::parse_program(
+///     "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+///      for (j = 0; j < 4; j++) { z[j] = z[j] + 1; }",
+/// )? {
+///     let alloc = Optimizer::new(agu).allocate_loop(&spec)?;
+///     let layout = MemoryLayout::contiguous(&spec, 0x100, 64);
+///     let program = CodeGenerator::new(agu).generate(&spec, &alloc, &layout)?;
+///     listing.push(spec.name(), program);
+/// }
+/// let text = listing.to_string();
+/// assert!(text.contains("loop0:"));
+/// assert!(text.contains("loop1:"));
+/// assert!(text.contains("; unit total"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramListing {
+    unit: String,
+    sections: Vec<ListingSection>,
+}
+
+impl ProgramListing {
+    /// An empty listing for a compilation unit labelled `unit`.
+    pub fn new(unit: impl Into<String>) -> Self {
+        ProgramListing {
+            unit: unit.into(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends one loop's program.
+    pub fn push(&mut self, name: impl Into<String>, program: AddressProgram) -> &mut Self {
+        self.sections.push(ListingSection::new(name, program));
+        self
+    }
+
+    /// The unit label.
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// The sections in input order.
+    pub fn sections(&self) -> &[ListingSection] {
+        &self.sections
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// `true` if no section was pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Total address-code words across all sections (prologues + bodies).
+    pub fn total_words(&self) -> u64 {
+        self.sections.iter().map(|s| s.program.words()).sum()
+    }
+
+    /// Peak address registers across sections: registers are
+    /// re-initialized between loops, so a unit needs only the largest
+    /// per-section count, not their sum.
+    pub fn peak_registers(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| s.program.address_registers())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total extra addressing cycles per one iteration of every loop.
+    pub fn total_cycles_per_iteration(&self) -> u64 {
+        self.sections
+            .iter()
+            .map(|s| s.program.cycles_per_iteration())
+            .sum()
+    }
+}
+
+impl fmt::Display for ProgramListing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; ==== unit `{}` ({} loops) ====", self.unit, self.len())?;
+        for section in &self.sections {
+            let p = &section.program;
+            writeln!(f)?;
+            writeln!(
+                f,
+                "{}:  ; {} register(s), {} modify register(s), {} word(s)",
+                section.name,
+                p.address_registers(),
+                p.modify_values().len(),
+                p.words()
+            )?;
+            // The per-program Display already renders prologue + body
+            // with comments; indent it under the section label.
+            for line in p.to_string().lines() {
+                writeln!(f, "{line}")?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "; unit total: {} word(s), peak {} register(s), {} extra cycle(s)/iteration",
+            self.total_words(),
+            self.peak_registers(),
+            self.total_cycles_per_iteration()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::CodeGenerator;
+    use raco_core::Optimizer;
+    use raco_ir::{dsl, AguSpec, MemoryLayout};
+
+    fn listing_for(source: &str) -> ProgramListing {
+        let agu = AguSpec::new(4, 1).unwrap();
+        let mut listing = ProgramListing::new("test-unit");
+        for spec in dsl::parse_program(source).unwrap() {
+            let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+            let layout = MemoryLayout::contiguous(&spec, 0x400, 128);
+            let program = CodeGenerator::new(agu)
+                .generate(&spec, &alloc, &layout)
+                .unwrap();
+            listing.push(spec.name(), program);
+        }
+        listing
+    }
+
+    #[test]
+    fn sections_render_in_order_with_labels() {
+        let listing = listing_for(
+            "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+             for (j = 4; j > 0; j--) { s += w[j]; }",
+        );
+        assert_eq!(listing.len(), 2);
+        assert!(!listing.is_empty());
+        let text = listing.to_string();
+        let pos0 = text.find("loop0:").expect("first section label");
+        let pos1 = text.find("loop1:").expect("second section label");
+        assert!(pos0 < pos1);
+        assert!(text.contains("; prologue"));
+        assert!(text.contains("; unit total"));
+    }
+
+    #[test]
+    fn totals_aggregate_sections() {
+        let listing = listing_for(
+            "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+             for (j = 0; j < 8; j++) { a[j] = a[j] + b[j]; }",
+        );
+        let words: u64 = listing.sections().iter().map(|s| s.program().words()).sum();
+        assert_eq!(listing.total_words(), words);
+        assert!(listing.peak_registers() >= 2);
+        assert_eq!(listing.unit(), "test-unit");
+        assert_eq!(listing.sections()[0].name(), "loop0");
+    }
+
+    #[test]
+    fn empty_listing_has_zero_totals() {
+        let listing = ProgramListing::new("empty");
+        assert_eq!(listing.total_words(), 0);
+        assert_eq!(listing.peak_registers(), 0);
+        assert_eq!(listing.total_cycles_per_iteration(), 0);
+        assert!(listing.to_string().contains("0 loops"));
+    }
+}

@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn improvement_percent_edge_cases() {
         assert_eq!(improvement_percent(200, 100), 50.0);
-        assert!(improvement_percent(100, 130) < 0.0, "regressions are negative");
+        assert!(
+            improvement_percent(100, 130) < 0.0,
+            "regressions are negative"
+        );
         assert_eq!(improvement_percent(0, 5), 0.0);
     }
 

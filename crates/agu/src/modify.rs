@@ -78,9 +78,8 @@ impl ModifyAllocation {
             }
         }
         let mut ranked: Vec<(i64, u32)> = freq.into_iter().collect();
-        ranked.sort_by_key(|&(delta, count)| {
-            (std::cmp::Reverse(count), delta.unsigned_abs(), delta)
-        });
+        ranked
+            .sort_by_key(|&(delta, count)| (std::cmp::Reverse(count), delta.unsigned_abs(), delta));
         ranked.truncate(count);
         let savings = ranked.iter().map(|&(_, c)| c).sum();
         let values = ranked.into_iter().map(|(delta, _)| delta).collect();

@@ -98,10 +98,7 @@ fn drop_zero_addas(body: Vec<AddressInstr>, stats: &mut PeepholeStats) -> Vec<Ad
     out
 }
 
-fn combine_adjacent_addas(
-    body: Vec<AddressInstr>,
-    stats: &mut PeepholeStats,
-) -> Vec<AddressInstr> {
+fn combine_adjacent_addas(body: Vec<AddressInstr>, stats: &mut PeepholeStats) -> Vec<AddressInstr> {
     let mut out: Vec<AddressInstr> = Vec::with_capacity(body.len());
     for instr in body {
         if let AddressInstr::Adda { reg, delta } = instr {
@@ -373,10 +370,7 @@ mod tests {
     fn optimized_programs_simulate_identically() {
         // Build a deliberately slack program for a real loop, optimize,
         // and verify both against the same trace.
-        let spec = dsl::parse_loop(
-            "for (i = 0; i < 16; i++) { y[i] = x[i] + x[i + 3]; }",
-        )
-        .unwrap();
+        let spec = dsl::parse_loop("for (i = 0; i < 16; i++) { y[i] = x[i] + x[i + 3]; }").unwrap();
         let layout = MemoryLayout::contiguous(&spec, 0x10, 0x40);
         let trace = Trace::capture(&spec, &layout, 10);
         // Hand-written program: one register per array, x hops +3/-2 via
@@ -441,9 +435,7 @@ mod tests {
         let (opt, stats) = optimize(&slack, &machine);
         let after = sim::run(&opt, &trace, &machine).expect("optimized verifies");
         assert!(stats.words_saved() >= 3, "stats: {stats:?}");
-        assert!(
-            after.explicit_updates_per_iteration() < before.explicit_updates_per_iteration()
-        );
+        assert!(after.explicit_updates_per_iteration() < before.explicit_updates_per_iteration());
         assert_eq!(after.accesses_checked(), before.accesses_checked());
     }
 }

@@ -184,11 +184,7 @@ impl SimReport {
 ///
 /// Returns the first [`SimError`] encountered; the report is only produced
 /// for a fully verified run.
-pub fn run(
-    program: &AddressProgram,
-    trace: &Trace,
-    agu: &AguSpec,
-) -> Result<SimReport, SimError> {
+pub fn run(program: &AddressProgram, trace: &Trace, agu: &AguSpec) -> Result<SimReport, SimError> {
     if program.address_registers() > agu.address_registers() {
         return Err(SimError::TooManyAddressRegisters {
             needed: program.address_registers(),
@@ -294,13 +290,13 @@ fn step(
                         got: *position,
                     });
                 }
-                let entry = trace.entry(iter, *position).ok_or(
-                    SimError::IncompleteIteration {
+                let entry = trace
+                    .entry(iter, *position)
+                    .ok_or(SimError::IncompleteIteration {
                         iteration: iter,
                         served: *next_position,
                         expected: trace.accesses_per_iteration(),
-                    },
-                )?;
+                    })?;
                 if entry.address != value {
                     return Err(SimError::AddressMismatch {
                         iteration: iter,
@@ -390,7 +386,10 @@ mod tests {
         let wrong = MemoryLayout::contiguous(&spec, 0x200, 256);
         let trace = Trace::capture(&spec, &wrong, 4);
         let err = run(&program, &trace, &agu).unwrap_err();
-        assert!(matches!(err, SimError::AddressMismatch { iteration: 0, .. }));
+        assert!(matches!(
+            err,
+            SimError::AddressMismatch { iteration: 0, .. }
+        ));
     }
 
     #[test]
@@ -547,17 +546,14 @@ mod tests {
             .unwrap();
         let plain_report = run(&plain_program, &trace, &plain).expect("verified run");
         assert!(
-            report.explicit_updates_per_iteration()
-                < plain_report.explicit_updates_per_iteration()
+            report.explicit_updates_per_iteration() < plain_report.explicit_updates_per_iteration()
         );
     }
 
     #[test]
     fn negative_stride_loops_simulate_correctly() {
-        let spec = raco_ir::dsl::parse_loop(
-            "for (i = 63; i > 0; i--) { s += h[63 - i] * x[i]; }",
-        )
-        .unwrap();
+        let spec = raco_ir::dsl::parse_loop("for (i = 63; i > 0; i--) { s += h[63 - i] * x[i]; }")
+            .unwrap();
         let agu = AguSpec::new(2, 1).unwrap();
         let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
         let layout = MemoryLayout::contiguous(&spec, 0x40, 128);

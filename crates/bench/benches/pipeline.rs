@@ -1,0 +1,114 @@
+//! Batch-pipeline throughput: cold cache vs warm cache.
+//!
+//! The workload is several compilation units: the full kernel suite
+//! plus, per unit, a distinct smoothing loop whose base offsets are
+//! shifted per copy — the shape of real batch traffic, where the same
+//! kernels come back again and again under different surroundings.
+//! Repeated units hit the cache by key equality; the shifted loops hit
+//! it through offset canonicalization. Cold runs disable the
+//! allocation cache; warm runs share one pipeline (and thus one cache)
+//! across iterations. Throughput is reported in loops per second.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use raco_driver::{Parallelism, Pipeline, PipelineConfig};
+use raco_ir::AguSpec;
+
+/// `copies` units: each carries the whole kernel suite (repeated
+/// shapes → cache hits by key equality) plus one per-copy smoothing
+/// loop over distinct arrays at per-copy base offsets (distinct
+/// sources whose patterns still canonicalize identically → cache hits
+/// through shift normalization).
+fn workload(copies: usize) -> Vec<(String, String)> {
+    let base = raco_kernels::suite_program();
+    (0..copies)
+        .map(|c| {
+            let source = format!(
+                "// copy {c}\n{base}\n\
+                 for (i = {lo}; i < 256; i++) {{\n    \
+                     s{c}[i] = d{c}[i - {shift}] + d{c}[i - {prev}] + d{c}[i - {next}];\n\
+                 }}\n",
+                lo = 8 + c,
+                shift = c + 1,
+                prev = c + 2,
+                next = c,
+            );
+            (format!("unit{c}"), source)
+        })
+        .collect()
+}
+
+fn config(agu: AguSpec, caching: bool) -> PipelineConfig {
+    let mut config = PipelineConfig::new(agu);
+    config.caching = caching;
+    config.validation_iterations = 4;
+    config.parallelism = Parallelism::Auto;
+    config
+}
+
+fn bench_pipeline_cache(c: &mut Criterion) {
+    let agu = AguSpec::new(4, 1).unwrap();
+    let units = workload(4);
+    // Suite loops plus the per-copy smoothing loop, per unit.
+    let loops = units.len() * (raco_kernels::suite().len() + 1);
+
+    let mut group = c.benchmark_group("pipeline_batch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(loops as u64));
+
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            // A fresh pipeline with caching off: every loop re-runs
+            // branch-and-bound and the merge trajectory.
+            let pipeline = Pipeline::with_config(config(agu, false));
+            let report = pipeline.compile_units(&units).expect("workload parses");
+            assert_eq!(report.failed(), 0);
+            report.loop_count()
+        });
+    });
+
+    let warm = Pipeline::with_config(config(agu, true));
+    // Prime the cache once so every measured iteration is all-hits —
+    // the steady state of a long-running batch service.
+    let primed = warm.compile_units(&units).expect("workload parses");
+    assert_eq!(primed.failed(), 0);
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let report = warm.compile_units(&units).expect("workload parses");
+            assert_eq!(report.failed(), 0);
+            report.loop_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_single_unit_scaling(c: &mut Criterion) {
+    let agu = AguSpec::new(4, 1).unwrap();
+    let mut group = c.benchmark_group("pipeline_threads");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for threads in [1usize, 4] {
+        let units = workload(2);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            let mut cfg = config(agu, true);
+            cfg.parallelism = Parallelism::Fixed(threads);
+            let pipeline = Pipeline::with_config(cfg);
+            b.iter(|| {
+                pipeline
+                    .compile_units(&units)
+                    .expect("workload parses")
+                    .loop_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_cache, bench_single_unit_scaling);
+criterion_main!(benches);

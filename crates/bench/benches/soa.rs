@@ -4,9 +4,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raco_oa::{goa, soa, AccessSequence, VarId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use raco_oa::{goa, soa, AccessSequence, VarId};
 
 fn random_sequence(vars: usize, len: usize, seed: u64) -> AccessSequence {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -23,9 +23,7 @@ fn bench_liao(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(500));
     for (vars, len) in [(8usize, 64usize), (16, 128), (32, 256)] {
-        let seqs: Vec<AccessSequence> = (0..8)
-            .map(|s| random_sequence(vars, len, s))
-            .collect();
+        let seqs: Vec<AccessSequence> = (0..8).map(|s| random_sequence(vars, len, s)).collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("v{vars}_l{len}")),
             &(),

@@ -23,8 +23,15 @@ fn main() {
     let mut table = Table::new(
         "Unit-cost address computations: greedy merging vs naive (random patterns)",
         &[
-            "spread", "N", "M", "K", "mean K~", "constrained",
-            "naive", "greedy", "reduction %",
+            "spread",
+            "N",
+            "M",
+            "K",
+            "mean K~",
+            "constrained",
+            "naive",
+            "greedy",
+            "reduction %",
         ],
     );
     for cell in &results {

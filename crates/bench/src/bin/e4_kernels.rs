@@ -22,8 +22,17 @@ fn main() {
         let mut table = Table::new(
             &format!("Kernel comparison, K = {k}, M = 1"),
             &[
-                "kernel", "acc", "ops", "explicit w", "chain w", "opt w",
-                "explicit cyc", "chain cyc", "opt cyc", "size %", "speed %",
+                "kernel",
+                "acc",
+                "ops",
+                "explicit w",
+                "chain w",
+                "opt w",
+                "explicit cyc",
+                "chain cyc",
+                "opt cyc",
+                "size %",
+                "speed %",
             ],
         );
         for r in &rows {

@@ -17,8 +17,15 @@ fn main() {
     let mut table = Table::new(
         "Matching LB vs heuristic UB vs exact K~ (random patterns, M = 1)",
         &[
-            "N", "spread", "mean LB", "mean UB", "mean K~",
-            "LB tight %", "UB tight %", "mean B&B nodes", "max nodes",
+            "N",
+            "spread",
+            "mean LB",
+            "mean UB",
+            "mean K~",
+            "LB tight %",
+            "UB tight %",
+            "mean B&B nodes",
+            "max nodes",
         ],
     );
     for spread in Spread::all() {

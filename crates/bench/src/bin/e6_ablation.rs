@@ -38,7 +38,14 @@ fn main() {
     // headroom does the constructive heuristic leave?).
     let mut table = Table::new(
         "Mean cost by merge strategy (N = 16, M = 1, medium spread)",
-        &["K", "greedy", "greedy+anneal", "random", "first-pair", "worst-case"],
+        &[
+            "K",
+            "greedy",
+            "greedy+anneal",
+            "random",
+            "first-pair",
+            "worst-case",
+        ],
     );
     let generator = PatternGenerator::new(16).spread(Spread::Medium, 1);
     for k in [1usize, 2, 3, 4] {
@@ -111,7 +118,12 @@ fn main() {
     // criterion optimizes vs what the loop executes).
     let mut cm_table = Table::new(
         "Steady-state cost achieved when merging optimizes each cost model (K = 2)",
-        &["N", "merge by steady-state", "merge by intra-only", "penalty %"],
+        &[
+            "N",
+            "merge by steady-state",
+            "merge by intra-only",
+            "penalty %",
+        ],
     );
     for n in [8usize, 12, 16, 24] {
         let generator = PatternGenerator::new(n).spread(Spread::Medium, 1);
@@ -160,7 +172,11 @@ fn main() {
             n.to_string(),
             f2(ssm),
             f2(litm),
-            f1(if ssm > 0.0 { (litm - ssm) / ssm * 100.0 } else { 0.0 }),
+            f1(if ssm > 0.0 {
+                (litm - ssm) / ssm * 100.0
+            } else {
+                0.0
+            }),
         ]);
     }
     cm_table.emit("e6_cost_models");
@@ -168,7 +184,13 @@ fn main() {
     // Part 3: optimality gap on small instances (exhaustive oracle).
     let mut gap_table = Table::new(
         "Two-phase heuristic vs exhaustive optimum (N = 9, M = 1)",
-        &["K", "mean heuristic", "mean optimal", "mean gap", "optimal %"],
+        &[
+            "K",
+            "mean heuristic",
+            "mean optimal",
+            "mean gap",
+            "optimal %",
+        ],
     );
     let generator = PatternGenerator::new(9).spread(Spread::Medium, 1);
     let oracle_samples = samples.min(100);
@@ -185,7 +207,12 @@ fn main() {
         for s in 0..oracle_samples {
             let pattern = generator.generate(sample_seed(0x6A9, &key, s));
             let dm = DistanceModel::new(&pattern, 1);
-            let h = strategy_cost(&dm, k, CostModel::steady_state(), MergeStrategy::GreedyMinCost);
+            let h = strategy_cost(
+                &dm,
+                k,
+                CostModel::steady_state(),
+                MergeStrategy::GreedyMinCost,
+            );
             let (opt, _) = exact::optimal_allocation(&dm, k, CostModel::steady_state());
             heuristics.push(f64::from(h));
             optimals.push(f64::from(opt));

@@ -77,11 +77,8 @@ fn main() {
                         alloc.distance_model(),
                         l,
                     );
-                    let residual = cover_cost_with_modify(
-                        alloc.cover(),
-                        alloc.distance_model(),
-                        &modif,
-                    );
+                    let residual =
+                        cover_cost_with_modify(alloc.cover(), alloc.distance_model(), &modif);
                     by_l[i].push(f64::from(residual));
                 }
             }
@@ -93,7 +90,11 @@ fn main() {
                 f2(l0),
                 f2(Summary::of(&by_l[1]).mean),
                 f2(l2),
-                f1(if l0 > 0.0 { (l0 - l2) / l0 * 100.0 } else { 0.0 }),
+                f1(if l0 > 0.0 {
+                    (l0 - l2) / l0 * 100.0
+                } else {
+                    0.0
+                }),
             ]);
         }
     }

@@ -32,7 +32,13 @@ fn main() {
     let mut table = Table::new(
         "SOA cost: Liao's heuristic vs first-use layout (random sequences)",
         &[
-            "vars", "len", "first-use", "liao", "reduction %", "optimal", "liao=opt %",
+            "vars",
+            "len",
+            "first-use",
+            "liao",
+            "reduction %",
+            "optimal",
+            "liao=opt %",
         ],
     );
     for (vars, len) in [(5usize, 20usize), (6, 30), (8, 40), (8, 60)] {

@@ -116,13 +116,7 @@ pub fn measure_pattern(
             memoize: true,
         },
     );
-    let greedy = phase2::merge_until(
-        p1.cover(),
-        k,
-        dm,
-        cost_model,
-        MergeStrategy::GreedyMinCost,
-    );
+    let greedy = phase2::merge_until(p1.cover(), k, dm, cost_model, MergeStrategy::GreedyMinCost);
     let naive = phase2::merge_until(
         p1.cover(),
         k,

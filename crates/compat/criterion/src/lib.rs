@@ -1,0 +1,325 @@
+//! Offline shim for the subset of `criterion 0.5` used by this workspace.
+//!
+//! Real wall-clock measurement with a compact median/min/max report per
+//! benchmark — no plots, no statistical regression analysis. Honors the
+//! `--test` flag (each benchmark runs exactly one iteration) so the
+//! bench binaries stay usable as smoke tests, and a positional filter
+//! argument like upstream criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives iteration of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, measuring each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement: `sample_size` samples or until the time budget
+        // runs out, whichever is later bounded by 2x the budget.
+        let budget_start = Instant::now();
+        let hard_cap = self.measurement_time * 2;
+        for i in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if budget_start.elapsed() > self.measurement_time && i >= 9 {
+                break;
+            }
+            if budget_start.elapsed() > hard_cap {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            test_mode: self.criterion.test_mode,
+        };
+        routine(&mut bencher);
+        report(
+            &full,
+            &bencher.samples,
+            self.throughput,
+            self.criterion.test_mode,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this only exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("{name}: test mode, 1 iteration — ok");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{name}: no samples collected");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  thrpt: {:.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  thrpt: {:.1} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}: time [{} {} {}] ({} samples){rate}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        sorted.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver (shim): collects groups and runs them immediately.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_flag = false;
+        let mut bench_flag = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => test_flag = true,
+                "--bench" => bench_flag = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        // Upstream semantics: `cargo bench` passes `--bench` and runs
+        // real measurements; `cargo test --benches` (and running the
+        // binary bare) executes each benchmark once as a smoke test.
+        Criterion {
+            filter,
+            test_mode: test_flag || !bench_flag,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        if self.matches(&name) {
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: 100,
+                measurement_time: Duration::from_secs(5),
+                warm_up_time: Duration::from_secs(3),
+                test_mode: self.test_mode,
+            };
+            routine(&mut bencher);
+            report(&name, &bencher.samples, None, self.test_mode);
+        }
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("fir_8").to_string(), "fir_8");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline shim for the subset of `proptest 1.x` used by this workspace.
+//!
+//! Implements random **generation** (no shrinking): the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! integer-range and tuple and collection strategies, `prop_oneof!`,
+//! [`strategy::Just`], `prop::bool::ANY`, [`ProptestConfig`] and the
+//! [`proptest!`] / `prop_assert*` macros. A failing case panics with its
+//! seed and case index instead of shrinking.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-case failure carried by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion / rejected case with an explanatory message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (the `with_cases` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of random values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking;
+    /// `new_value` directly produces a value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, runner: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// returns for it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: applies `recurse` up to `depth` times
+        /// to the leaf strategy. `desired_size` and `expected_branch`
+        /// are accepted for API compatibility and unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                current = recurse(current).boxed();
+            }
+            current
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn ObjectSafeStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Object-safe core of [`Strategy`].
+    trait ObjectSafeStrategy<T> {
+        fn new_value_dyn(&self, runner: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ObjectSafeStrategy<S::Value> for S {
+        fn new_value_dyn(&self, runner: &mut TestRng) -> S::Value {
+            self.new_value(runner)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRng) -> T {
+            self.inner.new_value_dyn(runner)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(super) inner: S,
+        pub(super) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(super) inner: S,
+        pub(super) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, runner: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(runner)).new_value(runner)
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    #[derive(Debug, Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRng) -> T {
+            let idx = runner.gen_range(0..self.options.len());
+            self.options[idx].new_value(runner)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRng) -> $t {
+                    runner.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRng) -> $t {
+                    runner.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, runner: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(runner),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// The `prop::…` namespace (`collection`, `bool`, `num`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::strategy::Strategy;
+        use super::super::TestRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length ranges accepted by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // inclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, runner: &mut TestRng) -> Vec<S::Value> {
+                let len = runner.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.new_value(runner)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::strategy::Strategy;
+        use super::super::TestRng;
+        use rand::Rng;
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn new_value(&self, runner: &mut TestRng) -> bool {
+                runner.gen::<bool>()
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runs one property: `cases` random cases from a fixed seed; panics on
+/// the first failing case with enough context to reproduce it.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // Derive the seed from the property name so distinct properties
+    // explore distinct streams, deterministically across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case_index in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(u64::from(case_index)));
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest property `{name}` failed at case {case_index} \
+                 (seed {seed:#x}): {e}"
+            );
+        }
+    }
+}
+
+/// Defines proptest-style property tests (generation only, no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    // With a leading #![proptest_config(...)] attribute.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // Attributes (including the caller's `#[test]`, `#[ignore]`,
+            // `#[cfg(...)]`) pass through exactly as upstream proptest
+            // emits them; the macro adds none of its own.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    stringify!($name),
+                    &config,
+                    |rng: &mut $crate::TestRng| -> $crate::TestCaseResult {
+                        use $crate::strategy::Strategy as _;
+                        $(let $pat = ($strat).new_value(rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config attribute: default configuration.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        use $crate::strategy::Strategy as _;
+        $crate::strategy::Union::new(vec![$(($strat).boxed()),+])
+    }};
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_and_ranges_generate_in_bounds() {
+        let strat = prop_oneof![Just(1i64), Just(5i64)];
+        crate::run_property("union", &ProptestConfig::with_cases(64), |rng| {
+            let v = strat.new_value(rng);
+            prop_assert!(v == 1 || v == 5);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vectors_have_requested_lengths(v in prop::collection::vec(-3i64..=3, 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|x| (-3..=3).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, b) in (0u32..4, 0u32..4), c in (0i64..10).prop_map(|x| x * 2)) {
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_eq!(c % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_threads_values(len in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u32..2, n..=n).prop_map(move |v| (n, v.len())))) {
+            let (want, got) = len;
+            prop_assert_eq!(want, got);
+        }
+    }
+}

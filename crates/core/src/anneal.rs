@@ -83,12 +83,7 @@ fn assignment_cost(
     groups
         .into_iter()
         .filter(|g| !g.is_empty())
-        .map(|g| {
-            cost_model.path_cost(
-                &Path::new(g).expect("grouped indices are increasing"),
-                dm,
-            )
-        })
+        .map(|g| cost_model.path_cost(&Path::new(g).expect("grouped indices are increasing"), dm))
         .sum()
 }
 
@@ -178,8 +173,7 @@ pub fn anneal(
             assignment[access] = new_register;
             let candidate = assignment_cost(&assignment, k, dm, cost_model);
             let delta = f64::from(candidate) - f64::from(current_cost);
-            let accept = delta <= 0.0
-                || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
             if accept {
                 accepted += 1;
                 current_cost = candidate;
@@ -260,11 +254,8 @@ mod tests {
                 CostModel::steady_state(),
                 AnnealOptions::default(),
             );
-            let (optimal, _) = exact::optimal_allocation(
-                two_phase.distance_model(),
-                2,
-                CostModel::steady_state(),
-            );
+            let (optimal, _) =
+                exact::optimal_allocation(two_phase.distance_model(), 2, CostModel::steady_state());
             assert_eq!(
                 result.cost(),
                 optimal,
@@ -287,7 +278,12 @@ mod tests {
         assert!(result.cover().register_count() <= 3);
         assert_eq!(result.cover().accesses(), 10);
         assert_eq!(
-            result.cover().paths().iter().map(|p| p.len()).sum::<usize>(),
+            result
+                .cover()
+                .paths()
+                .iter()
+                .map(|p| p.len())
+                .sum::<usize>(),
             10
         );
         assert_eq!(
@@ -318,6 +314,12 @@ mod tests {
         let pattern = AccessPattern::from_offsets(&[0, 5, 10], 1);
         let dm = raco_graph::DistanceModel::new(&pattern, 1);
         let cover = raco_graph::PathCover::singletons(3);
-        let _ = anneal(&dm, 2, cover, CostModel::steady_state(), AnnealOptions::default());
+        let _ = anneal(
+            &dm,
+            2,
+            cover,
+            CostModel::steady_state(),
+            AnnealOptions::default(),
+        );
     }
 }

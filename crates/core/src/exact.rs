@@ -30,11 +30,7 @@ use crate::cost::CostModel;
 /// let (cost, _) = exact::optimal_allocation(&dm, 2, CostModel::steady_state());
 /// assert_eq!(cost, 2); // a_7 forces either a paid wrap or a lone register
 /// ```
-pub fn optimal_allocation(
-    dm: &DistanceModel,
-    k: usize,
-    cost_model: CostModel,
-) -> (u32, PathCover) {
+pub fn optimal_allocation(dm: &DistanceModel, k: usize, cost_model: CostModel) -> (u32, PathCover) {
     brute::min_cost_allocation_brute(dm, k, cost_model.includes_wrap())
 }
 

@@ -11,7 +11,11 @@ use crate::phase1::{self, Phase1Report};
 use crate::phase2::{self, MergeStrategy, Phase2Report};
 
 /// Configuration of the two-phase allocator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Options are `Hash` so they can participate in allocation-cache keys
+/// (see `raco-driver`): two optimizers with equal options produce equal
+/// allocations for equal inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptimizerOptions {
     /// Cost model used by Phase 2 and reported costs.
     pub cost_model: CostModel,
@@ -141,6 +145,17 @@ impl Optimizer {
         self.allocate_model_with_registers(dm, self.agu.address_registers())
     }
 
+    /// Allocates `pattern` onto exactly `k` registers, overriding the
+    /// machine's register count but keeping its modify range.
+    ///
+    /// This is the entry point a batch driver needs once a register
+    /// partition has decided how many of the machine's `K` registers
+    /// each array receives: the per-array sub-problems are allocated
+    /// (and cached) independently of the loop they came from.
+    pub fn allocate_with_registers(&self, pattern: &AccessPattern, k: usize) -> Allocation {
+        self.allocate_model_with_registers(DistanceModel::new(pattern, self.agu.modify_range()), k)
+    }
+
     fn allocate_model_with_registers(&self, dm: DistanceModel, k: usize) -> Allocation {
         let phase1 = phase1::run(&dm, self.options.bb);
         let phase2 = phase2::merge_until(
@@ -185,8 +200,7 @@ impl Optimizer {
         for p in &patterns {
             curves.push(self.cost_curve(p, k));
         }
-        let assignment =
-            partition::distribute_registers(&curves, k).expect("arity checked above");
+        let assignment = partition::distribute_registers(&curves, k).expect("arity checked above");
         let per_array = patterns
             .iter()
             .zip(&assignment)
@@ -304,6 +318,31 @@ pub struct LoopAllocation {
 }
 
 impl LoopAllocation {
+    /// Assembles a loop allocation from per-array parts.
+    ///
+    /// `registers` is the per-array register grant, parallel to
+    /// `per_array`. This is the constructor a compilation driver uses
+    /// when the per-array allocations were obtained from a cache
+    /// instead of [`Optimizer::allocate_loop`]; the total cost is
+    /// recomputed from the parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` and `per_array` have different lengths.
+    pub fn from_parts(per_array: Vec<(ArrayId, Allocation)>, registers: Vec<usize>) -> Self {
+        assert_eq!(
+            per_array.len(),
+            registers.len(),
+            "one register grant per allocated array"
+        );
+        let total_cost = per_array.iter().map(|(_, a)| a.cost()).sum();
+        LoopAllocation {
+            per_array,
+            registers,
+            total_cost,
+        }
+    }
+
     /// Per-array allocations, in [`ArrayId`] order of appearance.
     pub fn per_array(&self) -> &[(ArrayId, Allocation)] {
         &self.per_array
@@ -325,10 +364,7 @@ impl LoopAllocation {
 
     /// Total registers used across arrays.
     pub fn total_registers(&self) -> usize {
-        self.per_array
-            .iter()
-            .map(|(_, a)| a.register_count())
-            .sum()
+        self.per_array.iter().map(|(_, a)| a.register_count()).sum()
     }
 
     /// Total unit-cost computations per iteration across all arrays.
@@ -336,6 +372,17 @@ impl LoopAllocation {
         self.total_cost
     }
 }
+
+// The batch driver shares optimizers and allocations across worker
+// threads; keep that property from regressing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Optimizer>();
+    assert_send_sync::<OptimizerOptions>();
+    assert_send_sync::<Allocation>();
+    assert_send_sync::<LoopAllocation>();
+    assert_send_sync::<AllocError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -376,7 +423,10 @@ mod tests {
         let curve = opt.cost_curve(&paper_pattern(), 8);
         assert_eq!(curve.len(), 8);
         for w in curve.windows(2) {
-            assert!(w[0] >= w[1], "more registers can never cost more: {curve:?}");
+            assert!(
+                w[0] >= w[1],
+                "more registers can never cost more: {curve:?}"
+            );
         }
         assert_eq!(curve[2], 0, "zero cost at K̃ = 3");
         assert!(curve[0] > 0);
@@ -387,11 +437,8 @@ mod tests {
     fn allocate_model_matches_allocate() {
         let opt = Optimizer::new(AguSpec::new(2, 1).unwrap());
         let via_pattern = opt.allocate(&paper_pattern());
-        let via_model = opt.allocate_model(DistanceModel::from_offsets(
-            &[1, 0, 2, -1, 1, 0, -2],
-            1,
-            1,
-        ));
+        let via_model =
+            opt.allocate_model(DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1));
         assert_eq!(via_pattern, via_model);
     }
 
@@ -408,6 +455,39 @@ mod tests {
         assert_eq!(opt.options().cost_model, CostModel::paper_literal());
         assert_eq!(opt.options().bb.node_limit, 1000);
         assert_eq!(opt.agu().address_registers(), 2);
+    }
+
+    #[test]
+    fn allocate_with_registers_matches_a_machine_of_that_size() {
+        let pattern = paper_pattern();
+        let big = Optimizer::new(AguSpec::new(8, 1).unwrap());
+        let small = Optimizer::new(AguSpec::new(2, 1).unwrap());
+        assert_eq!(
+            big.allocate_with_registers(&pattern, 2),
+            small.allocate(&pattern)
+        );
+    }
+
+    #[test]
+    fn from_parts_recomputes_the_total_cost() {
+        let spec = parse_loop(
+            "for (i = 1; i < 255; i++) {
+                y[i] = x[i - 1] + x[i] + x[i + 1];
+            }",
+        )
+        .unwrap();
+        let opt = Optimizer::new(AguSpec::new(4, 1).unwrap());
+        let whole = opt.allocate_loop(&spec).unwrap();
+        let rebuilt =
+            LoopAllocation::from_parts(whole.per_array().to_vec(), whole.registers().to_vec());
+        assert_eq!(rebuilt.total_cost(), whole.total_cost());
+        assert_eq!(rebuilt.per_array().len(), whole.per_array().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one register grant")]
+    fn from_parts_rejects_mismatched_grants() {
+        let _ = LoopAllocation::from_parts(Vec::new(), vec![1]);
     }
 
     #[test]
@@ -431,10 +511,7 @@ mod tests {
 
     #[test]
     fn loop_allocation_rejects_too_many_arrays() {
-        let spec = parse_loop(
-            "for (i = 0; i < 9; i++) { a[i] = b[i] + c[i] + d[i]; }",
-        )
-        .unwrap();
+        let spec = parse_loop("for (i = 0; i < 9; i++) { a[i] = b[i] + c[i] + d[i]; }").unwrap();
         let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
             .allocate_loop(&spec)
             .unwrap_err();

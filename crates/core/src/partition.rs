@@ -65,10 +65,7 @@ impl std::error::Error for PartitionError {}
 /// let grant = distribute_registers(&curves, 4).unwrap();
 /// assert_eq!(grant, vec![1, 3]);
 /// ```
-pub fn distribute_registers(
-    curves: &[Vec<u32>],
-    k: usize,
-) -> Result<Vec<usize>, PartitionError> {
+pub fn distribute_registers(curves: &[Vec<u32>], k: usize) -> Result<Vec<usize>, PartitionError> {
     let arrays = curves.len();
     if arrays > k {
         return Err(PartitionError::InsufficientRegisters {
@@ -198,13 +195,14 @@ mod tests {
                         if a + b + c > k {
                             continue;
                         }
-                        let cost = u64::from(
-                            *curves[0].get(a - 1).unwrap_or(curves[0].last().unwrap()),
-                        ) + u64::from(
-                            *curves[1].get(b - 1).unwrap_or(curves[1].last().unwrap()),
-                        ) + u64::from(
-                            *curves[2].get(c - 1).unwrap_or(curves[2].last().unwrap()),
-                        );
+                        let cost =
+                            u64::from(*curves[0].get(a - 1).unwrap_or(curves[0].last().unwrap()))
+                                + u64::from(
+                                    *curves[1].get(b - 1).unwrap_or(curves[1].last().unwrap()),
+                                )
+                                + u64::from(
+                                    *curves[2].get(c - 1).unwrap_or(curves[2].last().unwrap()),
+                                );
                         best = best.min(cost);
                     }
                 }

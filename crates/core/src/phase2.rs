@@ -17,7 +17,7 @@ use raco_graph::{DistanceModel, PathCover};
 use crate::cost::CostModel;
 
 /// How merge candidates are selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum MergeStrategy {
     /// The paper's heuristic: merge the pair with minimal merged cost
@@ -137,10 +137,7 @@ pub fn merge_until(
     assert!(k > 0, "cannot allocate to zero registers");
     let mut cover = cover.clone();
     let mut records = Vec::new();
-    let mut trajectory = vec![(
-        cover.register_count(),
-        cost_model.cover_cost(&cover, dm),
-    )];
+    let mut trajectory = vec![(cover.register_count(), cost_model.cover_cost(&cover, dm))];
     let mut rng = match strategy {
         MergeStrategy::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
         _ => None,
@@ -155,9 +152,7 @@ pub fn merge_until(
                 .expect("cover paths are disjoint"),
             dm,
         );
-        cover
-            .merge_pair(i, j)
-            .expect("cover paths are disjoint");
+        cover.merge_pair(i, j).expect("cover paths are disjoint");
         let total_cost_after = cost_model.cover_cost(&cover, dm);
         records.push(MergeRecord {
             paths_before,
@@ -319,7 +314,13 @@ mod tests {
     fn already_satisfied_constraint_is_a_no_op() {
         let dm = paper_dm();
         let cover = paper_phase1_cover();
-        let r = merge_until(&cover, 3, &dm, CostModel::steady_state(), MergeStrategy::GreedyMinCost);
+        let r = merge_until(
+            &cover,
+            3,
+            &dm,
+            CostModel::steady_state(),
+            MergeStrategy::GreedyMinCost,
+        );
         assert_eq!(r.cover(), &cover);
         assert!(r.records().is_empty());
         assert_eq!(r.cost_trajectory(), &[(3, 0)]);
@@ -490,10 +491,7 @@ mod tests {
             MergeStrategy::GreedyMinCost,
         );
         assert_eq!(r.cover().register_count(), 1);
-        assert_eq!(
-            CostModel::steady_state().cover_cost(r.cover(), &dm),
-            1
-        );
+        assert_eq!(CostModel::steady_state().cover_cost(r.cover(), &dm), 1);
         // The baselines stay at the constraint, as the paper's naive
         // allocator does.
         let naive = merge_until(

@@ -51,6 +51,10 @@ impl fmt::Display for AllocationReport<'_> {
             alloc.cost()
         )?;
         let p1 = alloc.phase1();
+        // `Phase1Outcome` is non-exhaustive for downstream crates; the
+        // wildcard is unreachable here but keeps this render total if
+        // an outcome is ever added.
+        #[allow(unreachable_patterns)]
         match p1.outcome() {
             Phase1Outcome::ZeroCost { proved_minimal } => writeln!(
                 f,

@@ -1,0 +1,338 @@
+//! The allocation cache — the pipeline's hot path.
+//!
+//! Branch-and-bound path-cover search (Phase 1) dominates compilation
+//! time, and batch workloads repeat themselves: the same tap chain, the
+//! same interleaved re/im walk, the same reduction shape appears in
+//! loop after loop at different base offsets. Canonicalization
+//! ([`raco_ir::canonical`]) maps all of those to one key, so the second
+//! occurrence is a map lookup instead of a search.
+//!
+//! Two memo tables, keyed at different strengths:
+//!
+//! * **allocations** — keyed by the *exact* (shift-normalized)
+//!   canonical form plus `(M, k, options)`. A hit returns an
+//!   [`Allocation`] whose distance model is identical to the one the
+//!   optimizer would have built, so covers, costs and generated update
+//!   deltas are all bit-for-bit reusable.
+//! * **cost curves** — keyed by the weaker *cost class* (sign
+//!   normalized) plus `(M, k_max, options)`. Curves only carry costs,
+//!   which are mirror-invariant, so mirrored patterns share entries.
+//!
+//! The map is a `DashMap`-style sharded `RwLock<HashMap>`: shard by
+//! key hash, readers never block each other, and a miss computes the
+//! value *outside* the lock (a racing duplicate computation is
+//! deterministic, so first-write-wins is harmless).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use raco_core::{Allocation, OptimizerOptions};
+use raco_ir::CanonicalPattern;
+
+const SHARDS: usize = 16;
+
+/// A concurrent hash map sharded by key hash.
+#[derive(Debug)]
+struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let mut guard = shard.write().expect("cache shard poisoned");
+        // A racer may have inserted meanwhile; both values are
+        // deterministic functions of the key, keep the first.
+        Arc::clone(guard.entry(key).or_insert(value))
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+/// Exact-reuse key: same distance model, same machine, same options.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AllocationKey {
+    canonical: CanonicalPattern,
+    modify_range: u32,
+    registers: usize,
+    options: OptimizerOptions,
+}
+
+/// Cost-class key for register-partitioning curves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CurveKey {
+    cost_class: CanonicalPattern,
+    modify_range: u32,
+    k_max: usize,
+    options: OptimizerOptions,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Allocation-table hits.
+    pub allocation_hits: u64,
+    /// Allocation-table misses (each one ran the two-phase allocator).
+    pub allocation_misses: u64,
+    /// Cost-curve hits.
+    pub curve_hits: u64,
+    /// Cost-curve misses (each one ran a full merge trajectory).
+    pub curve_misses: u64,
+    /// Distinct allocations currently cached.
+    pub allocation_entries: usize,
+    /// Distinct cost curves currently cached.
+    pub curve_entries: usize,
+}
+
+impl CacheStats {
+    /// Overall hit rate across both tables, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.allocation_hits + self.curve_hits;
+        let total = hits + self.allocation_misses + self.curve_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The pipeline's allocation memo. Cheap to share (`&self` everywhere,
+/// internally synchronized); one instance typically lives as long as a
+/// batch compilation server would.
+#[derive(Debug)]
+pub struct AllocationCache {
+    allocations: ShardedMap<AllocationKey, Allocation>,
+    curves: ShardedMap<CurveKey, Vec<u32>>,
+}
+
+impl Default for AllocationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AllocationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AllocationCache {
+            allocations: ShardedMap::new(),
+            curves: ShardedMap::new(),
+        }
+    }
+
+    /// Returns the cached allocation for the canonical pattern under
+    /// `(modify_range, registers, options)`, computing it with
+    /// `compute` on a miss.
+    pub fn allocation(
+        &self,
+        canonical: &CanonicalPattern,
+        modify_range: u32,
+        registers: usize,
+        options: &OptimizerOptions,
+        compute: impl FnOnce() -> Allocation,
+    ) -> Arc<Allocation> {
+        self.allocations.get_or_insert_with(
+            AllocationKey {
+                canonical: canonical.clone(),
+                modify_range,
+                registers,
+                options: *options,
+            },
+            compute,
+        )
+    }
+
+    /// Returns the cached register/cost curve for the pattern's cost
+    /// class under `(modify_range, k_max, options)`, computing it with
+    /// `compute` on a miss.
+    pub fn cost_curve(
+        &self,
+        canonical: &CanonicalPattern,
+        modify_range: u32,
+        k_max: usize,
+        options: &OptimizerOptions,
+        compute: impl FnOnce() -> Vec<u32>,
+    ) -> Arc<Vec<u32>> {
+        self.curves.get_or_insert_with(
+            CurveKey {
+                cost_class: canonical.cost_class(),
+                modify_range,
+                k_max,
+                options: *options,
+            },
+            compute,
+        )
+    }
+
+    /// Current statistics (hit/miss counters are cumulative).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            allocation_hits: self.allocations.hits.load(Ordering::Relaxed),
+            allocation_misses: self.allocations.misses.load(Ordering::Relaxed),
+            curve_hits: self.curves.hits.load(Ordering::Relaxed),
+            curve_misses: self.curves.misses.load(Ordering::Relaxed),
+            allocation_entries: self.allocations.len(),
+            curve_entries: self.curves.len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept; they are cumulative).
+    pub fn clear(&self) {
+        self.allocations.clear();
+        self.curves.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raco_core::Optimizer;
+    use raco_ir::{AccessPattern, AguSpec};
+
+    fn canonical(offsets: &[i64]) -> CanonicalPattern {
+        CanonicalPattern::from_offsets(offsets, 1)
+    }
+
+    #[test]
+    fn shifted_patterns_hit_the_allocation_table() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        let optimizer = Optimizer::new(AguSpec::new(2, 1).unwrap());
+        let compute = |offs: &[i64]| {
+            let pattern = AccessPattern::from_offsets(offs, 1);
+            optimizer.allocate(&pattern)
+        };
+        let a = cache.allocation(&canonical(&[1, 0, 2]), 1, 2, &options, || {
+            compute(&[1, 0, 2])
+        });
+        // Same shape shifted by +7: identical canonical form → hit.
+        let b = cache.allocation(&canonical(&[8, 7, 9]), 1, 2, &options, || {
+            panic!("must not recompute")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!(stats.allocation_hits, 1);
+        assert_eq!(stats.allocation_misses, 1);
+        assert_eq!(stats.allocation_entries, 1);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn mirrored_patterns_share_curves_but_not_allocations() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        // [0, 1, 2] and its mirror [0, -1, -2] (stride negated too).
+        let fwd = CanonicalPattern::from_offsets(&[0, 1, 2], 1);
+        let bwd = fwd.mirror();
+        let c1 = cache.cost_curve(&fwd, 1, 4, &options, || vec![1, 0, 0, 0]);
+        let c2 = cache.cost_curve(&bwd, 1, 4, &options, || panic!("curve must hit"));
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(cache.stats().curve_hits, 1);
+
+        let optimizer = Optimizer::new(AguSpec::new(1, 1).unwrap());
+        let _ = cache.allocation(&fwd, 1, 1, &options, || {
+            optimizer.allocate(&AccessPattern::from_offsets(&[0, 1, 2], 1))
+        });
+        let _ = cache.allocation(&bwd, 1, 1, &options, || {
+            optimizer.allocate(&AccessPattern::from_offsets(&[0, -1, -2], -1))
+        });
+        // Mirrors are distinct exact keys: no false sharing of deltas.
+        assert_eq!(cache.stats().allocation_misses, 2);
+        assert_eq!(cache.stats().allocation_entries, 2);
+    }
+
+    #[test]
+    fn distinct_machines_do_not_collide() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        let key = canonical(&[0, 5]);
+        let _ = cache.cost_curve(&key, 1, 4, &options, || vec![1, 1, 1, 1]);
+        let _ = cache.cost_curve(&key, 2, 4, &options, || vec![0, 0, 0, 0]);
+        let _ = cache.cost_curve(&key, 1, 8, &options, || vec![1; 8]);
+        assert_eq!(cache.stats().curve_entries, 3);
+        assert_eq!(cache.stats().curve_misses, 3);
+    }
+
+    #[test]
+    fn clear_empties_tables_but_keeps_counters() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        let _ = cache.cost_curve(&canonical(&[0, 1]), 1, 2, &options, || vec![0, 0]);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.curve_entries, 0);
+        assert_eq!(stats.curve_misses, 1);
+    }
+
+    #[test]
+    fn cache_is_share_and_send_safe() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocationCache>();
+        assert_send_sync::<CacheStats>();
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                let options = &options;
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let offs = [0i64, (i % 7) as i64, 2 * ((i + t) % 5) as i64];
+                        let key = CanonicalPattern::from_offsets(&offs, 1);
+                        let curve =
+                            cache.cost_curve(&key, 1, 4, options, || vec![(i % 3) as u32; 4]);
+                        assert_eq!(curve.len(), 4);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.curve_hits + stats.curve_misses,
+            8 * 64,
+            "every lookup is accounted"
+        );
+        assert!(stats.curve_entries <= 35, "only distinct shapes are stored");
+    }
+}

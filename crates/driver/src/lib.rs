@@ -1,0 +1,49 @@
+//! # raco-driver — end-to-end batch compilation pipeline
+//!
+//! The seed crates of this workspace each solve one layer of
+//! *"Register-Constrained Address Computation in DSP Programs"* (Basu,
+//! Leupers, Marwedel — DATE 1998): IR and DSL (`raco-ir`), path covers
+//! (`raco-graph`), the two-phase allocator (`raco-core`), address-code
+//! generation and simulation (`raco-agu`). This crate is the subsystem
+//! that takes whole programs *through* that stack:
+//!
+//! * [`Pipeline`] — accepts DSL sources (strings, files or whole
+//!   directories), fans their loops out across a scoped worker pool
+//!   ([`pool`]), allocates, generates code and simulator-validates
+//!   every loop, and assembles a structured [`CompilationReport`]
+//!   (JSON and aligned-table renderings).
+//! * [`AllocationCache`] — the hot path. Access patterns are
+//!   canonicalized ([`raco_ir::canonical`]) so identical shapes across
+//!   loops, units and requests hit a sharded concurrent memo instead
+//!   of re-running branch-and-bound; cost curves additionally share
+//!   entries between mirror-image patterns.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use raco_driver::Pipeline;
+//! use raco_ir::AguSpec;
+//!
+//! let pipeline = Pipeline::new(AguSpec::new(4, 1)?);
+//! let report = pipeline.compile_kernels(); // the whole DSP suite
+//! assert_eq!(report.failed(), 0);
+//! println!("{}", report.render_table());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod json;
+pub mod pipeline;
+pub mod pool;
+pub mod report;
+
+pub use cache::{AllocationCache, CacheStats};
+pub use pipeline::{DriverError, Pipeline, PipelineConfig, SOURCE_EXTENSIONS};
+pub use pool::Parallelism;
+pub use report::{CompilationReport, LoopFailure, LoopReport, UnitReport};

@@ -1,0 +1,684 @@
+//! The end-to-end batch compilation pipeline.
+//!
+//! One [`Pipeline`] owns a machine description, optimizer options and
+//! an [`AllocationCache`]; each `compile_*` call takes a batch of DSL
+//! sources through the whole stack —
+//!
+//! ```text
+//! DSL text ──parse──▶ LoopSpec ──patterns──▶ allocation (cached)
+//!     ──codegen──▶ AddressProgram ──simulate──▶ validated LoopReport
+//! ```
+//!
+//! — fanning independent loops out across a worker pool and assembling
+//! a [`CompilationReport`]. The pipeline is `Sync`: a long-lived server
+//! can share one instance (and thus one warm cache) across requests.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use raco_agu::codegen::CodeGenerator;
+use raco_agu::isa::AddressProgram;
+use raco_agu::listing::ProgramListing;
+use raco_agu::sim;
+use raco_core::{partition, AllocError, LoopAllocation, Optimizer, OptimizerOptions};
+use raco_ir::dsl::{self, ParseError};
+use raco_ir::{AguSpec, CanonicalPattern, LoopSpec, MemoryLayout, Trace};
+
+use crate::cache::{AllocationCache, CacheStats};
+use crate::pool::{map_parallel, Parallelism};
+use crate::report::{CompilationReport, LoopFailure, LoopReport, UnitReport};
+
+/// Errors that abort a whole batch (per-loop problems are reported in
+/// the [`CompilationReport`] instead).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// A unit failed to parse.
+    Parse {
+        /// Unit label (file path or caller-provided name).
+        unit: String,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+    /// A source path could not be read or enumerated.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The batch contained no compilable source (empty directory, or a
+    /// directory with no recognized extensions).
+    EmptyBatch {
+        /// The path that yielded nothing.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Parse { unit, error } => write!(f, "{unit}: {error}"),
+            DriverError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            DriverError::EmptyBatch { path } => {
+                write!(f, "{}: no DSL sources found", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Source-file extensions recognized when compiling a directory.
+pub const SOURCE_EXTENSIONS: &[&str] = &["dsp", "loop", "c"];
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The target machine.
+    pub agu: AguSpec,
+    /// Allocator options (cost model, branch-and-bound budget, merge
+    /// strategy); part of every cache key.
+    pub options: OptimizerOptions,
+    /// Worker-pool sizing.
+    pub parallelism: Parallelism,
+    /// Simulate every generated program against a reference trace.
+    pub validate: bool,
+    /// Iterations to simulate when `validate` is on.
+    pub validation_iterations: u64,
+    /// Base address of the first array in the per-loop memory layout.
+    pub layout_origin: i64,
+    /// Words reserved per array in the per-loop memory layout.
+    pub array_words: i64,
+    /// Use the allocation cache (disable to measure cold paths).
+    pub caching: bool,
+    /// Attach per-loop listings and per-unit assembled listings.
+    pub listings: bool,
+}
+
+impl PipelineConfig {
+    /// Defaults for `agu`: parallel, validating, caching, no listings.
+    pub fn new(agu: AguSpec) -> Self {
+        PipelineConfig {
+            agu,
+            options: OptimizerOptions::default(),
+            parallelism: Parallelism::Auto,
+            validate: true,
+            validation_iterations: 16,
+            layout_origin: 0x1000,
+            array_words: 0x400,
+            caching: true,
+            listings: false,
+        }
+    }
+}
+
+/// The batch compilation pipeline. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use raco_driver::Pipeline;
+/// use raco_ir::AguSpec;
+///
+/// let pipeline = Pipeline::new(AguSpec::new(4, 1)?);
+/// let report = pipeline.compile_str(
+///     "two-stage",
+///     "for (i = 0; i < 64; i++) { y[i] = x[i - 1] + x[i] + x[i + 1]; }
+///      for (j = 0; j < 32; j++) { z[j] = y[j - 1] + y[j] + y[j + 1]; }",
+/// )?;
+/// assert_eq!(report.loop_count(), 2);
+/// assert_eq!(report.failed(), 0);
+/// // The second loop's x/y chains canonicalize like the first one's:
+/// assert!(report.cache.allocation_hits + report.cache.curve_hits > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    cache: AllocationCache,
+}
+
+impl Pipeline {
+    /// A pipeline with default configuration for `agu`.
+    pub fn new(agu: AguSpec) -> Self {
+        Self::with_config(PipelineConfig::new(agu))
+    }
+
+    /// A pipeline with explicit configuration.
+    pub fn with_config(config: PipelineConfig) -> Self {
+        Pipeline {
+            config,
+            cache: AllocationCache::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Cumulative cache statistics for this pipeline instance.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached allocation and cost curve (hit/miss counters
+    /// are cumulative and survive). Long-lived pipelines serving
+    /// unbounded workloads can call this to cap memory.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Compiles one in-memory source (possibly many loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] if the source does not parse;
+    /// per-loop failures are recorded in the report.
+    pub fn compile_str(&self, name: &str, source: &str) -> Result<CompilationReport, DriverError> {
+        self.compile_units(&[(name.to_owned(), source.to_owned())])
+    }
+
+    /// Compiles a file, or every recognized source in a directory
+    /// (extensions: [`SOURCE_EXTENSIONS`]), as one batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Io`] on unreadable paths,
+    /// [`DriverError::EmptyBatch`] for directories without sources and
+    /// [`DriverError::Parse`] on the first unparsable unit.
+    pub fn compile_path(&self, path: &Path) -> Result<CompilationReport, DriverError> {
+        let read = |p: &Path| -> Result<(String, String), DriverError> {
+            let text = std::fs::read_to_string(p).map_err(|error| DriverError::Io {
+                path: p.to_path_buf(),
+                error,
+            })?;
+            Ok((p.display().to_string(), text))
+        };
+        let mut units = Vec::new();
+        if path.is_dir() {
+            let entries = std::fs::read_dir(path).map_err(|error| DriverError::Io {
+                path: path.to_path_buf(),
+                error,
+            })?;
+            let mut files: Vec<PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension()
+                        .and_then(|e| e.to_str())
+                        .is_some_and(|e| SOURCE_EXTENSIONS.contains(&e))
+                })
+                .collect();
+            files.sort();
+            for file in files {
+                units.push(read(&file)?);
+            }
+            if units.is_empty() {
+                return Err(DriverError::EmptyBatch {
+                    path: path.to_path_buf(),
+                });
+            }
+        } else {
+            units.push(read(path)?);
+        }
+        self.compile_units(&units)
+    }
+
+    /// Compiles the whole `raco-kernels` suite as one batch workload.
+    pub fn compile_kernels(&self) -> CompilationReport {
+        let kernels = raco_kernels::suite();
+        let started = Instant::now();
+        let loops: Vec<(String, LoopSpec)> = kernels
+            .iter()
+            .map(|k| (k.name().to_owned(), k.spec().clone()))
+            .collect();
+        let compiled = map_parallel(self.config.parallelism, &loops, |_, (name, spec)| {
+            let (mut report, program) = self.compile_loop(spec);
+            report.name = name.clone();
+            (report, program)
+        });
+        let mut unit_listing = self
+            .config
+            .listings
+            .then(|| ProgramListing::new("raco-kernels"));
+        let mut reports = Vec::with_capacity(compiled.len());
+        for (report, program) in compiled {
+            if let (Some(listing), Some(program)) = (unit_listing.as_mut(), program) {
+                listing.push(report.name.clone(), program);
+            }
+            reports.push(report);
+        }
+        let units = vec![UnitReport {
+            name: "raco-kernels".to_owned(),
+            loops: reports,
+            listing: unit_listing.map(|l| l.to_string()),
+        }];
+        self.finish_report(units, loops.len(), started)
+    }
+
+    /// Compiles named `(name, source)` units as one batch: all loops of
+    /// all units are scheduled on one worker pool, so small units do
+    /// not serialize behind large ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] on the first unit that fails to
+    /// parse (per-loop failures do not abort the batch).
+    pub fn compile_units(
+        &self,
+        units: &[(String, String)],
+    ) -> Result<CompilationReport, DriverError> {
+        let started = Instant::now();
+        // Parse up front: parse errors abort the batch, and parsing is
+        // cheap relative to allocation.
+        let mut work: Vec<(usize, LoopSpec)> = Vec::new();
+        let mut unit_names: Vec<String> = Vec::with_capacity(units.len());
+        for (index, (name, source)) in units.iter().enumerate() {
+            let loops = dsl::parse_program(source).map_err(|error| DriverError::Parse {
+                unit: name.clone(),
+                error,
+            })?;
+            unit_names.push(name.clone());
+            for spec in loops {
+                work.push((index, spec));
+            }
+        }
+
+        let compiled = map_parallel(self.config.parallelism, &work, |_, (unit, spec)| {
+            (*unit, self.compile_loop(spec))
+        });
+
+        let mut reports: Vec<UnitReport> = unit_names
+            .into_iter()
+            .map(|name| UnitReport {
+                name,
+                loops: Vec::new(),
+                listing: None,
+            })
+            .collect();
+        let mut listings: Vec<ProgramListing> = if self.config.listings {
+            reports
+                .iter()
+                .map(|u| ProgramListing::new(u.name.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for (unit, (loop_report, program)) in compiled {
+            if let (true, Some(program)) = (self.config.listings, program) {
+                listings[unit].push(loop_report.name.clone(), program);
+            }
+            reports[unit].loops.push(loop_report);
+        }
+        for (unit, listing) in reports.iter_mut().zip(listings) {
+            unit.listing = Some(listing.to_string());
+        }
+        let total = work.len();
+        Ok(self.finish_report(reports, total, started))
+    }
+
+    fn finish_report(
+        &self,
+        units: Vec<UnitReport>,
+        loops: usize,
+        started: Instant,
+    ) -> CompilationReport {
+        CompilationReport {
+            units,
+            address_registers: self.config.agu.address_registers(),
+            modify_range: self.config.agu.modify_range(),
+            threads: self.config.parallelism.resolve(loops),
+            elapsed: started.elapsed(),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Compiles a single loop end to end, returning its report and (on
+    /// success) the generated address program.
+    ///
+    /// This is the pipeline's unit of parallel work; it is public so
+    /// callers with their own scheduling (or pre-parsed [`LoopSpec`]s)
+    /// can reuse the cached hot path.
+    pub fn compile_loop(&self, spec: &LoopSpec) -> (LoopReport, Option<AddressProgram>) {
+        let mut report = LoopReport {
+            name: spec.name().to_owned(),
+            arrays: 0,
+            accesses: spec.len(),
+            registers_used: 0,
+            virtual_registers: 0,
+            cost: 0,
+            code_words: 0,
+            measured_cost: None,
+            addresses_checked: 0,
+            listing: None,
+            failure: None,
+        };
+
+        let allocation = match self.allocate(spec) {
+            Ok(allocation) => allocation,
+            Err(failure) => {
+                report.failure = Some(failure);
+                return (report, None);
+            }
+        };
+        report.arrays = allocation.per_array().len();
+        report.registers_used = allocation.total_registers();
+        report.virtual_registers = allocation
+            .per_array()
+            .iter()
+            .map(|(_, a)| a.virtual_registers())
+            .sum();
+        report.cost = u64::from(allocation.total_cost());
+
+        let layout =
+            MemoryLayout::contiguous(spec, self.config.layout_origin, self.config.array_words);
+        let generator = CodeGenerator::new(self.config.agu);
+        let program = match generator.generate(spec, &allocation, &layout) {
+            Ok(program) => program,
+            Err(error) => {
+                report.failure = Some(LoopFailure::CodeGen(error.to_string()));
+                return (report, None);
+            }
+        };
+        report.code_words = program.words();
+
+        if self.config.validate {
+            let iterations = self.config.validation_iterations.max(1);
+            let trace = Trace::capture(spec, &layout, iterations);
+            match sim::run(&program, &trace, &self.config.agu) {
+                Ok(sim_report) => {
+                    let measured = sim_report.explicit_updates_per_iteration();
+                    report.measured_cost = Some(measured);
+                    report.addresses_checked = sim_report.accesses_checked();
+                    // Modify registers absorb over-range deltas after
+                    // the allocator's cost model: measured <= predicted
+                    // is then expected, equality otherwise.
+                    let exact = self.config.agu.modify_registers() == 0;
+                    if (exact && measured != report.cost) || measured > report.cost {
+                        report.failure = Some(LoopFailure::CostMismatch {
+                            predicted: report.cost,
+                            measured,
+                        });
+                        return (report, None);
+                    }
+                }
+                Err(error) => {
+                    report.failure = Some(LoopFailure::Validation(error.to_string()));
+                    return (report, None);
+                }
+            }
+        }
+
+        if self.config.listings {
+            report.listing = Some(program.to_string());
+        }
+        (report, Some(program))
+    }
+
+    /// Allocates one loop, going through the cache when enabled.
+    ///
+    /// The cached path mirrors [`Optimizer::allocate_loop`] exactly:
+    /// per-pattern cost curves (cached by mirror-invariant cost class)
+    /// feed the register partition, then each array is allocated with
+    /// its granted register count (cached by exact canonical form, so
+    /// hits reuse covers *and* concrete update deltas).
+    fn allocate(&self, spec: &LoopSpec) -> Result<LoopAllocation, LoopFailure> {
+        let optimizer = Optimizer::with_options(self.config.agu, self.config.options);
+        if !self.config.caching {
+            return optimizer
+                .allocate_loop(spec)
+                .map_err(|e| LoopFailure::Allocation(e.to_string()));
+        }
+
+        let patterns = spec.patterns();
+        let k = self.config.agu.address_registers();
+        // Same prechecks (and, via AllocError, the same failure texts)
+        // as the uncached Optimizer::allocate_loop path.
+        if patterns.is_empty() {
+            return Err(LoopFailure::Allocation(AllocError::EmptyLoop.to_string()));
+        }
+        if patterns.len() > k {
+            return Err(LoopFailure::Allocation(
+                AllocError::InsufficientRegisters {
+                    arrays: patterns.len(),
+                    registers: k,
+                }
+                .to_string(),
+            ));
+        }
+        let modify_range = self.config.agu.modify_range();
+        let options = self.config.options;
+
+        let canonicals: Vec<CanonicalPattern> = patterns.iter().map(CanonicalPattern::of).collect();
+        let curves: Vec<Vec<u32>> = patterns
+            .iter()
+            .zip(&canonicals)
+            .map(|(pattern, canonical)| {
+                self.cache
+                    .cost_curve(canonical, modify_range, k, &options, || {
+                        optimizer.cost_curve(pattern, k)
+                    })
+                    .as_ref()
+                    .clone()
+            })
+            .collect();
+        let grants = partition::distribute_registers(&curves, k)
+            .map_err(|e| LoopFailure::Allocation(e.to_string()))?;
+
+        let per_array = patterns
+            .iter()
+            .zip(&canonicals)
+            .zip(&grants)
+            .map(|((pattern, canonical), &granted)| {
+                let allocation =
+                    self.cache
+                        .allocation(canonical, modify_range, granted, &options, || {
+                            optimizer.allocate_with_registers(pattern, granted)
+                        });
+                (pattern.array(), allocation.as_ref().clone())
+            })
+            .collect();
+        Ok(LoopAllocation::from_parts(per_array, grants))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline(k: usize) -> Pipeline {
+        Pipeline::new(AguSpec::new(k, 1).unwrap())
+    }
+
+    #[test]
+    fn single_loop_compiles_and_validates() {
+        let report = pipeline(3)
+            .compile_str(
+                "unit",
+                "for (i = 1; i < 100; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }",
+            )
+            .unwrap();
+        assert_eq!(report.loop_count(), 1);
+        assert_eq!(report.failed(), 0);
+        let lr = &report.units[0].loops[0];
+        assert_eq!(lr.cost, 0);
+        assert_eq!(lr.measured_cost, Some(0));
+        assert!(lr.addresses_checked > 0);
+        assert_eq!(lr.arrays, 2);
+    }
+
+    #[test]
+    fn parse_errors_abort_the_batch() {
+        let err = pipeline(3)
+            .compile_str("bad", "for (i = 0; i++) {")
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Parse { .. }));
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn per_loop_failures_do_not_abort_the_batch() {
+        // Second loop needs 3 arrays on a K = 2 machine.
+        let report = pipeline(2)
+            .compile_str(
+                "unit",
+                "for (i = 0; i < 8; i++) { s += x[i]; }
+                 for (j = 0; j < 8; j++) { a[j] = b[j] + c[j]; }",
+            )
+            .unwrap();
+        assert_eq!(report.loop_count(), 2);
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.failed(), 1);
+        let failed = &report.units[0].loops[1];
+        assert!(matches!(failed.failure, Some(LoopFailure::Allocation(_))));
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let pipeline = pipeline(4);
+        let source: String = (0..8)
+            .map(|i| {
+                format!(
+                    "for (i = 0; i < 64; i++) {{ y{0}[i] = x{0}[i-1] + x{0}[i] + x{0}[i+1]; }}\n",
+                    i
+                )
+            })
+            .collect();
+        let report = pipeline.compile_str("repeats", &source).unwrap();
+        assert_eq!(report.failed(), 0);
+        let stats = report.cache;
+        // 8 identical loops: everything after the first is a pure hit.
+        assert!(
+            stats.allocation_hits >= 14,
+            "expected hits for 7 repeated loops, got {stats:?}"
+        );
+        assert_eq!(stats.allocation_entries, 2, "x-chain and y-singleton");
+
+        // Clearing empties the tables (counters are cumulative) and
+        // the next batch repopulates them with identical results.
+        pipeline.clear_cache();
+        assert_eq!(pipeline.cache_stats().allocation_entries, 0);
+        let again = pipeline.compile_str("repeats", &source).unwrap();
+        assert_eq!(again.cache.allocation_entries, 2);
+        for (a, b) in report.loops().zip(again.loops()) {
+            assert_eq!(a, b, "results identical after cache clear");
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree() {
+        let source = "for (i = 0; i < 32; i++) { acc += a[i] * b[8 * i]; }
+            for (j = 2; j < 100; j++) {
+                s1 = A[j+1]; s2 = A[j]; s3 = A[j+2]; s4 = A[j-1];
+                s5 = A[j+1]; s6 = A[j]; s7 = A[j-2];
+            }
+            for (k = 16; k > 0; k--) { z[k] = z[k] + w[16 - k]; }";
+        let agu = AguSpec::new(3, 1).unwrap();
+        let mut cold_config = PipelineConfig::new(agu);
+        cold_config.caching = false;
+        cold_config.parallelism = Parallelism::Sequential;
+        let cold = Pipeline::with_config(cold_config)
+            .compile_str("unit", source)
+            .unwrap();
+        let warm_pipeline = Pipeline::new(agu);
+        // Run twice so the second pass is all hits; results must agree
+        // with each other and with the uncached run.
+        let warm1 = warm_pipeline.compile_str("unit", source).unwrap();
+        let warm2 = warm_pipeline.compile_str("unit", source).unwrap();
+        for (a, b) in cold.loops().zip(warm1.loops()) {
+            assert_eq!(a, b, "cold vs warm first pass");
+        }
+        for (a, b) in warm1.loops().zip(warm2.loops()) {
+            assert_eq!(a, b, "first vs second warm pass");
+        }
+        let stats = warm_pipeline.cache_stats();
+        assert!(stats.allocation_hits > 0);
+    }
+
+    #[test]
+    fn kernels_compile_as_a_batch() {
+        let report = pipeline(4).compile_kernels();
+        assert_eq!(report.loop_count(), raco_kernels::suite().len());
+        assert_eq!(report.failed(), 0, "table:\n{}", report.render_table());
+        assert!(report.loops().all(|l| l.measured_cost.is_some()));
+        let names: Vec<&str> = report.units[0]
+            .loops
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        assert!(names.contains(&"paper_example"));
+    }
+
+    #[test]
+    fn listings_are_attached_on_request() {
+        let agu = AguSpec::new(3, 1).unwrap();
+        let mut config = PipelineConfig::new(agu);
+        config.listings = true;
+        let report = Pipeline::with_config(config)
+            .compile_str(
+                "unit",
+                "for (i = 0; i < 8; i++) { y[i] = x[i]; }
+                 for (j = 0; j < 8; j++) { s += x[j]; }",
+            )
+            .unwrap();
+        let unit = &report.units[0];
+        let listing = unit.listing.as_deref().expect("unit listing requested");
+        assert!(listing.contains("loop0:"));
+        assert!(listing.contains("loop1:"));
+        assert!(listing.contains("; unit total"));
+        assert!(unit.loops.iter().all(|l| l.listing.is_some()));
+    }
+
+    #[test]
+    fn directory_compilation_reads_every_source() {
+        let dir = std::env::temp_dir().join(format!(
+            "raco-driver-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.dsp"),
+            "for (i = 0; i < 8; i++) { y[i] = x[i]; }",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("b.loop"),
+            "for (i = 0; i < 8; i++) { s += x[i] * h[7 - i]; }",
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "not source").unwrap();
+        let report = pipeline(3).compile_path(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(report.units.len(), 2);
+        assert_eq!(report.loop_count(), 2);
+        assert_eq!(report.failed(), 0);
+        // Units are sorted by path for determinism.
+        assert!(report.units[0].name.ends_with("a.dsp"));
+    }
+
+    #[test]
+    fn missing_paths_surface_io_errors() {
+        let err = pipeline(2)
+            .compile_path(Path::new("/nonexistent/raco/source.dsp"))
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Io { .. }));
+        let empty = std::env::temp_dir().join(format!("raco-driver-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = pipeline(2).compile_path(&empty).unwrap_err();
+        std::fs::remove_dir_all(&empty).ok();
+        assert!(matches!(err, DriverError::EmptyBatch { .. }));
+    }
+
+    #[test]
+    fn pipeline_is_shareable_across_threads() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pipeline>();
+        assert_send_sync::<PipelineConfig>();
+        assert_send_sync::<DriverError>();
+    }
+}

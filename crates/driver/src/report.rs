@@ -1,0 +1,471 @@
+//! Structured compilation reports: JSON and pretty tables.
+//!
+//! Every pipeline run produces a [`CompilationReport`]: one
+//! [`UnitReport`] per input source (file, string or kernel batch), one
+//! [`LoopReport`] per loop, plus batch-wide totals, cache statistics
+//! and wall-clock timing. Reports are plain data — rendering to an
+//! aligned text table or to JSON is a method, not a side effect, so
+//! servers can ship them and tests can assert on them.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+use crate::json::Json;
+
+/// Why a loop failed to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LoopFailure {
+    /// Allocation failed (empty loop / more arrays than registers).
+    Allocation(String),
+    /// Code generation failed.
+    CodeGen(String),
+    /// The simulator rejected the generated program.
+    Validation(String),
+    /// The simulator measured a different cost than the allocator
+    /// predicted (an internal consistency bug, always worth surfacing).
+    CostMismatch {
+        /// Allocator-predicted unit-cost updates per iteration.
+        predicted: u64,
+        /// Simulator-measured updates per iteration.
+        measured: u64,
+    },
+}
+
+impl fmt::Display for LoopFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopFailure::Allocation(e) => write!(f, "allocation: {e}"),
+            LoopFailure::CodeGen(e) => write!(f, "codegen: {e}"),
+            LoopFailure::Validation(e) => write!(f, "validation: {e}"),
+            LoopFailure::CostMismatch {
+                predicted,
+                measured,
+            } => write!(
+                f,
+                "cost mismatch: allocator predicted {predicted}, simulator measured {measured}"
+            ),
+        }
+    }
+}
+
+/// Per-loop compilation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopReport {
+    /// Loop label (`loop0`, `loop1`, … or the kernel name).
+    pub name: String,
+    /// Arrays accessed by the loop.
+    pub arrays: usize,
+    /// Memory accesses per iteration.
+    pub accesses: usize,
+    /// Address registers used by the allocation.
+    pub registers_used: usize,
+    /// Sum of the paper's `K̃` over the loop's arrays (virtual
+    /// registers needed for a completely free schedule).
+    pub virtual_registers: usize,
+    /// Allocator-predicted unit-cost updates per iteration.
+    pub cost: u64,
+    /// Address-code words (prologue + body).
+    pub code_words: u64,
+    /// Simulator-measured updates per iteration (`None` when
+    /// validation was disabled).
+    pub measured_cost: Option<u64>,
+    /// Addresses checked against the reference trace.
+    pub addresses_checked: u64,
+    /// Generated listing (present when listings were requested).
+    pub listing: Option<String>,
+    /// `None` on success, the failure otherwise. Numeric fields hold
+    /// whatever had been computed when the failure was detected:
+    /// allocation failures leave them at zero, while codegen,
+    /// validation and cost-mismatch failures keep the allocation's
+    /// figures. Check [`succeeded`](Self::succeeded), not the numbers.
+    pub failure: Option<LoopFailure>,
+}
+
+impl LoopReport {
+    /// `true` if the loop compiled (and, when enabled, validated).
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_owned(), Json::str(&self.name)),
+            ("arrays".to_owned(), Json::UInt(self.arrays as u64)),
+            ("accesses".to_owned(), Json::UInt(self.accesses as u64)),
+            (
+                "registers_used".to_owned(),
+                Json::UInt(self.registers_used as u64),
+            ),
+            (
+                "virtual_registers".to_owned(),
+                Json::UInt(self.virtual_registers as u64),
+            ),
+            ("cost".to_owned(), Json::UInt(self.cost)),
+            ("code_words".to_owned(), Json::UInt(self.code_words)),
+            (
+                "measured_cost".to_owned(),
+                self.measured_cost.map_or(Json::Null, Json::UInt),
+            ),
+            (
+                "addresses_checked".to_owned(),
+                Json::UInt(self.addresses_checked),
+            ),
+            (
+                "status".to_owned(),
+                Json::str(if self.succeeded() { "ok" } else { "failed" }),
+            ),
+        ];
+        if let Some(failure) = &self.failure {
+            fields.push(("failure".to_owned(), Json::str(failure.to_string())));
+        }
+        if let Some(listing) = &self.listing {
+            fields.push(("listing".to_owned(), Json::str(listing)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Per-input-unit outcome (one source file / string / kernel batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitReport {
+    /// Unit label (file path or caller-provided name).
+    pub name: String,
+    /// Per-loop outcomes, in source order.
+    pub loops: Vec<LoopReport>,
+    /// Assembled multi-loop listing of the unit's successful loops
+    /// (present when listings were requested).
+    pub listing: Option<String>,
+}
+
+impl UnitReport {
+    /// Number of successfully compiled loops.
+    pub fn succeeded(&self) -> usize {
+        self.loops.iter().filter(|l| l.succeeded()).count()
+    }
+
+    /// Number of failed loops.
+    pub fn failed(&self) -> usize {
+        self.loops.len() - self.succeeded()
+    }
+
+    /// Total predicted cost across successful loops.
+    pub fn total_cost(&self) -> u64 {
+        self.loops.iter().map(|l| l.cost).sum()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_owned(), Json::str(&self.name)),
+            (
+                "loops".to_owned(),
+                Json::Arr(self.loops.iter().map(LoopReport::to_json).collect()),
+            ),
+        ];
+        if let Some(listing) = &self.listing {
+            fields.push(("listing".to_owned(), Json::str(listing)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The result of one batch compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilationReport {
+    /// Per-unit reports, in input order.
+    pub units: Vec<UnitReport>,
+    /// Address registers of the target machine (the paper's `K`).
+    pub address_registers: usize,
+    /// Auto-modify range of the target machine (the paper's `M`).
+    pub modify_range: u32,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time of the batch.
+    pub elapsed: Duration,
+    /// Allocation-cache statistics at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl CompilationReport {
+    /// All loops across units.
+    pub fn loops(&self) -> impl Iterator<Item = &LoopReport> {
+        self.units.iter().flat_map(|u| u.loops.iter())
+    }
+
+    /// Total number of loops.
+    pub fn loop_count(&self) -> usize {
+        self.units.iter().map(|u| u.loops.len()).sum()
+    }
+
+    /// Number of loops that compiled (and validated, when enabled).
+    pub fn succeeded(&self) -> usize {
+        self.units.iter().map(UnitReport::succeeded).sum()
+    }
+
+    /// Number of failed loops.
+    pub fn failed(&self) -> usize {
+        self.loop_count() - self.succeeded()
+    }
+
+    /// Batch throughput in loops per second (0 when nothing ran).
+    pub fn loops_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.loop_count() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Machine-readable JSON rendering of the whole report.
+    pub fn to_json(&self) -> String {
+        self.json_value().render_pretty()
+    }
+
+    fn json_value(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "machine".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "address_registers".to_owned(),
+                        Json::UInt(self.address_registers as u64),
+                    ),
+                    (
+                        "modify_range".to_owned(),
+                        Json::UInt(u64::from(self.modify_range)),
+                    ),
+                ]),
+            ),
+            ("threads".to_owned(), Json::UInt(self.threads as u64)),
+            (
+                "elapsed_us".to_owned(),
+                Json::UInt(self.elapsed.as_micros() as u64),
+            ),
+            ("loops".to_owned(), Json::UInt(self.loop_count() as u64)),
+            ("succeeded".to_owned(), Json::UInt(self.succeeded() as u64)),
+            ("failed".to_owned(), Json::UInt(self.failed() as u64)),
+            (
+                "loops_per_second".to_owned(),
+                Json::Num(self.loops_per_second()),
+            ),
+            (
+                "cache".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "allocation_hits".to_owned(),
+                        Json::UInt(self.cache.allocation_hits),
+                    ),
+                    (
+                        "allocation_misses".to_owned(),
+                        Json::UInt(self.cache.allocation_misses),
+                    ),
+                    ("curve_hits".to_owned(), Json::UInt(self.cache.curve_hits)),
+                    (
+                        "curve_misses".to_owned(),
+                        Json::UInt(self.cache.curve_misses),
+                    ),
+                    ("hit_rate".to_owned(), Json::Num(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "units".to_owned(),
+                Json::Arr(self.units.iter().map(UnitReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable aligned table rendering.
+    pub fn render_table(&self) -> String {
+        let headers = [
+            "unit", "loop", "arrays", "accesses", "K used", "K~", "cost", "words", "status",
+        ];
+        let mut rows: Vec<[String; 9]> = Vec::new();
+        for unit in &self.units {
+            for lr in &unit.loops {
+                rows.push([
+                    unit.name.clone(),
+                    lr.name.clone(),
+                    lr.arrays.to_string(),
+                    lr.accesses.to_string(),
+                    lr.registers_used.to_string(),
+                    lr.virtual_registers.to_string(),
+                    lr.cost.to_string(),
+                    lr.code_words.to_string(),
+                    match &lr.failure {
+                        None => match lr.measured_cost {
+                            Some(_) => "ok (validated)".to_owned(),
+                            None => "ok".to_owned(),
+                        },
+                        Some(failure) => failure.to_string(),
+                    },
+                ]);
+            }
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', width - cell.len()));
+            }
+            // No trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(
+            &mut out,
+            &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+        );
+        write_row(
+            &mut out,
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        );
+        for row in &rows {
+            write_row(&mut out, row.as_slice());
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{} loop(s) in {} unit(s): {} ok, {} failed  |  K = {}, M = {}  |  \
+             {:.1} loops/s on {} thread(s)  |  cache: {} hit(s), {} miss(es) ({:.0}% hit rate)\n",
+            self.loop_count(),
+            self.units.len(),
+            self.succeeded(),
+            self.failed(),
+            self.address_registers,
+            self.modify_range,
+            self.loops_per_second(),
+            self.threads,
+            self.cache.allocation_hits + self.cache.curve_hits,
+            self.cache.allocation_misses + self.cache.curve_misses,
+            self.cache.hit_rate() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_loop(name: &str, cost: u64, failure: Option<LoopFailure>) -> LoopReport {
+        LoopReport {
+            name: name.to_owned(),
+            arrays: 2,
+            accesses: 5,
+            registers_used: 3,
+            virtual_registers: 4,
+            cost,
+            code_words: 7,
+            measured_cost: failure.is_none().then_some(cost),
+            addresses_checked: 40,
+            listing: None,
+            failure,
+        }
+    }
+
+    fn sample_report() -> CompilationReport {
+        CompilationReport {
+            units: vec![
+                UnitReport {
+                    name: "a.dsp".to_owned(),
+                    loops: vec![sample_loop("loop0", 1, None), sample_loop("loop1", 0, None)],
+                    listing: None,
+                },
+                UnitReport {
+                    name: "b.dsp".to_owned(),
+                    loops: vec![sample_loop(
+                        "loop0",
+                        0,
+                        Some(LoopFailure::Allocation("too many arrays".into())),
+                    )],
+                    listing: None,
+                },
+            ],
+            address_registers: 4,
+            modify_range: 1,
+            threads: 2,
+            elapsed: Duration::from_millis(10),
+            cache: CacheStats {
+                allocation_hits: 3,
+                allocation_misses: 2,
+                curve_hits: 1,
+                curve_misses: 4,
+                allocation_entries: 2,
+                curve_entries: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_units() {
+        let report = sample_report();
+        assert_eq!(report.loop_count(), 3);
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.units[0].total_cost(), 1);
+        assert_eq!(report.units[1].failed(), 1);
+        assert!(report.loops_per_second() > 0.0);
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let json = sample_report().to_json();
+        for needle in [
+            r#""address_registers": 4"#,
+            r#""loops": 3"#,
+            r#""hit_rate""#,
+            r#""name": "a.dsp""#,
+            r#""status": "failed""#,
+            r#""failure": "allocation: too many arrays""#,
+            r#""measured_cost": null"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn table_is_aligned_and_summarized() {
+        let table = sample_report().render_table();
+        assert!(table.contains("unit"));
+        assert!(table.contains("ok (validated)"));
+        assert!(table.contains("3 loop(s) in 2 unit(s): 2 ok, 1 failed"));
+        assert!(table.contains("K = 4, M = 1"));
+        // Header separator has the same column count as the header.
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn failure_displays_are_informative() {
+        assert_eq!(
+            LoopFailure::CostMismatch {
+                predicted: 1,
+                measured: 2
+            }
+            .to_string(),
+            "cost mismatch: allocator predicted 1, simulator measured 2"
+        );
+        assert!(LoopFailure::Validation("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero_throughput() {
+        let mut report = sample_report();
+        report.elapsed = Duration::ZERO;
+        assert_eq!(report.loops_per_second(), 0.0);
+    }
+}

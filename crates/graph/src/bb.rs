@@ -31,7 +31,7 @@ use crate::distance::DistanceModel;
 use crate::path::{Path, PathCover};
 
 /// Tuning knobs for the branch-and-bound search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BbOptions {
     /// Maximum number of search nodes to expand before giving up. When the
     /// limit is hit the best cover found so far is returned with
@@ -98,7 +98,10 @@ impl fmt::Display for CoverSearchError {
                 f.write_str("no zero-cost cover exists for this pattern")
             }
             CoverSearchError::SearchBudgetExhausted { nodes } => {
-                write!(f, "search budget exhausted after {nodes} nodes without a feasible cover")
+                write!(
+                    f,
+                    "search budget exhausted after {nodes} nodes without a feasible cover"
+                )
             }
         }
     }
@@ -274,10 +277,7 @@ impl Search<'_> {
             return; // incumbent prune: count never decreases
         }
         if pos == self.n {
-            if open
-                .iter()
-                .all(|p| self.dm.free_wrap(p.tail, p.head))
-            {
+            if open.iter().all(|p| self.dm.free_wrap(p.tail, p.head)) {
                 self.best_count = count;
                 self.best_assign = Some(assign.clone());
                 if count == self.lb {
@@ -328,9 +328,7 @@ impl Search<'_> {
             seen.push(sig);
             candidates.push(slot);
         }
-        candidates.sort_by_key(|&slot| {
-            self.dm.intra_distance(open[slot].tail, pos).unsigned_abs()
-        });
+        candidates.sort_by_key(|&slot| self.dm.intra_distance(open[slot].tail, pos).unsigned_abs());
         for slot in candidates {
             let saved_tail = open[slot].tail;
             let id = open[slot].id;
@@ -411,7 +409,10 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, CoverSearchError::SearchBudgetExhausted { .. }));
+        assert!(matches!(
+            err,
+            CoverSearchError::SearchBudgetExhausted { .. }
+        ));
     }
 
     #[test]
@@ -464,7 +465,9 @@ mod tests {
     fn agrees_with_brute_force_on_small_patterns() {
         let mut state = 0xC0FFEEu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as i64
         };
         for _ in 0..60 {

@@ -123,8 +123,7 @@ impl DistanceModel {
     /// Panics if either index is out of range.
     pub fn wrap_distance(&self, from: usize, to: usize) -> i64 {
         clamp_i128(
-            i128::from(self.offsets[to]) + i128::from(self.stride)
-                - i128::from(self.offsets[from]),
+            i128::from(self.offsets[to]) + i128::from(self.stride) - i128::from(self.offsets[from]),
         )
     }
 

@@ -132,7 +132,12 @@ impl AccessGraph {
             let _ = writeln!(out, "  a{} -> a{};", i + 1, j + 1);
         }
         for &(i, j) in &self.inter {
-            let _ = writeln!(out, "  a{} -> a{} [style=dashed, constraint=false];", i + 1, j + 1);
+            let _ = writeln!(
+                out,
+                "  a{} -> a{} [style=dashed, constraint=false];",
+                i + 1,
+                j + 1
+            );
         }
         out.push_str("}\n");
         out

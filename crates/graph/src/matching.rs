@@ -52,11 +52,7 @@ impl Matching {
 /// let m = hopcroft_karp(2, 2, &[vec![0, 1], vec![0, 1]]);
 /// assert_eq!(m.size(), 2);
 /// ```
-pub fn hopcroft_karp(
-    n_left: usize,
-    n_right: usize,
-    adjacency: &[Vec<usize>],
-) -> Matching {
+pub fn hopcroft_karp(n_left: usize, n_right: usize, adjacency: &[Vec<usize>]) -> Matching {
     assert_eq!(
         adjacency.len(),
         n_left,
@@ -264,7 +260,9 @@ mod tests {
         // Deterministic pseudo-random patterns (LCG) — no rand dependency.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as i64
         };
         for n in [1usize, 2, 5, 9, 14] {

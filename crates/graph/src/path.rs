@@ -36,7 +36,10 @@ impl fmt::Display for PathError {
         match self {
             PathError::Empty => f.write_str("a path must contain at least one access"),
             PathError::NotIncreasing { at } => {
-                write!(f, "path indices must be strictly increasing (violated at position {at})")
+                write!(
+                    f,
+                    "path indices must be strictly increasing (violated at position {at})"
+                )
             }
             PathError::Overlapping { index } => {
                 write!(f, "paths overlap at access index {index}")
@@ -488,12 +491,18 @@ mod tests {
     #[test]
     fn covers_are_canonicalized() {
         let a = PathCover::new(
-            vec![Path::new(vec![1, 3]).unwrap(), Path::new(vec![0, 2]).unwrap()],
+            vec![
+                Path::new(vec![1, 3]).unwrap(),
+                Path::new(vec![0, 2]).unwrap(),
+            ],
             4,
         )
         .unwrap();
         let b = PathCover::new(
-            vec![Path::new(vec![0, 2]).unwrap(), Path::new(vec![1, 3]).unwrap()],
+            vec![
+                Path::new(vec![0, 2]).unwrap(),
+                Path::new(vec![1, 3]).unwrap(),
+            ],
             4,
         )
         .unwrap();

@@ -188,7 +188,9 @@ impl fmt::Display for Expr {
                     write!(f, "{lhs}")?;
                 }
                 write!(f, " {op} ")?;
-                if needs_parens(rhs, *op) || matches!(op, BinOp::Sub | BinOp::Div) && matches!(**rhs, Expr::Binary { .. }) {
+                if needs_parens(rhs, *op)
+                    || matches!(op, BinOp::Sub | BinOp::Div) && matches!(**rhs, Expr::Binary { .. })
+                {
                     write!(f, "({rhs})")
                 } else {
                     write!(f, "{rhs}")

@@ -37,7 +37,8 @@ pub fn lower_loop(ast: &ForLoop) -> Result<LoopSpec, LowerError> {
 fn lower_stmt(spec: &mut LoopSpec, var: &str, stmt: &Stmt) -> Result<(), LowerError> {
     // Right-hand-side reads, in evaluation order.
     let mut rhs_refs: Vec<(&str, &Expr)> = Vec::new();
-    stmt.rhs.visit_indices(&mut |name, idx| rhs_refs.push((name, idx)));
+    stmt.rhs
+        .visit_indices(&mut |name, idx| rhs_refs.push((name, idx)));
     for (name, idx) in rhs_refs {
         push(spec, var, name, idx, AccessKind::Read, stmt.span)?;
     }
@@ -149,14 +150,16 @@ mod tests {
     }
 
     fn lower_err(src: &str) -> ParseErrorKind {
-        lower_loop(&parse_for(src).unwrap()).unwrap_err().kind().clone()
+        lower_loop(&parse_for(src).unwrap())
+            .unwrap_err()
+            .kind()
+            .clone()
     }
 
     #[test]
     fn affine_forms() {
         let check = |src: &str, want: (i64, i64)| {
-            let ast = parse_for(&format!("for (i = 0; i < 9; i++) {{ s = A[{src}]; }}"))
-                .unwrap();
+            let ast = parse_for(&format!("for (i = 0; i < 9; i++) {{ s = A[{src}]; }}")).unwrap();
             let spec = lower_loop(&ast).unwrap();
             let info = &spec.arrays()[0];
             assert_eq!(

@@ -130,8 +130,8 @@ mod tests {
 
     #[test]
     fn end_to_end_single_array() {
-        let spec = parse_loop("for (i = 2; i <= N; i++) { s = A[i+1] + A[i] + A[i+2]; }")
-            .expect("parse");
+        let spec =
+            parse_loop("for (i = 2; i <= N; i++) { s = A[i+1] + A[i] + A[i+2]; }").expect("parse");
         assert_eq!(spec.var(), "i");
         assert_eq!(spec.start(), 2);
         assert_eq!(spec.stride(), 1);
@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn mixed_coefficients_are_reported() {
         let err = parse_loop("for (i = 0; i < 8; i++) { A[i] = A[2*i]; }").unwrap_err();
-        assert!(matches!(err.kind(), ParseErrorKind::MixedCoefficients { .. }));
+        assert!(matches!(
+            err.kind(),
+            ParseErrorKind::MixedCoefficients { .. }
+        ));
     }
 
     #[test]

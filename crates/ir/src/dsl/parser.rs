@@ -554,8 +554,14 @@ mod tests {
 
     #[test]
     fn parses_all_update_forms() {
-        assert_eq!(parse("for (i = 0; i < 9; i++) { }").update, Update::Increment);
-        assert_eq!(parse("for (i = 9; i > 0; i--) { }").update, Update::Decrement);
+        assert_eq!(
+            parse("for (i = 0; i < 9; i++) { }").update,
+            Update::Increment
+        );
+        assert_eq!(
+            parse("for (i = 9; i > 0; i--) { }").update,
+            Update::Decrement
+        );
         assert_eq!(
             parse("for (i = 0; i < 9; i += 2) { }").update,
             Update::Step(2)
@@ -659,12 +665,7 @@ mod tests {
 
     #[test]
     fn const_eval_folds_and_rejects() {
-        let p = |src: &str| {
-            Parser::new(src)
-                .unwrap()
-                .parse_expr()
-                .unwrap()
-        };
+        let p = |src: &str| Parser::new(src).unwrap().parse_expr().unwrap();
         assert_eq!(const_eval(&p("1 + 2 * 3")), Some(7));
         assert_eq!(const_eval(&p("-(4) / 2")), Some(-2));
         assert_eq!(const_eval(&p("4 / 0")), None);

@@ -15,7 +15,9 @@
 //!   registers),
 //! * [`dsl`] — a small C-like language for writing loops as text,
 //! * [`trace`] — reference address traces used to validate generated
-//!   address code, and
+//!   address code,
+//! * [`canonical`] — shift-normalized pattern forms and access-sequence
+//!   hashing, the foundation of the driver's allocation cache, and
 //! * [`examples`] — canned loops, including the exact running example of
 //!   the paper (Section 2, Figure 1).
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canonical;
 pub mod dsl;
 pub mod examples;
 pub mod machine;
@@ -50,6 +53,7 @@ pub mod model;
 pub mod pretty;
 pub mod trace;
 
+pub use canonical::CanonicalPattern;
 pub use machine::{AguSpec, SpecError};
 pub use model::{
     Access, AccessKind, AccessPattern, ArrayId, ArrayInfo, IrError, LoopSpec, PatternAccess,

@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn new_rejects_zero_registers() {
-        assert_eq!(AguSpec::new(0, 1).unwrap_err(), SpecError::NoAddressRegisters);
+        assert_eq!(
+            AguSpec::new(0, 1).unwrap_err(),
+            SpecError::NoAddressRegisters
+        );
         assert!(AguSpec::new(1, 0).is_ok());
     }
 

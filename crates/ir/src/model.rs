@@ -533,7 +533,10 @@ mod tests {
 
     #[test]
     fn zero_stride_is_rejected() {
-        assert_eq!(LoopSpec::try_new("t", "i", 0).unwrap_err(), IrError::ZeroStride);
+        assert_eq!(
+            LoopSpec::try_new("t", "i", 0).unwrap_err(),
+            IrError::ZeroStride
+        );
     }
 
     #[test]

@@ -135,10 +135,9 @@ mod tests {
 
     #[test]
     fn listing_matches_paper_format() {
-        let spec = parse_loop(
-            "for (i = 2; i <= 100; i++) { s = A[i+1] + A[i] + A[i+2] + A[i-1]; }",
-        )
-        .unwrap();
+        let spec =
+            parse_loop("for (i = 2; i <= 100; i++) { s = A[i+1] + A[i] + A[i+2] + A[i-1]; }")
+                .unwrap();
         let listing = print_access_listing(&spec);
         assert!(listing.contains("/* a_1 */ A[i+1] /* offset 1 */"));
         assert!(listing.contains("/* a_2 */ A[i] /* offset 0 */"));

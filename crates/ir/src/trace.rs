@@ -198,12 +198,7 @@ mod tests {
         let addrs: Vec<i64> = trace.entries().iter().take(3).map(|e| e.address).collect();
         assert_eq!(addrs, vec![3, 1, 1002]);
         // iteration 2, i = 4: x[5], x[3], y[4]
-        let addrs: Vec<i64> = trace
-            .entries()
-            .iter()
-            .skip(6)
-            .map(|e| e.address)
-            .collect();
+        let addrs: Vec<i64> = trace.entries().iter().skip(6).map(|e| e.address).collect();
         assert_eq!(addrs, vec![5, 3, 1004]);
     }
 

@@ -44,8 +44,8 @@ impl Kernel {
     pub fn from_source(name: &str, description: &str, source: &str) -> Self {
         let ast = dsl::parse_for(source)
             .unwrap_or_else(|e| panic!("kernel `{name}` does not parse: {e}"));
-        let spec = dsl::lower_loop(&ast)
-            .unwrap_or_else(|e| panic!("kernel `{name}` does not lower: {e}"));
+        let spec =
+            dsl::lower_loop(&ast).unwrap_or_else(|e| panic!("kernel `{name}` does not lower: {e}"));
         let compute_ops = count_compute_ops(&ast);
         Kernel {
             name: name.to_owned(),
@@ -229,9 +229,7 @@ pub fn n_complex_updates() -> Kernel {
 /// Panics if `dim == 0`.
 pub fn matmul_inner(dim: usize) -> Kernel {
     assert!(dim > 0, "matrix dimension must be positive");
-    let source = format!(
-        "for (i = 0; i < {dim}; i++) {{\n    acc += a[i] * b[{dim} * i];\n}}"
-    );
+    let source = format!("for (i = 0; i < {dim}; i++) {{\n    acc += a[i] * b[{dim} * i];\n}}");
     Kernel::from_source(
         &format!("matmul_inner_{dim}"),
         &format!("matrix-multiply inner loop, {dim}x{dim} column access"),
@@ -310,6 +308,30 @@ pub fn paper_example() -> Kernel {
     )
 }
 
+/// The full suite as one multi-loop DSL program — a realistic batch
+/// workload for the compilation pipeline (each loop is an independent
+/// allocation problem, exactly like kernels pasted back to back in a
+/// real DSP source file).
+///
+/// ```
+/// let source = raco_kernels::suite_program();
+/// let loops = raco_ir::dsl::parse_program(&source).unwrap();
+/// assert_eq!(loops.len(), raco_kernels::suite().len());
+/// ```
+pub fn suite_program() -> String {
+    let mut source = String::new();
+    for kernel in suite() {
+        source.push_str("// ");
+        source.push_str(kernel.name());
+        source.push_str(": ");
+        source.push_str(kernel.description());
+        source.push('\n');
+        source.push_str(kernel.source());
+        source.push('\n');
+    }
+    source
+}
+
 /// The full default suite, FIR variants included.
 pub fn suite() -> Vec<Kernel> {
     vec![
@@ -358,9 +380,15 @@ mod tests {
     #[test]
     fn fir_access_pattern_matches_tap_count() {
         let k = fir(4);
-        let x = k.spec().pattern_for(k.spec().array_id("x").unwrap()).unwrap();
+        let x = k
+            .spec()
+            .pattern_for(k.spec().array_id("x").unwrap())
+            .unwrap();
         assert_eq!(x.offsets(), vec![0, -1, -2, -3]);
-        let y = k.spec().pattern_for(k.spec().array_id("y").unwrap()).unwrap();
+        let y = k
+            .spec()
+            .pattern_for(k.spec().array_id("y").unwrap())
+            .unwrap();
         assert_eq!(y.offsets(), vec![0]);
         // 4 multiplies + 3 adds.
         assert_eq!(k.compute_ops(), 7);
@@ -369,7 +397,10 @@ mod tests {
     #[test]
     fn biquad_touches_w_five_times() {
         let k = biquad();
-        let w = k.spec().pattern_for(k.spec().array_id("w").unwrap()).unwrap();
+        let w = k
+            .spec()
+            .pattern_for(k.spec().array_id("w").unwrap())
+            .unwrap();
         // reads w[i-1], w[i-2], write w[i], reads w[i], w[i-1], w[i-2].
         assert_eq!(w.offsets(), vec![-1, -2, 0, 0, -1, -2]);
     }
@@ -377,7 +408,10 @@ mod tests {
     #[test]
     fn convolution_uses_negative_coefficient() {
         let k = convolution();
-        let h = k.spec().pattern_for(k.spec().array_id("h").unwrap()).unwrap();
+        let h = k
+            .spec()
+            .pattern_for(k.spec().array_id("h").unwrap())
+            .unwrap();
         assert_eq!(h.stride(), -1);
         assert_eq!(h.offsets(), vec![15]);
     }
@@ -385,7 +419,10 @@ mod tests {
     #[test]
     fn matmul_column_has_large_stride() {
         let k = matmul_inner(8);
-        let b = k.spec().pattern_for(k.spec().array_id("b").unwrap()).unwrap();
+        let b = k
+            .spec()
+            .pattern_for(k.spec().array_id("b").unwrap())
+            .unwrap();
         assert_eq!(b.stride(), 8);
     }
 

@@ -107,9 +107,7 @@ mod tests {
 
     #[test]
     fn goa_heuristic_is_bounded_by_optimal_partition() {
-        let (seq, _) = AccessSequence::from_names(&[
-            "a", "x", "b", "y", "a", "x", "b", "y",
-        ]);
+        let (seq, _) = AccessSequence::from_names(&["a", "x", "b", "y", "a", "x", "b", "y"]);
         for k in 1..=3 {
             let (_, optimal) = optimal_goa_partition(&seq, k);
             let heuristic = goa::run(&seq, k).cost();

@@ -51,9 +51,7 @@ pub fn evaluate_assignment(seq: &AccessSequence, register_of: &[usize], k: usize
     let mut total = 0u32;
     let mut used = 0u32;
     for r in 0..k {
-        let keep: Vec<bool> = (0..seq.variables())
-            .map(|v| register_of[v] == r)
-            .collect();
+        let keep: Vec<bool> = (0..seq.variables()).map(|v| register_of[v] == r).collect();
         if let Some(sub) = seq.project(&keep) {
             used += 1;
             let layout = soa::liao(&sub);
@@ -190,9 +188,8 @@ mod tests {
     fn interleaved() -> AccessSequence {
         // Two independent zig-zags: {a, b} and {x, y} interleaved — one
         // register pays dearly, two registers are nearly free.
-        let (seq, _) = AccessSequence::from_names(&[
-            "a", "x", "b", "y", "a", "x", "b", "y", "a", "x",
-        ]);
+        let (seq, _) =
+            AccessSequence::from_names(&["a", "x", "b", "y", "a", "x", "b", "y", "a", "x"]);
         seq
     }
 

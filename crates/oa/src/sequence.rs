@@ -149,7 +149,10 @@ impl StackLayout {
     pub fn new(offset_of: Vec<usize>) -> Self {
         let mut seen = vec![false; offset_of.len()];
         for &o in &offset_of {
-            assert!(o < offset_of.len() && !seen[o], "layout must be a permutation");
+            assert!(
+                o < offset_of.len() && !seen[o],
+                "layout must be a permutation"
+            );
             seen[o] = true;
         }
         StackLayout { offset_of }
@@ -216,10 +219,7 @@ mod tests {
     fn from_names_assigns_first_use_ids() {
         let (seq, names) = AccessSequence::from_names(&["x", "y", "x", "z"]);
         assert_eq!(names, vec!["x", "y", "z"]);
-        assert_eq!(
-            seq.accesses(),
-            &[VarId(0), VarId(1), VarId(0), VarId(2)]
-        );
+        assert_eq!(seq.accesses(), &[VarId(0), VarId(1), VarId(0), VarId(2)]);
         assert_eq!(seq.variables(), 3);
         assert!(!seq.is_empty());
     }
@@ -272,7 +272,7 @@ mod tests {
         // Layout a=0, b=1, c=2; sequence a c a b: hops 2, 2, 1 → cost 2.
         let (seq, _) = AccessSequence::from_names(&["a", "c", "a", "b"]);
         let layout = StackLayout::new(vec![0, 2, 1]); // a=0, c=1? careful:
-        // from_names ids: a=0, c=1, b=2. offsets: a→0, c→2, b→1.
+                                                      // from_names ids: a=0, c=1, b=2. offsets: a→0, c→2, b→1.
         let layout2 = StackLayout::new(vec![0, 2, 1]);
         assert_eq!(layout, layout2);
         // hops: a(0)→c(2) = 2 over; c(2)→a(0) = 2 over; a(0)→b(1) = 1 ok.

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimized = ProgramMetrics::of(&program);
 
     let compute = kernel.compute_ops();
-    println!("{:<22} {:>12} {:>14}", "model", "code words", "total cycles");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "model", "code words", "total cycles"
+    );
     for (name, m) in [
         ("explicit addressing", explicit),
         ("naive chaining", chain),
@@ -61,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\noptimized vs explicit: code size -{:.1} %, speed -{:.1} %",
-        improvement_percent(
-            explicit.code_words(compute),
-            optimized.code_words(compute)
-        ),
+        improvement_percent(explicit.code_words(compute), optimized.code_words(compute)),
         improvement_percent(
             explicit.cycles(compute, iterations),
             optimized.cycles(compute, iterations)

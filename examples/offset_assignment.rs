@@ -7,9 +7,7 @@ use raco::oa::{exhaustive, goa, soa, AccessSequence, StackLayout, VarId};
 
 fn main() {
     // The access sequence of an imaginary expression block.
-    let names = [
-        "a", "b", "c", "a", "d", "b", "a", "c", "d", "b", "a", "d",
-    ];
+    let names = ["a", "b", "c", "a", "d", "b", "a", "c", "d", "b", "a", "d"];
     let (seq, table) = AccessSequence::from_names(&names);
     println!("access sequence: {}", names.join(" "));
     println!("variables: {}\n", table.join(", "));
@@ -49,6 +47,10 @@ fn main() {
                 format!("AR{r}{{{}}}", members.join(","))
             })
             .collect();
-        println!("  k = {k}: cost {:<2} {}", solution.cost(), groups.join(" "));
+        println!(
+            "  k = {k}: cost {:<2} {}",
+            solution.cost(),
+            groups.join(" ")
+        );
     }
 }

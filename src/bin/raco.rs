@@ -1,0 +1,225 @@
+//! `raco` — the batch compilation CLI.
+//!
+//! ```text
+//! raco compile <path>… [options]   compile DSL files / directories
+//! raco kernels [options]           compile the built-in kernel suite
+//! raco help                        this text
+//! ```
+//!
+//! Options:
+//!
+//! ```text
+//! -k, --registers <K>    address registers (default 4)
+//! -m, --modify <M>       auto-modify range (default 1)
+//!     --modify-regs <N>  modify registers (default 0)
+//! -j, --threads <T>      worker threads (default: all cores; 1 = sequential)
+//!     --iterations <N>   simulated iterations per loop (default 16)
+//!     --no-cache         disable the allocation cache
+//!     --no-validate      skip simulator validation
+//!     --listing          print assembled per-unit listings
+//!     --json             print the JSON report to stdout
+//! -o, --output <file>    write the JSON report to a file
+//!     --quiet            suppress the table (useful with --json)
+//! ```
+//!
+//! Exit status: 0 when every loop compiled (and validated), 1 on any
+//! per-loop failure, 2 on usage / parse / I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use raco::driver::{CompilationReport, Parallelism, Pipeline, PipelineConfig};
+use raco::ir::AguSpec;
+
+#[derive(Debug)]
+struct CliOptions {
+    registers: usize,
+    modify_range: u32,
+    modify_registers: usize,
+    threads: Option<usize>,
+    iterations: u64,
+    cache: bool,
+    validate: bool,
+    listing: bool,
+    json: bool,
+    output: Option<PathBuf>,
+    quiet: bool,
+    paths: Vec<PathBuf>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            registers: 4,
+            modify_range: 1,
+            modify_registers: 0,
+            threads: None,
+            iterations: 16,
+            cache: true,
+            validate: true,
+            listing: false,
+            json: false,
+            output: None,
+            quiet: false,
+            paths: Vec::new(),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "raco — register-constrained address computation (DATE 1998)\n\
+     \n\
+     usage:\n\
+     \x20 raco compile <path>… [options]   compile DSL files / directories\n\
+     \x20 raco kernels [options]           compile the built-in kernel suite\n\
+     \x20 raco help                        this text\n\
+     \n\
+     options:\n\
+     \x20 -k, --registers <K>    address registers (default 4)\n\
+     \x20 -m, --modify <M>       auto-modify range (default 1)\n\
+     \x20     --modify-regs <N>  modify registers (default 0)\n\
+     \x20 -j, --threads <T>      worker threads (default: all cores)\n\
+     \x20     --iterations <N>   simulated iterations per loop (default 16)\n\
+     \x20     --no-cache         disable the allocation cache\n\
+     \x20     --no-validate      skip simulator validation\n\
+     \x20     --listing          print assembled per-unit listings\n\
+     \x20     --json             print the JSON report to stdout\n\
+     \x20 -o, --output <file>    write the JSON report to a file\n\
+     \x20     --quiet            suppress the table output"
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: `{value}` is not a valid number"))
+}
+
+fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-k" | "--registers" => options.registers = parse_number(&arg, iter.next())?,
+            "-m" | "--modify" => options.modify_range = parse_number(&arg, iter.next())?,
+            "--modify-regs" => options.modify_registers = parse_number(&arg, iter.next())?,
+            "-j" | "--threads" => options.threads = Some(parse_number(&arg, iter.next())?),
+            "--iterations" => options.iterations = parse_number(&arg, iter.next())?,
+            "--no-cache" => options.cache = false,
+            "--no-validate" => options.validate = false,
+            "--listing" => options.listing = true,
+            "--quiet" => options.quiet = true,
+            "--json" => options.json = true,
+            "-o" | "--output" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a file path"))?;
+                options.output = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            path => options.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(options)
+}
+
+fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
+    let agu = AguSpec::new(options.registers, options.modify_range)
+        .map_err(|e| e.to_string())?
+        .with_modify_registers(options.modify_registers);
+    let mut config = PipelineConfig::new(agu);
+    config.parallelism = match options.threads {
+        None => Parallelism::Auto,
+        Some(0) | Some(1) => Parallelism::Sequential,
+        Some(n) => Parallelism::Fixed(n),
+    };
+    config.validate = options.validate;
+    config.validation_iterations = options.iterations;
+    config.caching = options.cache;
+    config.listings = options.listing;
+    Ok(Pipeline::with_config(config))
+}
+
+fn emit(report: &CompilationReport, options: &CliOptions) -> Result<(), String> {
+    if !options.quiet {
+        print!("{}", report.render_table());
+        if options.listing {
+            for unit in &report.units {
+                if let Some(listing) = &unit.listing {
+                    println!("\n{listing}");
+                }
+            }
+        }
+    }
+    if options.json {
+        print!("{}", report.to_json());
+    }
+    if let Some(path) = &options.output {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !options.quiet {
+            println!("JSON report written to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage().to_owned());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(true)
+        }
+        "compile" => {
+            let options = parse_options(args)?;
+            if options.paths.is_empty() {
+                return Err("compile: no input paths given".to_owned());
+            }
+            let pipeline = build_pipeline(&options)?;
+            // Compile every path into one combined report so the cache
+            // warms across inputs, exactly like batch traffic would.
+            let mut combined: Option<CompilationReport> = None;
+            for path in &options.paths {
+                let report = pipeline.compile_path(path).map_err(|e| e.to_string())?;
+                combined = Some(match combined {
+                    None => report,
+                    Some(mut acc) => {
+                        acc.units.extend(report.units);
+                        acc.elapsed += report.elapsed;
+                        acc.cache = report.cache;
+                        acc
+                    }
+                });
+            }
+            let report = combined.expect("at least one path");
+            emit(&report, &options)?;
+            Ok(report.failed() == 0)
+        }
+        "kernels" => {
+            let options = parse_options(args)?;
+            if !options.paths.is_empty() {
+                return Err("kernels: unexpected positional arguments".to_owned());
+            }
+            let pipeline = build_pipeline(&options)?;
+            let report = pipeline.compile_kernels();
+            emit(&report, &options)?;
+            Ok(report.failed() == 0)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`agu`] | `raco-agu` | address code generation, listings, simulator, modify registers |
 //! | [`oa`] | `raco-oa` | offset assignment for scalars (SOA/GOA, refs \[4,5\]) |
 //! | [`kernels`] | `raco-kernels` | DSPstone-style kernel suite |
+//! | [`driver`] | `raco-driver` | batch pipeline: parallel scheduling, allocation cache, reports |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 
 pub use raco_agu as agu;
 pub use raco_core as core;
+pub use raco_driver as driver;
 pub use raco_graph as graph;
 pub use raco_ir as ir;
 pub use raco_kernels as kernels;

@@ -1,0 +1,196 @@
+//! Integration tests of the batch compilation driver: every kernel
+//! through the pipeline with trace validation, cache-on/off agreement,
+//! multi-unit batches, JSON/table rendering and the kernel batch
+//! workload.
+
+use raco::agu::codegen::CodeGenerator;
+use raco::agu::sim;
+use raco::driver::{Parallelism, Pipeline, PipelineConfig};
+use raco::ir::{AguSpec, MemoryLayout, Trace};
+
+fn pipeline_with(k: usize, m: u32, caching: bool, sequential: bool) -> Pipeline {
+    let mut config = PipelineConfig::new(AguSpec::new(k, m).unwrap());
+    config.caching = caching;
+    if sequential {
+        config.parallelism = Parallelism::Sequential;
+    }
+    Pipeline::with_config(config)
+}
+
+#[test]
+fn every_kernel_compiles_and_its_trace_matches_the_reference() {
+    let pipeline = pipeline_with(4, 1, true, false);
+    let report = pipeline.compile_kernels();
+    assert_eq!(
+        report.loop_count(),
+        raco::kernels::suite().len(),
+        "one loop per kernel"
+    );
+    assert_eq!(report.failed(), 0, "table:\n{}", report.render_table());
+    for lr in report.loops() {
+        // The pipeline simulated every generated program against the
+        // raco_ir::trace reference; a cost or address mismatch would
+        // have been recorded as a failure.
+        let measured = lr.measured_cost.expect("validation enabled");
+        assert_eq!(measured, lr.cost, "{}: measured == predicted", lr.name);
+        assert_eq!(
+            lr.addresses_checked,
+            16 * lr.accesses as u64,
+            "{}: every access of every simulated iteration checked",
+            lr.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_programs_equal_directly_generated_programs() {
+    // The cached pipeline path must generate byte-identical programs to
+    // the seed's direct Optimizer + CodeGenerator path.
+    let agu = AguSpec::new(4, 1).unwrap();
+    let pipeline = pipeline_with(4, 1, true, true);
+    for kernel in raco::kernels::suite() {
+        let (report, program) = pipeline.compile_loop(kernel.spec());
+        assert!(
+            report.succeeded(),
+            "{}: {:?}",
+            kernel.name(),
+            report.failure
+        );
+        let program = program.expect("successful loops carry programs");
+
+        let direct_alloc = raco::core::Optimizer::new(agu)
+            .allocate_loop(kernel.spec())
+            .expect("kernels fit the machine");
+        let layout = MemoryLayout::contiguous(kernel.spec(), 0x1000, 0x400);
+        let direct = CodeGenerator::new(agu)
+            .generate(kernel.spec(), &direct_alloc, &layout)
+            .expect("codegen succeeds");
+        assert_eq!(
+            program.to_string(),
+            direct.to_string(),
+            "{}: cached pipeline and direct path diverge",
+            kernel.name()
+        );
+        // And the program verifies against an independently captured,
+        // longer trace than the pipeline used.
+        let trace = Trace::capture(kernel.spec(), &layout, 40);
+        let sim_report = sim::run(&program, &trace, &agu).expect("verifies");
+        assert_eq!(
+            sim_report.explicit_updates_per_iteration(),
+            report.cost,
+            "{}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn cache_on_and_off_produce_identical_reports() {
+    let cached = pipeline_with(4, 1, true, true).compile_kernels();
+    let uncached = pipeline_with(4, 1, false, true).compile_kernels();
+    assert_eq!(cached.loop_count(), uncached.loop_count());
+    for (a, b) in cached.loops().zip(uncached.loops()) {
+        assert_eq!(a, b, "loop {} diverges between cache modes", a.name);
+    }
+    assert_eq!(uncached.cache.allocation_hits, 0);
+    assert_eq!(uncached.cache.allocation_misses, 0, "cache fully bypassed");
+}
+
+#[test]
+fn repeated_kernel_batches_become_pure_cache_hits() {
+    let pipeline = pipeline_with(4, 1, true, false);
+    let first = pipeline.compile_kernels();
+    let misses_after_first = first.cache.allocation_misses + first.cache.curve_misses;
+    let second = pipeline.compile_kernels();
+    let misses_after_second = second.cache.allocation_misses + second.cache.curve_misses;
+    assert_eq!(
+        misses_after_first, misses_after_second,
+        "a repeated batch must not miss"
+    );
+    assert!(
+        second.cache.allocation_hits > first.cache.allocation_hits,
+        "second batch hits the allocation table"
+    );
+    for (a, b) in first.loops().zip(second.loops()) {
+        assert_eq!(a, b, "warm results match cold results");
+    }
+}
+
+#[test]
+fn multi_unit_batches_keep_unit_attribution() {
+    let units = vec![
+        (
+            "fir.dsp".to_owned(),
+            "for (i = 4; i < 256; i++) { y[i] = h0*x[i] + h1*x[i-1] + h2*x[i-2]; }".to_owned(),
+        ),
+        (
+            "stages.dsp".to_owned(),
+            "for (i = 0; i < 64; i++) { t[i] = x[i] * w[63 - i]; }
+             for (k = 64; k > 0; k--) { y[k] = t[k] + t[k - 1]; }"
+                .to_owned(),
+        ),
+    ];
+    let report = pipeline_with(4, 1, true, false)
+        .compile_units(&units)
+        .unwrap();
+    assert_eq!(report.units.len(), 2);
+    assert_eq!(report.units[0].name, "fir.dsp");
+    assert_eq!(report.units[0].loops.len(), 1);
+    assert_eq!(report.units[1].loops.len(), 2);
+    assert_eq!(report.units[1].loops[0].name, "loop0");
+    assert_eq!(report.failed(), 0);
+
+    let json = report.to_json();
+    assert!(json.contains(r#""name": "stages.dsp""#));
+    assert!(json.contains(r#""loops": 3"#));
+    let table = report.render_table();
+    assert!(table.contains("fir.dsp"));
+    assert!(table.contains("3 loop(s) in 2 unit(s): 3 ok, 0 failed"));
+}
+
+#[test]
+fn the_paper_example_reports_the_expected_allocation() {
+    // K = 2 on the paper's loop: K̃ = 3, so exactly one merge and a
+    // positive cost; the simulator must agree with the prediction.
+    let report = pipeline_with(2, 1, true, true)
+        .compile_str("paper", raco::ir::examples::PAPER_LOOP_SOURCE)
+        .unwrap();
+    let lr = &report.units[0].loops[0];
+    assert!(lr.succeeded());
+    assert_eq!(lr.virtual_registers, 3);
+    assert_eq!(lr.registers_used, 2);
+    assert!(lr.cost >= 1);
+    assert_eq!(lr.measured_cost, Some(lr.cost));
+}
+
+#[test]
+fn parallel_and_sequential_batches_agree() {
+    let source = raco::kernels::suite_program();
+    let sequential = pipeline_with(4, 1, true, true)
+        .compile_str("suite", &source)
+        .unwrap();
+    let parallel = pipeline_with(4, 1, true, false)
+        .compile_str("suite", &source)
+        .unwrap();
+    assert_eq!(sequential.loop_count(), parallel.loop_count());
+    for (a, b) in sequential.loops().zip(parallel.loops()) {
+        assert_eq!(a, b, "scheduling must not change results");
+    }
+}
+
+#[test]
+fn modify_register_machines_validate_with_bounded_cost() {
+    let mut config = PipelineConfig::new(AguSpec::new(2, 1).unwrap().with_modify_registers(1));
+    config.parallelism = Parallelism::Sequential;
+    let report = Pipeline::with_config(config)
+        .compile_str(
+            "matmul",
+            "for (i = 0; i < 8; i++) { acc += a[i] * b[8 * i]; }",
+        )
+        .unwrap();
+    let lr = &report.units[0].loops[0];
+    assert!(lr.succeeded(), "{:?}", lr.failure);
+    // The modify register absorbs the +8 stride at codegen time, so
+    // the measurement may undercut the allocator's prediction.
+    assert!(lr.measured_cost.unwrap() <= lr.cost);
+}

@@ -17,8 +17,8 @@ fn verify_kernel(kernel: &raco::kernels::Kernel, agu: AguSpec, iterations: u64) 
         .generate(spec, &alloc, &layout)
         .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
     let trace = Trace::capture(spec, &layout, iterations);
-    let report = sim::run(&program, &trace, &agu)
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+    let report =
+        sim::run(&program, &trace, &agu).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
     if agu.modify_registers() == 0 {
         assert_eq!(
             report.explicit_updates_per_iteration(),
@@ -135,11 +135,7 @@ fn fir_cost_structure_is_understood() {
         let kernel = raco::kernels::fir(taps);
         let cost = verify_kernel(&kernel, AguSpec::new(2, 1).unwrap(), 12);
         assert_eq!(cost, 1, "fir_{taps} with K = 2");
-        let generous = verify_kernel(
-            &kernel,
-            AguSpec::new(taps + 1, 1).unwrap(),
-            12,
-        );
+        let generous = verify_kernel(&kernel, AguSpec::new(taps + 1, 1).unwrap(), 12);
         assert_eq!(generous, 0, "fir_{taps} with K = taps + 1");
     }
 }

@@ -117,8 +117,7 @@ fn compound_assignment_read_write_pairs_verify() {
 
 #[test]
 fn insufficient_registers_is_a_clean_error() {
-    let spec =
-        dsl::parse_loop("for (i = 0; i < 9; i++) { a[i] = b[i] + c[i]; }").unwrap();
+    let spec = dsl::parse_loop("for (i = 0; i < 9; i++) { a[i] = b[i] + c[i]; }").unwrap();
     let err = Optimizer::new(AguSpec::new(2, 1).unwrap())
         .allocate_loop(&spec)
         .unwrap_err();
@@ -167,7 +166,11 @@ fn larger_modify_range_never_hurts() {
     let mut last = u64::MAX;
     for m in 1..=4u32 {
         let cost = compile_and_verify(source, AguSpec::new(2, m).unwrap(), 16);
-        assert!(cost <= last, "M = {m} must not cost more than M = {}", m - 1);
+        assert!(
+            cost <= last,
+            "M = {m} must not cost more than M = {}",
+            m - 1
+        );
         last = cost;
     }
     assert_eq!(last, 0, "M = 4 covers every distance in the example");

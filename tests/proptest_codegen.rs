@@ -16,10 +16,7 @@ fn random_loop() -> impl Strategy<Value = LoopSpec> {
         (prop_oneof![Just(0i64), Just(1i64), Just(2i64), Just(-1i64)],),
         1..=3,
     );
-    let accesses = prop::collection::vec(
-        (0usize..3, -5i64..=5, prop::bool::ANY),
-        1..=12,
-    );
+    let accesses = prop::collection::vec((0usize..3, -5i64..=5, prop::bool::ANY), 1..=12);
     let stride = prop_oneof![Just(1i64), Just(-1i64), Just(2i64)];
     let start = -4i64..=4;
     (arrays, accesses, stride, start).prop_map(|(arrays, accesses, stride, start)| {

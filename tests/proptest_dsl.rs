@@ -83,7 +83,11 @@ fn for_loop() -> impl Strategy<Value = ForLoop> {
             start: Some(start),
             init: Expr::Num(start),
             cond: Cond {
-                op: if update.stride() > 0 { CmpOp::Lt } else { CmpOp::Gt },
+                op: if update.stride() > 0 {
+                    CmpOp::Lt
+                } else {
+                    CmpOp::Gt
+                },
                 bound: Expr::Num(bound),
             },
             update,

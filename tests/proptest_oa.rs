@@ -7,9 +7,7 @@ use raco::oa::{exhaustive, goa, soa, AccessSequence, StackLayout, VarId};
 fn sequence() -> impl Strategy<Value = AccessSequence> {
     (2usize..=7, 2usize..=24).prop_flat_map(|(vars, len)| {
         prop::collection::vec(0u32..vars as u32, len..=len)
-            .prop_map(move |ids| {
-                AccessSequence::new(ids.into_iter().map(VarId).collect(), vars)
-            })
+            .prop_map(move |ids| AccessSequence::new(ids.into_iter().map(VarId).collect(), vars))
     })
 }
 
