@@ -1,0 +1,101 @@
+//! Serve-loopback throughput: requests through the NDJSON protocol
+//! handler, bypassing sockets, to isolate what serve mode actually
+//! buys — cross-request reuse of one warm allocation cache.
+//!
+//! Three configurations over the same request mix (the kernel suite as
+//! individual compile requests, shapes repeating across "clients"):
+//!
+//! * `fresh_server_per_request` — the batch posture serve mode
+//!   replaces: every request pays a cold cache.
+//! * `shared_server` — one long-lived server; steady-state requests
+//!   are all cache hits.
+//! * `shared_server_bounded` — the same, under a bounded cache with
+//!   FIFO eviction, to show the policy's overhead is negligible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use raco_driver::json::Json;
+use raco_driver::{CachePolicy, Parallelism, PipelineConfig};
+use raco_ir::AguSpec;
+use raco_serve::Server;
+
+/// One compile request line per kernel: the shape of client traffic,
+/// where every request is small and shapes recur endlessly.
+fn request_mix() -> Vec<String> {
+    raco_kernels::suite()
+        .iter()
+        .map(|kernel| {
+            Json::Obj(vec![
+                ("op".to_owned(), Json::str("compile")),
+                ("name".to_owned(), Json::str(kernel.name())),
+                ("source".to_owned(), Json::str(kernel.source())),
+            ])
+            .render()
+        })
+        .collect()
+}
+
+fn config(policy: CachePolicy) -> PipelineConfig {
+    let mut config = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+    // Requests are single loops: sequential per request matches how a
+    // service would schedule many small independent requests.
+    config.parallelism = Parallelism::Sequential;
+    config.validation_iterations = 4;
+    config.cache_policy = policy;
+    config
+}
+
+fn run_mix(server: &Server, requests: &[String]) -> usize {
+    let mut ok = 0;
+    for request in requests {
+        let reply = server.handle_line(request);
+        assert!(
+            reply.line.contains("\"ok\":true"),
+            "request failed: {reply:?}"
+        );
+        ok += 1;
+    }
+    ok
+}
+
+fn bench_serve_loopback(c: &mut Criterion) {
+    let requests = request_mix();
+    let mut group = c.benchmark_group("serve_loopback");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Elements(requests.len() as u64));
+
+    group.bench_function("fresh_server_per_request", |b| {
+        b.iter(|| {
+            // No serve mode: every request lands on a cold cache.
+            let server = Server::new(config(CachePolicy::Unbounded));
+            run_mix(&server, &requests)
+        });
+    });
+
+    let shared = Server::new(config(CachePolicy::Unbounded));
+    run_mix(&shared, &requests); // prime: steady state is all-hits
+    group.bench_function("shared_server", |b| {
+        b.iter(|| run_mix(&shared, &requests));
+    });
+
+    let bounded = Server::new(config(CachePolicy::Bounded(256)));
+    run_mix(&bounded, &requests);
+    group.bench_function("shared_server_bounded", |b| {
+        b.iter(|| run_mix(&bounded, &requests));
+    });
+
+    group.finish();
+
+    let stats = shared.pipeline().cache_stats();
+    assert!(
+        stats.allocation_hits > stats.allocation_misses,
+        "steady state must be hit-dominated: {stats:?}"
+    );
+}
+
+criterion_group!(benches, bench_serve_loopback);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Offline shim for the subset of `proptest 1.x` used by this workspace.
 //!
-//! Implements random **generation** (no shrinking): the [`Strategy`]
+//! Implements random **generation** (no shrinking): the [`strategy::Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
 //! integer-range and tuple and collection strategies, `prop_oneof!`,
 //! [`strategy::Just`], `prop::bool::ANY`, [`ProptestConfig`] and the
@@ -148,7 +148,7 @@ pub mod strategy {
         }
     }
 
-    /// Object-safe core of [`Strategy`].
+    /// Object-safe core of [`Strategy`](super::strategy::Strategy).
     trait ObjectSafeStrategy<T> {
         fn new_value_dyn(&self, runner: &mut TestRng) -> T;
     }
@@ -285,7 +285,7 @@ pub mod prop {
         use rand::Rng;
         use std::ops::{Range, RangeInclusive};
 
-        /// Length ranges accepted by [`vec`].
+        /// Length ranges accepted by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
@@ -325,7 +325,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -22,9 +22,15 @@
 //! key hash, readers never block each other, and a miss computes the
 //! value *outside* the lock (a racing duplicate computation is
 //! deterministic, so first-write-wins is harmless).
+//!
+//! A long-lived server compiling unbounded client traffic cannot let
+//! the tables grow forever, so the cache takes a [`CachePolicy`]:
+//! unbounded (the default — batch runs are finite) or bounded, which
+//! evicts the oldest-inserted entries per table once a size limit is
+//! reached (FIFO; see [`CachePolicy::Bounded`] for why not LRU).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -34,24 +40,80 @@ use raco_ir::CanonicalPattern;
 
 const SHARDS: usize = 16;
 
+/// Bounds on the number of entries the cache may keep resident.
+///
+/// The policy applies to each of the cache's two tables (allocations
+/// and cost curves) independently; hit/miss/eviction counters are
+/// never bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Keep every entry. The right choice for batch compilation: the
+    /// working set is the input, which is finite.
+    #[default]
+    Unbounded,
+    /// Keep at most (approximately) this many entries per table,
+    /// evicting the oldest-inserted once full. The bound is enforced
+    /// per shard, so the effective limit rounds up to a multiple of
+    /// the shard count (≤ 15 entries of slack); a limit of zero still
+    /// keeps one entry per shard.
+    ///
+    /// Eviction is FIFO rather than LRU on purpose: lookups vastly
+    /// outnumber insertions here, and FIFO keeps the read path free of
+    /// bookkeeping writes (an LRU would turn every shared-lock read
+    /// into an exclusive-lock touch).
+    Bounded(usize),
+}
+
+impl CachePolicy {
+    /// Per-shard entry budget; `None` means unbounded.
+    fn shard_capacity(self) -> Option<usize> {
+        match self {
+            CachePolicy::Unbounded => None,
+            CachePolicy::Bounded(max) => Some(max.div_ceil(SHARDS).max(1)),
+        }
+    }
+}
+
+/// One shard: the entries plus their insertion order (for FIFO
+/// eviction). The queue is only consulted when a capacity is set.
+#[derive(Debug)]
+struct Shard<K, V> {
+    entries: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+}
+
+impl<K, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
 /// A concurrent hash map sharded by key hash.
 #[derive(Debug)]
 struct ShardedMap<K, V> {
-    shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
+    shards: Vec<RwLock<Shard<K, V>>>,
+    /// Entries kept per shard; `None` disables eviction.
+    shard_capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl<K: Hash + Eq, V> ShardedMap<K, V> {
-    fn new() -> Self {
+impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
+    fn new(policy: CachePolicy) -> Self {
         ShardedMap {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
+            shard_capacity: policy.shard_capacity(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+    fn shard(&self, key: &K) -> &RwLock<Shard<K, V>> {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
@@ -59,7 +121,12 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
 
     fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         let shard = self.shard(&key);
-        if let Some(v) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(v) = shard
+            .read()
+            .expect("cache shard poisoned")
+            .entries
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(v);
         }
@@ -68,19 +135,35 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         let mut guard = shard.write().expect("cache shard poisoned");
         // A racer may have inserted meanwhile; both values are
         // deterministic functions of the key, keep the first.
-        Arc::clone(guard.entry(key).or_insert(value))
+        if let Some(existing) = guard.entries.get(&key) {
+            return Arc::clone(existing);
+        }
+        guard.entries.insert(key.clone(), Arc::clone(&value));
+        if let Some(capacity) = self.shard_capacity {
+            guard.order.push_back(key);
+            while guard.entries.len() > capacity {
+                // The queue never outlives its entries (clear() resets
+                // both), so the front is always a live key.
+                let oldest = guard.order.pop_front().expect("order tracks entries");
+                guard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        value
     }
 
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|s| s.read().expect("cache shard poisoned").entries.len())
             .sum()
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            let mut guard = shard.write().expect("cache shard poisoned");
+            guard.entries.clear();
+            guard.order.clear();
         }
     }
 }
@@ -118,6 +201,10 @@ pub struct CacheStats {
     pub allocation_entries: usize,
     /// Distinct cost curves currently cached.
     pub curve_entries: usize,
+    /// Allocations evicted under a [`CachePolicy::Bounded`] limit.
+    pub allocation_evictions: u64,
+    /// Cost curves evicted under a [`CachePolicy::Bounded`] limit.
+    pub curve_evictions: u64,
 }
 
 impl CacheStats {
@@ -140,6 +227,7 @@ impl CacheStats {
 pub struct AllocationCache {
     allocations: ShardedMap<AllocationKey, Allocation>,
     curves: ShardedMap<CurveKey, Vec<u32>>,
+    policy: CachePolicy,
 }
 
 impl Default for AllocationCache {
@@ -149,12 +237,23 @@ impl Default for AllocationCache {
 }
 
 impl AllocationCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_policy(CachePolicy::Unbounded)
+    }
+
+    /// An empty cache with an explicit retention policy.
+    pub fn with_policy(policy: CachePolicy) -> Self {
         AllocationCache {
-            allocations: ShardedMap::new(),
-            curves: ShardedMap::new(),
+            allocations: ShardedMap::new(policy),
+            curves: ShardedMap::new(policy),
+            policy,
         }
+    }
+
+    /// The retention policy this cache was built with.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
     /// Returns the cached allocation for the canonical pattern under
@@ -210,6 +309,8 @@ impl AllocationCache {
             curve_misses: self.curves.misses.load(Ordering::Relaxed),
             allocation_entries: self.allocations.len(),
             curve_entries: self.curves.len(),
+            allocation_evictions: self.allocations.evictions.load(Ordering::Relaxed),
+            curve_evictions: self.curves.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +400,84 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.curve_entries, 0);
         assert_eq!(stats.curve_misses, 1);
+    }
+
+    #[test]
+    fn bounded_policy_evicts_oldest_entries() {
+        let cache = AllocationCache::with_policy(CachePolicy::Bounded(32));
+        assert_eq!(cache.policy(), CachePolicy::Bounded(32));
+        let options = OptimizerOptions::default();
+        // Sweep far more distinct shapes than the limit admits.
+        for i in 0..1000i64 {
+            let _ = cache.cost_curve(&canonical(&[0, i + 1, 2 * i + 3]), 1, 4, &options, || {
+                vec![1, 0, 0, 0]
+            });
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.curve_misses, 1000);
+        // Bound is enforced per shard: at most ceil(32/16) = 2 each.
+        assert!(
+            stats.curve_entries <= 32 + SHARDS,
+            "entry count {} not bounded",
+            stats.curve_entries
+        );
+        assert!(stats.curve_evictions >= 1000 - (32 + SHARDS) as u64);
+        assert_eq!(stats.allocation_evictions, 0);
+
+        // Evicted keys recompute (a miss, not a corrupted hit).
+        let first = canonical(&[0, 1, 3]);
+        let recomputed = cache.cost_curve(&first, 1, 4, &options, || vec![9, 9, 9, 9]);
+        assert_eq!(*recomputed, vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn bounded_policy_keeps_hot_entries_until_displaced() {
+        let cache = AllocationCache::with_policy(CachePolicy::Bounded(0));
+        let options = OptimizerOptions::default();
+        // Limit 0 still keeps one entry per shard, so an immediate
+        // repeat of the same key hits.
+        let key = canonical(&[0, 4]);
+        let _ = cache.cost_curve(&key, 1, 2, &options, || vec![1, 1]);
+        let _ = cache.cost_curve(&key, 1, 2, &options, || panic!("must hit"));
+        assert_eq!(cache.stats().curve_hits, 1);
+    }
+
+    #[test]
+    fn clear_resets_bounded_bookkeeping() {
+        let cache = AllocationCache::with_policy(CachePolicy::Bounded(16));
+        let options = OptimizerOptions::default();
+        for i in 0..64i64 {
+            let _ = cache.cost_curve(&canonical(&[0, i + 1]), 1, 2, &options, || vec![0, 0]);
+        }
+        cache.clear();
+        assert_eq!(cache.stats().curve_entries, 0);
+        // Refill after clear still respects the bound (the FIFO queue
+        // was reset along with the entries).
+        for i in 0..64i64 {
+            let _ = cache.cost_curve(&canonical(&[0, i + 1]), 1, 2, &options, || vec![0, 0]);
+        }
+        assert!(cache.stats().curve_entries <= 16 + SHARDS);
+    }
+
+    #[test]
+    fn concurrent_bounded_access_stays_within_the_limit() {
+        let cache = AllocationCache::with_policy(CachePolicy::Bounded(8));
+        let options = OptimizerOptions::default();
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let cache = &cache;
+                let options = &options;
+                s.spawn(move || {
+                    for i in 0..256i64 {
+                        let key = canonical(&[0, 1 + (i * 4 + t) % 97]);
+                        let _ = cache.cost_curve(&key, 1, 2, options, || vec![1, 1]);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.curve_entries <= 8 + SHARDS);
+        assert_eq!(stats.curve_hits + stats.curve_misses, 4 * 256);
     }
 
     #[test]

@@ -16,7 +16,16 @@
 //!   canonicalized ([`raco_ir::canonical`]) so identical shapes across
 //!   loops, units and requests hit a sharded concurrent memo instead
 //!   of re-running branch-and-bound; cost curves additionally share
-//!   entries between mirror-image patterns.
+//!   entries between mirror-image patterns. Long-lived pipelines can
+//!   bound the tables with [`CachePolicy::Bounded`] (FIFO eviction).
+//! * [`json`] — the dependency-free JSON reader/writer behind report
+//!   rendering and the `raco-serve` wire protocol.
+//!
+//! The pipeline is `Sync` and every `compile_*` method takes `&self`,
+//! so one instance (and its warm cache) can serve many threads,
+//! requests and connections; `raco-serve` is exactly that, with
+//! [`Pipeline::compile_units_with`] applying per-request configuration
+//! over the shared cache.
 //!
 //! ## Example
 //!
@@ -32,6 +41,26 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! A service-shaped pipeline bounds its cache and watches it work:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use raco_driver::{CachePolicy, Pipeline, PipelineConfig};
+//! use raco_ir::AguSpec;
+//!
+//! let mut config = PipelineConfig::new(AguSpec::new(4, 1)?);
+//! config.cache_policy = CachePolicy::Bounded(4096);
+//! let pipeline = Pipeline::with_config(config);
+//!
+//! let source = "for (i = 0; i < 64; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }";
+//! pipeline.compile_str("first", source)?;
+//! let warm = pipeline.compile_str("second", source)?; // identical shape: all hits
+//! assert!(warm.cache.allocation_hits > 0);
+//! assert_eq!(warm.cache.allocation_evictions, 0); // far below the bound
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,7 +72,8 @@ pub mod pipeline;
 pub mod pool;
 pub mod report;
 
-pub use cache::{AllocationCache, CacheStats};
+pub use cache::{AllocationCache, CachePolicy, CacheStats};
+pub use json::{Json, JsonParseError};
 pub use pipeline::{DriverError, Pipeline, PipelineConfig, SOURCE_EXTENSIONS};
 pub use pool::Parallelism;
 pub use report::{CompilationReport, LoopFailure, LoopReport, UnitReport};

@@ -24,7 +24,7 @@ use raco_core::{partition, AllocError, LoopAllocation, Optimizer, OptimizerOptio
 use raco_ir::dsl::{self, ParseError};
 use raco_ir::{AguSpec, CanonicalPattern, LoopSpec, MemoryLayout, Trace};
 
-use crate::cache::{AllocationCache, CacheStats};
+use crate::cache::{AllocationCache, CachePolicy, CacheStats};
 use crate::pool::{map_parallel, Parallelism};
 use crate::report::{CompilationReport, LoopFailure, LoopReport, UnitReport};
 
@@ -92,6 +92,11 @@ pub struct PipelineConfig {
     pub array_words: i64,
     /// Use the allocation cache (disable to measure cold paths).
     pub caching: bool,
+    /// Cache retention policy. Only the policy the [`Pipeline`] was
+    /// *built* with matters — the cache lives as long as the pipeline,
+    /// so per-request override configs (see
+    /// [`Pipeline::compile_units_with`]) cannot change it.
+    pub cache_policy: CachePolicy,
     /// Attach per-loop listings and per-unit assembled listings.
     pub listings: bool,
 }
@@ -108,6 +113,7 @@ impl PipelineConfig {
             layout_origin: 0x1000,
             array_words: 0x400,
             caching: true,
+            cache_policy: CachePolicy::Unbounded,
             listings: false,
         }
     }
@@ -149,10 +155,8 @@ impl Pipeline {
 
     /// A pipeline with explicit configuration.
     pub fn with_config(config: PipelineConfig) -> Self {
-        Pipeline {
-            config,
-            cache: AllocationCache::new(),
-        }
+        let cache = AllocationCache::with_policy(config.cache_policy);
+        Pipeline { config, cache }
     }
 
     /// The active configuration.
@@ -230,21 +234,25 @@ impl Pipeline {
 
     /// Compiles the whole `raco-kernels` suite as one batch workload.
     pub fn compile_kernels(&self) -> CompilationReport {
+        self.compile_kernels_with(&self.config)
+    }
+
+    /// Like [`compile_kernels`](Self::compile_kernels), but under a
+    /// per-request configuration (see
+    /// [`compile_units_with`](Self::compile_units_with)).
+    pub fn compile_kernels_with(&self, config: &PipelineConfig) -> CompilationReport {
         let kernels = raco_kernels::suite();
         let started = Instant::now();
         let loops: Vec<(String, LoopSpec)> = kernels
             .iter()
             .map(|k| (k.name().to_owned(), k.spec().clone()))
             .collect();
-        let compiled = map_parallel(self.config.parallelism, &loops, |_, (name, spec)| {
-            let (mut report, program) = self.compile_loop(spec);
+        let compiled = map_parallel(config.parallelism, &loops, |_, (name, spec)| {
+            let (mut report, program) = self.compile_loop_with(config, spec);
             report.name = name.clone();
             (report, program)
         });
-        let mut unit_listing = self
-            .config
-            .listings
-            .then(|| ProgramListing::new("raco-kernels"));
+        let mut unit_listing = config.listings.then(|| ProgramListing::new("raco-kernels"));
         let mut reports = Vec::with_capacity(compiled.len());
         for (report, program) in compiled {
             if let (Some(listing), Some(program)) = (unit_listing.as_mut(), program) {
@@ -257,7 +265,7 @@ impl Pipeline {
             loops: reports,
             listing: unit_listing.map(|l| l.to_string()),
         }];
-        self.finish_report(units, loops.len(), started)
+        self.finish_report(config, units, loops.len(), started)
     }
 
     /// Compiles named `(name, source)` units as one batch: all loops of
@@ -270,6 +278,32 @@ impl Pipeline {
     /// parse (per-loop failures do not abort the batch).
     pub fn compile_units(
         &self,
+        units: &[(String, String)],
+    ) -> Result<CompilationReport, DriverError> {
+        self.compile_units_with(&self.config, units)
+    }
+
+    /// Like [`compile_units`](Self::compile_units), but under a
+    /// per-request configuration while still sharing this pipeline's
+    /// allocation cache.
+    ///
+    /// This is the entry point for request/response front ends
+    /// (`raco serve`): every cache key already includes the machine
+    /// parameters and optimizer options, so requests against different
+    /// machines can safely share one warm cache. Two fields of the
+    /// override are ignored because they are properties of the
+    /// pipeline, not of a request: [`PipelineConfig::cache_policy`]
+    /// (the cache was built when the pipeline was) and — when the
+    /// override disables it — [`PipelineConfig::caching`] only skips
+    /// the cache for that request without dropping existing entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Parse`] on the first unit that fails to
+    /// parse (per-loop failures do not abort the batch).
+    pub fn compile_units_with(
+        &self,
+        config: &PipelineConfig,
         units: &[(String, String)],
     ) -> Result<CompilationReport, DriverError> {
         let started = Instant::now();
@@ -288,8 +322,8 @@ impl Pipeline {
             }
         }
 
-        let compiled = map_parallel(self.config.parallelism, &work, |_, (unit, spec)| {
-            (*unit, self.compile_loop(spec))
+        let compiled = map_parallel(config.parallelism, &work, |_, (unit, spec)| {
+            (*unit, self.compile_loop_with(config, spec))
         });
 
         let mut reports: Vec<UnitReport> = unit_names
@@ -300,7 +334,7 @@ impl Pipeline {
                 listing: None,
             })
             .collect();
-        let mut listings: Vec<ProgramListing> = if self.config.listings {
+        let mut listings: Vec<ProgramListing> = if config.listings {
             reports
                 .iter()
                 .map(|u| ProgramListing::new(u.name.clone()))
@@ -309,7 +343,7 @@ impl Pipeline {
             Vec::new()
         };
         for (unit, (loop_report, program)) in compiled {
-            if let (true, Some(program)) = (self.config.listings, program) {
+            if let (true, Some(program)) = (config.listings, program) {
                 listings[unit].push(loop_report.name.clone(), program);
             }
             reports[unit].loops.push(loop_report);
@@ -318,20 +352,21 @@ impl Pipeline {
             unit.listing = Some(listing.to_string());
         }
         let total = work.len();
-        Ok(self.finish_report(reports, total, started))
+        Ok(self.finish_report(config, reports, total, started))
     }
 
     fn finish_report(
         &self,
+        config: &PipelineConfig,
         units: Vec<UnitReport>,
         loops: usize,
         started: Instant,
     ) -> CompilationReport {
         CompilationReport {
             units,
-            address_registers: self.config.agu.address_registers(),
-            modify_range: self.config.agu.modify_range(),
-            threads: self.config.parallelism.resolve(loops),
+            address_registers: config.agu.address_registers(),
+            modify_range: config.agu.modify_range(),
+            threads: config.parallelism.resolve(loops),
             elapsed: started.elapsed(),
             cache: self.cache.stats(),
         }
@@ -344,6 +379,17 @@ impl Pipeline {
     /// callers with their own scheduling (or pre-parsed [`LoopSpec`]s)
     /// can reuse the cached hot path.
     pub fn compile_loop(&self, spec: &LoopSpec) -> (LoopReport, Option<AddressProgram>) {
+        self.compile_loop_with(&self.config, spec)
+    }
+
+    /// Like [`compile_loop`](Self::compile_loop), but under a
+    /// per-request configuration (see
+    /// [`compile_units_with`](Self::compile_units_with)).
+    pub fn compile_loop_with(
+        &self,
+        config: &PipelineConfig,
+        spec: &LoopSpec,
+    ) -> (LoopReport, Option<AddressProgram>) {
         let mut report = LoopReport {
             name: spec.name().to_owned(),
             arrays: 0,
@@ -358,7 +404,7 @@ impl Pipeline {
             failure: None,
         };
 
-        let allocation = match self.allocate(spec) {
+        let allocation = match self.allocate(config, spec) {
             Ok(allocation) => allocation,
             Err(failure) => {
                 report.failure = Some(failure);
@@ -374,9 +420,8 @@ impl Pipeline {
             .sum();
         report.cost = u64::from(allocation.total_cost());
 
-        let layout =
-            MemoryLayout::contiguous(spec, self.config.layout_origin, self.config.array_words);
-        let generator = CodeGenerator::new(self.config.agu);
+        let layout = MemoryLayout::contiguous(spec, config.layout_origin, config.array_words);
+        let generator = CodeGenerator::new(config.agu);
         let program = match generator.generate(spec, &allocation, &layout) {
             Ok(program) => program,
             Err(error) => {
@@ -386,10 +431,10 @@ impl Pipeline {
         };
         report.code_words = program.words();
 
-        if self.config.validate {
-            let iterations = self.config.validation_iterations.max(1);
+        if config.validate {
+            let iterations = config.validation_iterations.max(1);
             let trace = Trace::capture(spec, &layout, iterations);
-            match sim::run(&program, &trace, &self.config.agu) {
+            match sim::run(&program, &trace, &config.agu) {
                 Ok(sim_report) => {
                     let measured = sim_report.explicit_updates_per_iteration();
                     report.measured_cost = Some(measured);
@@ -397,7 +442,7 @@ impl Pipeline {
                     // Modify registers absorb over-range deltas after
                     // the allocator's cost model: measured <= predicted
                     // is then expected, equality otherwise.
-                    let exact = self.config.agu.modify_registers() == 0;
+                    let exact = config.agu.modify_registers() == 0;
                     if (exact && measured != report.cost) || measured > report.cost {
                         report.failure = Some(LoopFailure::CostMismatch {
                             predicted: report.cost,
@@ -413,7 +458,7 @@ impl Pipeline {
             }
         }
 
-        if self.config.listings {
+        if config.listings {
             report.listing = Some(program.to_string());
         }
         (report, Some(program))
@@ -426,16 +471,20 @@ impl Pipeline {
     /// feed the register partition, then each array is allocated with
     /// its granted register count (cached by exact canonical form, so
     /// hits reuse covers *and* concrete update deltas).
-    fn allocate(&self, spec: &LoopSpec) -> Result<LoopAllocation, LoopFailure> {
-        let optimizer = Optimizer::with_options(self.config.agu, self.config.options);
-        if !self.config.caching {
+    fn allocate(
+        &self,
+        config: &PipelineConfig,
+        spec: &LoopSpec,
+    ) -> Result<LoopAllocation, LoopFailure> {
+        let optimizer = Optimizer::with_options(config.agu, config.options);
+        if !config.caching {
             return optimizer
                 .allocate_loop(spec)
                 .map_err(|e| LoopFailure::Allocation(e.to_string()));
         }
 
         let patterns = spec.patterns();
-        let k = self.config.agu.address_registers();
+        let k = config.agu.address_registers();
         // Same prechecks (and, via AllocError, the same failure texts)
         // as the uncached Optimizer::allocate_loop path.
         if patterns.is_empty() {
@@ -450,8 +499,8 @@ impl Pipeline {
                 .to_string(),
             ));
         }
-        let modify_range = self.config.agu.modify_range();
-        let options = self.config.options;
+        let modify_range = config.agu.modify_range();
+        let options = config.options;
 
         let canonicals: Vec<CanonicalPattern> = patterns.iter().map(CanonicalPattern::of).collect();
         let curves: Vec<Vec<u32>> = patterns
@@ -597,6 +646,72 @@ mod tests {
         }
         let stats = warm_pipeline.cache_stats();
         assert!(stats.allocation_hits > 0);
+    }
+
+    #[test]
+    fn per_request_configs_share_one_cache() {
+        let pipeline = pipeline(4);
+        let source = "for (i = 0; i < 64; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }";
+        let first = pipeline.compile_str("a", source).unwrap();
+        assert_eq!(first.failed(), 0);
+
+        // A request against a *different* machine: distinct cache keys,
+        // so it must miss (no false sharing) …
+        let mut other_machine = pipeline.config().clone();
+        other_machine.agu = AguSpec::new(2, 2).unwrap();
+        let second =
+            pipeline.compile_units_with(&other_machine, &[("b".to_owned(), source.to_owned())]);
+        let second = second.unwrap();
+        assert_eq!(second.failed(), 0);
+        assert_eq!(second.address_registers, 2);
+        assert_eq!(second.modify_range, 2);
+        let after_second = pipeline.cache_stats();
+
+        // … while a repeat of the first request, issued through the
+        // override entry point with the default config, is a pure hit.
+        let third = pipeline
+            .compile_units_with(
+                &pipeline.config().clone(),
+                &[("c".to_owned(), source.to_owned())],
+            )
+            .unwrap();
+        assert_eq!(third.failed(), 0);
+        let after_third = pipeline.cache_stats();
+        assert!(after_third.allocation_hits > after_second.allocation_hits);
+        assert_eq!(
+            after_third.allocation_misses,
+            after_second.allocation_misses
+        );
+        for (a, b) in first.loops().zip(third.loops()) {
+            assert_eq!(a, b, "identical request, identical report");
+        }
+    }
+
+    #[test]
+    fn bounded_pipelines_evict_instead_of_growing() {
+        let agu = AguSpec::new(4, 1).unwrap();
+        let mut config = PipelineConfig::new(agu);
+        config.cache_policy = CachePolicy::Bounded(16);
+        config.parallelism = Parallelism::Sequential;
+        let pipeline = Pipeline::with_config(config);
+        // A sweep of distinct shapes (one per gap width) overflows the
+        // bound; entry counts stay near it while counters keep going.
+        for gap in 1..200i64 {
+            let source = format!(
+                "for (i = 0; i < 64; i++) {{ y[i] = x[i] + x[i + {gap}] + x[i + {}]; }}",
+                3 * gap
+            );
+            let report = pipeline.compile_str("sweep", &source).unwrap();
+            assert_eq!(report.failed(), 0);
+        }
+        let stats = pipeline.cache_stats();
+        assert!(
+            stats.allocation_entries <= 16 + 16,
+            "alloc entries {} not bounded",
+            stats.allocation_entries
+        );
+        assert!(stats.allocation_evictions > 0);
+        assert!(stats.curve_evictions > 0);
     }
 
     #[test]

@@ -220,10 +220,13 @@ impl CompilationReport {
 
     /// Machine-readable JSON rendering of the whole report.
     pub fn to_json(&self) -> String {
-        self.json_value().render_pretty()
+        self.to_json_value().render_pretty()
     }
 
-    fn json_value(&self) -> Json {
+    /// The report as a [`Json`] value tree, for callers that embed
+    /// reports in larger documents (the serve protocol wraps them in
+    /// response envelopes).
+    pub fn to_json_value(&self) -> Json {
         Json::Obj(vec![
             (
                 "machine".to_owned(),
@@ -404,6 +407,8 @@ mod tests {
                 curve_misses: 4,
                 allocation_entries: 2,
                 curve_entries: 4,
+                allocation_evictions: 0,
+                curve_evictions: 0,
             },
         }
     }

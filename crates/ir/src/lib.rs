@@ -40,6 +40,28 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Canonicalization
+//!
+//! The allocation algorithms only see offset *differences*, so two
+//! patterns that differ by a constant shift are the same allocation
+//! problem. [`CanonicalPattern`] is the cache key that makes a batch
+//! driver (or a long-lived `raco serve` process) exploit that:
+//!
+//! ```
+//! use raco_ir::{AccessPattern, CanonicalPattern};
+//!
+//! // The same three-tap chain at two different base offsets …
+//! let near = AccessPattern::from_offsets(&[0, -1, -2], 1);
+//! let far = AccessPattern::from_offsets(&[40, 39, 38], 1);
+//! // … is one cache entry:
+//! assert_eq!(CanonicalPattern::of(&near), CanonicalPattern::of(&far));
+//! // and its fingerprint is stable across processes:
+//! assert_eq!(
+//!     CanonicalPattern::of(&near).fingerprint(),
+//!     CanonicalPattern::of(&far).fingerprint(),
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

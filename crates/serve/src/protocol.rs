@@ -1,0 +1,505 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order. The
+//! same protocol runs over stdio (one client) and TCP (one stream per
+//! client); nothing in it is transport-specific. Blank lines are
+//! ignored; unknown object keys are ignored too, so clients can carry
+//! their own metadata.
+//!
+//! ## Requests
+//!
+//! Every request is a JSON object with an `"op"` field and an optional
+//! `"id"` (any JSON scalar, echoed verbatim in the response so clients
+//! can pipeline):
+//!
+//! | `op` | fields | effect |
+//! |------|--------|--------|
+//! | `compile` | `source` (required), `name` | compile a DSL program |
+//! | `kernels` | `kernel` (one name, or omit for the whole suite) | compile built-in kernels |
+//! | `stats` | — | allocation-cache statistics |
+//! | `clear_cache` | — | drop every cached entry |
+//! | `ping` | — | liveness check |
+//! | `shutdown` | — | acknowledge, then close the connection |
+//!
+//! `compile` and `kernels` accept per-request machine/option knobs
+//! (`registers`, `modify`, `modify_registers`, `threads`,
+//! `iterations`, `validate`, `listings`, `cache`); anything not given
+//! falls back to the server's defaults. The warm allocation cache is
+//! shared across *all* requests and connections — cache keys include
+//! the machine parameters, so mixed-machine traffic is safe.
+//!
+//! ## Responses
+//!
+//! A single line: `{"id":…,"ok":true,…}` with a `report` (the
+//! [`CompilationReport`] JSON), `stats`, or an acknowledgement flag —
+//! or `{"id":…,"ok":false,"error":"…"}`. Malformed input never kills
+//! the connection; it produces an error response.
+//!
+//! ```
+//! use raco_serve::protocol::{self, Request};
+//!
+//! let envelope = protocol::parse_line(
+//!     r#"{"id": 7, "op": "compile", "source": "for (i = 0; i < 8; i++) { s += x[i]; }"}"#,
+//! )?;
+//! assert!(matches!(envelope.request, Request::Compile { .. }));
+//!
+//! // Unparsable lines are errors that echo whatever id was readable:
+//! let err = protocol::parse_line(r#"{"id": 7, "op": "warp"}"#).unwrap_err();
+//! assert!(err.message.contains("unknown op"));
+//! assert!(protocol::error_line(&err.id, &err.message).contains("\"ok\":false"));
+//! # Ok::<(), raco_serve::protocol::ProtocolError>(())
+//! ```
+
+use raco_driver::json::Json;
+use raco_driver::{CacheStats, CompilationReport, Parallelism, PipelineConfig};
+use raco_ir::AguSpec;
+
+/// A decoded request line: the operation plus its envelope metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The operation to perform.
+    pub request: Request,
+    /// Per-request configuration overrides (compile/kernels only).
+    pub knobs: Knobs,
+}
+
+/// The operations a client can ask for.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Compile one DSL program (possibly many loops).
+    Compile {
+        /// Unit label used in the report (defaults to `request`).
+        name: String,
+        /// The DSL source text.
+        source: String,
+    },
+    /// Compile the built-in kernel suite, or one named kernel.
+    Kernels {
+        /// A single kernel name; `None` compiles the whole suite.
+        kernel: Option<String>,
+    },
+    /// Report allocation-cache statistics.
+    Stats,
+    /// Drop every cached allocation and cost curve.
+    ClearCache,
+    /// Liveness check.
+    Ping,
+    /// Acknowledge and close this connection (stdio: stop serving).
+    Shutdown,
+}
+
+/// Optional per-request overrides of the server's default
+/// [`PipelineConfig`]. `None` everywhere means "use the defaults".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Knobs {
+    /// Address registers (the paper's `K`).
+    pub registers: Option<usize>,
+    /// Auto-modify range (the paper's `M`).
+    pub modify: Option<u32>,
+    /// Modify registers.
+    pub modify_registers: Option<usize>,
+    /// Worker threads for this request (`0`/`1` = sequential).
+    pub threads: Option<usize>,
+    /// Simulated iterations per loop.
+    pub iterations: Option<u64>,
+    /// Validate generated code against a reference trace.
+    pub validate: Option<bool>,
+    /// Attach listings to the report.
+    pub listings: Option<bool>,
+    /// Consult the shared allocation cache.
+    pub cache: Option<bool>,
+}
+
+impl Knobs {
+    /// `true` if every knob is at its default (no overrides given).
+    pub fn is_default(&self) -> bool {
+        *self == Knobs::default()
+    }
+
+    /// Builds the effective per-request configuration over `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the requested machine is
+    /// invalid (e.g. zero address registers).
+    pub fn apply(&self, base: &PipelineConfig) -> Result<PipelineConfig, String> {
+        let mut config = base.clone();
+        if self.registers.is_some() || self.modify.is_some() || self.modify_registers.is_some() {
+            let registers = self.registers.unwrap_or(base.agu.address_registers());
+            let modify = self.modify.unwrap_or(base.agu.modify_range());
+            let modify_registers = self.modify_registers.unwrap_or(base.agu.modify_registers());
+            config.agu = AguSpec::new(registers, modify)
+                .map_err(|e| e.to_string())?
+                .with_modify_registers(modify_registers);
+        }
+        if let Some(threads) = self.threads {
+            config.parallelism = match threads {
+                0 | 1 => Parallelism::Sequential,
+                n => Parallelism::Fixed(n),
+            };
+        }
+        if let Some(iterations) = self.iterations {
+            config.validation_iterations = iterations;
+        }
+        if let Some(validate) = self.validate {
+            config.validate = validate;
+        }
+        if let Some(listings) = self.listings {
+            config.listings = listings;
+        }
+        if let Some(cache) = self.cache {
+            config.caching = cache;
+        }
+        Ok(config)
+    }
+}
+
+/// A request that could not be decoded. Carries whatever `id` was
+/// readable so the error response still correlates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The request id, when the line parsed far enough to have one.
+    pub id: Option<Json>,
+    /// What was wrong with the request.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn fail(id: &Option<Json>, message: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        id: id.clone(),
+        message: message.into(),
+    }
+}
+
+/// Reads an optional scalar field, rejecting wrong types (a silently
+/// ignored `"registers": "four"` would be a debugging trap).
+fn scalar<T>(
+    value: &Json,
+    id: &Option<Json>,
+    key: &str,
+    extract: impl Fn(&Json) -> Option<T>,
+    expected: &str,
+) -> Result<Option<T>, ProtocolError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => extract(field)
+            .map(Some)
+            .ok_or_else(|| fail(id, format!("field `{key}` must be {expected}"))),
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for malformed JSON, non-object requests,
+/// unknown ops, missing required fields and wrongly-typed knobs.
+pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
+    let value = Json::parse(line).map_err(|e| fail(&None, e.to_string()))?;
+    if !matches!(value, Json::Obj(_)) {
+        return Err(fail(&None, "request must be a JSON object"));
+    }
+    let id = value.get("id").cloned().filter(|v| *v != Json::Null);
+    if matches!(id, Some(Json::Arr(_) | Json::Obj(_))) {
+        return Err(fail(&None, "field `id` must be a JSON scalar"));
+    }
+
+    let op = scalar(
+        &value,
+        &id,
+        "op",
+        |v| v.as_str().map(str::to_owned),
+        "a string",
+    )?
+    .ok_or_else(|| fail(&id, "missing required field `op`"))?;
+
+    let as_usize = |v: &Json| v.as_u64().and_then(|u| usize::try_from(u).ok());
+    let knobs = Knobs {
+        registers: scalar(&value, &id, "registers", as_usize, "a non-negative integer")?,
+        modify: scalar(
+            &value,
+            &id,
+            "modify",
+            |v| v.as_u64().and_then(|u| u32::try_from(u).ok()),
+            "a non-negative integer",
+        )?,
+        modify_registers: scalar(
+            &value,
+            &id,
+            "modify_registers",
+            as_usize,
+            "a non-negative integer",
+        )?,
+        threads: scalar(&value, &id, "threads", as_usize, "a non-negative integer")?,
+        iterations: scalar(
+            &value,
+            &id,
+            "iterations",
+            Json::as_u64,
+            "a non-negative integer",
+        )?,
+        validate: scalar(&value, &id, "validate", Json::as_bool, "a boolean")?,
+        listings: scalar(&value, &id, "listings", Json::as_bool, "a boolean")?,
+        cache: scalar(&value, &id, "cache", Json::as_bool, "a boolean")?,
+    };
+
+    let request = match op.as_str() {
+        "compile" => {
+            let source = scalar(
+                &value,
+                &id,
+                "source",
+                |v| v.as_str().map(str::to_owned),
+                "a string",
+            )?
+            .ok_or_else(|| fail(&id, "`compile` needs a `source` field"))?;
+            let name = scalar(
+                &value,
+                &id,
+                "name",
+                |v| v.as_str().map(str::to_owned),
+                "a string",
+            )?
+            .unwrap_or_else(|| "request".to_owned());
+            Request::Compile { name, source }
+        }
+        "kernels" => Request::Kernels {
+            kernel: scalar(
+                &value,
+                &id,
+                "kernel",
+                |v| v.as_str().map(str::to_owned),
+                "a string",
+            )?,
+        },
+        "stats" => Request::Stats,
+        "clear_cache" => Request::ClearCache,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(fail(
+                &id,
+                format!(
+                    "unknown op `{other}` (expected compile, kernels, stats, \
+                     clear_cache, ping or shutdown)"
+                ),
+            ))
+        }
+    };
+    if !knobs.is_default() && !matches!(request, Request::Compile { .. } | Request::Kernels { .. })
+    {
+        return Err(fail(&id, format!("op `{op}` takes no configuration knobs")));
+    }
+    Ok(Envelope { id, request, knobs })
+}
+
+fn envelope(id: &Option<Json>, ok: bool, mut rest: Vec<(String, Json)>) -> String {
+    let mut fields = Vec::with_capacity(rest.len() + 2);
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), id.clone()));
+    }
+    fields.push(("ok".to_owned(), Json::Bool(ok)));
+    fields.append(&mut rest);
+    Json::Obj(fields).render()
+}
+
+/// A success response carrying a compilation report.
+pub fn report_line(id: &Option<Json>, report: &CompilationReport) -> String {
+    envelope(
+        id,
+        true,
+        vec![("report".to_owned(), report.to_json_value())],
+    )
+}
+
+/// A success response carrying cache statistics.
+pub fn stats_line(id: &Option<Json>, stats: &CacheStats) -> String {
+    envelope(id, true, vec![("stats".to_owned(), stats_json(stats))])
+}
+
+/// A success acknowledgement: `{"ok":true,"<flag>":true}`.
+pub fn ack_line(id: &Option<Json>, flag: &str) -> String {
+    envelope(id, true, vec![(flag.to_owned(), Json::Bool(true))])
+}
+
+/// An error response.
+pub fn error_line(id: &Option<Json>, message: &str) -> String {
+    envelope(id, false, vec![("error".to_owned(), Json::str(message))])
+}
+
+/// [`CacheStats`] as a JSON object (the `stats` response payload).
+pub fn stats_json(stats: &CacheStats) -> Json {
+    Json::Obj(vec![
+        (
+            "allocation_hits".to_owned(),
+            Json::UInt(stats.allocation_hits),
+        ),
+        (
+            "allocation_misses".to_owned(),
+            Json::UInt(stats.allocation_misses),
+        ),
+        (
+            "allocation_entries".to_owned(),
+            Json::UInt(stats.allocation_entries as u64),
+        ),
+        (
+            "allocation_evictions".to_owned(),
+            Json::UInt(stats.allocation_evictions),
+        ),
+        ("curve_hits".to_owned(), Json::UInt(stats.curve_hits)),
+        ("curve_misses".to_owned(), Json::UInt(stats.curve_misses)),
+        (
+            "curve_entries".to_owned(),
+            Json::UInt(stats.curve_entries as u64),
+        ),
+        (
+            "curve_evictions".to_owned(),
+            Json::UInt(stats.curve_evictions),
+        ),
+        ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_requests_parse_with_knobs() {
+        let envelope = parse_line(
+            r#"{"id":"a1","op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }",
+               "name":"fir","registers":6,"modify":2,"iterations":8,"validate":false,
+               "listings":true,"cache":false,"threads":1,"client_meta":"ignored"}"#,
+        )
+        .unwrap();
+        assert_eq!(envelope.id, Some(Json::str("a1")));
+        assert_eq!(
+            envelope.request,
+            Request::Compile {
+                name: "fir".into(),
+                source: "for (i = 0; i < 4; i++) { s += x[i]; }".into()
+            }
+        );
+        assert_eq!(envelope.knobs.registers, Some(6));
+        assert_eq!(envelope.knobs.modify, Some(2));
+        assert_eq!(envelope.knobs.iterations, Some(8));
+        assert_eq!(envelope.knobs.validate, Some(false));
+        assert_eq!(envelope.knobs.listings, Some(true));
+        assert_eq!(envelope.knobs.cache, Some(false));
+        assert_eq!(envelope.knobs.threads, Some(1));
+        assert!(!envelope.knobs.is_default());
+    }
+
+    #[test]
+    fn control_requests_parse_without_knobs() {
+        for (line, expected) in [
+            (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"clear_cache"}"#, Request::ClearCache),
+            (r#"{"op":"ping"}"#, Request::Ping),
+            (r#"{"op":"shutdown","id":3}"#, Request::Shutdown),
+            (
+                r#"{"op":"kernels","kernel":"paper_example"}"#,
+                Request::Kernels {
+                    kernel: Some("paper_example".into()),
+                },
+            ),
+            (r#"{"op":"kernels"}"#, Request::Kernels { kernel: None }),
+        ] {
+            let envelope = parse_line(line).expect(line);
+            assert_eq!(envelope.request, expected, "{line}");
+            assert!(envelope.knobs.is_default());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors() {
+        for (line, needle) in [
+            ("", "invalid JSON"),
+            ("{\"op\":", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            ("{\"id\":1}", "missing required field `op`"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"compile"}"#, "needs a `source`"),
+            (
+                r#"{"op":"compile","source":5}"#,
+                "`source` must be a string",
+            ),
+            (
+                r#"{"op":"compile","source":"x","registers":"four"}"#,
+                "`registers` must be",
+            ),
+            (
+                r#"{"op":"compile","source":"x","registers":-1}"#,
+                "`registers` must be",
+            ),
+            (
+                r#"{"op":"ping","registers":4}"#,
+                "takes no configuration knobs",
+            ),
+            (r#"{"op":"stats","id":[1]}"#, "`id` must be a JSON scalar"),
+        ] {
+            let err = parse_line(line).expect_err(line);
+            assert!(
+                err.message.contains(needle),
+                "`{line}`: `{}` does not mention `{needle}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn errors_keep_the_readable_id() {
+        let err = parse_line(r#"{"id":42,"op":"compile"}"#).unwrap_err();
+        assert_eq!(err.id, Some(Json::Int(42)));
+        let rendered = error_line(&err.id, &err.message);
+        assert!(rendered.starts_with(r#"{"id":42,"ok":false,"error":"#));
+    }
+
+    #[test]
+    fn knobs_apply_over_a_base_config() {
+        let base = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+        let knobs = Knobs {
+            registers: Some(2),
+            iterations: Some(3),
+            validate: Some(false),
+            ..Knobs::default()
+        };
+        let config = knobs.apply(&base).unwrap();
+        assert_eq!(config.agu.address_registers(), 2);
+        assert_eq!(config.agu.modify_range(), 1, "inherited from base");
+        assert_eq!(config.validation_iterations, 3);
+        assert!(!config.validate);
+        assert!(config.caching, "inherited from base");
+
+        let bad = Knobs {
+            registers: Some(0),
+            ..Knobs::default()
+        };
+        assert!(bad.apply(&base).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let stats = CacheStats::default();
+        for line in [
+            stats_line(&Some(Json::Int(1)), &stats),
+            ack_line(&None, "pong"),
+            error_line(&Some(Json::str("x")), "boom\nboom"),
+        ] {
+            assert!(!line.contains('\n'), "NDJSON must stay on one line: {line}");
+            assert!(Json::parse(&line).is_ok(), "response reparses: {line}");
+        }
+        assert_eq!(ack_line(&None, "pong"), r#"{"ok":true,"pong":true}"#);
+    }
+}

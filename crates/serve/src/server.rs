@@ -1,0 +1,334 @@
+//! The service loop: one warm [`Pipeline`] behind stdio or TCP.
+//!
+//! A [`Server`] owns exactly one [`Pipeline`], so every request —
+//! whatever its transport or connection — warms the same allocation
+//! cache. That is the whole point of serve mode: the paper's two-phase
+//! allocation is expensive once per *shape*, and long-lived traffic
+//! repeats shapes endlessly, so the second client gets the first
+//! client's search for free.
+//!
+//! Transports:
+//!
+//! * [`Server::serve`] — a blocking request/response loop over any
+//!   `BufRead`/`Write` pair (stdin/stdout in the CLI, in-memory
+//!   buffers in tests).
+//! * [`Server::serve_tcp`] — accepts TCP connections and runs the same
+//!   loop per connection on a scoped thread, so concurrent clients
+//!   compile in parallel against the shared cache. A `shutdown`
+//!   request stops the accept loop.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use raco_driver::{Pipeline, PipelineConfig};
+
+use crate::protocol::{self, Envelope, Request};
+
+/// One response line plus the connection's fate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The single-line JSON response (no trailing newline).
+    pub line: String,
+    /// `true` if the client asked this connection to close.
+    pub shutdown: bool,
+}
+
+/// A long-lived compile service over one shared warm cache.
+#[derive(Debug)]
+pub struct Server {
+    pipeline: Pipeline,
+}
+
+impl Server {
+    /// A server whose defaults (machine, options, cache policy) come
+    /// from `config`. Per-request knobs override everything except the
+    /// cache policy, which is fixed for the server's lifetime.
+    pub fn new(config: PipelineConfig) -> Self {
+        Server {
+            pipeline: Pipeline::with_config(config),
+        }
+    }
+
+    /// Wraps an existing pipeline (e.g. one pre-warmed by a batch run).
+    pub fn with_pipeline(pipeline: Pipeline) -> Self {
+        Server { pipeline }
+    }
+
+    /// The shared pipeline (for stats, cache control, pre-warming).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Handles one request line and produces one response line.
+    ///
+    /// This is the transport-free core: both [`serve`](Self::serve)
+    /// and [`serve_tcp`](Self::serve_tcp) are loops around it, and
+    /// tests and benches call it directly (a "loopback" client).
+    pub fn handle_line(&self, line: &str) -> Reply {
+        let Envelope { id, request, knobs } = match protocol::parse_line(line) {
+            Ok(envelope) => envelope,
+            Err(e) => {
+                return Reply {
+                    line: protocol::error_line(&e.id, &e.message),
+                    shutdown: false,
+                }
+            }
+        };
+        let reply = |line: String| Reply {
+            line,
+            shutdown: false,
+        };
+        match request {
+            Request::Compile { name, source } => {
+                let config = match knobs.apply(self.pipeline.config()) {
+                    Ok(config) => config,
+                    Err(message) => return reply(protocol::error_line(&id, &message)),
+                };
+                match self.pipeline.compile_units_with(&config, &[(name, source)]) {
+                    Ok(report) => reply(protocol::report_line(&id, &report)),
+                    Err(e) => reply(protocol::error_line(&id, &e.to_string())),
+                }
+            }
+            Request::Kernels { kernel } => {
+                let config = match knobs.apply(self.pipeline.config()) {
+                    Ok(config) => config,
+                    Err(message) => return reply(protocol::error_line(&id, &message)),
+                };
+                match kernel {
+                    None => {
+                        let report = self.pipeline.compile_kernels_with(&config);
+                        reply(protocol::report_line(&id, &report))
+                    }
+                    Some(name) => {
+                        let suite = raco_kernels::suite();
+                        let Some(kernel) = suite.iter().find(|k| k.name() == name) else {
+                            let known: Vec<&str> = suite.iter().map(|k| k.name()).collect();
+                            return reply(protocol::error_line(
+                                &id,
+                                &format!("unknown kernel `{name}` (known: {})", known.join(", ")),
+                            ));
+                        };
+                        let unit = (name.clone(), kernel.source().to_owned());
+                        match self.pipeline.compile_units_with(&config, &[unit]) {
+                            Ok(report) => reply(protocol::report_line(&id, &report)),
+                            Err(e) => reply(protocol::error_line(&id, &e.to_string())),
+                        }
+                    }
+                }
+            }
+            Request::Stats => reply(protocol::stats_line(&id, &self.pipeline.cache_stats())),
+            Request::ClearCache => {
+                self.pipeline.clear_cache();
+                reply(protocol::ack_line(&id, "cleared"))
+            }
+            Request::Ping => reply(protocol::ack_line(&id, "pong")),
+            Request::Shutdown => Reply {
+                line: protocol::ack_line(&id, "shutdown"),
+                shutdown: true,
+            },
+        }
+    }
+
+    /// Serves NDJSON requests from `input`, writing responses to
+    /// `output`, until a `shutdown` request or end of input. Blank
+    /// lines are skipped; responses are flushed per request so a
+    /// pipe-connected client never deadlocks waiting on a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transport I/O error (protocol-level problems
+    /// are error *responses*, not errors here).
+    pub fn serve<R: BufRead, W: Write>(&self, input: R, mut output: W) -> io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = self.handle_line(&line);
+            output.write_all(reply.line.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if reply.shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Accepts connections on `listener` and serves each on its own
+    /// scoped thread against the shared pipeline, until any client
+    /// sends `shutdown`. In-flight connections drain their current
+    /// request; the accept loop then stops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first *accept* error. Per-connection I/O errors
+    /// only end that connection.
+    pub fn serve_tcp(&self, listener: &TcpListener) -> io::Result<()> {
+        // Nonblocking accept so the loop can observe the stop flag a
+        // shutdown request (on any connection thread) sets.
+        listener.set_nonblocking(true)?;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        let stop = &stop;
+                        scope.spawn(move || {
+                            if self.serve_stream(&stream) {
+                                stop.store(true, Ordering::Release);
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Serves one TCP connection; `true` if the client asked the whole
+    /// server to shut down.
+    fn serve_stream(&self, stream: &TcpStream) -> bool {
+        // Blocking per-connection I/O (the listener's nonblocking flag
+        // is inherited on some platforms).
+        if stream.set_nonblocking(false).is_err() {
+            return false;
+        }
+        let mut writer = match stream.try_clone() {
+            Ok(writer) => writer,
+            Err(_) => return false,
+        };
+        let reader = BufReader::new(stream);
+        let mut shutdown = false;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = self.handle_line(&line);
+            if writer
+                .write_all(reply.line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+            if reply.shutdown {
+                shutdown = true;
+                break;
+            }
+        }
+        shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raco_driver::json::Json;
+    use raco_ir::AguSpec;
+
+    fn server() -> Server {
+        Server::new(PipelineConfig::new(AguSpec::new(4, 1).unwrap()))
+    }
+
+    fn parsed(reply: &Reply) -> Json {
+        Json::parse(&reply.line).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn ping_and_shutdown_round_trip() {
+        let server = server();
+        let pong = server.handle_line(r#"{"op":"ping","id":1}"#);
+        assert_eq!(pong.line, r#"{"id":1,"ok":true,"pong":true}"#);
+        assert!(!pong.shutdown);
+        let bye = server.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(bye.shutdown);
+        assert_eq!(bye.line, r#"{"ok":true,"shutdown":true}"#);
+    }
+
+    #[test]
+    fn compile_produces_a_report_envelope() {
+        let server = server();
+        let reply = server.handle_line(
+            r#"{"id":9,"op":"compile","name":"tap3",
+                "source":"for (i = 1; i < 100; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }"}"#,
+        );
+        let json = parsed(&reply);
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("id").and_then(Json::as_u64), Some(9));
+        let report = json.get("report").expect("report payload");
+        assert_eq!(report.get("failed").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            report
+                .get("units")
+                .and_then(|u| match u {
+                    Json::Arr(items) => items.first(),
+                    _ => None,
+                })
+                .and_then(|u| u.get("name"))
+                .and_then(Json::as_str),
+            Some("tap3")
+        );
+    }
+
+    #[test]
+    fn per_request_knobs_change_the_machine() {
+        let server = server();
+        let reply = server.handle_line(
+            r#"{"op":"compile","source":"for (i = 0; i < 8; i++) { s += x[i]; }","registers":2,"modify":3}"#,
+        );
+        let json = parsed(&reply);
+        let machine = json.get("report").and_then(|r| r.get("machine")).unwrap();
+        assert_eq!(
+            machine.get("address_registers").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(machine.get("modify_range").and_then(Json::as_u64), Some(3));
+        // The server's defaults are untouched.
+        assert_eq!(server.pipeline().config().agu.address_registers(), 4);
+    }
+
+    #[test]
+    fn named_kernels_compile_and_unknown_names_error() {
+        let server = server();
+        let ok = parsed(&server.handle_line(r#"{"op":"kernels","kernel":"paper_example"}"#));
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            ok.get("report")
+                .and_then(|r| r.get("loops"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let err = parsed(&server.handle_line(r#"{"op":"kernels","kernel":"nope"}"#));
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        let message = err.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains("unknown kernel `nope`"));
+        assert!(message.contains("paper_example"), "lists known kernels");
+    }
+
+    #[test]
+    fn bad_requests_never_shut_the_connection() {
+        let server = server();
+        for bad in [
+            "not json",
+            r#"{"op":"compile","source":"for (i = 0; i++) {"}"#,
+            r#"{"op":"compile","source":"x","registers":0}"#,
+        ] {
+            let reply = server.handle_line(bad);
+            assert!(!reply.shutdown, "{bad}");
+            let json = parsed(&reply);
+            assert_eq!(json.get("ok"), Some(&Json::Bool(false)), "{bad}");
+        }
+        // Still alive and compiling:
+        let ok = server.handle_line(r#"{"op":"ping"}"#);
+        assert!(ok.line.contains("pong"));
+    }
+}

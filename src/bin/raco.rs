@@ -3,6 +3,7 @@
 //! ```text
 //! raco compile <path>… [options]   compile DSL files / directories
 //! raco kernels [options]           compile the built-in kernel suite
+//! raco serve [options]             long-lived NDJSON compile service
 //! raco help                        this text
 //! ```
 //!
@@ -20,16 +21,26 @@
 //!     --json             print the JSON report to stdout
 //! -o, --output <file>    write the JSON report to a file
 //!     --quiet            suppress the table (useful with --json)
+//!
+//! serve-only:
+//!     --stdio            serve stdin/stdout (the default transport)
+//!     --tcp <addr>       serve TCP connections on <addr> (e.g. 127.0.0.1:4750)
+//!     --cache-max <N>    bound the allocation cache at ~N entries (FIFO eviction)
 //! ```
 //!
-//! Exit status: 0 when every loop compiled (and validated), 1 on any
-//! per-loop failure, 2 on usage / parse / I/O errors.
+//! Exit status (uniform across subcommands):
+//!
+//! * `0` — success: every loop compiled (and validated); for `serve`,
+//!   a clean shutdown or end of input.
+//! * `1` — at least one loop failed to compile or validate.
+//! * `2` — usage, parse or I/O errors (nothing was compiled).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use raco::driver::{CompilationReport, Parallelism, Pipeline, PipelineConfig};
+use raco::driver::{CachePolicy, CompilationReport, Parallelism, Pipeline, PipelineConfig};
 use raco::ir::AguSpec;
+use raco::serve::Server;
 
 #[derive(Debug)]
 struct CliOptions {
@@ -44,6 +55,9 @@ struct CliOptions {
     json: bool,
     output: Option<PathBuf>,
     quiet: bool,
+    stdio: bool,
+    tcp: Option<String>,
+    cache_max: Option<usize>,
     paths: Vec<PathBuf>,
 }
 
@@ -61,6 +75,9 @@ impl Default for CliOptions {
             json: false,
             output: None,
             quiet: false,
+            stdio: false,
+            tcp: None,
+            cache_max: None,
             paths: Vec::new(),
         }
     }
@@ -72,6 +89,7 @@ fn usage() -> &'static str {
      usage:\n\
      \x20 raco compile <path>… [options]   compile DSL files / directories\n\
      \x20 raco kernels [options]           compile the built-in kernel suite\n\
+     \x20 raco serve [options]             long-lived NDJSON compile service\n\
      \x20 raco help                        this text\n\
      \n\
      options:\n\
@@ -85,7 +103,17 @@ fn usage() -> &'static str {
      \x20     --listing          print assembled per-unit listings\n\
      \x20     --json             print the JSON report to stdout\n\
      \x20 -o, --output <file>    write the JSON report to a file\n\
-     \x20     --quiet            suppress the table output"
+     \x20     --quiet            suppress the table output\n\
+     \n\
+     serve-only options:\n\
+     \x20     --stdio            serve stdin/stdout (the default transport)\n\
+     \x20     --tcp <addr>       serve TCP connections on <addr>\n\
+     \x20     --cache-max <N>    bound the allocation cache at ~N entries\n\
+     \n\
+     exit status:\n\
+     \x20 0  every loop compiled (and validated); serve: clean shutdown\n\
+     \x20 1  at least one loop failed to compile or validate\n\
+     \x20 2  usage, parse or I/O errors (nothing was compiled)"
 }
 
 fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
@@ -110,6 +138,14 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
             "--listing" => options.listing = true,
             "--quiet" => options.quiet = true,
             "--json" => options.json = true,
+            "--stdio" => options.stdio = true,
+            "--tcp" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs an address (e.g. 127.0.0.1:4750)"))?;
+                options.tcp = Some(value);
+            }
+            "--cache-max" => options.cache_max = Some(parse_number(&arg, iter.next())?),
             "-o" | "--output" => {
                 let value = iter
                     .next()
@@ -137,6 +173,9 @@ fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
     config.validation_iterations = options.iterations;
     config.caching = options.cache;
     config.listings = options.listing;
+    if let Some(max) = options.cache_max {
+        config.cache_policy = CachePolicy::Bounded(max);
+    }
     Ok(Pipeline::with_config(config))
 }
 
@@ -208,6 +247,40 @@ fn run() -> Result<bool, String> {
             let report = pipeline.compile_kernels();
             emit(&report, &options)?;
             Ok(report.failed() == 0)
+        }
+        "serve" => {
+            let options = parse_options(args)?;
+            if !options.paths.is_empty() {
+                return Err("serve: unexpected positional arguments".to_owned());
+            }
+            if options.stdio && options.tcp.is_some() {
+                return Err("serve: --stdio and --tcp are mutually exclusive".to_owned());
+            }
+            let server = Server::with_pipeline(build_pipeline(&options)?);
+            match &options.tcp {
+                Some(addr) => {
+                    let listener = std::net::TcpListener::bind(addr)
+                        .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+                    if !options.quiet {
+                        let bound = listener
+                            .local_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| addr.clone());
+                        eprintln!("raco serve: listening on {bound}");
+                    }
+                    server
+                        .serve_tcp(&listener)
+                        .map_err(|e| format!("serve: {e}"))?;
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    let stdout = std::io::stdout();
+                    server
+                        .serve(stdin.lock(), stdout.lock())
+                        .map_err(|e| format!("serve: {e}"))?;
+                }
+            }
+            Ok(true)
         }
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }

@@ -25,6 +25,7 @@
 //! | [`oa`] | `raco-oa` | offset assignment for scalars (SOA/GOA, refs \[4,5\]) |
 //! | [`kernels`] | `raco-kernels` | DSPstone-style kernel suite |
 //! | [`driver`] | `raco-driver` | batch pipeline: parallel scheduling, allocation cache, reports |
+//! | [`serve`] | `raco-serve` | long-lived compile service: NDJSON protocol over stdio/TCP |
 //!
 //! ## Quickstart
 //!
@@ -63,3 +64,4 @@ pub use raco_graph as graph;
 pub use raco_ir as ir;
 pub use raco_kernels as kernels;
 pub use raco_oa as oa;
+pub use raco_serve as serve;

@@ -1,0 +1,293 @@
+//! End-to-end tests of the serve front end: golden NDJSON round-trips
+//! over the stdio loop, protocol error paths, cross-request cache
+//! reuse observed through the `stats` op, bounded-cache eviction under
+//! a sweep of distinct patterns, and a concurrent TCP session.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use raco::driver::json::Json;
+use raco::driver::{CachePolicy, PipelineConfig};
+use raco::ir::AguSpec;
+use raco::serve::Server;
+
+fn default_server() -> Server {
+    Server::new(PipelineConfig::new(AguSpec::new(4, 1).unwrap()))
+}
+
+/// Runs NDJSON `requests` through the blocking stdio loop and returns
+/// one parsed response per request line.
+fn round_trip(server: &Server, requests: &str) -> Vec<Json> {
+    let mut output = Vec::new();
+    server
+        .serve(BufReader::new(requests.as_bytes()), &mut output)
+        .expect("in-memory transport cannot fail");
+    String::from_utf8(output)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(|line| Json::parse(line).expect("every response line is valid JSON"))
+        .collect()
+}
+
+fn ok(response: &Json) -> bool {
+    response.get("ok") == Some(&Json::Bool(true))
+}
+
+#[test]
+fn golden_stdio_round_trip() {
+    let server = default_server();
+    let responses = round_trip(
+        &server,
+        concat!(
+            r#"{"id": 1, "op": "ping"}"#,
+            "\n\n", // blank lines are skipped
+            r#"{"id": 2, "op": "compile", "name": "fir3", "source": "for (i = 1; i < 100; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }"}"#,
+            "\n",
+            r#"{"id": 3, "op": "kernels", "kernel": "paper_example"}"#,
+            "\n",
+            r#"{"id": 4, "op": "shutdown"}"#,
+            "\n",
+        ),
+    );
+    assert_eq!(responses.len(), 4);
+    assert_eq!(responses[0].render(), r#"{"id":1,"ok":true,"pong":true}"#);
+
+    let report = responses[1].get("report").expect("compile report");
+    assert_eq!(report.get("loops").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("failed").and_then(Json::as_u64), Some(0));
+    let unit = match report.get("units") {
+        Some(Json::Arr(units)) => &units[0],
+        other => panic!("units array expected, got {other:?}"),
+    };
+    assert_eq!(unit.get("name").and_then(Json::as_str), Some("fir3"));
+
+    let kernel_report = responses[2].get("report").expect("kernel report");
+    assert_eq!(kernel_report.get("failed").and_then(Json::as_u64), Some(0));
+
+    assert_eq!(
+        responses[3].render(),
+        r#"{"id":4,"ok":true,"shutdown":true}"#
+    );
+}
+
+#[test]
+fn shutdown_stops_the_loop_before_later_requests() {
+    let server = default_server();
+    let responses = round_trip(
+        &server,
+        "{\"op\":\"shutdown\"}\n{\"op\":\"ping\",\"id\":\"never\"}\n",
+    );
+    assert_eq!(responses.len(), 1, "nothing is served after shutdown");
+}
+
+#[test]
+fn malformed_requests_get_error_responses_and_do_not_kill_the_session() {
+    let server = default_server();
+    let responses = round_trip(
+        &server,
+        concat!(
+            "this is not json\n",
+            r#"{"op": "compile", "id": 7}"#,
+            "\n",
+            r#"{"op": "compile", "id": 8, "source": "for (i = 0; i++) {"}"#,
+            "\n",
+            r#"{"op": "ping", "id": 9}"#,
+            "\n",
+        ),
+    );
+    assert_eq!(responses.len(), 4);
+    assert!(!ok(&responses[0]));
+    assert!(responses[0]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("invalid JSON"));
+    assert!(!ok(&responses[1]));
+    assert_eq!(responses[1].get("id").and_then(Json::as_u64), Some(7));
+    assert!(!ok(&responses[2]), "parse errors surface as responses");
+    assert!(ok(&responses[3]), "the session survives all of it");
+}
+
+#[test]
+fn second_identical_request_is_a_cache_hit() {
+    let server = default_server();
+    let compile = r#"{"op": "compile", "source": "for (i = 0; i < 64; i++) { y[i] = x[i-2] + x[i] + x[i+2]; }"}"#;
+    let script = format!(
+        "{compile}\n{}\n{compile}\n{}\n",
+        r#"{"op": "stats", "id": "s1"}"#, r#"{"op": "stats", "id": "s2"}"#
+    );
+    let responses = round_trip(&server, &script);
+    assert_eq!(responses.len(), 4);
+    assert!(responses.iter().all(ok));
+
+    let hits = |stats: &Json| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get("allocation_hits"))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    let misses = |stats: &Json| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get("allocation_misses"))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    let (h1, m1) = (hits(&responses[1]), misses(&responses[1]));
+    let (h2, m2) = (hits(&responses[3]), misses(&responses[3]));
+    assert!(
+        h2 > h1,
+        "second identical request must add hits ({h1} → {h2})"
+    );
+    assert_eq!(m2, m1, "…and no new misses");
+
+    // The compiled results themselves are identical.
+    assert_eq!(
+        responses[0].get("report").and_then(|r| r.get("units")),
+        responses[2].get("report").and_then(|r| r.get("units"))
+    );
+}
+
+#[test]
+fn clear_cache_empties_entries_over_the_protocol() {
+    let server = default_server();
+    let responses = round_trip(
+        &server,
+        concat!(
+            r#"{"op": "kernels"}"#,
+            "\n",
+            r#"{"op": "clear_cache", "id": "c"}"#,
+            "\n",
+            r#"{"op": "stats", "id": "after"}"#,
+            "\n",
+        ),
+    );
+    assert_eq!(
+        responses[1].render(),
+        r#"{"id":"c","ok":true,"cleared":true}"#
+    );
+    let entries = responses[2]
+        .get("stats")
+        .and_then(|s| s.get("allocation_entries"))
+        .and_then(Json::as_u64);
+    assert_eq!(entries, Some(0));
+}
+
+#[test]
+fn bounded_server_evicts_under_a_sweep_of_distinct_patterns() {
+    let mut config = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+    config.cache_policy = CachePolicy::Bounded(32);
+    let server = Server::new(config);
+
+    // 150 distinct shapes (every gap width canonicalizes differently).
+    let script: String = (1..=150)
+        .map(|gap| {
+            format!(
+                r#"{{"op":"compile","source":"for (i = 0; i < 32; i++) {{ y[i] = x[i] + x[i + {gap}] + x[i + {}]; }}"}}"#,
+                3 * gap
+            ) + "\n"
+        })
+        .chain(std::iter::once(format!(
+            "{}\n",
+            r#"{"op":"stats","id":"sweep"}"#
+        )))
+        .collect();
+    let responses = round_trip(&server, &script);
+    assert_eq!(responses.len(), 151);
+    assert!(responses.iter().all(ok), "every compile succeeds");
+
+    let stats = responses.last().unwrap().get("stats").unwrap();
+    let entries = stats
+        .get("allocation_entries")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let evictions = stats
+        .get("allocation_evictions")
+        .and_then(Json::as_u64)
+        .unwrap();
+    // CachePolicy::Bounded(32) rounds up to 2 entries across each of
+    // 16 shards; allow that slack but no unbounded growth.
+    assert!(entries <= 32 + 16, "entries {entries} exceed the bound");
+    assert!(evictions > 0, "the sweep must have evicted");
+}
+
+#[test]
+fn per_request_machines_share_the_server_cache_soundly() {
+    let server = default_server();
+    let source = "for (i = 0; i < 16; i++) { s += x[i] + x[i + 4]; }";
+    let script = format!(
+        concat!(
+            r#"{{"op":"compile","id":1,"source":"{s}"}}"#,
+            "\n",
+            r#"{{"op":"compile","id":2,"source":"{s}","registers":2,"modify":2}}"#,
+            "\n",
+            r#"{{"op":"compile","id":3,"source":"{s}"}}"#,
+            "\n",
+        ),
+        s = source
+    );
+    let responses = round_trip(&server, &script);
+    assert!(responses.iter().all(ok));
+    let machine = |r: &Json, field: &str| {
+        r.get("report")
+            .and_then(|r| r.get("machine"))
+            .and_then(|m| m.get(field))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert_eq!(machine(&responses[0], "address_registers"), 4);
+    assert_eq!(machine(&responses[1], "address_registers"), 2);
+    assert_eq!(machine(&responses[1], "modify_range"), 2);
+    assert_eq!(machine(&responses[2], "address_registers"), 4);
+    // Same source, same default machine → identical results.
+    assert_eq!(
+        responses[0].get("report").and_then(|r| r.get("units")),
+        responses[2].get("report").and_then(|r| r.get("units"))
+    );
+}
+
+#[test]
+fn tcp_clients_share_one_warm_cache() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = default_server();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        let request_and_read = |lines: &[&str]| -> Vec<Json> {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            for line in lines {
+                writeln!(stream, "{line}").expect("send");
+            }
+            stream.flush().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let mut responses = Vec::new();
+            for line in reader.lines().take(lines.len()) {
+                responses.push(Json::parse(&line.expect("read")).expect("valid JSON"));
+            }
+            responses
+        };
+
+        // First client compiles; second client repeats it and asks for
+        // stats: the hits prove the cache outlived the first session.
+        let compile = r#"{"op":"compile","source":"for (i = 0; i < 32; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }"}"#;
+        let first = request_and_read(&[compile]);
+        assert!(ok(&first[0]));
+
+        let second = request_and_read(&[compile, r#"{"op":"stats","id":"s"}"#]);
+        assert!(ok(&second[0]));
+        let hits = second[1]
+            .get("stats")
+            .and_then(|s| s.get("allocation_hits"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(hits > 0, "second connection must hit the first one's work");
+
+        // A shutdown request stops the accept loop and serve_tcp returns.
+        let bye = request_and_read(&[r#"{"op":"shutdown"}"#]);
+        assert_eq!(bye[0].get("shutdown"), Some(&Json::Bool(true)));
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
