@@ -127,7 +127,45 @@ impl CodeGenerator {
             .iter()
             .map(|(p, a, origin)| (p, a.cover(), a.distance_model(), *origin))
             .collect();
-        self.assemble(&covers, total_accesses, &modify)
+        let (program, registers) = self.assemble(&covers, total_accesses, &modify)?;
+        Ok(program.with_carries(Self::carry_blocks(spec, &parts, &registers)))
+    }
+
+    /// Builds the outer-loop carry blocks of a flattened nest: whenever
+    /// nest level `k` advances (every `periods()[k]` iterations), every
+    /// address register serving an array with a non-zero carry at that
+    /// level is adjusted by the carry. `registers[p]` is the register
+    /// assignment [`CodeGenerator::assemble`] made for `parts[p]`'s
+    /// cover, so the mapping cannot drift from the generated body.
+    fn carry_blocks(
+        spec: &LoopSpec,
+        parts: &[(AccessPattern, &Allocation, i64)],
+        registers: &[Vec<RegId>],
+    ) -> Vec<crate::isa::CarryBlock> {
+        let Some(nest) = spec.nest() else {
+            return Vec::new();
+        };
+        let periods = nest.periods();
+        let mut blocks = Vec::new();
+        for (level, &period) in periods.iter().enumerate() {
+            let mut instrs = Vec::new();
+            for ((pattern, _, _), regs) in parts.iter().zip(registers) {
+                let carry = spec
+                    .array_info(pattern.array())
+                    .and_then(|info| info.carries().get(level).copied())
+                    .unwrap_or(0);
+                if carry != 0 {
+                    instrs.extend(
+                        regs.iter()
+                            .map(|&reg| AddressInstr::Adda { reg, delta: carry }),
+                    );
+                }
+            }
+            if !instrs.is_empty() {
+                blocks.push(crate::isa::CarryBlock { period, instrs });
+            }
+        }
+        blocks
     }
 
     /// Generates the address program of a single pattern under an
@@ -158,7 +196,7 @@ impl CodeGenerator {
             self.agu.modify_registers(),
         );
         let total = pattern.position(pattern.len() - 1) + 1;
-        self.assemble(
+        let (program, _) = self.assemble(
             &[(
                 pattern,
                 allocation.cover(),
@@ -167,15 +205,20 @@ impl CodeGenerator {
             )],
             total,
             &modify,
-        )
+        )?;
+        Ok(program)
     }
 
+    /// Assembles prologue and body; also returns, per cover, the
+    /// address registers assigned to its paths (in path order), so
+    /// callers that emit extra per-register code (carry blocks) share
+    /// one numbering.
     fn assemble(
         &self,
         covers: &[(&AccessPattern, &PathCover, &DistanceModel, i64)],
         total_accesses: usize,
         modify: &ModifyAllocation,
-    ) -> Result<AddressProgram, CodeGenError> {
+    ) -> Result<(AddressProgram, Vec<Vec<RegId>>), CodeGenError> {
         let needed: usize = covers.iter().map(|(_, c, _, _)| c.register_count()).sum();
         if needed > self.agu.address_registers() {
             return Err(CodeGenError::RegisterBudgetExceeded {
@@ -195,11 +238,14 @@ impl CodeGenerator {
         let mut prologue = Vec::new();
         // slot[global position] = (register, post-access delta)
         let mut slots: Vec<Option<(RegId, i64)>> = vec![None; total_accesses];
+        let mut registers: Vec<Vec<RegId>> = Vec::with_capacity(covers.len());
         let mut next_reg: u16 = 0;
         for (pattern, cover, dm, origin) in covers {
+            let mut cover_regs = Vec::with_capacity(cover.paths().len());
             for path in cover.paths() {
                 let reg = RegId(next_reg);
                 next_reg += 1;
+                cover_regs.push(reg);
                 prologue.push(AddressInstr::Lda {
                     reg,
                     address: origin + pattern.offset(path.head()),
@@ -214,6 +260,7 @@ impl CodeGenerator {
                     slots[pattern.position(local)] = Some((reg, delta));
                 }
             }
+            registers.push(cover_regs);
         }
         for (mr, &value) in modify.values().iter().enumerate() {
             prologue.push(AddressInstr::Ldm {
@@ -251,11 +298,14 @@ impl CodeGenerator {
                 body.push(AddressInstr::Adda { reg, delta });
             }
         }
-        Ok(AddressProgram::new(
-            prologue,
-            body,
-            usize::from(next_reg),
-            modify.values().to_vec(),
+        Ok((
+            AddressProgram::new(
+                prologue,
+                body,
+                usize::from(next_reg),
+                modify.values().to_vec(),
+            ),
+            registers,
         ))
     }
 }

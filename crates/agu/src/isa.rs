@@ -131,14 +131,36 @@ impl fmt::Display for AddressInstr {
     }
 }
 
-/// A complete address program for one loop: a prologue executed once and a
-/// body executed every iteration.
+/// An outer-loop carry block of a flattened loop nest: instructions
+/// executed after every `period` body iterations (between inner-loop
+/// sweeps, where real nested code re-adjusts its pointers before the
+/// outer loop's back edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarryBlock {
+    /// Execute the block after every `period`-th iteration.
+    pub period: u64,
+    /// The carry fix-up instructions (typically one `ADDA` per address
+    /// register whose array has a non-zero carry at this nest level).
+    pub instrs: Vec<AddressInstr>,
+}
+
+impl CarryBlock {
+    /// Instruction words the block occupies.
+    pub fn words(&self) -> u64 {
+        self.instrs.iter().map(AddressInstr::words).sum()
+    }
+}
+
+/// A complete address program for one loop: a prologue executed once, a
+/// body executed every iteration, and (for flattened loop nests) carry
+/// blocks executed between inner-loop sweeps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressProgram {
     prologue: Vec<AddressInstr>,
     body: Vec<AddressInstr>,
     address_registers: usize,
     modify_values: Vec<i64>,
+    carries: Vec<CarryBlock>,
 }
 
 impl AddressProgram {
@@ -157,7 +179,15 @@ impl AddressProgram {
             body,
             address_registers,
             modify_values,
+            carries: Vec::new(),
         }
+    }
+
+    /// Attaches outer-loop carry blocks (builder style).
+    #[must_use]
+    pub fn with_carries(mut self, carries: Vec<CarryBlock>) -> Self {
+        self.carries = carries;
+        self
     }
 
     /// The prologue instructions (register initialization).
@@ -168,6 +198,11 @@ impl AddressProgram {
     /// The per-iteration body.
     pub fn body(&self) -> &[AddressInstr] {
         &self.body
+    }
+
+    /// Outer-loop carry blocks (empty for plain single loops).
+    pub fn carries(&self) -> &[CarryBlock] {
+        &self.carries
     }
 
     /// Number of address registers used.
@@ -181,10 +216,11 @@ impl AddressProgram {
     }
 
     /// Static addressing words of the whole program
-    /// (prologue + one body copy).
+    /// (prologue + one body copy + carry blocks).
     pub fn words(&self) -> u64 {
         self.prologue.iter().map(AddressInstr::words).sum::<u64>()
             + self.body.iter().map(AddressInstr::words).sum::<u64>()
+            + self.carries.iter().map(CarryBlock::words).sum::<u64>()
     }
 
     /// Addressing cycles of the prologue.
@@ -220,6 +256,16 @@ impl fmt::Display for AddressProgram {
         )?;
         for i in &self.body {
             writeln!(f, "    {i}")?;
+        }
+        for block in &self.carries {
+            writeln!(
+                f,
+                "; outer-loop carry (every {} iteration(s))",
+                block.period
+            )?;
+            for i in &block.instrs {
+                writeln!(f, "    {i}")?;
+            }
         }
         Ok(())
     }

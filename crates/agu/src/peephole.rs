@@ -55,12 +55,16 @@ pub fn optimize(program: &AddressProgram, agu: &AguSpec) -> (AddressProgram, Pee
         }
     }
     (
+        // Carry blocks pass through untouched: they are already one
+        // minimal ADDA per register and run between iterations, where
+        // none of the body patterns apply.
         AddressProgram::new(
             prologue,
             body,
             program.address_registers(),
             program.modify_values().to_vec(),
-        ),
+        )
+        .with_carries(program.carries().to_vec()),
         stats,
     )
 }

@@ -74,6 +74,6 @@ pub mod report;
 
 pub use cache::{AllocationCache, CachePolicy, CacheStats};
 pub use json::{Json, JsonParseError};
-pub use pipeline::{DriverError, Pipeline, PipelineConfig, SOURCE_EXTENSIONS};
+pub use pipeline::{DriverError, Pipeline, PipelineConfig, NEST_VALIDATION_CAP, SOURCE_EXTENSIONS};
 pub use pool::Parallelism;
 pub use report::{CompilationReport, LoopFailure, LoopReport, UnitReport};

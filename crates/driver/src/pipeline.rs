@@ -72,6 +72,14 @@ impl std::error::Error for DriverError {}
 /// Source-file extensions recognized when compiling a directory.
 pub const SOURCE_EXTENSIONS: &[&str] = &["dsp", "loop", "c"];
 
+/// Default cap on simulated iterations when validating a flattened
+/// loop nest. Nests are validated over their whole (finite) iteration
+/// space — carry bugs only show at sweep boundaries — but a submitted
+/// nest with a huge iteration space must not stall a request; raise
+/// [`PipelineConfig::validation_iterations`] above this value to
+/// validate more of such a nest.
+pub const NEST_VALIDATION_CAP: u64 = 4096;
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -84,7 +92,10 @@ pub struct PipelineConfig {
     pub parallelism: Parallelism,
     /// Simulate every generated program against a reference trace.
     pub validate: bool,
-    /// Iterations to simulate when `validate` is on.
+    /// Iterations to simulate when `validate` is on. Flattened loop
+    /// nests always validate their whole finite iteration space capped
+    /// at `max(validation_iterations, NEST_VALIDATION_CAP)` — see
+    /// [`NEST_VALIDATION_CAP`].
     pub validation_iterations: u64,
     /// Base address of the first array in the per-loop memory layout.
     pub layout_origin: i64,
@@ -432,7 +443,16 @@ impl Pipeline {
         report.code_words = program.words();
 
         if config.validate {
-            let iterations = config.validation_iterations.max(1);
+            // Flattened nests are finite and their carry behaviour only
+            // shows at sweep boundaries, so validate the whole nest
+            // (capped — raising validation_iterations raises the cap)
+            // instead of the configured prefix.
+            let iterations = match spec.nest() {
+                Some(nest) => nest
+                    .total_iterations()
+                    .clamp(1, config.validation_iterations.max(NEST_VALIDATION_CAP)),
+                None => config.validation_iterations.max(1),
+            };
             let trace = Trace::capture(spec, &layout, iterations);
             match sim::run(&program, &trace, &config.agu) {
                 Ok(sim_report) => {

@@ -25,6 +25,18 @@
 //! * [`CanonicalPattern::fingerprint`] — a 64-bit FNV-1a hash of the
 //!   canonical access sequence, the driver's cheap cache-key prefilter.
 //!
+//! ## Nest-awareness
+//!
+//! Flattened loop nests (see [`LoopNest`](crate::model::LoopNest))
+//! deliberately canonicalize **without** their nest metadata: the
+//! allocation algorithms consume only the steady-state offset sequence
+//! and stride, and the outer-loop carries are realized later, per loop,
+//! as codegen-time carry blocks derived from the spec — never cached.
+//! A 1D pattern and a flattened-2D pattern with identical deltas are
+//! therefore the *same* allocation problem and soundly share one cache
+//! entry (same cost curve, same cover, same update deltas), even though
+//! their generated programs differ in their carry blocks.
+//!
 //! ```
 //! use raco_ir::canonical::CanonicalPattern;
 //! use raco_ir::AccessPattern;
@@ -224,6 +236,25 @@ mod tests {
         assert_eq!(CanonicalPattern::of(&p).stride(), 3);
         assert_eq!(CanonicalPattern::of(&p).len(), 3);
         assert!(!CanonicalPattern::of(&p).is_empty());
+    }
+
+    #[test]
+    fn flattened_nests_share_keys_with_equivalent_single_loops() {
+        // A contiguous 2D sweep and a plain 1D sweep with the same
+        // deltas are one allocation problem — the nest metadata (and its
+        // carries) live outside the canonical key by design.
+        let nested = crate::dsl::parse_loop(
+            "array g[6][8];
+             for (i = 1; i < 5; i++) { for (j = 0; j < 8; j++) { s += g[i][j] + g[i + 1][j]; } }",
+        )
+        .unwrap();
+        let flat =
+            crate::dsl::parse_loop("for (t = 9; t < 800; t++) { s += g[t] + g[t + 8]; }").unwrap();
+        assert!(nested.nest().is_some() && flat.nest().is_none());
+        let a = CanonicalPattern::of(&nested.patterns()[0]);
+        let b = CanonicalPattern::of(&flat.patterns()[0]);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

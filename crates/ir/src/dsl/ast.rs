@@ -116,14 +116,15 @@ impl fmt::Display for AssignOp {
 pub enum Expr {
     /// Integer literal.
     Num(i64),
-    /// Scalar variable (or the loop variable).
+    /// Scalar variable (or an induction variable).
     Var(String),
-    /// Array element `array[index]`.
+    /// Array element `array[i1][i2]…` (one subscript per dimension).
     Index {
         /// Array name.
         array: String,
-        /// Index expression (must be affine in the loop variable to lower).
-        index: Box<Expr>,
+        /// Subscript expressions, outermost dimension first. Each must
+        /// be affine in the induction variables to lower; never empty.
+        indices: Vec<Expr>,
     },
     /// Unary negation `-e`.
     Neg(Box<Expr>),
@@ -148,15 +149,23 @@ impl Expr {
         }
     }
 
+    /// Convenience constructor for a one-dimensional array element.
+    pub fn index(array: impl Into<String>, index: Expr) -> Expr {
+        Expr::Index {
+            array: array.into(),
+            indices: vec![index],
+        }
+    }
+
     /// Visits every array reference in evaluation order (depth-first,
-    /// left-to-right), calling `f(array_name, index_expr)`.
-    pub fn visit_indices<'a>(&'a self, f: &mut impl FnMut(&'a str, &'a Expr)) {
+    /// left-to-right), calling `f(array_name, subscripts)`.
+    pub fn visit_indices<'a>(&'a self, f: &mut impl FnMut(&'a str, &'a [Expr])) {
         match self {
             Expr::Num(_) | Expr::Var(_) => {}
-            Expr::Index { array, index } => {
+            Expr::Index { array, indices } => {
                 // Index sub-expressions are address arithmetic, not memory
                 // accesses; they are intentionally not visited.
-                f(array, index);
+                f(array, indices);
             }
             Expr::Neg(e) => e.visit_indices(f),
             Expr::Binary { lhs, rhs, .. } => {
@@ -167,12 +176,23 @@ impl Expr {
     }
 }
 
+/// Formats `[i1][i2]…` subscript chains.
+fn write_subscripts(f: &mut fmt::Formatter<'_>, indices: &[Expr]) -> fmt::Result {
+    for index in indices {
+        write!(f, "[{index}]")?;
+    }
+    Ok(())
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Num(n) => write!(f, "{n}"),
             Expr::Var(v) => f.write_str(v),
-            Expr::Index { array, index } => write!(f, "{array}[{index}]"),
+            Expr::Index { array, indices } => {
+                f.write_str(array)?;
+                write_subscripts(f, indices)
+            }
             Expr::Neg(e) => write!(f, "-({e})"),
             Expr::Binary { op, lhs, rhs } => {
                 let needs_parens = |e: &Expr, parent: BinOp| match e {
@@ -209,16 +229,29 @@ pub enum LValue {
     Element {
         /// Array name.
         array: String,
-        /// Index expression.
-        index: Expr,
+        /// Subscript expressions, outermost dimension first; never empty.
+        indices: Vec<Expr>,
     },
+}
+
+impl LValue {
+    /// Convenience constructor for a one-dimensional element target.
+    pub fn element(array: impl Into<String>, index: Expr) -> LValue {
+        LValue::Element {
+            array: array.into(),
+            indices: vec![index],
+        }
+    }
 }
 
 impl fmt::Display for LValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LValue::Scalar(v) => f.write_str(v),
-            LValue::Element { array, index } => write!(f, "{array}[{index}]"),
+            LValue::Element { array, indices } => {
+                f.write_str(array)?;
+                write_subscripts(f, indices)
+            }
         }
     }
 }
@@ -274,7 +307,11 @@ impl Update {
     }
 }
 
-/// A parsed `for` loop.
+/// A parsed `for` loop, possibly the head of a perfect loop nest.
+///
+/// A loop body is *either* a list of statements *or* exactly one nested
+/// `for` (a perfect nest — the only shape the flattening lowerer
+/// accepts); the parser rejects bodies that mix both.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ForLoop {
     /// Loop-variable name.
@@ -288,8 +325,55 @@ pub struct ForLoop {
     pub cond: Cond,
     /// Update clause.
     pub update: Update,
-    /// Body statements.
+    /// Body statements (empty when the body is a nested loop).
     pub body: Vec<Stmt>,
+    /// The nested loop, for perfect nests (`None` for statement bodies).
+    pub nested: Option<Box<ForLoop>>,
+    /// Byte span of the loop header in the original source (empty when
+    /// the loop was constructed programmatically).
+    pub span: super::lexer::Span,
+}
+
+impl ForLoop {
+    /// The innermost loop of the nest (`self` for plain loops).
+    pub fn innermost(&self) -> &ForLoop {
+        let mut current = self;
+        while let Some(inner) = &current.nested {
+            current = inner;
+        }
+        current
+    }
+
+    /// Nest depth: `1` for a plain loop, `2` for a doubly nested one, …
+    pub fn depth(&self) -> usize {
+        1 + self.nested.as_ref().map_or(0, |inner| inner.depth())
+    }
+}
+
+/// An array declaration `array name[d1][d2]…;`.
+///
+/// Declarations give arrays a shape: subscript chains are checked
+/// against the declared rank, and multi-dimensional subscripts linearize
+/// row-major using the declared trailing dimensions as strides.
+/// Undeclared arrays are one-dimensional.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Decl {
+    /// Array name.
+    pub name: String,
+    /// Dimension extents, outermost first; each is positive.
+    pub dims: Vec<i64>,
+    /// Byte span of the declaration in the original source.
+    pub span: super::lexer::Span,
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array {}", self.name)?;
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        f.write_str(";")
+    }
 }
 
 #[cfg(test)]
@@ -315,10 +399,7 @@ mod tests {
     #[test]
     fn stmt_display_round_trips_symbols() {
         let s = Stmt {
-            lhs: LValue::Element {
-                array: "A".into(),
-                index: Expr::Var("i".into()),
-            },
+            lhs: LValue::element("A", Expr::Var("i".into())),
             op: AssignOp::AddAssign,
             rhs: Expr::Num(3),
             span: Default::default(),
@@ -327,17 +408,28 @@ mod tests {
     }
 
     #[test]
+    fn multi_dim_subscripts_display_as_chains() {
+        let e = Expr::Index {
+            array: "x".into(),
+            indices: vec![
+                Expr::Var("i".into()),
+                Expr::binary(BinOp::Add, Expr::Var("j".into()), Expr::Num(1)),
+            ],
+        };
+        assert_eq!(e.to_string(), "x[i][j + 1]");
+        let lv = LValue::Element {
+            array: "y".into(),
+            indices: vec![Expr::Var("j".into()), Expr::Var("i".into())],
+        };
+        assert_eq!(lv.to_string(), "y[j][i]");
+    }
+
+    #[test]
     fn visit_indices_is_left_to_right() {
         let e = Expr::binary(
             BinOp::Add,
-            Expr::Index {
-                array: "A".into(),
-                index: Box::new(Expr::Var("i".into())),
-            },
-            Expr::Index {
-                array: "B".into(),
-                index: Box::new(Expr::Num(0)),
-            },
+            Expr::index("A", Expr::Var("i".into())),
+            Expr::index("B", Expr::Num(0)),
         );
         let mut seen = Vec::new();
         e.visit_indices(&mut |name, _| seen.push(name.to_owned()));
@@ -349,6 +441,44 @@ mod tests {
         assert_eq!(Update::Increment.stride(), 1);
         assert_eq!(Update::Decrement.stride(), -1);
         assert_eq!(Update::Step(-3).stride(), -3);
+    }
+
+    #[test]
+    fn nest_helpers_walk_to_the_innermost_loop() {
+        let inner = ForLoop {
+            var: "j".into(),
+            start: Some(0),
+            init: Expr::Num(0),
+            cond: Cond {
+                op: CmpOp::Lt,
+                bound: Expr::Num(4),
+            },
+            update: Update::Increment,
+            body: vec![],
+            nested: None,
+            span: Default::default(),
+        };
+        let outer = ForLoop {
+            var: "i".into(),
+            start: Some(0),
+            init: Expr::Num(0),
+            cond: Cond {
+                op: CmpOp::Lt,
+                bound: Expr::Num(2),
+            },
+            update: Update::Increment,
+            body: vec![],
+            nested: Some(Box::new(inner)),
+            span: Default::default(),
+        };
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(outer.innermost().var, "j");
+        let decl = Decl {
+            name: "x".into(),
+            dims: vec![2, 4],
+            span: Default::default(),
+        };
+        assert_eq!(decl.to_string(), "array x[2][4];");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub(crate) enum TokenKind {
     Ident(String),
     Int(i64),
     KwFor,
+    KwArray,
     LParen,
     RParen,
     LBrace,
@@ -75,6 +76,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
             TokenKind::Int(n) => write!(f, "integer `{n}`"),
             TokenKind::KwFor => f.write_str("`for`"),
+            TokenKind::KwArray => f.write_str("`array`"),
             TokenKind::LParen => f.write_str("`(`"),
             TokenKind::RParen => f.write_str("`)`"),
             TokenKind::LBrace => f.write_str("`{`"),
@@ -173,10 +175,10 @@ pub(crate) fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             let text = &source[start..i];
-            let kind = if text == "for" {
-                TokenKind::KwFor
-            } else {
-                TokenKind::Ident(text.to_owned())
+            let kind = match text {
+                "for" => TokenKind::KwFor,
+                "array" => TokenKind::KwArray,
+                _ => TokenKind::Ident(text.to_owned()),
             };
             tokens.push(Token {
                 kind,
@@ -267,11 +269,13 @@ mod tests {
     #[test]
     fn lexes_keywords_and_identifiers() {
         assert_eq!(
-            kinds("for fortune _x9"),
+            kinds("for fortune _x9 array arrays"),
             vec![
                 TokenKind::KwFor,
                 TokenKind::Ident("fortune".into()),
                 TokenKind::Ident("_x9".into()),
+                TokenKind::KwArray,
+                TokenKind::Ident("arrays".into()),
                 TokenKind::Eof
             ]
         );

@@ -1,149 +1,458 @@
 //! Lowering from the DSL AST to the flat [`LoopSpec`] IR.
 //!
-//! Lowering walks every statement, extracts array accesses in evaluation
-//! order (right-hand-side reads left-to-right, then the left-hand-side read
-//! for compound assignments, then the left-hand-side write) and folds each
-//! index expression into the affine form `c*i + d`.
+//! Lowering walks every statement of the innermost loop, extracts array
+//! accesses in evaluation order (right-hand-side reads left-to-right,
+//! then the left-hand-side read for compound assignments, then the
+//! left-hand-side write) and folds each subscript into an affine form
+//! over the nest's induction variables.
+//!
+//! ## Nest flattening
+//!
+//! A perfect loop nest is lowered by *flattening* to the single-loop
+//! model the allocator consumes:
+//!
+//! * Multi-dimensional subscripts linearize row-major against the
+//!   `array` declarations (`x[i][j]` with `array x[R][C];` becomes
+//!   `C*i + j`).
+//! * The flat [`LoopSpec`] is the innermost loop: its per-iteration
+//!   offset sequence is the paper's access pattern, and each array's
+//!   coefficient is the innermost induction variable's.
+//! * Outer levels fold into the spec's [`LoopNest`] metadata: constant
+//!   trip counts per level, plus one *carry* delta per array per level —
+//!   the amount the array's address jumps, relative to the uniform flat
+//!   model, whenever that level advances. A carry of zero (e.g. a
+//!   row-major sweep over contiguous rows) means the flattening is
+//!   exact and the nest is indistinguishable from a long single loop.
+//!
+//! Flattening requires constant bounds on every level of a nest (plain
+//! single loops may keep symbolic bounds, as before).
 
-use super::ast::{Expr, ForLoop, LValue, Stmt};
+use super::ast::{CmpOp, Decl, Expr, ForLoop, LValue, Stmt};
 use super::lexer::Span;
 use super::parser::{LowerError, ParseErrorKind};
-use crate::model::{AccessKind, ArrayId, LoopSpec};
+use crate::model::{AccessKind, ArrayId, LoopNest, LoopSpec, NestLevel};
 
-/// Lowers a parsed [`ForLoop`] to a [`LoopSpec`].
+/// Lowers a parsed [`ForLoop`] (possibly a nest) without array
+/// declarations: every array is one-dimensional.
 ///
-/// Exposed publicly as [`crate::dsl::parse_loop`], which also attaches the
-/// source text to error positions; calling this directly is useful when the
-/// AST was built programmatically.
+/// Exposed publicly as [`crate::dsl::parse_loop`], which also attaches
+/// the source text to error positions; calling this directly is useful
+/// when the AST was built programmatically. Sources with `array`
+/// declarations lower through [`lower_unit_loop`].
 ///
 /// # Errors
 ///
 /// Returns an error (without line/column resolution — see
-/// [`crate::dsl::parse_loop`]) when an index expression is not affine in
-/// the loop variable or when one array is indexed with mixed coefficients.
+/// [`crate::dsl::parse_loop`]) when a subscript is not affine in the
+/// induction variables, ranks mismatch, one array mixes coefficients,
+/// or a nest level has no constant trip count.
 pub fn lower_loop(ast: &ForLoop) -> Result<LoopSpec, LowerError> {
-    let mut spec = LoopSpec::try_new("loop", &ast.var, ast.update.stride()).map_err(|_| {
-        // The parser already rejects zero strides; this is a safety net for
-        // programmatically-built ASTs.
-        LowerError::new(ParseErrorKind::ZeroStride, Span::default())
-    })?;
-    spec.set_start(ast.start.unwrap_or(0));
-    for stmt in &ast.body {
-        lower_stmt(&mut spec, &ast.var, stmt)?;
-    }
-    Ok(spec)
+    lower_unit_loop(&[], ast)
 }
 
-fn lower_stmt(spec: &mut LoopSpec, var: &str, stmt: &Stmt) -> Result<(), LowerError> {
-    // Right-hand-side reads, in evaluation order.
-    let mut rhs_refs: Vec<(&str, &Expr)> = Vec::new();
-    stmt.rhs
-        .visit_indices(&mut |name, idx| rhs_refs.push((name, idx)));
-    for (name, idx) in rhs_refs {
-        push(spec, var, name, idx, AccessKind::Read, stmt.span)?;
-    }
-    // Left-hand side.
-    if let LValue::Element { array, index } = &stmt.lhs {
-        if stmt.op.reads_lhs() {
-            push(spec, var, array, index, AccessKind::Read, stmt.span)?;
+/// Lowers one loop (nest) of a compilation unit under its `array`
+/// declarations.
+///
+/// # Errors
+///
+/// See [`lower_loop`].
+pub fn lower_unit_loop(decls: &[Decl], ast: &ForLoop) -> Result<LoopSpec, LowerError> {
+    Lowerer::new(decls, ast)?.lower()
+}
+
+/// Affine form of an expression: `Σ coeffs[k] * var_k + constant`,
+/// aligned with the nest's induction variables, outermost first.
+struct Affine {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+/// Per-level loop shape of one nest level (including the innermost).
+struct Level<'a> {
+    ast: &'a ForLoop,
+    start: i64,
+    stride: i64,
+    trips: u64,
+}
+
+struct Lowerer<'a> {
+    decls: &'a [Decl],
+    levels: Vec<Level<'a>>,
+    vars: Vec<&'a str>,
+    spec: LoopSpec,
+    /// Full per-level coefficient vector of each registered array, in
+    /// [`ArrayId`] order (the spec itself only stores the innermost
+    /// coefficient).
+    coeff_vectors: Vec<Vec<i64>>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(decls: &'a [Decl], ast: &'a ForLoop) -> Result<Self, LowerError> {
+        // Collect the nest chain, outermost first, and check variables.
+        let mut chain: Vec<&ForLoop> = vec![ast];
+        let mut current = ast;
+        while let Some(inner) = &current.nested {
+            current = inner;
+            chain.push(current);
         }
-        push(spec, var, array, index, AccessKind::Write, stmt.span)?;
-    }
-    Ok(())
-}
-
-fn push(
-    spec: &mut LoopSpec,
-    var: &str,
-    array: &str,
-    index: &Expr,
-    kind: AccessKind,
-    span: Span,
-) -> Result<(), LowerError> {
-    let (coeff, offset) = affine(index, var).map_err(|kind| LowerError::new(kind, span))?;
-    let id = resolve_array(spec, array, coeff, span)?;
-    spec.push_access(id, offset, kind)
-        .expect("id resolved against this spec");
-    Ok(())
-}
-
-fn resolve_array(
-    spec: &mut LoopSpec,
-    name: &str,
-    coeff: i64,
-    span: Span,
-) -> Result<ArrayId, LowerError> {
-    match spec.array_id(name) {
-        Some(id) => {
-            let first = spec
-                .array_info(id)
-                .expect("array_id returned a valid id")
-                .coefficient();
-            if first != coeff {
+        let vars: Vec<&str> = chain.iter().map(|l| l.var.as_str()).collect();
+        for (k, var) in vars.iter().enumerate() {
+            if vars[..k].contains(var) {
                 return Err(LowerError::new(
-                    ParseErrorKind::MixedCoefficients {
-                        array: name.to_owned(),
-                        first,
-                        second: coeff,
-                    },
-                    span,
+                    ParseErrorKind::DuplicateInductionVariable((*var).to_owned()),
+                    chain[k].span,
                 ));
             }
-            Ok(id)
         }
-        None => Ok(spec.add_array(name, coeff)),
+        let nested = chain.len() > 1;
+        let levels: Vec<Level<'a>> = chain
+            .iter()
+            .map(|level| {
+                if nested {
+                    level_shape(level)
+                } else {
+                    // Plain single loops keep symbolic bounds; the trip
+                    // count is never consulted.
+                    Ok(Level {
+                        ast: level,
+                        start: level.start.unwrap_or(0),
+                        stride: level.update.stride(),
+                        trips: 1,
+                    })
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        let inner = levels.last().expect("a nest has at least one level");
+        let mut spec = LoopSpec::try_new("loop", &inner.ast.var, inner.stride).map_err(|_| {
+            // The parser already rejects zero strides; this is a safety
+            // net for programmatically-built ASTs.
+            LowerError::new(ParseErrorKind::ZeroStride, inner.ast.span)
+        })?;
+        spec.set_start(inner.start);
+        Ok(Lowerer {
+            decls,
+            levels,
+            vars,
+            spec,
+            coeff_vectors: Vec::new(),
+        })
+    }
+
+    fn lower(mut self) -> Result<LoopSpec, LowerError> {
+        let inner_ast = self.levels.last().expect("non-empty nest").ast;
+        for stmt in &inner_ast.body {
+            self.lower_stmt(stmt)?;
+        }
+        if self.levels.len() > 1 {
+            self.attach_nest()?;
+        }
+        Ok(self.spec)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        // Right-hand-side reads, in evaluation order.
+        let mut rhs_refs: Vec<(&str, &[Expr])> = Vec::new();
+        stmt.rhs
+            .visit_indices(&mut |name, indices| rhs_refs.push((name, indices)));
+        for (name, indices) in rhs_refs {
+            self.push(name, indices, AccessKind::Read, stmt.span)?;
+        }
+        // Left-hand side.
+        if let LValue::Element { array, indices } = &stmt.lhs {
+            if stmt.op.reads_lhs() {
+                self.push(array, indices, AccessKind::Read, stmt.span)?;
+            }
+            self.push(array, indices, AccessKind::Write, stmt.span)?;
+        }
+        Ok(())
+    }
+
+    fn push(
+        &mut self,
+        array: &str,
+        indices: &[Expr],
+        kind: AccessKind,
+        span: Span,
+    ) -> Result<(), LowerError> {
+        let lowered = self
+            .linearize(array, indices)
+            .map_err(|kind| LowerError::new(kind, span))?;
+        let id = self.resolve_array(array, &lowered.coeffs, span)?;
+        // Fold outer-level starts into the constant: the flat spec only
+        // tracks the innermost variable.
+        let mut offset = i128::from(lowered.constant);
+        for (level, &coeff) in self.levels[..self.levels.len() - 1]
+            .iter()
+            .zip(&lowered.coeffs)
+        {
+            offset += i128::from(coeff) * i128::from(level.start);
+        }
+        let offset = narrow(offset).map_err(|kind| LowerError::new(kind, span))?;
+        self.spec
+            .push_access(id, offset, kind)
+            .expect("id resolved against this spec");
+        Ok(())
+    }
+
+    /// Folds a subscript chain into one affine form over the nest
+    /// variables, linearizing multi-dimensional subscripts row-major
+    /// against the array's declaration.
+    fn linearize(&self, array: &str, indices: &[Expr]) -> Result<Affine, ParseErrorKind> {
+        let row_strides = match self.decls.iter().find(|d| d.name == array) {
+            Some(decl) => {
+                if indices.len() != decl.dims.len() {
+                    return Err(ParseErrorKind::RankMismatch {
+                        array: array.to_owned(),
+                        expected: decl.dims.len(),
+                        found: indices.len(),
+                    });
+                }
+                // Row-major: the stride of dimension k is the product of
+                // all dimensions after it; the outermost extent only
+                // checks rank.
+                let mut strides = vec![1i128; decl.dims.len()];
+                for k in (0..decl.dims.len() - 1).rev() {
+                    strides[k] = strides[k + 1]
+                        .checked_mul(i128::from(decl.dims[k + 1]))
+                        .ok_or(ParseErrorKind::IndexOverflow)?;
+                }
+                strides
+            }
+            None => {
+                if indices.len() != 1 {
+                    return Err(ParseErrorKind::UndeclaredArray(array.to_owned()));
+                }
+                vec![1i128]
+            }
+        };
+        let mut coeffs = vec![0i128; self.vars.len()];
+        let mut constant = 0i128;
+        for (index, &stride) in indices.iter().zip(&row_strides) {
+            let affine = self.affine(index)?;
+            for (total, &c) in coeffs.iter_mut().zip(&affine.coeffs) {
+                *total = total
+                    .checked_add(
+                        stride
+                            .checked_mul(i128::from(c))
+                            .ok_or(ParseErrorKind::IndexOverflow)?,
+                    )
+                    .ok_or(ParseErrorKind::IndexOverflow)?;
+            }
+            constant = constant
+                .checked_add(
+                    stride
+                        .checked_mul(i128::from(affine.constant))
+                        .ok_or(ParseErrorKind::IndexOverflow)?,
+                )
+                .ok_or(ParseErrorKind::IndexOverflow)?;
+        }
+        Ok(Affine {
+            coeffs: coeffs.into_iter().map(narrow).collect::<Result<_, _>>()?,
+            constant: narrow(constant)?,
+        })
+    }
+
+    /// Folds one index expression into `Σ c_k * var_k + d`.
+    fn affine(&self, e: &Expr) -> Result<Affine, ParseErrorKind> {
+        let zero = || Affine {
+            coeffs: vec![0; self.vars.len()],
+            constant: 0,
+        };
+        match e {
+            Expr::Num(n) => {
+                let mut a = zero();
+                a.constant = *n;
+                Ok(a)
+            }
+            Expr::Var(v) => match self.vars.iter().position(|var| var == v) {
+                Some(k) => {
+                    let mut a = zero();
+                    a.coeffs[k] = 1;
+                    Ok(a)
+                }
+                None => Err(ParseErrorKind::SymbolicIndex(v.clone())),
+            },
+            Expr::Index { array, .. } => Err(ParseErrorKind::ArrayInIndex(array.clone())),
+            Expr::Neg(inner) => {
+                let a = self.affine(inner)?;
+                Ok(Affine {
+                    coeffs: a
+                        .coeffs
+                        .iter()
+                        .map(|c| c.checked_neg().ok_or(ParseErrorKind::IndexOverflow))
+                        .collect::<Result<_, _>>()?,
+                    constant: a
+                        .constant
+                        .checked_neg()
+                        .ok_or(ParseErrorKind::IndexOverflow)?,
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                use super::ast::BinOp;
+                let l = self.affine(lhs)?;
+                let r = self.affine(rhs)?;
+                let zip = |f: fn(i64, i64) -> Option<i64>| -> Result<Affine, ParseErrorKind> {
+                    Ok(Affine {
+                        coeffs: l
+                            .coeffs
+                            .iter()
+                            .zip(&r.coeffs)
+                            .map(|(&a, &b)| f(a, b).ok_or(ParseErrorKind::IndexOverflow))
+                            .collect::<Result<_, _>>()?,
+                        constant: f(l.constant, r.constant).ok_or(ParseErrorKind::IndexOverflow)?,
+                    })
+                };
+                match op {
+                    BinOp::Add => zip(i64::checked_add),
+                    BinOp::Sub => zip(i64::checked_sub),
+                    BinOp::Mul => {
+                        let scale = |a: &Affine, k: i64| -> Result<Affine, ParseErrorKind> {
+                            Ok(Affine {
+                                coeffs: a
+                                    .coeffs
+                                    .iter()
+                                    .map(|&c| c.checked_mul(k).ok_or(ParseErrorKind::IndexOverflow))
+                                    .collect::<Result<_, _>>()?,
+                                constant: a
+                                    .constant
+                                    .checked_mul(k)
+                                    .ok_or(ParseErrorKind::IndexOverflow)?,
+                            })
+                        };
+                        if l.coeffs.iter().all(|&c| c == 0) {
+                            scale(&r, l.constant)
+                        } else if r.coeffs.iter().all(|&c| c == 0) {
+                            scale(&l, r.constant)
+                        } else {
+                            Err(ParseErrorKind::NonAffineIndex)
+                        }
+                    }
+                    BinOp::Div => Err(ParseErrorKind::DivisionInIndex),
+                }
+            }
+        }
+    }
+
+    fn resolve_array(
+        &mut self,
+        name: &str,
+        coeffs: &[i64],
+        span: Span,
+    ) -> Result<ArrayId, LowerError> {
+        match self.spec.array_id(name) {
+            Some(id) => {
+                let first = &self.coeff_vectors[id.index()];
+                if first != coeffs {
+                    // Report the first differing level's coefficients.
+                    let (a, b) = first
+                        .iter()
+                        .zip(coeffs)
+                        .find(|(a, b)| a != b)
+                        .expect("vectors differ");
+                    return Err(LowerError::new(
+                        ParseErrorKind::MixedCoefficients {
+                            array: name.to_owned(),
+                            first: *a,
+                            second: *b,
+                        },
+                        span,
+                    ));
+                }
+                Ok(id)
+            }
+            None => {
+                let inner_coeff = *coeffs.last().expect("at least the innermost level");
+                let id = self.spec.add_array(name, inner_coeff);
+                debug_assert_eq!(id.index(), self.coeff_vectors.len());
+                self.coeff_vectors.push(coeffs.to_vec());
+                Ok(id)
+            }
+        }
+    }
+
+    /// Attaches [`LoopNest`] metadata and per-array carries to the spec.
+    fn attach_nest(&mut self) -> Result<(), LowerError> {
+        let outer = &self.levels[..self.levels.len() - 1];
+        let nest = LoopNest::new(
+            outer
+                .iter()
+                .map(|level| NestLevel {
+                    var: level.ast.var.clone(),
+                    start: level.start,
+                    stride: level.stride,
+                    trips: level.trips,
+                })
+                .collect(),
+            self.levels.last().expect("non-empty nest").trips,
+        );
+        // carry_k = c_k*s_k − c_{k+1}*s_{k+1}*T_{k+1}: how far the flat
+        // model drifts from the true address each time level k advances
+        // (the level below it wraps back to its start).
+        for (index, coeffs) in self.coeff_vectors.iter().enumerate() {
+            let mut carries = Vec::with_capacity(outer.len());
+            for k in 0..outer.len() {
+                let here = i128::from(coeffs[k]) * i128::from(self.levels[k].stride);
+                let below = i128::from(coeffs[k + 1])
+                    * i128::from(self.levels[k + 1].stride)
+                    * i128::from(self.levels[k + 1].trips);
+                carries.push(
+                    narrow(here - below)
+                        .map_err(|kind| LowerError::new(kind, self.levels[k].ast.span))?,
+                );
+            }
+            self.spec
+                .set_array_carries(ArrayId::from_index(index as u32), carries)
+                .expect("array ids are dense");
+        }
+        self.spec.set_nest(nest);
+        Ok(())
     }
 }
 
-/// Folds an index expression into `(coefficient, constant)` such that the
-/// expression equals `coefficient * var + constant`.
-fn affine(e: &Expr, var: &str) -> Result<(i64, i64), ParseErrorKind> {
-    match e {
-        Expr::Num(n) => Ok((0, *n)),
-        Expr::Var(v) => {
-            if v == var {
-                Ok((1, 0))
-            } else {
-                Err(ParseErrorKind::SymbolicIndex(v.clone()))
-            }
-        }
-        Expr::Index { array, .. } => Err(ParseErrorKind::ArrayInIndex(array.clone())),
-        Expr::Neg(inner) => {
-            let (c, d) = affine(inner, var)?;
-            Ok((
-                c.checked_neg().ok_or(ParseErrorKind::IndexOverflow)?,
-                d.checked_neg().ok_or(ParseErrorKind::IndexOverflow)?,
-            ))
-        }
-        Expr::Binary { op, lhs, rhs } => {
-            use super::ast::BinOp;
-            let (lc, ld) = affine(lhs, var)?;
-            let (rc, rd) = affine(rhs, var)?;
-            let add = |a: i64, b: i64| a.checked_add(b).ok_or(ParseErrorKind::IndexOverflow);
-            let sub = |a: i64, b: i64| a.checked_sub(b).ok_or(ParseErrorKind::IndexOverflow);
-            let mul = |a: i64, b: i64| a.checked_mul(b).ok_or(ParseErrorKind::IndexOverflow);
-            match op {
-                BinOp::Add => Ok((add(lc, rc)?, add(ld, rd)?)),
-                BinOp::Sub => Ok((sub(lc, rc)?, sub(ld, rd)?)),
-                BinOp::Mul => {
-                    if lc == 0 {
-                        Ok((mul(ld, rc)?, mul(ld, rd)?))
-                    } else if rc == 0 {
-                        Ok((mul(rd, lc)?, mul(rd, ld)?))
-                    } else {
-                        Err(ParseErrorKind::NonAffineIndex)
-                    }
-                }
-                BinOp::Div => Err(ParseErrorKind::DivisionInIndex),
-            }
-        }
+/// Computes the constant shape (start, stride, trip count) of one nest
+/// level; flattening needs all three.
+fn level_shape(ast: &ForLoop) -> Result<Level<'_>, LowerError> {
+    let var = || ast.var.clone();
+    let start = ast
+        .start
+        .ok_or_else(|| LowerError::new(ParseErrorKind::NonConstantNestBound(var()), ast.span))?;
+    let bound = super::parser::const_eval(&ast.cond.bound)
+        .ok_or_else(|| LowerError::new(ParseErrorKind::NonConstantNestBound(var()), ast.span))?;
+    let stride = ast.update.stride();
+    let degenerate = || LowerError::new(ParseErrorKind::DegenerateNestLevel(var()), ast.span);
+    // Iterations of `v = start; v <op> bound; v += stride` for the four
+    // monotone condition/direction pairings; everything else (wrong
+    // direction, `!=`, `==`) does not flatten.
+    let span_len: i128 = match (ast.cond.op, stride > 0) {
+        (CmpOp::Lt, true) => i128::from(bound) - i128::from(start),
+        (CmpOp::Le, true) => i128::from(bound) - i128::from(start) + 1,
+        (CmpOp::Gt, false) => i128::from(start) - i128::from(bound),
+        (CmpOp::Ge, false) => i128::from(start) - i128::from(bound) + 1,
+        _ => return Err(degenerate()),
+    };
+    let step = i128::from(stride).abs();
+    let trips = (span_len + step - 1).div_euclid(step);
+    if trips <= 0 {
+        return Err(degenerate());
     }
+    Ok(Level {
+        ast,
+        start,
+        stride,
+        trips: u64::try_from(trips).map_err(|_| degenerate())?,
+    })
+}
+
+/// Narrows a folded `i128` back to `i64`.
+fn narrow(v: i128) -> Result<i64, ParseErrorKind> {
+    i64::try_from(v).map_err(|_| ParseErrorKind::IndexOverflow)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dsl::parse_for;
+    use crate::dsl::{parse_for, parse_loop};
 
     fn lower(src: &str) -> LoopSpec {
         lower_loop(&parse_for(src).unwrap()).unwrap()
@@ -270,5 +579,155 @@ mod tests {
         );
         let p = &spec.patterns()[0];
         assert_eq!(p.offsets(), vec![1, 0, 2, -1, 1, 0, -2]);
+    }
+
+    // ---- nested / multi-dimensional lowering ----
+
+    fn lower_src(src: &str) -> LoopSpec {
+        parse_loop(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn contiguous_2d_sweep_flattens_with_zero_carry() {
+        // Row stride (4) equals the inner trip count: exact flattening.
+        let spec = lower_src(
+            "array y[3][4];
+             for (i = 0; i < 3; i++) { for (j = 0; j < 4; j++) { y[i][j] = 1; } }",
+        );
+        assert_eq!(spec.var(), "j");
+        assert_eq!(spec.stride(), 1);
+        let nest = spec.nest().expect("nest metadata");
+        assert_eq!(nest.inner_trips(), 4);
+        assert_eq!(nest.levels().len(), 1);
+        assert_eq!(nest.levels()[0].trips, 3);
+        assert_eq!(nest.total_iterations(), 12);
+        let y = spec.array_info(spec.array_id("y").unwrap()).unwrap();
+        assert_eq!(y.coefficient(), 1);
+        assert_eq!(y.carries(), &[0], "4*1 (row) - 1*1*4 (sweep) = 0");
+    }
+
+    #[test]
+    fn row_overhang_produces_the_expected_carry() {
+        // Row stride 16, inner trips 14: carry 16 - 14 = 2 per row.
+        let spec = lower_src(
+            "array u[18][16];
+             for (i = 1; i < 17; i++) { for (j = 1; j < 15; j++) { s += u[i][j]; } }",
+        );
+        let u = spec.array_info(spec.array_id("u").unwrap()).unwrap();
+        assert_eq!(u.coefficient(), 1);
+        assert_eq!(u.carries(), &[2]);
+        // Offset folds the outer start: 16 * 1 = 16.
+        assert_eq!(spec.accesses()[0].offset, 16);
+        assert_eq!(spec.start(), 1);
+    }
+
+    #[test]
+    fn transposed_writes_carry_backwards() {
+        let spec = lower_src(
+            "array a[8][8]; array b[8][8];
+             for (i = 0; i < 8; i++) { for (j = 0; j < 8; j++) { b[j][i] = a[i][j]; } }",
+        );
+        let a = spec.array_info(spec.array_id("a").unwrap()).unwrap();
+        let b = spec.array_info(spec.array_id("b").unwrap()).unwrap();
+        // a sweeps rows contiguously; b walks a column (stride 8) and
+        // jumps back 8*8 - 1 = 63 at each row boundary.
+        assert_eq!((a.coefficient(), a.carries()), (1, &[0i64][..]));
+        assert_eq!((b.coefficient(), b.carries()), (8, &[1 - 64i64][..]));
+    }
+
+    #[test]
+    fn triple_nests_record_one_carry_per_outer_level() {
+        let spec = lower_src(
+            "array t[2][3][4];
+             for (i = 0; i < 2; i++) {
+                 for (j = 0; j < 3; j++) {
+                     for (k = 0; k < 4; k++) { s += t[i][j][k]; }
+                 }
+             }",
+        );
+        let nest = spec.nest().unwrap();
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.periods(), vec![12, 4]);
+        let t = spec.array_info(spec.array_id("t").unwrap()).unwrap();
+        // Fully contiguous walk: every carry is zero.
+        assert_eq!(t.carries(), &[0, 0]);
+        assert_eq!(t.coefficient(), 1);
+    }
+
+    #[test]
+    fn multi_dim_subscripts_work_in_single_loops_too() {
+        // A fixed-row access in a single loop: coefficient 1 from j, the
+        // row base folds into the offset.
+        let spec = lower_src(
+            "array m[4][10];
+             for (j = 0; j < 10; j++) { s += m[2][j]; }",
+        );
+        assert!(spec.nest().is_none());
+        assert_eq!(spec.accesses()[0].offset, 20);
+    }
+
+    #[test]
+    fn nested_error_paths_are_reported() {
+        let err = |src: &str| crate::dsl::parse_loop(src).unwrap_err().kind().clone();
+        // Rank mismatch against the declaration.
+        assert_eq!(
+            err("array x[4][4]; for (i = 0; i < 4; i++) { s += x[i]; }"),
+            ParseErrorKind::RankMismatch {
+                array: "x".into(),
+                expected: 2,
+                found: 1
+            }
+        );
+        // Multi-dim subscript without a declaration.
+        assert_eq!(
+            err("for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { s += x[i][j]; } }"),
+            ParseErrorKind::UndeclaredArray("x".into())
+        );
+        // Unbound induction variable in a nest.
+        assert_eq!(
+            err("array x[4][4]; for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { s += x[i][q]; } }"),
+            ParseErrorKind::SymbolicIndex("q".into())
+        );
+        // Non-affine product of two induction variables.
+        assert_eq!(
+            err("array x[4][4]; for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { s += x[i][i * j]; } }"),
+            ParseErrorKind::NonAffineIndex
+        );
+        // Symbolic outer bound cannot flatten.
+        assert_eq!(
+            err("for (i = 0; i < N; i++) { for (j = 0; j < 4; j++) { s += y[j]; } }"),
+            ParseErrorKind::NonConstantNestBound("i".into())
+        );
+        // Degenerate outer level.
+        assert_eq!(
+            err("for (i = 4; i < 4; i++) { for (j = 0; j < 4; j++) { s += y[j]; } }"),
+            ParseErrorKind::DegenerateNestLevel("i".into())
+        );
+        // Reused induction variable.
+        assert_eq!(
+            err("for (i = 0; i < 4; i++) { for (i = 0; i < 4; i++) { s += y[i]; } }"),
+            ParseErrorKind::DuplicateInductionVariable("i".into())
+        );
+    }
+
+    #[test]
+    fn nest_trip_counts_cover_all_condition_shapes() {
+        let trips = |src: &str| {
+            let spec = lower_src(src);
+            let nest = spec.nest().unwrap();
+            (nest.levels()[0].trips, nest.inner_trips())
+        };
+        assert_eq!(
+            trips("for (i = 0; i < 7; i += 2) { for (j = 0; j < 3; j++) { s += y[j]; } }"),
+            (4, 3)
+        );
+        assert_eq!(
+            trips("for (i = 10; i >= 1; i -= 3) { for (j = 3; j > 0; j--) { s += y[j]; } }"),
+            (4, 3)
+        );
+        assert_eq!(
+            trips("for (i = 0; i <= 4; i++) { for (j = 0; j < 1; j++) { s += y[j]; } }"),
+            (5, 1)
+        );
     }
 }

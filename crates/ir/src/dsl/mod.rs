@@ -1,23 +1,33 @@
 //! A small C-like loop language.
 //!
 //! The DSL exists so that loops — the paper's inputs — can be written as
-//! text instead of hand-assembled IR. It understands a single `for` loop
-//! whose body is a list of assignments over scalars and array elements with
-//! affine index expressions:
+//! text instead of hand-assembled IR. It understands `for` loops (and
+//! perfect loop *nests*) whose innermost body is a list of assignments
+//! over scalars and array elements with affine index expressions, plus
+//! `array` declarations giving multi-dimensional arrays their shapes:
 //!
 //! ```text
-//! for (i = 2; i <= N; i++) {
-//!     acc  = acc + A[i + 1] * A[i];     // reads A[i+1], A[i]
-//!     B[2*i] += A[i - 1];               // reads A[i-1], B[2i]; writes B[2i]
+//! array x[18][16];                      // 18 rows of 16 words, row-major
+//! array y[16][16];
+//! for (i = 0; i < 16; i++) {
+//!     for (j = 0; j < 16; j++) {
+//!         y[i][j] = x[i][j] + x[i + 2][j + 2];
+//!     }
 //! }
 //! ```
 //!
-//! * Index expressions must be affine in the loop variable: `c*i + d` with
-//!   integer constants `c`, `d` (written in any arithmetically equivalent
-//!   form, e.g. `63 - i`).
-//! * All accesses to one array must share the same coefficient `c`; the
+//! * Index expressions must be affine in the nest's induction variables
+//!   (`c1*i + c2*j + d` with integer constants, written in any
+//!   arithmetically equivalent form).
+//! * Multi-dimensional subscripts linearize row-major against the
+//!   array's declaration; undeclared arrays are one-dimensional.
+//! * All accesses to one array must share the same coefficients; the
 //!   uniform-distance model of the paper cannot represent mixed
 //!   coefficients, and [`parse_loop`] reports them as errors.
+//! * Nests must be *perfect* (each body is either statements or exactly
+//!   one nested loop) with constant bounds; they are lowered by
+//!   flattening — see [`lower_unit_loop`] and
+//!   [`LoopNest`](crate::model::LoopNest).
 //! * Scalars are assumed to live in data registers and do not contribute
 //!   memory accesses.
 //!
@@ -34,6 +44,13 @@
 //! )?;
 //! assert_eq!(spec.len(), 3);
 //! assert_eq!(spec.stride(), 1);
+//!
+//! // A 2D stencil row sweep flattens to a single affine loop:
+//! let spec = raco_ir::dsl::parse_loop(
+//!     "array u[8][8];
+//!      for (i = 0; i < 7; i++) { for (j = 0; j < 8; j++) { s += u[i][j] + u[i + 1][j]; } }",
+//! )?;
+//! assert_eq!(spec.nest().unwrap().inner_trips(), 8);
 //! # Ok(())
 //! # }
 //! ```
@@ -43,9 +60,9 @@ mod lexer;
 mod lower;
 mod parser;
 
-pub use ast::{AssignOp, BinOp, CmpOp, Cond, Expr, ForLoop, LValue, Stmt, Update};
+pub use ast::{AssignOp, BinOp, CmpOp, Cond, Decl, Expr, ForLoop, LValue, Stmt, Update};
 pub use lexer::Span;
-pub use lower::lower_loop;
+pub use lower::{lower_loop, lower_unit_loop};
 pub use parser::{LowerError, ParseError, ParseErrorKind};
 
 use crate::model::LoopSpec;
@@ -70,19 +87,63 @@ use crate::model::LoopSpec;
 /// # }
 /// ```
 pub fn parse_loop(source: &str) -> Result<LoopSpec, ParseError> {
-    let ast = parse_for(source)?;
-    lower::lower_loop(&ast).map_err(|e| e.attach_source(source))
+    let (decls, mut loops) = parse_unit(source)?;
+    if loops.len() != 1 {
+        // Multiple loops need parse_program; report the second loop's
+        // position as unexpected input.
+        let second = &loops[1];
+        return Err(ParseError::new(
+            ParseErrorKind::UnexpectedToken {
+                found: "a second loop".to_owned(),
+                expected: "end of input (use parse_program for multi-loop sources)".to_owned(),
+            },
+            second.span,
+            source,
+        ));
+    }
+    let ast = loops.pop().expect("checked above");
+    lower::lower_unit_loop(&decls, &ast).map_err(|e| e.attach_source(source))
 }
 
-/// Parses a `for` loop into its [`ForLoop`] AST without lowering.
+/// Parses a `for` loop (or perfect nest) into its [`ForLoop`] AST
+/// without lowering.
 ///
-/// Useful for pretty printing or custom analyses.
+/// Useful for pretty printing or custom analyses. Array declarations
+/// are not accepted here — they belong to a compilation unit; use
+/// [`parse_unit`] for sources that declare shapes.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] on lexical or syntax errors.
 pub fn parse_for(source: &str) -> Result<ForLoop, ParseError> {
     parser::Parser::new(source)?.parse_for_loop()
+}
+
+/// Parses a whole compilation unit into its raw parts: `array`
+/// declarations and loop (nest) ASTs, without lowering.
+///
+/// Declarations scope over the entire unit, wherever they appear.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntax errors (including
+/// duplicate declarations).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (decls, loops) = raco_ir::dsl::parse_unit(
+///     "array m[2][3];
+///      for (i = 0; i < 2; i++) { for (j = 0; j < 3; j++) { m[i][j] = 0; } }",
+/// )?;
+/// assert_eq!(decls[0].dims, vec![2, 3]);
+/// assert_eq!(loops[0].depth(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_unit(source: &str) -> Result<(Vec<Decl>, Vec<ForLoop>), ParseError> {
+    parser::Parser::new(source)?.parse_unit()
 }
 
 /// Parses a whole program — one or more `for` loops — and lowers each to
@@ -112,11 +173,12 @@ pub fn parse_for(source: &str) -> Result<ForLoop, ParseError> {
 /// # }
 /// ```
 pub fn parse_program(source: &str) -> Result<Vec<LoopSpec>, ParseError> {
-    let asts = parser::Parser::new(source)?.parse_program()?;
+    let (decls, asts) = parse_unit(source)?;
     asts.iter()
         .enumerate()
         .map(|(i, ast)| {
-            let mut spec = lower::lower_loop(ast).map_err(|e| e.attach_source(source))?;
+            let mut spec =
+                lower::lower_unit_loop(&decls, ast).map_err(|e| e.attach_source(source))?;
             spec.set_name(&format!("loop{i}"));
             Ok(spec)
         })
@@ -213,5 +275,126 @@ mod tests {
     fn single_loop_still_rejects_trailing_garbage() {
         assert!(parse_loop("for (i = 0; i < 8; i++) { } for").is_err());
         assert!(parse_program("for (i = 0; i < 8; i++) { } for").is_err());
+    }
+
+    #[test]
+    fn nested_programs_share_declarations_across_loops() {
+        let loops = parse_program(
+            "array m[4][8];
+             for (i = 0; i < 4; i++) { for (j = 0; j < 8; j++) { m[i][j] = 0; } }
+             for (t = 0; t < 32; t++) { acc += q[t]; }",
+        )
+        .unwrap();
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].nest().is_some());
+        assert!(loops[1].nest().is_none());
+        assert_eq!(loops[0].name(), "loop0");
+    }
+
+    /// Table-driven error-path coverage: malformed nests and subscripts
+    /// must produce positioned errors — never panics — and the position
+    /// must point into the offending construct.
+    #[test]
+    fn error_paths_are_positioned_not_panics() {
+        struct Case {
+            source: &'static str,
+            want: fn(&ParseErrorKind) -> bool,
+            line: usize,
+        }
+        let cases = [
+            // Non-affine subscripts.
+            Case {
+                source: "for (i = 0; i < 4; i++) {\n  s += A[i * i];\n}",
+                want: |k| matches!(k, ParseErrorKind::NonAffineIndex),
+                line: 2,
+            },
+            Case {
+                source: "array x[4][4];\nfor (i = 0; i < 4; i++) {\n  for (j = 0; j < 4; j++) {\n    s += x[i][i * j];\n  }\n}",
+                want: |k| matches!(k, ParseErrorKind::NonAffineIndex),
+                line: 4,
+            },
+            // Dimension/rank mismatches.
+            Case {
+                source: "array x[4][4];\nfor (i = 0; i < 4; i++) {\n  s += x[i];\n}",
+                want: |k| matches!(
+                    k,
+                    ParseErrorKind::RankMismatch { expected: 2, found: 1, .. }
+                ),
+                line: 3,
+            },
+            Case {
+                source: "array x[4];\nfor (i = 0; i < 4; i++) {\n  s += x[i][0];\n}",
+                want: |k| matches!(
+                    k,
+                    ParseErrorKind::RankMismatch { expected: 1, found: 2, .. }
+                ),
+                line: 3,
+            },
+            Case {
+                source: "for (i = 0; i < 4; i++) {\n  s += x[i][0];\n}",
+                want: |k| matches!(k, ParseErrorKind::UndeclaredArray(name) if name == "x"),
+                line: 2,
+            },
+            // Unbound induction variables.
+            Case {
+                source: "for (i = 0; i < 4; i++) {\n  s += A[t + 1];\n}",
+                want: |k| matches!(k, ParseErrorKind::SymbolicIndex(name) if name == "t"),
+                line: 2,
+            },
+            Case {
+                source: "for (i = 0; i < 4; i++) {\n  for (j = 0; j < 4; j++) {\n    y[j] = A[q];\n  }\n}",
+                want: |k| matches!(k, ParseErrorKind::SymbolicIndex(name) if name == "q"),
+                line: 3,
+            },
+            // Nest-shape errors.
+            Case {
+                source: "for (i = 0; i < 4; i++) {\n  s += A[i];\n  for (j = 0; j < 4; j++) {\n    s += A[j];\n  }\n}",
+                want: |k| matches!(k, ParseErrorKind::ImperfectNest),
+                line: 3,
+            },
+            Case {
+                source: "for (i = 0; i < N; i++) {\n  for (j = 0; j < 4; j++) {\n    s += A[j];\n  }\n}",
+                want: |k| matches!(k, ParseErrorKind::NonConstantNestBound(v) if v == "i"),
+                line: 1,
+            },
+            Case {
+                source: "for (i = 0; i != 4; i++) {\n  for (j = 0; j < 4; j++) {\n    s += A[j];\n  }\n}",
+                want: |k| matches!(k, ParseErrorKind::DegenerateNestLevel(v) if v == "i"),
+                line: 1,
+            },
+            // Declaration errors.
+            Case {
+                source: "array x[0];\nfor (i = 0; i < 4; i++) { s += x[i]; }",
+                want: |k| matches!(k, ParseErrorKind::InvalidDimension(name) if name == "x"),
+                line: 1,
+            },
+            Case {
+                source: "array x[4];\narray x[8];\nfor (i = 0; i < 4; i++) { s += x[i]; }",
+                want: |k| matches!(k, ParseErrorKind::DuplicateDeclaration(name) if name == "x"),
+                line: 2,
+            },
+        ];
+        for case in &cases {
+            let err =
+                parse_loop(case.source).expect_err(&format!("`{}` must not lower", case.source));
+            assert!(
+                (case.want)(err.kind()),
+                "`{}` produced {:?}",
+                case.source,
+                err.kind()
+            );
+            assert_eq!(
+                err.line(),
+                case.line,
+                "`{}` error at {}:{} — {}",
+                case.source,
+                err.line(),
+                err.column(),
+                err
+            );
+            assert!(err.column() >= 1);
+            // The rendered message carries the position.
+            assert!(err.to_string().contains(&format!("{}:", case.line)));
+        }
     }
 }

@@ -40,11 +40,11 @@ pub enum ParseErrorKind {
     NonConstantStride,
     /// The update step is zero.
     ZeroStride,
-    /// An index expression references a symbol that is neither the loop
-    /// variable nor a constant.
+    /// An index expression references a symbol that is not an induction
+    /// variable of the enclosing loop nest (an unbound variable).
     SymbolicIndex(String),
-    /// An index expression is not affine in the loop variable
-    /// (e.g. `i * i`).
+    /// An index expression is not affine in the induction variables
+    /// (e.g. `i * i` or `i * j`).
     NonAffineIndex,
     /// An index expression contains a nested array access.
     ArrayInIndex(String),
@@ -52,7 +52,8 @@ pub enum ParseErrorKind {
     DivisionInIndex,
     /// Affine folding of an index expression overflowed `i64`.
     IndexOverflow,
-    /// Accesses to one array use different loop-variable coefficients.
+    /// Accesses to one array use different induction-variable
+    /// coefficients.
     MixedCoefficients {
         /// The array name.
         array: String,
@@ -61,6 +62,34 @@ pub enum ParseErrorKind {
         /// Conflicting coefficient.
         second: i64,
     },
+    /// A subscript chain does not match the array's declared rank.
+    RankMismatch {
+        /// The array name.
+        array: String,
+        /// Rank from the `array` declaration (1 for undeclared arrays).
+        expected: usize,
+        /// Subscripts actually written.
+        found: usize,
+    },
+    /// A multi-dimensional subscript on an array with no `array`
+    /// declaration (so its row strides are unknown).
+    UndeclaredArray(String),
+    /// The same array is declared twice.
+    DuplicateDeclaration(String),
+    /// An `array` declaration has a non-constant or non-positive
+    /// dimension.
+    InvalidDimension(String),
+    /// A loop body mixes statements with a nested loop, or contains more
+    /// than one nested loop (only perfect nests can be flattened).
+    ImperfectNest,
+    /// Two levels of a loop nest reuse the same induction variable.
+    DuplicateInductionVariable(String),
+    /// A nest level's start or bound is not a compile-time constant
+    /// (flattening needs constant trip counts).
+    NonConstantNestBound(String),
+    /// A nest level's condition never terminates or its trip count is
+    /// not positive (e.g. `i < 0` from `i = 0` upward).
+    DegenerateNestLevel(String),
 }
 
 impl fmt::Display for ParseErrorKind {
@@ -104,6 +133,39 @@ impl fmt::Display for ParseErrorKind {
             } => write!(
                 f,
                 "array `{array}` is indexed with mixed loop-variable coefficients {first} and {second}"
+            ),
+            ParseErrorKind::RankMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
+                f,
+                "array `{array}` has rank {expected} but is subscripted with {found} index(es)"
+            ),
+            ParseErrorKind::UndeclaredArray(name) => write!(
+                f,
+                "array `{name}` needs an `array {name}[…]…;` declaration before it can take multi-dimensional subscripts"
+            ),
+            ParseErrorKind::DuplicateDeclaration(name) => {
+                write!(f, "array `{name}` is declared twice")
+            }
+            ParseErrorKind::InvalidDimension(name) => write!(
+                f,
+                "array `{name}` has a non-constant or non-positive dimension"
+            ),
+            ParseErrorKind::ImperfectNest => f.write_str(
+                "loop bodies must be either statements or exactly one nested loop (perfect nests only)",
+            ),
+            ParseErrorKind::DuplicateInductionVariable(name) => {
+                write!(f, "induction variable `{name}` is reused by an outer loop")
+            }
+            ParseErrorKind::NonConstantNestBound(var) => write!(
+                f,
+                "loop over `{var}` needs constant start and bound to flatten the nest"
+            ),
+            ParseErrorKind::DegenerateNestLevel(var) => write!(
+                f,
+                "loop over `{var}` has no iterations, never terminates, or uses a condition the nest flattener does not support"
             ),
         }
     }
@@ -272,7 +334,9 @@ impl<'s> Parser<'s> {
         }
     }
 
-    /// Parses a complete `for` loop; trailing tokens are an error.
+    /// Parses a complete `for` loop (possibly a nest); trailing tokens
+    /// are an error. Array declarations are *not* accepted here — use
+    /// [`Parser::parse_unit`] for sources with declarations.
     pub(crate) fn parse_for_loop(mut self) -> Result<ForLoop, ParseError> {
         let ast = self.parse_one_for()?;
         if self.peek().kind != TokenKind::Eof {
@@ -281,19 +345,63 @@ impl<'s> Parser<'s> {
         Ok(ast)
     }
 
-    /// Parses a whole program: one or more `for` loops.
-    pub(crate) fn parse_program(mut self) -> Result<Vec<ForLoop>, ParseError> {
+    /// Parses a whole compilation unit: array declarations interleaved
+    /// with one or more `for` loops (nests). Declarations scope over the
+    /// entire unit.
+    pub(crate) fn parse_unit(
+        mut self,
+    ) -> Result<(Vec<super::ast::Decl>, Vec<ForLoop>), ParseError> {
+        let mut decls: Vec<super::ast::Decl> = Vec::new();
         let mut loops = Vec::new();
         loop {
-            loops.push(self.parse_one_for()?);
-            if self.peek().kind == TokenKind::Eof {
-                return Ok(loops);
+            match self.peek().kind {
+                TokenKind::KwArray => {
+                    let decl = self.parse_decl()?;
+                    if decls.iter().any(|d| d.name == decl.name) {
+                        return Err(self.error(
+                            ParseErrorKind::DuplicateDeclaration(decl.name.clone()),
+                            decl.span,
+                        ));
+                    }
+                    decls.push(decl);
+                }
+                TokenKind::KwFor => loops.push(self.parse_one_for()?),
+                TokenKind::Eof if !loops.is_empty() => return Ok((decls, loops)),
+                // Declarations alone are not a program.
+                TokenKind::Eof => return Err(self.unexpected("a `for` loop")),
+                _ => return Err(self.unexpected("`array`, `for` or end of input")),
             }
         }
     }
 
+    /// Parses `array name[d1][d2]…;`.
+    fn parse_decl(&mut self) -> Result<super::ast::Decl, ParseError> {
+        let start = self.expect(&TokenKind::KwArray, "`array`")?.span;
+        let (name, _) = self.expect_ident("array name")?;
+        let mut dims = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let dim_expr = self.parse_expr()?;
+            let close = self.expect(&TokenKind::RBracket, "`]`")?;
+            let span = Span::new(start.start, close.span.end);
+            match const_eval(&dim_expr) {
+                Some(d) if d > 0 => dims.push(d),
+                _ => return Err(self.error(ParseErrorKind::InvalidDimension(name.clone()), span)),
+            }
+        }
+        if dims.is_empty() {
+            return Err(self.unexpected("`[` (array declarations need dimensions)"));
+        }
+        let end = self.expect(&TokenKind::Semi, "`;` after array declaration")?;
+        Ok(super::ast::Decl {
+            name,
+            dims,
+            span: Span::new(start.start, end.span.end),
+        })
+    }
+
     fn parse_one_for(&mut self) -> Result<ForLoop, ParseError> {
-        self.expect(&TokenKind::KwFor, "`for`")?;
+        let for_span = self.expect(&TokenKind::KwFor, "`for`")?.span;
         self.expect(&TokenKind::LParen, "`(`")?;
 
         // init: var = expr
@@ -330,16 +438,31 @@ impl<'s> Parser<'s> {
 
         // update
         let update = self.parse_update(&var)?;
-        self.expect(&TokenKind::RParen, "`)` after loop header")?;
+        let header_end = self.expect(&TokenKind::RParen, "`)` after loop header")?;
+        let span = Span::new(for_span.start, header_end.span.end);
 
-        // body
+        // body: either statements or exactly one nested for.
         self.expect(&TokenKind::LBrace, "`{`")?;
         let mut body = Vec::new();
+        let mut nested: Option<Box<ForLoop>> = None;
         while self.peek().kind != TokenKind::RBrace {
-            if self.peek().kind == TokenKind::Eof {
-                return Err(self.unexpected("`}` or a statement"));
+            match self.peek().kind {
+                TokenKind::Eof => return Err(self.unexpected("`}`, a statement or `for`")),
+                TokenKind::KwFor => {
+                    let span = self.peek().span;
+                    if nested.is_some() || !body.is_empty() {
+                        return Err(self.error(ParseErrorKind::ImperfectNest, span));
+                    }
+                    nested = Some(Box::new(self.parse_one_for()?));
+                }
+                _ => {
+                    if nested.is_some() {
+                        let span = self.peek().span;
+                        return Err(self.error(ParseErrorKind::ImperfectNest, span));
+                    }
+                    body.push(self.parse_stmt()?);
+                }
             }
-            body.push(self.parse_stmt()?);
         }
         self.expect(&TokenKind::RBrace, "`}`")?;
         Ok(ForLoop {
@@ -349,6 +472,8 @@ impl<'s> Parser<'s> {
             cond,
             update,
             body,
+            nested,
+            span,
         })
     }
 
@@ -418,14 +543,26 @@ impl<'s> Parser<'s> {
         }
     }
 
+    /// Parses a (possibly multi-dimensional) `[e1][e2]…` subscript chain.
+    fn parse_subscripts(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut indices = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            indices.push(self.parse_expr()?);
+            self.expect(&TokenKind::RBracket, "`]`")?;
+        }
+        Ok(indices)
+    }
+
     fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
         let start_span = self.peek().span;
         let (name, _) = self.expect_ident("a statement")?;
         let lhs = if self.peek().kind == TokenKind::LBracket {
-            self.bump();
-            let index = self.parse_expr()?;
-            self.expect(&TokenKind::RBracket, "`]`")?;
-            LValue::Element { array: name, index }
+            let indices = self.parse_subscripts()?;
+            LValue::Element {
+                array: name,
+                indices,
+            }
         } else {
             LValue::Scalar(name)
         };
@@ -496,12 +633,10 @@ impl<'s> Parser<'s> {
             TokenKind::Ident(_) => {
                 let (name, _) = self.expect_ident("identifier")?;
                 if self.peek().kind == TokenKind::LBracket {
-                    self.bump();
-                    let index = self.parse_expr()?;
-                    self.expect(&TokenKind::RBracket, "`]`")?;
+                    let indices = self.parse_subscripts()?;
                     Ok(Expr::Index {
                         array: name,
-                        index: Box::new(index),
+                        indices,
                     })
                 } else {
                     Ok(Expr::Var(name))

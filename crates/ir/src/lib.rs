@@ -78,6 +78,7 @@ pub mod trace;
 pub use canonical::CanonicalPattern;
 pub use machine::{AguSpec, SpecError};
 pub use model::{
-    Access, AccessKind, AccessPattern, ArrayId, ArrayInfo, IrError, LoopSpec, PatternAccess,
+    Access, AccessKind, AccessPattern, ArrayId, ArrayInfo, IrError, LoopNest, LoopSpec, NestLevel,
+    PatternAccess,
 };
 pub use trace::{MemoryLayout, Trace, TraceEntry};

@@ -87,6 +87,7 @@ pub struct Access {
 pub struct ArrayInfo {
     name: String,
     coefficient: i64,
+    carries: Vec<i64>,
 }
 
 impl ArrayInfo {
@@ -102,6 +103,107 @@ impl ArrayInfo {
     /// address stride of such an array is zero.
     pub fn coefficient(&self) -> i64 {
         self.coefficient
+    }
+
+    /// Outer-loop carry deltas of a flattened loop nest, outermost level
+    /// first (empty for plain single loops).
+    ///
+    /// When a nested loop is flattened to its innermost access sequence
+    /// (see [`LoopNest`]), the steady-state address of this array advances
+    /// by `stride` per flattened iteration; whenever outer level `k`
+    /// advances (every [`LoopNest::periods`]`[k]` iterations), the address
+    /// additionally jumps by `carries()[k]`. A carry of zero means the
+    /// flattening is exact at that level (contiguous rows).
+    pub fn carries(&self) -> &[i64] {
+        &self.carries
+    }
+}
+
+/// One outer level of a flattened loop nest (the innermost loop is the
+/// [`LoopSpec`] itself).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NestLevel {
+    /// Source-level induction variable of this level.
+    pub var: String,
+    /// Initial value of the induction variable.
+    pub start: i64,
+    /// Per-iteration increment of this level. Never zero.
+    pub stride: i64,
+    /// Constant trip count of this level. Never zero.
+    pub trips: u64,
+}
+
+/// Loop-nest metadata attached to a flattened [`LoopSpec`].
+///
+/// A nest `for v0 … { for v1 … { inner } }` is lowered by *flattening*:
+/// the [`LoopSpec`] describes the innermost loop's per-iteration access
+/// sequence, iterated `total_iterations()` times as if it were one long
+/// loop. Within one sweep of the innermost loop the flat affine model is
+/// exact; whenever an outer level advances, each array's address jumps by
+/// its per-level carry ([`ArrayInfo::carries`]) relative to the flat
+/// model. Code generation realizes those jumps as boundary update blocks
+/// executed between inner-loop sweeps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoopNest {
+    levels: Vec<NestLevel>,
+    inner_trips: u64,
+}
+
+impl LoopNest {
+    /// Builds nest metadata from the outer levels (outermost first) and
+    /// the innermost loop's constant trip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty, `inner_trips` is zero, or any level
+    /// has a zero trip count or stride — lowering rejects such nests
+    /// before constructing metadata.
+    pub fn new(levels: Vec<NestLevel>, inner_trips: u64) -> Self {
+        assert!(!levels.is_empty(), "a nest needs at least one outer level");
+        assert!(inner_trips > 0, "inner trip count must be positive");
+        for level in &levels {
+            assert!(level.trips > 0, "outer trip counts must be positive");
+            assert!(level.stride != 0, "outer strides must be non-zero");
+        }
+        LoopNest {
+            levels,
+            inner_trips,
+        }
+    }
+
+    /// The outer levels, outermost first.
+    pub fn levels(&self) -> &[NestLevel] {
+        &self.levels
+    }
+
+    /// Nest depth including the innermost loop.
+    pub fn depth(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Constant trip count of the innermost loop.
+    pub fn inner_trips(&self) -> u64 {
+        self.inner_trips
+    }
+
+    /// Flattened iterations per advance of each outer level, outermost
+    /// first: `periods()[k]` is the product of all trip counts strictly
+    /// inside level `k` (saturating on overflow).
+    pub fn periods(&self) -> Vec<u64> {
+        let mut periods = vec![0u64; self.levels.len()];
+        let mut acc = self.inner_trips;
+        for (k, level) in self.levels.iter().enumerate().rev() {
+            periods[k] = acc;
+            acc = acc.saturating_mul(level.trips);
+        }
+        periods
+    }
+
+    /// Total flattened iterations of the whole nest (saturating).
+    pub fn total_iterations(&self) -> u64 {
+        self.levels.iter().fold(self.inner_trips, |acc, level| {
+            acc.saturating_mul(level.trips)
+        })
     }
 }
 
@@ -126,6 +228,15 @@ pub enum IrError {
     },
     /// The loop contains no array accesses at all.
     EmptyLoop,
+    /// An array's carry list does not match the nest depth.
+    CarryRankMismatch {
+        /// Name of the offending array.
+        array: String,
+        /// Outer levels declared by the nest metadata.
+        levels: usize,
+        /// Carries recorded for the array.
+        carries: usize,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -142,6 +253,14 @@ impl fmt::Display for IrError {
                 "array `{array}` is indexed with mixed loop-variable coefficients {first} and {second}"
             ),
             IrError::EmptyLoop => f.write_str("loop contains no array accesses"),
+            IrError::CarryRankMismatch {
+                array,
+                levels,
+                carries,
+            } => write!(
+                f,
+                "array `{array}` records {carries} carry delta(s) for a nest with {levels} outer level(s)"
+            ),
         }
     }
 }
@@ -178,6 +297,7 @@ pub struct LoopSpec {
     stride: i64,
     arrays: Vec<ArrayInfo>,
     accesses: Vec<Access>,
+    nest: Option<LoopNest>,
 }
 
 impl LoopSpec {
@@ -210,6 +330,7 @@ impl LoopSpec {
             stride,
             arrays: Vec::new(),
             accesses: Vec::new(),
+            nest: None,
         })
     }
 
@@ -225,6 +346,19 @@ impl LoopSpec {
         self
     }
 
+    /// Attaches loop-nest metadata: this spec is the flattened innermost
+    /// loop of `nest`. Per-array carry deltas are set separately with
+    /// [`LoopSpec::set_array_carries`].
+    pub fn set_nest(&mut self, nest: LoopNest) -> &mut Self {
+        self.nest = Some(nest);
+        self
+    }
+
+    /// Loop-nest metadata, if this spec was flattened from a nest.
+    pub fn nest(&self) -> Option<&LoopNest> {
+        self.nest.as_ref()
+    }
+
     /// Registers an array with loop-variable coefficient `coefficient` and
     /// returns its id.
     ///
@@ -238,8 +372,26 @@ impl LoopSpec {
         self.arrays.push(ArrayInfo {
             name: name.to_owned(),
             coefficient,
+            carries: Vec::new(),
         });
         ArrayId((self.arrays.len() - 1) as u32)
+    }
+
+    /// Records the per-outer-level carry deltas of one array (outermost
+    /// level first; see [`ArrayInfo::carries`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownArray`] if `array` was not created by
+    /// [`LoopSpec::add_array`] on this loop.
+    pub fn set_array_carries(&mut self, array: ArrayId, carries: Vec<i64>) -> Result<(), IrError> {
+        match self.arrays.get_mut(array.index()) {
+            Some(info) => {
+                info.carries = carries;
+                Ok(())
+            }
+            None => Err(IrError::UnknownArray(array)),
+        }
     }
 
     /// Appends an access to the end of the per-iteration access sequence.
@@ -334,6 +486,18 @@ impl LoopSpec {
         for acc in &self.accesses {
             if acc.array.index() >= self.arrays.len() {
                 return Err(IrError::UnknownArray(acc.array));
+            }
+        }
+        // Carries are either absent (plain loops, or exact flattenings
+        // that recorded none) or exactly one per outer nest level.
+        let levels = self.nest.as_ref().map_or(0, |n| n.levels().len());
+        for info in &self.arrays {
+            if !info.carries.is_empty() && info.carries.len() != levels {
+                return Err(IrError::CarryRankMismatch {
+                    array: info.name.clone(),
+                    levels,
+                    carries: info.carries.len(),
+                });
             }
         }
         Ok(())
@@ -595,6 +759,69 @@ mod tests {
     #[should_panic(expected = "pattern must contain accesses")]
     fn from_offsets_rejects_empty() {
         let _ = AccessPattern::from_offsets(&[], 1);
+    }
+
+    #[test]
+    fn nest_metadata_periods_and_totals() {
+        let nest = LoopNest::new(
+            vec![
+                NestLevel {
+                    var: "i".into(),
+                    start: 0,
+                    stride: 1,
+                    trips: 3,
+                },
+                NestLevel {
+                    var: "j".into(),
+                    start: 0,
+                    stride: 1,
+                    trips: 4,
+                },
+            ],
+            5,
+        );
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.inner_trips(), 5);
+        // Innermost outer level advances every inner sweep (5), the
+        // outermost every 4 sweeps (20).
+        assert_eq!(nest.periods(), vec![20, 5]);
+        assert_eq!(nest.total_iterations(), 60);
+    }
+
+    #[test]
+    fn carries_validate_against_nest_depth() {
+        let mut spec = two_array_loop();
+        let a = spec.array_id("A").unwrap();
+        spec.set_nest(LoopNest::new(
+            vec![NestLevel {
+                var: "r".into(),
+                start: 0,
+                stride: 1,
+                trips: 2,
+            }],
+            4,
+        ));
+        // No carries recorded: treated as all-zero, still valid.
+        assert_eq!(spec.validate(), Ok(()));
+        spec.set_array_carries(a, vec![7]).unwrap();
+        assert_eq!(spec.validate(), Ok(()));
+        assert_eq!(spec.array_info(a).unwrap().carries(), &[7]);
+        // Wrong rank is rejected.
+        spec.set_array_carries(a, vec![7, 9]).unwrap();
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            IrError::CarryRankMismatch { .. }
+        ));
+        // Foreign ids are rejected.
+        assert!(spec
+            .set_array_carries(ArrayId::from_index(9), vec![1])
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outer level")]
+    fn empty_nests_are_rejected() {
+        let _ = LoopNest::new(vec![], 4);
     }
 
     #[test]

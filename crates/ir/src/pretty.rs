@@ -28,6 +28,12 @@ use crate::model::{AccessKind, LoopSpec};
 /// # }
 /// ```
 pub fn print_for(ast: &ForLoop) -> String {
+    let mut out = String::new();
+    print_for_level(&mut out, ast, 0);
+    out
+}
+
+fn print_for_level(out: &mut String, ast: &ForLoop, depth: usize) {
     use crate::dsl::Update;
     let update = match ast.update {
         Update::Increment => format!("{}++", ast.var),
@@ -35,17 +41,19 @@ pub fn print_for(ast: &ForLoop) -> String {
         Update::Step(k) if k >= 0 => format!("{} += {k}", ast.var),
         Update::Step(k) => format!("{} -= {}", ast.var, -k),
     };
-    let mut out = String::new();
+    let pad = "    ".repeat(depth);
     let _ = writeln!(
         out,
-        "for ({} = {}; {} {} {}; {update}) {{",
+        "{pad}for ({} = {}; {} {} {}; {update}) {{",
         ast.var, ast.init, ast.var, ast.cond.op, ast.cond.bound
     );
-    for stmt in &ast.body {
-        let _ = writeln!(out, "    {stmt}");
+    if let Some(inner) = &ast.nested {
+        print_for_level(out, inner, depth + 1);
     }
-    out.push_str("}\n");
-    out
+    for stmt in &ast.body {
+        let _ = writeln!(out, "{pad}    {stmt}");
+    }
+    let _ = writeln!(out, "{pad}}}");
 }
 
 /// Renders a [`LoopSpec`] as the paper-style annotated access listing.
@@ -63,6 +71,18 @@ pub fn print_for(ast: &ForLoop) -> String {
 /// ```
 pub fn print_access_listing(spec: &LoopSpec) -> String {
     let mut out = String::new();
+    if let Some(nest) = spec.nest() {
+        for level in nest.levels() {
+            let _ = writeln!(
+                out,
+                "/* outer */ for ({v} = {start}; …; {v} += {stride})  /* {trips} trips */",
+                v = level.var,
+                start = level.start,
+                stride = level.stride,
+                trips = level.trips
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "for ({v} = {start}; …; {v} += {stride})",

@@ -106,12 +106,21 @@ impl Trace {
     /// [`start`](LoopSpec::start) value.
     ///
     /// The address of access `array[c*i + d]` in iteration `t` is
-    /// `base(array) + c * (start + t * stride) + d`.
+    /// `base(array) + c * (start + t * stride) + d`. For specs flattened
+    /// from a loop nest ([`LoopSpec::nest`]), each array additionally
+    /// accumulates its per-level carry every time an outer level advances
+    /// — the trace is then exactly what direct interpretation of the nest
+    /// would produce. Nested specs are finite, so `iterations` is clamped
+    /// to the nest's total iteration count.
     ///
     /// # Panics
     ///
     /// Panics if the layout does not cover an accessed array.
     pub fn capture(spec: &LoopSpec, layout: &MemoryLayout, iterations: u64) -> Self {
+        let (periods, iterations) = match spec.nest() {
+            Some(nest) => (nest.periods(), iterations.min(nest.total_iterations())),
+            None => (Vec::new(), iterations),
+        };
         let mut entries = Vec::with_capacity(spec.len() * iterations as usize);
         for t in 0..iterations {
             let i = spec.start() + t as i64 * spec.stride();
@@ -122,11 +131,19 @@ impl Trace {
                 let base = layout
                     .base(acc.array)
                     .expect("layout must cover every accessed array");
+                // Accumulated outer-loop carry: level k has advanced
+                // t / periods[k] times by flattened iteration t.
+                let carry: i64 = info
+                    .carries()
+                    .iter()
+                    .zip(&periods)
+                    .map(|(&c, &p)| c * (t / p) as i64)
+                    .sum();
                 entries.push(TraceEntry {
                     iteration: t,
                     position,
                     array: acc.array,
-                    address: base + info.coefficient() * i + acc.offset,
+                    address: base + info.coefficient() * i + acc.offset + carry,
                     kind: acc.kind,
                 });
             }
@@ -231,6 +248,37 @@ mod tests {
         assert_eq!(trace.entries()[2].kind, AccessKind::Write);
         let line = trace.entries()[2].to_string();
         assert!(line.contains("write"), "display was `{line}`");
+    }
+
+    #[test]
+    fn nested_specs_apply_outer_carries_at_row_boundaries() {
+        use crate::model::{AccessKind, LoopNest, NestLevel};
+        // Hand-built flattening of
+        //   for (r = 0; r < 3; r++) for (j = 0; j < 4; j++) y[r][j] = …
+        // with row stride 10: coefficient 1 in j, carry 10 - 4 = 6.
+        let mut spec = LoopSpec::new("nested", "j", 1);
+        let y = spec.add_array("y", 1);
+        spec.push_access(y, 0, AccessKind::Write).unwrap();
+        spec.set_nest(LoopNest::new(
+            vec![NestLevel {
+                var: "r".into(),
+                start: 0,
+                stride: 1,
+                trips: 3,
+            }],
+            4,
+        ));
+        spec.set_array_carries(y, vec![6]).unwrap();
+        let layout = MemoryLayout::from_bases(vec![100]);
+        // Requesting more than 3*4 iterations clamps to the nest total.
+        let trace = Trace::capture(&spec, &layout, 99);
+        assert_eq!(trace.iterations(), 12);
+        let addrs: Vec<i64> = trace.entries().iter().map(|e| e.address).collect();
+        assert_eq!(
+            addrs,
+            vec![100, 101, 102, 103, 110, 111, 112, 113, 120, 121, 122, 123],
+            "rows of four, then a jump of 10 to the next row"
+        );
     }
 
     #[test]

@@ -35,18 +35,26 @@ pub struct Kernel {
 }
 
 impl Kernel {
-    /// Builds a kernel from DSL source.
+    /// Builds a kernel from DSL source: optional `array` declarations
+    /// followed by exactly one loop (possibly a perfect nest).
     ///
     /// # Panics
     ///
-    /// Panics if `source` is not valid DSL — kernels are compiled-in
-    /// constants, so a parse failure is a bug in this crate.
+    /// Panics if `source` is not valid DSL or contains more than one
+    /// loop — kernels are compiled-in constants, so a parse failure is a
+    /// bug in this crate.
     pub fn from_source(name: &str, description: &str, source: &str) -> Self {
-        let ast = dsl::parse_for(source)
+        let (decls, loops) = dsl::parse_unit(source)
             .unwrap_or_else(|e| panic!("kernel `{name}` does not parse: {e}"));
-        let spec =
-            dsl::lower_loop(&ast).unwrap_or_else(|e| panic!("kernel `{name}` does not lower: {e}"));
-        let compute_ops = count_compute_ops(&ast);
+        assert!(
+            loops.len() == 1,
+            "kernel `{name}` must contain exactly one loop, found {}",
+            loops.len()
+        );
+        let ast = &loops[0];
+        let spec = dsl::lower_unit_loop(&decls, ast)
+            .unwrap_or_else(|e| panic!("kernel `{name}` does not lower: {e}"));
+        let compute_ops = count_compute_ops(ast.innermost());
         Kernel {
             name: name.to_owned(),
             description: description.to_owned(),
@@ -89,8 +97,9 @@ impl Kernel {
     }
 }
 
-/// Counts arithmetic operators in the loop body (compute instructions per
-/// iteration). Compound assignments contribute their implicit operator.
+/// Counts arithmetic operators in the (innermost) loop body — compute
+/// instructions per innermost iteration. Compound assignments contribute
+/// their implicit operator.
 fn count_compute_ops(ast: &ForLoop) -> u64 {
     fn expr_ops(e: &Expr) -> u64 {
         match e {
@@ -299,6 +308,60 @@ pub fn decimator() -> Kernel {
     )
 }
 
+/// 3×3 2D convolution over a 16-wide image, taps in data registers.
+///
+/// The nest sweeps full rows, so flattening is exact (zero carries): the
+/// image reads form three row-chains at offsets `{0,1,2}`, `{16,17,18}`
+/// and `{32,33,34}` — a genuinely two-dimensional access pattern.
+pub fn conv2d() -> Kernel {
+    Kernel::from_source(
+        "conv2d",
+        "3x3 convolution over a 16-wide image, row-major, taps in registers",
+        "array img[18][16];
+        array out[16][16];
+        for (i = 0; i < 16; i++) {
+            for (j = 0; j < 16; j++) {
+                out[i][j] = w00 * img[i][j]     + w01 * img[i][j + 1]     + w02 * img[i][j + 2]
+                          + w10 * img[i + 1][j] + w11 * img[i + 1][j + 1] + w12 * img[i + 1][j + 2]
+                          + w20 * img[i + 2][j] + w21 * img[i + 2][j + 1] + w22 * img[i + 2][j + 2];
+            }
+        }",
+    )
+}
+
+/// 16×16 matrix transpose: the write side walks a column (stride 16)
+/// and carries back 255 words at every row boundary — the flattened
+/// nest's carry mechanism at work.
+pub fn transpose() -> Kernel {
+    Kernel::from_source(
+        "transpose",
+        "16x16 matrix transpose, column-strided writes with row-boundary carry",
+        "array src[16][16];
+        array dst[16][16];
+        for (i = 0; i < 16; i++) {
+            for (j = 0; j < 16; j++) {
+                dst[j][i] = src[i][j];
+            }
+        }",
+    )
+}
+
+/// Five-point stencil over the interior of an 18×16 grid. The inner
+/// loop covers 14 of 16 columns, so both arrays carry 2 words per row.
+pub fn stencil5() -> Kernel {
+    Kernel::from_source(
+        "stencil5",
+        "5-point stencil on an 18x16 grid interior, carry 2 per row",
+        "array u[18][16];
+        array v[18][16];
+        for (i = 1; i < 17; i++) {
+            for (j = 1; j < 15; j++) {
+                v[i][j] = u[i][j - 1] + u[i][j + 1] + u[i - 1][j] + u[i + 1][j] - c4 * u[i][j];
+            }
+        }",
+    )
+}
+
 /// The paper's running example (Section 2, Figure 1) as a kernel.
 pub fn paper_example() -> Kernel {
     Kernel::from_source(
@@ -312,6 +375,9 @@ pub fn paper_example() -> Kernel {
 /// workload for the compilation pipeline (each loop is an independent
 /// allocation problem, exactly like kernels pasted back to back in a
 /// real DSP source file).
+///
+/// `array` declarations scope over a whole unit, so kernels use
+/// suite-unique names for their multi-dimensional arrays.
 ///
 /// ```
 /// let source = raco_kernels::suite_program();
@@ -350,6 +416,9 @@ pub fn suite() -> Vec<Kernel> {
         fft_butterfly(),
         iir_df1(),
         decimator(),
+        conv2d(),
+        transpose(),
+        stencil5(),
         paper_example(),
     ]
 }
@@ -431,6 +500,48 @@ mod tests {
         let k = n_complex_updates();
         for p in k.spec().patterns() {
             assert_eq!(p.stride(), 2, "array {} stride", p.array_name());
+        }
+    }
+
+    #[test]
+    fn conv2d_reads_three_row_chains_with_zero_carry() {
+        let k = conv2d();
+        let spec = k.spec();
+        let nest = spec.nest().expect("conv2d is a nest");
+        assert_eq!(nest.inner_trips(), 16);
+        assert_eq!(nest.total_iterations(), 256);
+        let img = spec.pattern_for(spec.array_id("img").unwrap()).unwrap();
+        assert_eq!(img.offsets(), vec![0, 1, 2, 16, 17, 18, 32, 33, 34]);
+        assert_eq!(
+            spec.array_info(spec.array_id("img").unwrap())
+                .unwrap()
+                .carries(),
+            &[0],
+            "full-row sweep flattens exactly"
+        );
+        // 9 multiplies + 8 adds.
+        assert_eq!(k.compute_ops(), 17);
+    }
+
+    #[test]
+    fn transpose_writes_carry_backwards() {
+        let k = transpose();
+        let spec = k.spec();
+        let dst = spec.array_info(spec.array_id("dst").unwrap()).unwrap();
+        assert_eq!(dst.coefficient(), 16);
+        assert_eq!(dst.carries(), &[1 - 256]);
+        let src = spec.array_info(spec.array_id("src").unwrap()).unwrap();
+        assert_eq!(src.carries(), &[0]);
+    }
+
+    #[test]
+    fn stencil5_interior_sweep_carries_two_per_row() {
+        let k = stencil5();
+        let spec = k.spec();
+        assert_eq!(spec.nest().unwrap().inner_trips(), 14);
+        for p in spec.patterns() {
+            let info = spec.array_info(p.array()).unwrap();
+            assert_eq!(info.carries(), &[2], "array {}", p.array_name());
         }
     }
 

@@ -60,4 +60,4 @@ pub mod protocol;
 pub mod server;
 
 pub use protocol::{Envelope, Knobs, ProtocolError, Request};
-pub use server::{Reply, Server};
+pub use server::{Reply, Server, MAX_REQUEST_LINE};

@@ -26,6 +26,61 @@ use raco_driver::{Pipeline, PipelineConfig};
 
 use crate::protocol::{self, Envelope, Request};
 
+/// Maximum accepted request line length in bytes (1 MiB). Longer lines
+/// are consumed and answered with an error response — the connection
+/// survives, and a hostile or buggy client can no longer balloon server
+/// memory by never sending a newline.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Reads one newline-terminated line from `reader`, capping its length
+/// at `limit` bytes (exclusive of the newline).
+///
+/// Returns `None` at end of input, `Some(Ok(line))` for a line within
+/// the cap, and `Some(Err(total_bytes))` for an oversized line — which
+/// is consumed to its terminating newline (buffering at most one
+/// `BufRead` chunk at a time) so the caller can keep serving the
+/// connection.
+fn read_limited_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> io::Result<Option<Result<String, u64>>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut total: u64 = 0;
+    let mut saw_input = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // End of input; the final line may lack its newline.
+            if !saw_input {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_input = true;
+        let (used, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        let content = used - usize::from(done);
+        total += content as u64;
+        if total <= limit as u64 {
+            line.extend_from_slice(&chunk[..content]);
+        } else {
+            // Over the cap: stop accumulating, keep draining the line.
+            line.clear();
+        }
+        reader.consume(used);
+        if done {
+            break;
+        }
+    }
+    if total > limit as u64 {
+        Ok(Some(Err(total)))
+    } else {
+        Ok(Some(Ok(String::from_utf8_lossy(&line).into_owned())))
+    }
+}
+
 /// One response line plus the connection's fate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reply {
@@ -131,22 +186,40 @@ impl Server {
         }
     }
 
+    /// Produces the error reply for a request line of `total` bytes that
+    /// exceeded [`MAX_REQUEST_LINE`].
+    fn oversized_reply(total: u64) -> Reply {
+        Reply {
+            line: protocol::error_line(
+                &None,
+                &format!("request line of {total} bytes exceeds the {MAX_REQUEST_LINE}-byte limit"),
+            ),
+            shutdown: false,
+        }
+    }
+
     /// Serves NDJSON requests from `input`, writing responses to
     /// `output`, until a `shutdown` request or end of input. Blank
-    /// lines are skipped; responses are flushed per request so a
-    /// pipe-connected client never deadlocks waiting on a buffer.
+    /// lines are skipped; lines longer than [`MAX_REQUEST_LINE`] get an
+    /// error response and the session continues; responses are flushed
+    /// per request so a pipe-connected client never deadlocks waiting
+    /// on a buffer.
     ///
     /// # Errors
     ///
     /// Returns the first transport I/O error (protocol-level problems
     /// are error *responses*, not errors here).
-    pub fn serve<R: BufRead, W: Write>(&self, input: R, mut output: W) -> io::Result<()> {
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let reply = self.handle_line(&line);
+    pub fn serve<R: BufRead, W: Write>(&self, mut input: R, mut output: W) -> io::Result<()> {
+        while let Some(read) = read_limited_line(&mut input, MAX_REQUEST_LINE)? {
+            let reply = match read {
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.handle_line(&line)
+                }
+                Err(total) => Self::oversized_reply(total),
+            };
             output.write_all(reply.line.as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
@@ -204,14 +277,19 @@ impl Server {
             Ok(writer) => writer,
             Err(_) => return false,
         };
-        let reader = BufReader::new(stream);
+        let mut reader = BufReader::new(stream);
         let mut shutdown = false;
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let reply = self.handle_line(&line);
+        // Per-connection I/O errors just end this connection.
+        while let Ok(Some(read)) = read_limited_line(&mut reader, MAX_REQUEST_LINE) {
+            let reply = match read {
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.handle_line(&line)
+                }
+                Err(total) => Self::oversized_reply(total),
+            };
             if writer
                 .write_all(reply.line.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
@@ -312,6 +390,30 @@ mod tests {
         let message = err.get("error").and_then(Json::as_str).unwrap();
         assert!(message.contains("unknown kernel `nope`"));
         assert!(message.contains("paper_example"), "lists known kernels");
+    }
+
+    #[test]
+    fn read_limited_line_caps_and_resynchronizes() {
+        let input = format!("short\n{}\nafter\n", "x".repeat(100));
+        let mut reader = std::io::BufReader::with_capacity(16, input.as_bytes());
+        assert_eq!(
+            read_limited_line(&mut reader, 40).unwrap(),
+            Some(Ok("short".to_owned()))
+        );
+        // The long line reports its true length and is fully drained …
+        assert_eq!(read_limited_line(&mut reader, 40).unwrap(), Some(Err(100)));
+        // … so the next read picks up exactly at the following line.
+        assert_eq!(
+            read_limited_line(&mut reader, 40).unwrap(),
+            Some(Ok("after".to_owned()))
+        );
+        assert_eq!(read_limited_line(&mut reader, 40).unwrap(), None);
+        // A final line without a newline still arrives.
+        let mut reader = std::io::BufReader::new("tail".as_bytes());
+        assert_eq!(
+            read_limited_line(&mut reader, 40).unwrap(),
+            Some(Ok("tail".to_owned()))
+        );
     }
 
     #[test]

@@ -27,15 +27,25 @@ fn every_kernel_compiles_and_its_trace_matches_the_reference() {
         "one loop per kernel"
     );
     assert_eq!(report.failed(), 0, "table:\n{}", report.render_table());
+    let suite = raco::kernels::suite();
     for lr in report.loops() {
         // The pipeline simulated every generated program against the
         // raco_ir::trace reference; a cost or address mismatch would
         // have been recorded as a failure.
         let measured = lr.measured_cost.expect("validation enabled");
         assert_eq!(measured, lr.cost, "{}: measured == predicted", lr.name);
+        // Plain loops simulate the configured 16 iterations; flattened
+        // nests simulate their whole (finite) iteration space.
+        let kernel = suite.iter().find(|k| k.name() == lr.name).unwrap();
+        let iterations = match kernel.spec().nest() {
+            Some(nest) => nest
+                .total_iterations()
+                .clamp(1, raco::driver::NEST_VALIDATION_CAP),
+            None => 16,
+        };
         assert_eq!(
             lr.addresses_checked,
-            16 * lr.accesses as u64,
+            iterations * lr.accesses as u64,
             "{}: every access of every simulated iteration checked",
             lr.name
         );

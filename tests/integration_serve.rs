@@ -109,6 +109,73 @@ fn malformed_requests_get_error_responses_and_do_not_kill_the_session() {
 }
 
 #[test]
+fn oversized_request_lines_error_without_killing_the_session() {
+    use raco::serve::MAX_REQUEST_LINE;
+    let server = default_server();
+    // A single line well past the cap (a comment keeps it lexically
+    // plausible so only the length can be at fault), framed by normal
+    // requests that must both be served.
+    let oversized = format!(
+        r#"{{"op":"compile","source":"// {}"}}"#,
+        "x".repeat(MAX_REQUEST_LINE + 1024)
+    );
+    let script = format!(
+        "{}\n{}\n{}\n",
+        r#"{"op":"ping","id":"before"}"#, oversized, r#"{"op":"ping","id":"after"}"#
+    );
+    let responses = round_trip(&server, &script);
+    assert_eq!(
+        responses.len(),
+        3,
+        "one response per line, oversized included"
+    );
+    assert!(ok(&responses[0]));
+    assert!(!ok(&responses[1]), "oversized line is an error response");
+    let message = responses[1].get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        message.contains("exceeds") && message.contains("limit"),
+        "error names the limit: {message}"
+    );
+    assert!(ok(&responses[2]), "the session survives the oversized line");
+}
+
+#[test]
+fn oversized_tcp_lines_leave_the_connection_usable() {
+    use raco::serve::MAX_REQUEST_LINE;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = default_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // Scoped so both socket handles close before shutdown: the
+        // server's scoped connection threads only exit at end of input.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let huge = "y".repeat(MAX_REQUEST_LINE + 1);
+            writeln!(stream, "{huge}").unwrap();
+            writeln!(stream, r#"{{"op":"ping","id":"still-alive"}}"#).unwrap();
+            stream.flush().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let responses: Vec<Json> = reader
+                .lines()
+                .take(2)
+                .map(|line| Json::parse(&line.expect("read")).expect("valid JSON"))
+                .collect();
+            assert!(!ok(&responses[0]));
+            assert!(ok(&responses[1]), "same connection keeps serving");
+        }
+
+        let mut bye = TcpStream::connect(addr).expect("connect");
+        writeln!(bye, r#"{{"op":"shutdown"}}"#).unwrap();
+        bye.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&bye).read_line(&mut line).unwrap();
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
 fn second_identical_request_is_a_cache_hit() {
     let server = default_server();
     let compile = r#"{"op": "compile", "source": "for (i = 0; i < 64; i++) { y[i] = x[i-2] + x[i] + x[i+2]; }"}"#;

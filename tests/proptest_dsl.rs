@@ -13,22 +13,14 @@ fn expr() -> impl Strategy<Value = Expr> {
         (-30i64..=30).prop_map(Expr::Num),
         Just(Expr::Var("i".to_owned())),
         Just(Expr::Var("s".to_owned())),
-        (-6i64..=6).prop_map(|d| Expr::Index {
-            array: "A".to_owned(),
-            index: Box::new(Expr::binary(
-                BinOp::Add,
-                Expr::Var("i".to_owned()),
-                Expr::Num(d),
-            )),
-        }),
-        (-6i64..=6).prop_map(|d| Expr::Index {
-            array: "B".to_owned(),
-            index: Box::new(Expr::binary(
-                BinOp::Sub,
-                Expr::Num(d),
-                Expr::Var("i".to_owned()),
-            )),
-        }),
+        (-6i64..=6).prop_map(|d| Expr::index(
+            "A",
+            Expr::binary(BinOp::Add, Expr::Var("i".to_owned()), Expr::Num(d)),
+        )),
+        (-6i64..=6).prop_map(|d| Expr::index(
+            "B",
+            Expr::binary(BinOp::Sub, Expr::Num(d), Expr::Var("i".to_owned())),
+        )),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
@@ -45,10 +37,10 @@ fn stmt() -> impl Strategy<Value = Stmt> {
     (
         prop_oneof![
             Just(LValue::Scalar("acc".to_owned())),
-            (-4i64..=4).prop_map(|d| LValue::Element {
-                array: "Y".to_owned(),
-                index: Expr::binary(BinOp::Add, Expr::Var("i".to_owned()), Expr::Num(d)),
-            }),
+            (-4i64..=4).prop_map(|d| LValue::element(
+                "Y",
+                Expr::binary(BinOp::Add, Expr::Var("i".to_owned()), Expr::Num(d)),
+            )),
         ],
         prop_oneof![
             Just(AssignOp::Assign),
@@ -92,6 +84,8 @@ fn for_loop() -> impl Strategy<Value = ForLoop> {
             },
             update,
             body,
+            nested: None,
+            span: Default::default(),
         })
 }
 
