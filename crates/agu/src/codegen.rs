@@ -101,8 +101,11 @@ impl CodeGenerator {
         alloc: &LoopAllocation,
         layout: &MemoryLayout,
     ) -> Result<AddressProgram, CodeGenError> {
+        // `per_array` hands out `Arc<Allocation>`s shared with the
+        // allocation cache; codegen only ever borrows them.
         let mut parts: Vec<(AccessPattern, &Allocation, i64)> = Vec::new();
         for (array, allocation) in alloc.per_array() {
+            let allocation: &Allocation = allocation;
             let pattern = spec
                 .pattern_for(*array)
                 .expect("allocation refers to accessed arrays");

@@ -1,0 +1,215 @@
+//! The warm-hit path in isolation: what does one allocation-cache hit
+//! cost?
+//!
+//! Before allocations were shared behind `Arc`, every warm hit
+//! deep-cloned the `Allocation` out of the cache — covers, distance
+//! model, both phase reports, the whole merge trajectory — because
+//! `LoopAllocation::from_parts` took owned values. Now a hit is an
+//! `Arc` pointer bump. This bench pins that claim:
+//!
+//! * `warm_hit/arc` — the shipped hit path: look up, clone the `Arc`.
+//! * `warm_hit/deep_clone` — the pre-Arc hit path, kept as the
+//!   baseline: look up, then `.as_ref().clone()` the allocation the
+//!   way `from_parts` used to force. The ratio between these two rows
+//!   is the PR's ≥2× acceptance criterion.
+//! * `warm_hit/loop_assembly` — a whole warm `LoopAllocation` built
+//!   from cache hits (curves + allocations + partition), the unit the
+//!   pipeline actually assembles per loop.
+//!
+//! A second group measures the snapshot codec (`raco_driver::persist`)
+//! so cache persistence stays honest about its own boot cost:
+//! `snapshot/encode` and `snapshot/decode` over the same warm cache.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use raco_core::{LoopAllocation, Optimizer, OptimizerOptions};
+use raco_driver::{persist, AllocationCache};
+use raco_ir::{dsl, AguSpec, CanonicalPattern, LoopSpec};
+
+/// A loop whose tap chains produce substantial allocations: long
+/// scattered access patterns make the deep clone (covers + phase
+/// reports + trajectories) expensive enough to see, which is exactly
+/// the regime where serve-mode traffic lives.
+fn workload_spec() -> LoopSpec {
+    dsl::parse_loop(
+        "for (i = 8; i < 500; i++) {
+            acc = a[i] + a[i - 3] + a[i + 3] + a[i - 7] + a[i + 7]
+                + a[i - 2] + a[i + 5] + a[i - 8] + a[i + 1] + a[i - 5]
+                + b[i] + b[i - 1] + b[i + 6] + b[i - 6] + b[i + 2];
+        }",
+    )
+    .expect("workload parses")
+}
+
+/// Warms one cache with every (curve, allocation) entry the workload
+/// needs, returning what a warm `allocate` call looks up per pattern:
+/// `(canonical, granted registers)`.
+fn warm(cache: &AllocationCache, spec: &LoopSpec, agu: AguSpec) -> Vec<(CanonicalPattern, usize)> {
+    let options = OptimizerOptions::default();
+    let optimizer = Optimizer::with_options(agu, options);
+    let k = agu.address_registers();
+    let patterns = spec.patterns();
+    let curves: Vec<Vec<u32>> = patterns
+        .iter()
+        .map(|p| {
+            cache
+                .cost_curve(
+                    &CanonicalPattern::of(p),
+                    agu.modify_range(),
+                    k,
+                    &options,
+                    || optimizer.cost_curve(p, k),
+                )
+                .as_ref()
+                .clone()
+        })
+        .collect();
+    let grants = raco_core::partition::distribute_registers(&curves, k).expect("arity fits");
+    patterns
+        .iter()
+        .zip(&grants)
+        .map(|(pattern, &granted)| {
+            let canonical = CanonicalPattern::of(pattern);
+            let _ = cache.allocation(&canonical, agu.modify_range(), granted, &options, || {
+                optimizer.allocate_with_registers(pattern, granted)
+            });
+            (canonical, granted)
+        })
+        .collect()
+}
+
+fn bench_warm_hit(c: &mut Criterion) {
+    let agu = AguSpec::new(6, 1).unwrap();
+    let options = OptimizerOptions::default();
+    let spec = workload_spec();
+    let cache = AllocationCache::new();
+    let lookups = warm(&cache, &spec, agu);
+
+    let mut group = c.benchmark_group("warm_hit");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200))
+        .throughput(Throughput::Elements(lookups.len() as u64));
+
+    // The shipped hit path: an Arc clone per hit, no allocation data
+    // copied. This is what Pipeline::allocate does per warm pattern.
+    group.bench_function("arc", |b| {
+        b.iter(|| {
+            let mut registers = 0;
+            for (canonical, granted) in &lookups {
+                let hit =
+                    cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+                        panic!("warm bench must never miss")
+                    });
+                registers += hit.register_count();
+            }
+            registers
+        });
+    });
+
+    // The pre-Arc hit path (what `from_parts` used to force on every
+    // hit): identical lookup, then a deep clone of the value. The
+    // acceptance bar is arc ≥ 2× faster than this row.
+    group.bench_function("deep_clone", |b| {
+        b.iter(|| {
+            let mut registers = 0;
+            for (canonical, granted) in &lookups {
+                let hit =
+                    cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+                        panic!("warm bench must never miss")
+                    });
+                let owned = hit.as_ref().clone();
+                registers += owned.register_count();
+            }
+            registers
+        });
+    });
+
+    // One whole warm loop allocation, the pipeline's per-loop unit:
+    // curve hits feed the register partition, allocation hits fill
+    // `LoopAllocation::from_parts` without cloning.
+    group.bench_function("loop_assembly", |b| {
+        let patterns = spec.patterns();
+        let k = agu.address_registers();
+        b.iter(|| {
+            let curves: Vec<Vec<u32>> = patterns
+                .iter()
+                .map(|p| {
+                    cache
+                        .cost_curve(
+                            &CanonicalPattern::of(p),
+                            agu.modify_range(),
+                            k,
+                            &options,
+                            || panic!("warm bench must never miss"),
+                        )
+                        .as_ref()
+                        .clone()
+                })
+                .collect();
+            let grants = raco_core::partition::distribute_registers(&curves, k).unwrap();
+            let per_array: Vec<_> = patterns
+                .iter()
+                .zip(&grants)
+                .map(|(pattern, &granted)| {
+                    let hit = cache.allocation(
+                        &CanonicalPattern::of(pattern),
+                        agu.modify_range(),
+                        granted,
+                        &options,
+                        || panic!("warm bench must never miss"),
+                    );
+                    (pattern.array(), hit)
+                })
+                .collect();
+            LoopAllocation::from_parts(per_array, grants).total_registers()
+        });
+    });
+    group.finish();
+
+    // Semantic proof of "zero-clone", independent of timing noise: two
+    // warm hits hand back the *same* allocation memory.
+    let (canonical, granted) = &lookups[0];
+    let a = cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+        panic!("must hit")
+    });
+    let b = cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+        panic!("must hit")
+    });
+    assert!(Arc::ptr_eq(&a, &b), "warm hits must share one allocation");
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let agu = AguSpec::new(6, 1).unwrap();
+    let spec = workload_spec();
+    let cache = AllocationCache::new();
+    let entries = warm(&cache, &spec, agu).len() * 2; // allocations + curves
+    let bytes = persist::encode(&cache);
+
+    let mut group = c.benchmark_group("snapshot");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200))
+        .throughput(Throughput::Elements(entries as u64));
+
+    group.bench_function("encode", |b| {
+        b.iter(|| persist::encode(&cache).len());
+    });
+
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let fresh = AllocationCache::new();
+            let report = persist::decode_into(&fresh, &bytes);
+            assert_eq!(report.skipped, 0);
+            report.loaded()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_hit, bench_snapshot_codec);
+criterion_main!(benches);

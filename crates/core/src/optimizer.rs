@@ -1,6 +1,7 @@
 //! The end-to-end optimizer: Phase 1 + Phase 2 behind one call.
 
 use std::fmt;
+use std::sync::Arc;
 
 use raco_graph::{BbOptions, DistanceModel, PathCover};
 use raco_ir::{AccessPattern, AguSpec, ArrayId, LoopSpec};
@@ -206,7 +207,10 @@ impl Optimizer {
             .zip(&assignment)
             .map(|(p, &ka)| {
                 let dm = DistanceModel::new(p, self.agu.modify_range());
-                (p.array(), self.allocate_model_with_registers(dm, ka))
+                (
+                    p.array(),
+                    Arc::new(self.allocate_model_with_registers(dm, ka)),
+                )
             })
             .collect::<Vec<_>>();
         let total_cost = per_array.iter().map(|(_, a)| a.cost()).sum();
@@ -261,6 +265,45 @@ pub struct Allocation {
 }
 
 impl Allocation {
+    /// Reassembles an allocation from its serialized parts.
+    ///
+    /// This is the constructor a snapshot decoder (see
+    /// `raco_driver::persist`) uses to rebuild a cached allocation that
+    /// was computed in an earlier process. The parts are taken at face
+    /// value — `cost` is *not* recomputed — so callers are expected to
+    /// have validated structural invariants (covers partition their
+    /// accesses; the decoder's checksum guards the rest). An allocation
+    /// rebuilt from the parts of [`Allocation`] accessors compares
+    /// equal to the original:
+    ///
+    /// ```
+    /// use raco_core::{Allocation, Optimizer};
+    /// use raco_ir::{AccessPattern, AguSpec};
+    ///
+    /// let pattern = AccessPattern::from_offsets(&[1, 0, 2, -1], 1);
+    /// let original = Optimizer::new(AguSpec::new(2, 1).unwrap()).allocate(&pattern);
+    /// let rebuilt = Allocation::from_parts(
+    ///     original.distance_model().clone(),
+    ///     original.cost(),
+    ///     original.phase1().clone(),
+    ///     original.phase2().clone(),
+    /// );
+    /// assert_eq!(rebuilt, original);
+    /// ```
+    pub fn from_parts(
+        dm: DistanceModel,
+        cost: u32,
+        phase1: Phase1Report,
+        phase2: Phase2Report,
+    ) -> Self {
+        Allocation {
+            dm,
+            cost,
+            phase1,
+            phase2,
+        }
+    }
+
     /// The final path cover: one path per used address register.
     pub fn cover(&self) -> &PathCover {
         self.phase2.cover()
@@ -310,9 +353,36 @@ impl Allocation {
 }
 
 /// The result of allocating a whole loop (possibly several arrays).
+///
+/// Per-array allocations are held behind [`Arc`], so assembling a loop
+/// allocation out of cached [`Allocation`]s is a pointer bump per
+/// array — a warm cache hit in `raco-driver` never deep-clones covers,
+/// distance models or phase reports. Freshly computed allocations pay
+/// one `Arc::new` each, which is noise next to the search they ran.
+///
+/// ```
+/// use std::sync::Arc;
+/// use raco_core::{LoopAllocation, Optimizer};
+/// use raco_ir::{dsl, AguSpec};
+///
+/// let spec = dsl::parse_loop(
+///     "for (i = 1; i < 64; i++) { y[i] = x[i - 1] + x[i] + x[i + 1]; }",
+/// ).unwrap();
+/// let whole = Optimizer::new(AguSpec::new(4, 1).unwrap())
+///     .allocate_loop(&spec)
+///     .unwrap();
+/// // Rebuilding from shared parts clones no allocation data …
+/// let rebuilt = LoopAllocation::from_parts(
+///     whole.per_array().to_vec(), // clones Arcs, not Allocations
+///     whole.registers().to_vec(),
+/// );
+/// assert_eq!(rebuilt, whole);
+/// // … the per-array allocations are literally the same memory:
+/// assert!(Arc::ptr_eq(&rebuilt.per_array()[0].1, &whole.per_array()[0].1));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopAllocation {
-    per_array: Vec<(ArrayId, Allocation)>,
+    per_array: Vec<(ArrayId, Arc<Allocation>)>,
     registers: Vec<usize>,
     total_cost: u32,
 }
@@ -323,13 +393,15 @@ impl LoopAllocation {
     /// `registers` is the per-array register grant, parallel to
     /// `per_array`. This is the constructor a compilation driver uses
     /// when the per-array allocations were obtained from a cache
-    /// instead of [`Optimizer::allocate_loop`]; the total cost is
-    /// recomputed from the parts.
+    /// instead of [`Optimizer::allocate_loop`]: the cache hands out
+    /// `Arc<Allocation>`s, and this constructor stores them as-is —
+    /// no allocation data is cloned. The total cost is recomputed from
+    /// the parts.
     ///
     /// # Panics
     ///
     /// Panics if `registers` and `per_array` have different lengths.
-    pub fn from_parts(per_array: Vec<(ArrayId, Allocation)>, registers: Vec<usize>) -> Self {
+    pub fn from_parts(per_array: Vec<(ArrayId, Arc<Allocation>)>, registers: Vec<usize>) -> Self {
         assert_eq!(
             per_array.len(),
             registers.len(),
@@ -344,7 +416,10 @@ impl LoopAllocation {
     }
 
     /// Per-array allocations, in [`ArrayId`] order of appearance.
-    pub fn per_array(&self) -> &[(ArrayId, Allocation)] {
+    ///
+    /// The `Arc`s are shared with whatever produced them (typically the
+    /// driver's allocation cache); cloning an entry clones a pointer.
+    pub fn per_array(&self) -> &[(ArrayId, Arc<Allocation>)] {
         &self.per_array
     }
 
@@ -353,7 +428,7 @@ impl LoopAllocation {
         self.per_array
             .iter()
             .find(|(a, _)| *a == id)
-            .map(|(_, alloc)| alloc)
+            .map(|(_, alloc)| alloc.as_ref())
     }
 
     /// Registers granted to each array (parallel to

@@ -36,6 +36,25 @@ pub struct Phase1Report {
 }
 
 impl Phase1Report {
+    /// Reassembles a report from its serialized parts — the inverse of
+    /// the [`cover`](Self::cover)/[`outcome`](Self::outcome)/
+    /// [`lower_bound`](Self::lower_bound)/[`nodes`](Self::nodes)
+    /// accessors, used by snapshot decoders (`raco_driver::persist`)
+    /// to rebuild cached allocations without re-running the search.
+    pub fn from_parts(
+        cover: PathCover,
+        outcome: Phase1Outcome,
+        lower_bound: usize,
+        nodes: u64,
+    ) -> Self {
+        Phase1Report {
+            cover,
+            outcome,
+            lower_bound,
+            nodes,
+        }
+    }
+
     /// The Phase-1 cover (zero-cost if `outcome` is
     /// [`Phase1Outcome::ZeroCost`]).
     pub fn cover(&self) -> &PathCover {

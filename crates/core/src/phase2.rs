@@ -63,6 +63,23 @@ pub struct Phase2Report {
 }
 
 impl Phase2Report {
+    /// Reassembles a report from its serialized parts — the inverse of
+    /// the [`cover`](Self::cover)/[`records`](Self::records)/
+    /// [`cost_trajectory`](Self::cost_trajectory) accessors, used by
+    /// snapshot decoders (`raco_driver::persist`) to rebuild cached
+    /// allocations without re-running the merge trajectory.
+    pub fn from_parts(
+        cover: PathCover,
+        records: Vec<MergeRecord>,
+        cost_trajectory: Vec<(usize, u32)>,
+    ) -> Self {
+        Phase2Report {
+            cover,
+            records,
+            cost_trajectory,
+        }
+    }
+
     /// The final cover (at most `K` paths).
     pub fn cover(&self) -> &PathCover {
         &self.cover

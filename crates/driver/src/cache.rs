@@ -152,6 +152,45 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
         value
     }
 
+    /// Inserts an externally produced value (a snapshot entry), going
+    /// through the same capacity/eviction bookkeeping as a computed
+    /// miss but touching neither the hit nor the miss counter. Returns
+    /// `false` if the key was already present (the resident value
+    /// wins — it is as authoritative as the snapshot's).
+    fn insert(&self, key: K, value: Arc<V>) -> bool {
+        let shard = self.shard(&key);
+        let mut guard = shard.write().expect("cache shard poisoned");
+        if guard.entries.contains_key(&key) {
+            return false;
+        }
+        guard.entries.insert(key.clone(), value);
+        if let Some(capacity) = self.shard_capacity {
+            guard.order.push_back(key);
+            while guard.entries.len() > capacity {
+                let oldest = guard.order.pop_front().expect("order tracks entries");
+                guard.entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+
+    /// Clones out every resident entry (keys and value handles; the
+    /// values themselves are shared, not copied).
+    fn export(&self) -> Vec<(K, Arc<V>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("cache shard poisoned")
+                    .entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     fn len(&self) -> usize {
         self.shards
             .iter()
@@ -169,22 +208,30 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
 }
 
 /// Exact-reuse key: same distance model, same machine, same options.
+/// `pub(crate)` so the snapshot codec ([`crate::persist`]) can
+/// round-trip entries without widening the public API.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct AllocationKey {
-    canonical: CanonicalPattern,
-    modify_range: u32,
-    registers: usize,
-    options: OptimizerOptions,
+pub(crate) struct AllocationKey {
+    pub(crate) canonical: CanonicalPattern,
+    pub(crate) modify_range: u32,
+    pub(crate) registers: usize,
+    pub(crate) options: OptimizerOptions,
 }
 
 /// Cost-class key for register-partitioning curves.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CurveKey {
-    cost_class: CanonicalPattern,
-    modify_range: u32,
-    k_max: usize,
-    options: OptimizerOptions,
+pub(crate) struct CurveKey {
+    pub(crate) cost_class: CanonicalPattern,
+    pub(crate) modify_range: u32,
+    pub(crate) k_max: usize,
+    pub(crate) options: OptimizerOptions,
 }
+
+/// Every resident allocation entry, exported for serialization.
+pub(crate) type AllocationEntries = Vec<(AllocationKey, Arc<Allocation>)>;
+
+/// Every resident cost-curve entry, exported for serialization.
+pub(crate) type CurveEntries = Vec<(CurveKey, Arc<Vec<u32>>)>;
 
 /// Point-in-time cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -205,6 +252,14 @@ pub struct CacheStats {
     pub allocation_evictions: u64,
     /// Cost curves evicted under a [`CachePolicy::Bounded`] limit.
     pub curve_evictions: u64,
+    /// Entries (allocations + curves) restored from snapshots via
+    /// [`crate::persist`]. Loaded entries count as neither hits nor
+    /// misses; their first lookup is a hit.
+    pub loaded: u64,
+    /// Entries (allocations + curves) written by the most recent
+    /// snapshot save (not cumulative — each save overwrites it, so a
+    /// server's stats always describe its latest snapshot).
+    pub persisted: u64,
 }
 
 impl CacheStats {
@@ -228,6 +283,10 @@ pub struct AllocationCache {
     allocations: ShardedMap<AllocationKey, Allocation>,
     curves: ShardedMap<CurveKey, Vec<u32>>,
     policy: CachePolicy,
+    /// Entries restored from snapshots (see [`crate::persist`]).
+    loaded: AtomicU64,
+    /// Entries written by the most recent snapshot save.
+    persisted: AtomicU64,
 }
 
 impl Default for AllocationCache {
@@ -248,6 +307,8 @@ impl AllocationCache {
             allocations: ShardedMap::new(policy),
             curves: ShardedMap::new(policy),
             policy,
+            loaded: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
         }
     }
 
@@ -311,7 +372,41 @@ impl AllocationCache {
             curve_entries: self.curves.len(),
             allocation_evictions: self.allocations.evictions.load(Ordering::Relaxed),
             curve_evictions: self.curves.evictions.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            persisted: self.persisted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Clones out every resident entry of both tables for
+    /// serialization. Value handles are shared (`Arc`), not deep
+    /// copies; ongoing lookups are unaffected.
+    pub(crate) fn export(&self) -> (AllocationEntries, CurveEntries) {
+        (self.allocations.export(), self.curves.export())
+    }
+
+    /// Installs one decoded allocation entry (snapshot restore).
+    /// Returns `false` if an entry for the key was already resident.
+    pub(crate) fn install_allocation(&self, key: AllocationKey, value: Arc<Allocation>) -> bool {
+        let fresh = self.allocations.insert(key, value);
+        if fresh {
+            self.loaded.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Installs one decoded cost-curve entry (snapshot restore).
+    /// Returns `false` if an entry for the key was already resident.
+    pub(crate) fn install_curve(&self, key: CurveKey, value: Arc<Vec<u32>>) -> bool {
+        let fresh = self.curves.insert(key, value);
+        if fresh {
+            self.loaded.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Records how many entries the most recent snapshot save wrote.
+    pub(crate) fn note_persisted(&self, entries: u64) {
+        self.persisted.store(entries, Ordering::Relaxed);
     }
 
     /// Drops every entry (counters are kept; they are cumulative).

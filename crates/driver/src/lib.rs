@@ -18,6 +18,11 @@
 //!   of re-running branch-and-bound; cost curves additionally share
 //!   entries between mirror-image patterns. Long-lived pipelines can
 //!   bound the tables with [`CachePolicy::Bounded`] (FIFO eviction).
+//! * [`persist`] — cache snapshots. The warm cache serializes to a
+//!   dependency-free, checksummed binary file and restores entry by
+//!   entry in a later process ([`Pipeline::save_cache`] /
+//!   [`Pipeline::load_cache`], `raco … --cache-save/--cache-load`), so
+//!   a restart is a warm boot instead of a cold start.
 //! * [`json`] — the dependency-free JSON reader/writer behind report
 //!   rendering and the `raco-serve` wire protocol.
 //!
@@ -68,12 +73,14 @@
 
 pub mod cache;
 pub mod json;
+pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
 
 pub use cache::{AllocationCache, CachePolicy, CacheStats};
 pub use json::{Json, JsonParseError};
+pub use persist::{LoadReport, PersistError, SaveReport};
 pub use pipeline::{DriverError, Pipeline, PipelineConfig, NEST_VALIDATION_CAP, SOURCE_EXTENSIONS};
 pub use pool::Parallelism;
 pub use report::{CompilationReport, LoopFailure, LoopReport, UnitReport};

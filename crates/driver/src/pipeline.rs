@@ -175,9 +175,41 @@ impl Pipeline {
         &self.config
     }
 
+    /// The pipeline's allocation cache (for snapshotting and stats).
+    pub fn cache(&self) -> &AllocationCache {
+        &self.cache
+    }
+
     /// Cumulative cache statistics for this pipeline instance.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Restores a cache snapshot (see [`crate::persist`]) into this
+    /// pipeline's cache. Corrupt or mismatched entries are skipped and
+    /// reported, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PersistError`] when the file cannot be read.
+    pub fn load_cache(
+        &self,
+        path: &Path,
+    ) -> Result<crate::persist::LoadReport, crate::persist::PersistError> {
+        crate::persist::load(&self.cache, path)
+    }
+
+    /// Writes every resident cache entry to a snapshot file that a
+    /// later process can [`load_cache`](Self::load_cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PersistError`] when the file cannot be written.
+    pub fn save_cache(
+        &self,
+        path: &Path,
+    ) -> Result<crate::persist::SaveReport, crate::persist::PersistError> {
+        crate::persist::save(&self.cache, path)
     }
 
     /// Drops every cached allocation and cost curve (hit/miss counters
@@ -548,7 +580,11 @@ impl Pipeline {
                         .allocation(canonical, modify_range, granted, &options, || {
                             optimizer.allocate_with_registers(pattern, granted)
                         });
-                (pattern.array(), allocation.as_ref().clone())
+                // Zero-clone hit path: the Arc handed out by the cache
+                // goes straight into the LoopAllocation, so a warm hit
+                // is a pointer bump — covers, distance models and phase
+                // reports are shared with the cache, never deep-copied.
+                (pattern.array(), allocation)
             })
             .collect();
         Ok(LoopAllocation::from_parts(per_array, grants))

@@ -269,6 +269,8 @@ impl CompilationReport {
                         "curve_misses".to_owned(),
                         Json::UInt(self.cache.curve_misses),
                     ),
+                    ("loaded".to_owned(), Json::UInt(self.cache.loaded)),
+                    ("persisted".to_owned(), Json::UInt(self.cache.persisted)),
                     ("hit_rate".to_owned(), Json::Num(self.cache.hit_rate())),
                 ]),
             ),
@@ -409,6 +411,8 @@ mod tests {
                 curve_entries: 4,
                 allocation_evictions: 0,
                 curve_evictions: 0,
+                loaded: 0,
+                persisted: 0,
             },
         }
     }

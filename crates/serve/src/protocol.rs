@@ -18,8 +18,15 @@
 //! | `kernels` | `kernel` (one name, or omit for the whole suite) | compile built-in kernels |
 //! | `stats` | — | allocation-cache statistics |
 //! | `clear_cache` | — | drop every cached entry |
+//! | `save_cache` | `path` (optional) | snapshot the warm cache to disk |
 //! | `ping` | — | liveness check |
 //! | `shutdown` | — | acknowledge, then close the connection |
+//!
+//! `save_cache` writes the server's allocation cache as a
+//! [`raco_driver::persist`] snapshot — to `path` when given, otherwise
+//! to the server's configured `--cache-save` path (an error response
+//! if it has neither). The same snapshot is written automatically on
+//! graceful shutdown when the server was started with `--cache-save`.
 //!
 //! `compile` and `kernels` accept per-request machine/option knobs
 //! (`registers`, `modify`, `modify_registers`, `threads`,
@@ -51,7 +58,7 @@
 //! ```
 
 use raco_driver::json::Json;
-use raco_driver::{CacheStats, CompilationReport, Parallelism, PipelineConfig};
+use raco_driver::{CacheStats, CompilationReport, Parallelism, PipelineConfig, SaveReport};
 use raco_ir::AguSpec;
 
 /// A decoded request line: the operation plus its envelope metadata.
@@ -85,6 +92,11 @@ pub enum Request {
     Stats,
     /// Drop every cached allocation and cost curve.
     ClearCache,
+    /// Snapshot the warm cache to disk (see [`raco_driver::persist`]).
+    SaveCache {
+        /// Snapshot path; `None` uses the server's configured default.
+        path: Option<String>,
+    },
     /// Liveness check.
     Ping,
     /// Acknowledge and close this connection (stdio: stop serving).
@@ -285,6 +297,15 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
         },
         "stats" => Request::Stats,
         "clear_cache" => Request::ClearCache,
+        "save_cache" => Request::SaveCache {
+            path: scalar(
+                &value,
+                &id,
+                "path",
+                |v| v.as_str().map(str::to_owned),
+                "a string",
+            )?,
+        },
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         other => {
@@ -292,7 +313,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
                 &id,
                 format!(
                     "unknown op `{other}` (expected compile, kernels, stats, \
-                     clear_cache, ping or shutdown)"
+                     clear_cache, save_cache, ping or shutdown)"
                 ),
             ))
         }
@@ -367,8 +388,31 @@ pub fn stats_json(stats: &CacheStats) -> Json {
             "curve_evictions".to_owned(),
             Json::UInt(stats.curve_evictions),
         ),
+        ("loaded".to_owned(), Json::UInt(stats.loaded)),
+        ("persisted".to_owned(), Json::UInt(stats.persisted)),
         ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
     ])
+}
+
+/// A success response for `save_cache`: where the snapshot went and
+/// what it holds.
+pub fn saved_line(id: &Option<Json>, path: &std::path::Path, report: &SaveReport) -> String {
+    envelope(
+        id,
+        true,
+        vec![(
+            "saved".to_owned(),
+            Json::Obj(vec![
+                ("path".to_owned(), Json::str(path.display().to_string())),
+                (
+                    "allocations".to_owned(),
+                    Json::UInt(report.allocations as u64),
+                ),
+                ("curves".to_owned(), Json::UInt(report.curves as u64)),
+                ("bytes".to_owned(), Json::UInt(report.bytes as u64)),
+            ]),
+        )],
+    )
 }
 
 #[cfg(test)]

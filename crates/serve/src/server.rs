@@ -19,12 +19,26 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use raco_driver::{Pipeline, PipelineConfig};
 
 use crate::protocol::{self, Envelope, Request};
+
+/// How long a drained connection thread may lag behind the stop flag:
+/// blocked reads wake at this interval to check whether a shutdown was
+/// requested elsewhere.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// How many further poll intervals a connection that has already
+/// received *part* of a request line is given, after the stop flag
+/// rises, to finish sending it. A half-received request is nearly in
+/// flight — dropping it instantly would lose work the client believes
+/// it submitted — but an unbounded wait would let one stalled client
+/// wedge the drain, so the grace is bounded (10 × 50 ms = 500 ms).
+const DRAIN_GRACE_POLLS: u32 = 10;
 
 /// Maximum accepted request line length in bytes (1 MiB). Longer lines
 /// are consumed and answered with an error response — the connection
@@ -40,15 +54,50 @@ pub const MAX_REQUEST_LINE: usize = 1 << 20;
 /// is consumed to its terminating newline (buffering at most one
 /// `BufRead` chunk at a time) so the caller can keep serving the
 /// connection.
+///
+/// When `stop` is given, the underlying stream is expected to have a
+/// read timeout: a timed-out read re-checks the flag and either keeps
+/// waiting (flag clear) or winds the connection down (flag set). The
+/// wind-down distinguishes how far a request got: a thread parked
+/// *between* requests (nothing read yet) gives up immediately as a
+/// clean end of input, while a thread that has already consumed part
+/// of a line keeps waiting up to [`DRAIN_GRACE_POLLS`] more intervals
+/// for the client to finish it — so a request the client is actively
+/// sending still gets served, but a stalled half-line cannot wedge the
+/// drain forever.
 fn read_limited_line<R: BufRead>(
     reader: &mut R,
     limit: usize,
+    stop: Option<&AtomicBool>,
 ) -> io::Result<Option<Result<String, u64>>> {
     let mut line: Vec<u8> = Vec::new();
     let mut total: u64 = 0;
     let mut saw_input = false;
+    let mut grace = DRAIN_GRACE_POLLS;
     loop {
-        let chunk = reader.fill_buf()?;
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                match stop {
+                    Some(flag) if flag.load(Ordering::Acquire) => {
+                        if !saw_input || grace == 0 {
+                            return Ok(None);
+                        }
+                        grace -= 1;
+                        continue;
+                    }
+                    Some(_) => continue,
+                    None => return Err(e),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
         if chunk.is_empty() {
             // End of input; the final line may lack its newline.
             if !saw_input {
@@ -94,6 +143,9 @@ pub struct Reply {
 #[derive(Debug)]
 pub struct Server {
     pipeline: Pipeline,
+    /// Where graceful shutdowns (and default-path `save_cache`
+    /// requests) snapshot the warm cache; `None` disables both.
+    cache_save_path: Option<PathBuf>,
 }
 
 impl Server {
@@ -101,19 +153,51 @@ impl Server {
     /// from `config`. Per-request knobs override everything except the
     /// cache policy, which is fixed for the server's lifetime.
     pub fn new(config: PipelineConfig) -> Self {
+        Self::with_pipeline(Pipeline::with_config(config))
+    }
+
+    /// Wraps an existing pipeline (e.g. one pre-warmed by a batch run
+    /// or one that loaded a cache snapshot at boot).
+    pub fn with_pipeline(pipeline: Pipeline) -> Self {
         Server {
-            pipeline: Pipeline::with_config(config),
+            pipeline,
+            cache_save_path: None,
         }
     }
 
-    /// Wraps an existing pipeline (e.g. one pre-warmed by a batch run).
-    pub fn with_pipeline(pipeline: Pipeline) -> Self {
-        Server { pipeline }
+    /// Snapshot the warm cache to `path` on graceful shutdown (builder
+    /// style). The same path backs `save_cache` requests that do not
+    /// name their own.
+    #[must_use]
+    pub fn with_cache_save_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_save_path = Some(path.into());
+        self
+    }
+
+    /// The configured shutdown-snapshot path, if any.
+    pub fn cache_save_path(&self) -> Option<&std::path::Path> {
+        self.cache_save_path.as_deref()
     }
 
     /// The shared pipeline (for stats, cache control, pre-warming).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// Writes the shutdown snapshot, if one is configured. Both serve
+    /// loops call this once their last connection has drained; a
+    /// snapshot failure is reported on stderr but never turns a clean
+    /// shutdown into an error (the cache is an optimization — losing
+    /// it must not fail the service).
+    fn snapshot_on_shutdown(&self) {
+        if let Some(path) = &self.cache_save_path {
+            match self.pipeline.save_cache(path) {
+                Ok(report) => {
+                    eprintln!("raco serve: cache snapshot {} ({report})", path.display());
+                }
+                Err(error) => eprintln!("raco serve: cache snapshot failed: {error}"),
+            }
+        }
     }
 
     /// Handles one request line and produces one response line.
@@ -178,6 +262,21 @@ impl Server {
                 self.pipeline.clear_cache();
                 reply(protocol::ack_line(&id, "cleared"))
             }
+            Request::SaveCache { path } => {
+                let target =
+                    match (&path, &self.cache_save_path) {
+                        (Some(path), _) => PathBuf::from(path),
+                        (None, Some(default)) => default.clone(),
+                        (None, None) => return reply(protocol::error_line(
+                            &id,
+                            "save_cache needs a `path` (the server has no --cache-save default)",
+                        )),
+                    };
+                match self.pipeline.save_cache(&target) {
+                    Ok(report) => reply(protocol::saved_line(&id, &target, &report)),
+                    Err(error) => reply(protocol::error_line(&id, &error.to_string())),
+                }
+            }
             Request::Ping => reply(protocol::ack_line(&id, "pong")),
             Request::Shutdown => Reply {
                 line: protocol::ack_line(&id, "shutdown"),
@@ -203,14 +302,24 @@ impl Server {
     /// lines are skipped; lines longer than [`MAX_REQUEST_LINE`] get an
     /// error response and the session continues; responses are flushed
     /// per request so a pipe-connected client never deadlocks waiting
-    /// on a buffer.
+    /// on a buffer. Both exits are graceful: if a cache-save path is
+    /// configured (see [`with_cache_save_path`](Self::with_cache_save_path))
+    /// the warm cache is snapshotted before returning.
     ///
     /// # Errors
     ///
     /// Returns the first transport I/O error (protocol-level problems
-    /// are error *responses*, not errors here).
+    /// are error *responses*, not errors here). The shutdown snapshot
+    /// is still attempted on the error path — whatever warmth was
+    /// accumulated is worth keeping.
     pub fn serve<R: BufRead, W: Write>(&self, mut input: R, mut output: W) -> io::Result<()> {
-        while let Some(read) = read_limited_line(&mut input, MAX_REQUEST_LINE)? {
+        let result = self.serve_inner(&mut input, &mut output);
+        self.snapshot_on_shutdown();
+        result
+    }
+
+    fn serve_inner<R: BufRead, W: Write>(&self, input: &mut R, output: &mut W) -> io::Result<()> {
+        while let Some(read) = read_limited_line(input, MAX_REQUEST_LINE, None)? {
             let reply = match read {
                 Ok(line) => {
                     if line.trim().is_empty() {
@@ -232,8 +341,15 @@ impl Server {
 
     /// Accepts connections on `listener` and serves each on its own
     /// scoped thread against the shared pipeline, until any client
-    /// sends `shutdown`. In-flight connections drain their current
-    /// request; the accept loop then stops.
+    /// sends `shutdown`.
+    ///
+    /// Shutdown is a **graceful drain**: the accept loop stops, every
+    /// connection thread finishes the request it is currently
+    /// compiling and writes its response, threads parked in blocking
+    /// reads (idle keep-alive clients) notice the stop flag within a
+    /// short poll interval (50 ms) and close, and only then — after
+    /// every connection has drained — is the cache snapshot written
+    /// (when a save path is configured).
     ///
     /// # Errors
     ///
@@ -244,13 +360,13 @@ impl Server {
         // shutdown request (on any connection thread) sets.
         listener.set_nonblocking(true)?;
         let stop = AtomicBool::new(false);
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             while !stop.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _addr)) => {
                         let stop = &stop;
                         scope.spawn(move || {
-                            if self.serve_stream(&stream) {
+                            if self.serve_stream(&stream, stop) {
                                 stop.store(true, Ordering::Release);
                             }
                         });
@@ -261,16 +377,27 @@ impl Server {
                     Err(e) => return Err(e),
                 }
             }
+            // Leaving the scope joins every connection thread: this is
+            // the drain barrier in-flight requests finish behind.
             Ok(())
-        })
+        });
+        self.snapshot_on_shutdown();
+        result
     }
 
     /// Serves one TCP connection; `true` if the client asked the whole
-    /// server to shut down.
-    fn serve_stream(&self, stream: &TcpStream) -> bool {
+    /// server to shut down. The read side polls `stop` (via a read
+    /// timeout) so a drain elsewhere closes this connection between
+    /// requests instead of waiting for the client to hang up.
+    fn serve_stream(&self, stream: &TcpStream, stop: &AtomicBool) -> bool {
         // Blocking per-connection I/O (the listener's nonblocking flag
-        // is inherited on some platforms).
+        // is inherited on some platforms) with a short read timeout —
+        // the timeout is what turns a parked idle connection into one
+        // that notices a server-wide drain.
         if stream.set_nonblocking(false).is_err() {
+            return false;
+        }
+        if stream.set_read_timeout(Some(DRAIN_POLL)).is_err() {
             return false;
         }
         let mut writer = match stream.try_clone() {
@@ -280,7 +407,7 @@ impl Server {
         let mut reader = BufReader::new(stream);
         let mut shutdown = false;
         // Per-connection I/O errors just end this connection.
-        while let Ok(Some(read)) = read_limited_line(&mut reader, MAX_REQUEST_LINE) {
+        while let Ok(Some(read)) = read_limited_line(&mut reader, MAX_REQUEST_LINE, Some(stop)) {
             let reply = match read {
                 Ok(line) => {
                     if line.trim().is_empty() {
@@ -397,21 +524,24 @@ mod tests {
         let input = format!("short\n{}\nafter\n", "x".repeat(100));
         let mut reader = std::io::BufReader::with_capacity(16, input.as_bytes());
         assert_eq!(
-            read_limited_line(&mut reader, 40).unwrap(),
+            read_limited_line(&mut reader, 40, None).unwrap(),
             Some(Ok("short".to_owned()))
         );
         // The long line reports its true length and is fully drained …
-        assert_eq!(read_limited_line(&mut reader, 40).unwrap(), Some(Err(100)));
+        assert_eq!(
+            read_limited_line(&mut reader, 40, None).unwrap(),
+            Some(Err(100))
+        );
         // … so the next read picks up exactly at the following line.
         assert_eq!(
-            read_limited_line(&mut reader, 40).unwrap(),
+            read_limited_line(&mut reader, 40, None).unwrap(),
             Some(Ok("after".to_owned()))
         );
-        assert_eq!(read_limited_line(&mut reader, 40).unwrap(), None);
+        assert_eq!(read_limited_line(&mut reader, 40, None).unwrap(), None);
         // A final line without a newline still arrives.
         let mut reader = std::io::BufReader::new("tail".as_bytes());
         assert_eq!(
-            read_limited_line(&mut reader, 40).unwrap(),
+            read_limited_line(&mut reader, 40, None).unwrap(),
             Some(Ok("tail".to_owned()))
         );
     }

@@ -17,6 +17,9 @@
 //!     --iterations <N>   simulated iterations per loop (default 16)
 //!     --no-cache         disable the allocation cache
 //!     --no-validate      skip simulator validation
+//!     --cache-load <f>   warm the allocation cache from a snapshot file
+//!     --cache-save <f>   snapshot the warm cache when done (serve: on
+//!                        graceful shutdown and on `save_cache` requests)
 //!     --listing          print assembled per-unit listings
 //!     --json             print the JSON report to stdout
 //! -o, --output <file>    write the JSON report to a file
@@ -58,6 +61,8 @@ struct CliOptions {
     stdio: bool,
     tcp: Option<String>,
     cache_max: Option<usize>,
+    cache_load: Option<PathBuf>,
+    cache_save: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
@@ -78,6 +83,8 @@ impl Default for CliOptions {
             stdio: false,
             tcp: None,
             cache_max: None,
+            cache_load: None,
+            cache_save: None,
             paths: Vec::new(),
         }
     }
@@ -100,6 +107,9 @@ fn usage() -> &'static str {
      \x20     --iterations <N>   simulated iterations per loop (default 16)\n\
      \x20     --no-cache         disable the allocation cache\n\
      \x20     --no-validate      skip simulator validation\n\
+     \x20     --cache-load <f>   warm the allocation cache from a snapshot file\n\
+     \x20     --cache-save <f>   snapshot the warm cache when done (serve: on\n\
+     \x20                        graceful shutdown and on `save_cache` requests)\n\
      \x20     --listing          print assembled per-unit listings\n\
      \x20     --json             print the JSON report to stdout\n\
      \x20 -o, --output <file>    write the JSON report to a file\n\
@@ -146,6 +156,18 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
                 options.tcp = Some(value);
             }
             "--cache-max" => options.cache_max = Some(parse_number(&arg, iter.next())?),
+            "--cache-load" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a snapshot file path"))?;
+                options.cache_load = Some(PathBuf::from(value));
+            }
+            "--cache-save" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a snapshot file path"))?;
+                options.cache_save = Some(PathBuf::from(value));
+            }
             "-o" | "--output" => {
                 let value = iter
                     .next()
@@ -177,6 +199,36 @@ fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
         config.cache_policy = CachePolicy::Bounded(max);
     }
     Ok(Pipeline::with_config(config))
+}
+
+/// Warms the pipeline's cache from `--cache-load`, if given. An
+/// unreadable snapshot file is a hard error (exit 2, like any other
+/// I/O problem); *damaged* snapshot contents are only warnings — the
+/// entries that survive still load, and the rest recompute.
+fn warm_from_snapshot(pipeline: &Pipeline, options: &CliOptions) -> Result<(), String> {
+    if let Some(path) = &options.cache_load {
+        let report = pipeline.load_cache(path).map_err(|e| e.to_string())?;
+        for warning in &report.warnings {
+            eprintln!("raco: cache snapshot: {warning}");
+        }
+        if !options.quiet {
+            eprintln!("raco: cache loaded from {} ({report})", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// Snapshots the warm cache to `--cache-save`, if given (batch
+/// subcommands call this once compilation is done; `serve` snapshots
+/// through the server's own graceful-shutdown hook instead).
+fn save_snapshot(pipeline: &Pipeline, options: &CliOptions) -> Result<(), String> {
+    if let Some(path) = &options.cache_save {
+        let report = pipeline.save_cache(path).map_err(|e| e.to_string())?;
+        if !options.quiet {
+            eprintln!("raco: cache saved to {} ({report})", path.display());
+        }
+    }
+    Ok(())
 }
 
 fn emit(report: &CompilationReport, options: &CliOptions) -> Result<(), String> {
@@ -219,6 +271,7 @@ fn run() -> Result<bool, String> {
                 return Err("compile: no input paths given".to_owned());
             }
             let pipeline = build_pipeline(&options)?;
+            warm_from_snapshot(&pipeline, &options)?;
             // Compile every path into one combined report so the cache
             // warms across inputs, exactly like batch traffic would.
             let mut combined: Option<CompilationReport> = None;
@@ -234,6 +287,7 @@ fn run() -> Result<bool, String> {
                     }
                 });
             }
+            save_snapshot(&pipeline, &options)?;
             let report = combined.expect("at least one path");
             emit(&report, &options)?;
             Ok(report.failed() == 0)
@@ -244,7 +298,9 @@ fn run() -> Result<bool, String> {
                 return Err("kernels: unexpected positional arguments".to_owned());
             }
             let pipeline = build_pipeline(&options)?;
+            warm_from_snapshot(&pipeline, &options)?;
             let report = pipeline.compile_kernels();
+            save_snapshot(&pipeline, &options)?;
             emit(&report, &options)?;
             Ok(report.failed() == 0)
         }
@@ -256,7 +312,15 @@ fn run() -> Result<bool, String> {
             if options.stdio && options.tcp.is_some() {
                 return Err("serve: --stdio and --tcp are mutually exclusive".to_owned());
             }
-            let server = Server::with_pipeline(build_pipeline(&options)?);
+            let pipeline = build_pipeline(&options)?;
+            warm_from_snapshot(&pipeline, &options)?;
+            let mut server = Server::with_pipeline(pipeline);
+            if let Some(save) = &options.cache_save {
+                // The server snapshots on graceful shutdown (and on
+                // `save_cache` requests) itself, once every connection
+                // has drained.
+                server = server.with_cache_save_path(save);
+            }
             match &options.tcp {
                 Some(addr) => {
                     let listener = std::net::TcpListener::bind(addr)

@@ -1,0 +1,161 @@
+//! End-to-end cache persistence: a warm cache saved by one pipeline —
+//! or one *process* — boots the next one warm.
+//!
+//! In-process: pipeline A compiles the kernel suite and snapshots its
+//! cache; pipeline B loads the snapshot and must serve its first,
+//! identical batch entirely from hits, with byte-identical listings.
+//!
+//! Cross-process: the `raco` binary itself (via `CARGO_BIN_EXE_raco`)
+//! runs `kernels --cache-save` then `kernels --cache-load`, and the
+//! second process must report zero allocation misses and a
+//! byte-identical report (modulo timing fields).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use raco::driver::json::Json;
+use raco::driver::{Pipeline, PipelineConfig};
+use raco::ir::AguSpec;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("raco-persist-{tag}-{}.snap", std::process::id()))
+}
+
+fn listing_config() -> PipelineConfig {
+    let mut config = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+    config.listings = true;
+    config
+}
+
+#[test]
+fn second_pipeline_boots_warm_and_reproduces_listings() {
+    let snap = temp_path("inproc");
+    std::fs::remove_file(&snap).ok();
+
+    let first = Pipeline::with_config(listing_config());
+    let cold = first.compile_kernels();
+    assert_eq!(cold.failed(), 0);
+    assert!(cold.cache.allocation_misses > 0, "first run computes");
+    let saved = first.save_cache(&snap).expect("snapshot written");
+    assert!(saved.entries() > 0);
+    assert_eq!(first.cache_stats().persisted, saved.entries() as u64);
+
+    let second = Pipeline::with_config(listing_config());
+    let loaded = second.load_cache(&snap).expect("snapshot read");
+    std::fs::remove_file(&snap).ok();
+    assert_eq!(loaded.skipped, 0, "{:?}", loaded.warnings);
+    assert_eq!(loaded.loaded(), saved.entries());
+    assert_eq!(second.cache_stats().loaded, saved.entries() as u64);
+
+    // The very FIRST batch on the restored pipeline is all hits …
+    let warm = second.compile_kernels();
+    assert_eq!(warm.failed(), 0);
+    assert_eq!(warm.cache.allocation_misses, 0, "{:?}", warm.cache);
+    assert_eq!(warm.cache.curve_misses, 0);
+    assert!(warm.cache.allocation_hits > 0);
+
+    // … and its output is byte-identical, listing for listing.
+    assert_eq!(cold.units.len(), warm.units.len());
+    for (a, b) in cold.units.iter().zip(&warm.units) {
+        assert_eq!(a.listing, b.listing, "unit {} listing drifted", a.name);
+        for (la, lb) in a.loops.iter().zip(&b.loops) {
+            assert_eq!(la, lb, "loop report drifted");
+        }
+    }
+}
+
+#[test]
+fn snapshots_load_across_machine_configs_without_false_sharing() {
+    // Entries are keyed by (pattern, M, granted registers, options) —
+    // deliberately not by the machine's K. Restoring a K=4 snapshot
+    // into a K=2 pipeline may therefore legitimately hit where the
+    // *grants* coincide, but must never change what the K=2 machine
+    // compiles: cost curves (keyed by k_max = K) recompute, and the
+    // report must be byte-identical to a cold K=2 run.
+    let snap = temp_path("machines");
+    std::fs::remove_file(&snap).ok();
+
+    let source = "for (i = 0; i < 64; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }";
+    let k4 = Pipeline::new(AguSpec::new(4, 1).unwrap());
+    k4.compile_str("unit", source).unwrap();
+    k4.save_cache(&snap).unwrap();
+
+    let warmed = Pipeline::new(AguSpec::new(2, 1).unwrap());
+    let loaded = warmed.load_cache(&snap).expect("snapshot read");
+    std::fs::remove_file(&snap).ok();
+    assert!(loaded.loaded() > 0);
+
+    let warm = warmed.compile_str("unit", source).unwrap();
+    assert_eq!(warm.failed(), 0);
+    assert!(
+        warm.cache.curve_misses > 0,
+        "K=2 curves cannot reuse K=4 curves: {:?}",
+        warm.cache
+    );
+
+    let cold = Pipeline::new(AguSpec::new(2, 1).unwrap())
+        .compile_str("unit", source)
+        .unwrap();
+    for (a, b) in cold.loops().zip(warm.loops()) {
+        assert_eq!(a, b, "foreign snapshot must not change K=2 results");
+    }
+}
+
+/// Strips the fields that legitimately differ between two runs
+/// (timing, throughput, cache counters) so the rest must match byte
+/// for byte.
+fn stable_fields(mut json: Json) -> Json {
+    if let Json::Obj(fields) = &mut json {
+        fields.retain(|(key, _)| {
+            !matches!(
+                key.as_str(),
+                "elapsed_us" | "loops_per_second" | "threads" | "cache"
+            )
+        });
+    }
+    json
+}
+
+#[test]
+fn second_process_with_cache_load_is_all_hits_and_byte_identical() {
+    let snap = temp_path("process");
+    std::fs::remove_file(&snap).ok();
+    let raco = env!("CARGO_BIN_EXE_raco");
+
+    let run = |args: &[&str]| -> Json {
+        let output = Command::new(raco)
+            .args(["kernels", "--quiet", "--json", "--listing"])
+            .args(args)
+            .output()
+            .expect("raco runs");
+        assert!(
+            output.status.success(),
+            "raco failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        Json::parse(&String::from_utf8_lossy(&output.stdout)).expect("JSON report")
+    };
+
+    let first = run(&["--cache-save", &snap.display().to_string()]);
+    assert!(snap.exists(), "snapshot written by the first process");
+    let second = run(&["--cache-load", &snap.display().to_string()]);
+    std::fs::remove_file(&snap).ok();
+
+    // The second process reports hits on its FIRST (and only) request
+    // and never recomputes an allocation.
+    let cache = second.get("cache").expect("cache stats");
+    assert_eq!(
+        cache.get("allocation_misses").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(cache.get("curve_misses").and_then(Json::as_u64), Some(0));
+    assert!(cache.get("allocation_hits").and_then(Json::as_u64).unwrap() > 0);
+    assert!(cache.get("loaded").and_then(Json::as_u64).unwrap() > 0);
+
+    // Everything except timings — listings included — is identical.
+    assert_eq!(
+        stable_fields(first).render(),
+        stable_fields(second).render(),
+        "cold and snapshot-warmed processes must emit identical reports"
+    );
+}

@@ -358,3 +358,161 @@ fn tcp_clients_share_one_warm_cache() {
         handle.join().expect("server thread").expect("clean exit");
     });
 }
+
+#[test]
+fn graceful_drain_closes_idle_connections_and_snapshots_the_cache() {
+    use std::io::Read;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let snap = std::env::temp_dir().join(format!("raco-serve-drain-{}.snap", std::process::id()));
+    std::fs::remove_file(&snap).ok();
+    let server =
+        Server::new(PipelineConfig::new(AguSpec::new(4, 1).unwrap())).with_cache_save_path(&snap);
+    assert_eq!(server.cache_save_path(), Some(snap.as_path()));
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // A client that compiles once and then parks, connection open,
+        // never sending another byte — the shape of an idle keep-alive
+        // client that used to wedge shutdown forever.
+        let idle = TcpStream::connect(addr).expect("connect");
+        let mut idle_writer = idle.try_clone().unwrap();
+        let mut idle_reader = BufReader::new(idle);
+        writeln!(
+            idle_writer,
+            r#"{{"op":"compile","source":"for (i = 0; i < 32; i++) {{ y[i] = x[i-1] + x[i] + x[i+1]; }}"}}"#
+        )
+        .unwrap();
+        let mut response = String::new();
+        idle_reader.read_line(&mut response).expect("reply");
+        assert!(response.contains(r#""ok":true"#));
+
+        // A second client asks the whole server to shut down.
+        let mut bye = TcpStream::connect(addr).expect("connect");
+        writeln!(bye, r#"{{"op":"shutdown"}}"#).unwrap();
+        let mut ack = String::new();
+        BufReader::new(bye.try_clone().unwrap())
+            .read_line(&mut ack)
+            .unwrap();
+        assert!(ack.contains(r#""shutdown":true"#));
+
+        // serve_tcp must drain and return even though the idle client
+        // never hung up (this join deadlocked before the drain fix) …
+        handle.join().expect("server thread").expect("clean exit");
+
+        // … and the idle client sees a clean server-side close.
+        let mut rest = String::new();
+        let eof = idle_reader.read_to_string(&mut rest);
+        assert!(
+            matches!(eof, Ok(0)),
+            "drained connection must close: {eof:?} {rest:?}"
+        );
+    });
+
+    // The graceful shutdown snapshotted the warm cache; a fresh
+    // pipeline boots warm from it.
+    let restored = raco::driver::Pipeline::new(AguSpec::new(4, 1).unwrap());
+    let report = restored
+        .load_cache(&snap)
+        .expect("snapshot written on shutdown");
+    std::fs::remove_file(&snap).ok();
+    assert!(report.loaded() > 0, "{report:?}");
+    assert_eq!(report.skipped, 0, "{:?}", report.warnings);
+}
+
+#[test]
+fn save_cache_requests_write_loadable_snapshots() {
+    let snap = std::env::temp_dir().join(format!("raco-serve-saveop-{}.snap", std::process::id()));
+    std::fs::remove_file(&snap).ok();
+
+    // Without a path and without a configured default, the request is
+    // a (non-fatal) error response.
+    let server = default_server();
+    let responses = round_trip(
+        &server,
+        concat!(
+            r#"{"id": 1, "op": "compile", "source": "for (i = 0; i < 16; i++) { s += x[i]; }"}"#,
+            "\n",
+            r#"{"id": 2, "op": "save_cache"}"#,
+            "\n",
+        ),
+    );
+    assert!(ok(&responses[0]));
+    assert!(!ok(&responses[1]));
+    assert!(responses[1]
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("needs a `path`"));
+
+    // With an explicit path the snapshot is written and reports what
+    // it holds; a knobbed save_cache is rejected like other control ops.
+    let request = format!(
+        "{}\n{}\n",
+        Json::Obj(vec![
+            ("id".to_owned(), Json::Int(3)),
+            ("op".to_owned(), Json::str("save_cache")),
+            ("path".to_owned(), Json::str(snap.display().to_string())),
+        ])
+        .render(),
+        r#"{"id": 4, "op": "save_cache", "registers": 2}"#,
+    );
+    let responses = round_trip(&server, &request);
+    let saved = responses[0].get("saved").expect("saved payload");
+    assert!(saved.get("allocations").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        saved.get("path").and_then(Json::as_str),
+        Some(snap.display().to_string().as_str())
+    );
+    assert!(!ok(&responses[1]), "knobs on save_cache must error");
+
+    let restored = raco::driver::Pipeline::new(AguSpec::new(4, 1).unwrap());
+    let report = restored.load_cache(&snap).expect("snapshot readable");
+    std::fs::remove_file(&snap).ok();
+    assert!(report.loaded() > 0);
+    assert_eq!(restored.cache_stats().loaded, report.loaded() as u64);
+}
+
+#[test]
+fn drain_gives_half_received_requests_a_grace_to_finish() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = default_server();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // A client that has sent only *part* of a request line when
+        // the shutdown lands …
+        let slow = TcpStream::connect(addr).expect("connect");
+        let mut slow_writer = slow.try_clone().unwrap();
+        let mut slow_reader = BufReader::new(slow);
+        write!(slow_writer, r#"{{"id":7,"op":"pi"#).unwrap();
+        slow_writer.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(120));
+
+        let mut bye = TcpStream::connect(addr).expect("connect");
+        writeln!(bye, r#"{{"op":"shutdown"}}"#).unwrap();
+        let mut ack = String::new();
+        BufReader::new(bye.try_clone().unwrap())
+            .read_line(&mut ack)
+            .unwrap();
+        assert!(ack.contains(r#""shutdown":true"#));
+
+        // … and completes it shortly after (well inside the drain
+        // grace): the request must still be answered, not dropped.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        writeln!(slow_writer, r#"ng"}}"#).unwrap();
+        slow_writer.flush().unwrap();
+        let mut response = String::new();
+        slow_reader.read_line(&mut response).expect("read");
+        assert!(
+            response.contains(r#""pong":true"#) && response.contains(r#""id":7"#),
+            "half-received request must be served through the drain: {response:?}"
+        );
+
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}

@@ -1,0 +1,274 @@
+//! Property-based and table-driven coverage of the cache snapshot
+//! codec (`raco_driver::persist`):
+//!
+//! 1. **round trip** — for random cache contents `x`, restoring a
+//!    snapshot into a fresh cache and re-encoding reproduces the
+//!    snapshot byte for byte (`save(load(x)) == x`), and every
+//!    restored entry answers lookups with the exact allocation the
+//!    original cache computed;
+//! 2. **corruption** — a table of damaged snapshots (truncated record,
+//!    bad checksum, wrong version, bad magic, garbage payloads) loads
+//!    without panicking, skips exactly the damaged entries, and counts
+//!    a warning for each rejection.
+
+use proptest::prelude::*;
+
+use raco::core::{MergeStrategy, Optimizer, OptimizerOptions};
+use raco::driver::persist::{self, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use raco::driver::AllocationCache;
+use raco::ir::{AccessPattern, AguSpec, CanonicalPattern};
+
+/// Strategy: a batch of random small patterns plus machine parameters
+/// and optimizer options — i.e. random cache contents.
+fn contents() -> impl Strategy<Value = (Vec<Vec<i64>>, i64, u32, usize, u8, u64)> {
+    (
+        prop::collection::vec(prop::collection::vec(-9i64..=9, 1..=8), 1..=6),
+        prop_oneof![Just(1i64), Just(-1i64), Just(2i64)],
+        1u32..=2,
+        1usize..=4,
+        0u8..=2, // merge strategy selector
+        0u64..=u64::from(u32::MAX),
+    )
+}
+
+fn options_for(selector: u8, seed: u64) -> OptimizerOptions {
+    OptimizerOptions {
+        strategy: match selector {
+            0 => MergeStrategy::GreedyMinCost,
+            1 => MergeStrategy::FirstPair,
+            _ => MergeStrategy::Random { seed },
+        },
+        ..OptimizerOptions::default()
+    }
+}
+
+/// Warms a cache with real allocations and cost curves for `patterns`.
+fn warm_cache(
+    patterns: &[Vec<i64>],
+    stride: i64,
+    modify: u32,
+    k: usize,
+    options: &OptimizerOptions,
+) -> AllocationCache {
+    let cache = AllocationCache::new();
+    let optimizer = Optimizer::with_options(AguSpec::new(k, modify).unwrap(), *options);
+    for offsets in patterns {
+        let pattern = AccessPattern::from_offsets(offsets, stride);
+        let canonical = CanonicalPattern::of(&pattern);
+        let _ = cache.cost_curve(&canonical, modify, k, options, || {
+            optimizer.cost_curve(&pattern, k)
+        });
+        let _ = cache.allocation(&canonical, modify, k, options, || {
+            optimizer.allocate(&pattern)
+        });
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical(
+        (patterns, stride, modify, k, strategy, seed) in contents()
+    ) {
+        let options = options_for(strategy, seed);
+        let cache = warm_cache(&patterns, stride, modify, k, &options);
+        let bytes = persist::encode(&cache);
+
+        let restored = AllocationCache::new();
+        let report = persist::decode_into(&restored, &bytes);
+        prop_assert_eq!(report.skipped, 0, "warnings: {:?}", report.warnings);
+        prop_assert_eq!(report.duplicates, 0, "fresh cache cannot hold duplicates");
+        prop_assert_eq!(report.loaded(), restored.stats().loaded as usize);
+
+        // save(load(x)) == x: records are sorted, so equal contents
+        // mean equal bytes.
+        prop_assert_eq!(persist::encode(&restored), bytes);
+    }
+
+    #[test]
+    fn restored_entries_answer_lookups_identically(
+        (patterns, stride, modify, k, strategy, seed) in contents()
+    ) {
+        let options = options_for(strategy, seed);
+        let cache = warm_cache(&patterns, stride, modify, k, &options);
+        let restored = AllocationCache::new();
+        persist::decode_into(&restored, &persist::encode(&cache));
+
+        for offsets in &patterns {
+            let canonical = CanonicalPattern::of(&AccessPattern::from_offsets(offsets, stride));
+            let original = cache.allocation(&canonical, modify, k, &options, || {
+                panic!("warm cache must hit")
+            });
+            let loaded = restored.allocation(&canonical, modify, k, &options, || {
+                panic!("restored cache must hit")
+            });
+            prop_assert_eq!(&*original, &*loaded, "allocation for {:?}", offsets);
+            let original_curve = cache.cost_curve(&canonical, modify, k, &options, || {
+                panic!("warm cache must hit")
+            });
+            let loaded_curve = restored.cost_curve(&canonical, modify, k, &options, || {
+                panic!("restored cache must hit")
+            });
+            prop_assert_eq!(&*original_curve, &*loaded_curve, "curve for {:?}", offsets);
+        }
+        // Every lookup above was a hit; nothing recomputed.
+        prop_assert_eq!(restored.stats().allocation_misses, 0);
+        prop_assert_eq!(restored.stats().curve_misses, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table-driven corruption cases
+// ---------------------------------------------------------------------
+
+/// Recomputes and patches the trailing whole-file checksum, so a
+/// deliberately damaged body still passes the checksum gate and
+/// exercises the per-record rejection paths.
+fn reseal(bytes: &mut [u8]) {
+    let split = bytes.len() - 8;
+    let sum = persist::checksum(&bytes[..split]);
+    bytes[split..].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn reference_snapshot() -> (AllocationCache, Vec<u8>) {
+    let options = OptimizerOptions::default();
+    let cache = warm_cache(
+        &[vec![1, 0, 2, -1], vec![0, 5, 10], vec![0, -2, 4]],
+        1,
+        1,
+        2,
+        &options,
+    );
+    let bytes = persist::encode(&cache);
+    (cache, bytes)
+}
+
+#[test]
+fn corrupt_snapshots_are_skipped_with_counted_warnings() {
+    let (_cache, good) = reference_snapshot();
+
+    struct Case {
+        name: &'static str,
+        mutate: fn(&mut Vec<u8>),
+        expect_loaded: Option<usize>, // None: just "strictly fewer than good"
+        needle: &'static str,
+    }
+    let cases = [
+        Case {
+            name: "bad magic",
+            mutate: |b| b[0] = b'X',
+            expect_loaded: Some(0),
+            needle: "bad magic",
+        },
+        Case {
+            name: "wrong version",
+            mutate: |b| {
+                b[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 7).to_le_bytes());
+                reseal(b);
+            },
+            expect_loaded: Some(0),
+            needle: "unsupported snapshot version",
+        },
+        Case {
+            name: "bad checksum",
+            mutate: |b| {
+                let mid = b.len() / 2;
+                b[mid] ^= 0x40;
+            },
+            expect_loaded: Some(0),
+            needle: "checksum mismatch",
+        },
+        Case {
+            name: "truncated record",
+            mutate: |b| {
+                // Drop one byte from the tail of the last record's
+                // payload (just before the trailer) and reseal: the
+                // file verifies, but the last record's declared length
+                // overruns what is actually there.
+                b.remove(b.len() - 10);
+                reseal(b);
+            },
+            expect_loaded: None,
+            needle: "truncated record overruns",
+        },
+        Case {
+            name: "garbage payload with valid framing",
+            mutate: |b| {
+                // Append one well-framed record full of junk.
+                let trailer_at = b.len() - 9;
+                let mut record = vec![0x01u8];
+                record.extend_from_slice(&12u32.to_le_bytes());
+                record.extend_from_slice(b"notasnapshot");
+                b.splice(trailer_at..trailer_at, record);
+                reseal(b);
+            },
+            expect_loaded: Some(6),
+            needle: "allocation record rejected",
+        },
+        Case {
+            name: "unknown record tag",
+            mutate: |b| {
+                let trailer_at = b.len() - 9;
+                let mut record = vec![0x7Fu8];
+                record.extend_from_slice(&3u32.to_le_bytes());
+                record.extend_from_slice(b"???");
+                b.splice(trailer_at..trailer_at, record);
+                reseal(b);
+            },
+            expect_loaded: Some(6),
+            needle: "unknown record tag",
+        },
+        Case {
+            name: "empty file",
+            mutate: Vec::clear,
+            expect_loaded: Some(0),
+            needle: "too short",
+        },
+    ];
+
+    for case in &cases {
+        let mut bytes = good.clone();
+        (case.mutate)(&mut bytes);
+        let fresh = AllocationCache::new();
+        let report = persist::decode_into(&fresh, &bytes);
+        match case.expect_loaded {
+            Some(expected) => assert_eq!(
+                report.loaded(),
+                expected,
+                "{}: loaded {:?}",
+                case.name,
+                report
+            ),
+            None => assert!(
+                report.loaded() < 6,
+                "{}: truncation must lose entries: {:?}",
+                case.name,
+                report
+            ),
+        }
+        assert!(report.skipped > 0, "{}: must count a skip", case.name);
+        assert!(
+            report.warnings.iter().any(|w| w.contains(case.needle)),
+            "{}: warnings {:?} lack `{}`",
+            case.name,
+            report.warnings,
+            case.needle
+        );
+        assert_eq!(
+            fresh.stats().loaded as usize,
+            report.loaded(),
+            "{}: stats agree with the report",
+            case.name
+        );
+    }
+
+    // The undamaged reference stays fully loadable (the table above
+    // did not depend on a stale fixture).
+    let fresh = AllocationCache::new();
+    let report = persist::decode_into(&fresh, &good);
+    assert_eq!(report.loaded(), 6);
+    assert_eq!(report.skipped, 0);
+    assert_eq!(SNAPSHOT_MAGIC.len(), 8);
+}
