@@ -1,185 +1,31 @@
-//! Modify-register allocation.
+//! Modify-register allocation — re-exported from `raco-graph`.
 //!
-//! Machines like the Motorola DSP56k or ADSP-210x add *modify registers*:
-//! an address register can be post-updated by the content of a modify
-//! register for free, regardless of the auto-modify range. Which values to
-//! keep in the (few) modify registers is itself an allocation problem; the
-//! classic heuristic (in the spirit of the paper's ref \[2\]) loads the most
-//! *frequent* over-range deltas of the steady-state iteration.
+//! [`ModifyAllocation`] used to live here, applied only at code
+//! generation: the allocator priced every over-range delta at one cycle
+//! and codegen absorbed what it could *afterwards*, so on MR-equipped
+//! machines the predicted cost overshot the measured cost. The ranking
+//! now lives in [`raco_graph::ModifyAllocation`], one layer below both
+//! consumers, so the allocator's cost model (`raco_core::CostModel`)
+//! and this crate's code generator price exactly the same machine. This
+//! module remains as a re-export so `raco_agu::modify::ModifyAllocation`
+//! keeps working for existing callers (experiments, tests).
 
-use std::collections::HashMap;
-
-use raco_graph::{DistanceModel, PathCover};
-
-/// Values assigned to modify registers.
-///
-/// # Examples
-///
-/// ```
-/// use raco_agu::modify::ModifyAllocation;
-/// use raco_graph::{DistanceModel, PathCover};
-///
-/// // One register chains all four accesses; the repeated +7 delta
-/// // dominates and is worth a modify register.
-/// let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
-/// let cover = PathCover::single_chain(4);
-/// let alloc = ModifyAllocation::for_cover(&cover, &dm, 1);
-/// assert_eq!(alloc.values(), &[7]);
-/// assert!(alloc.is_free_delta(7));
-/// assert!(!alloc.is_free_delta(3));
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ModifyAllocation {
-    values: Vec<i64>,
-    savings: u32,
-}
-
-impl ModifyAllocation {
-    /// No modify registers (the plain paper machine).
-    pub fn none() -> Self {
-        ModifyAllocation {
-            values: Vec::new(),
-            savings: 0,
-        }
-    }
-
-    /// Allocates at most `count` modify registers for the steady-state
-    /// execution of `cover`, picking the over-range deltas (intra steps
-    /// and wrap steps) with the highest per-iteration frequency.
-    ///
-    /// Ties are broken toward smaller `|delta|`, then smaller `delta`, so
-    /// the result is deterministic.
-    pub fn for_cover(cover: &PathCover, dm: &DistanceModel, count: usize) -> Self {
-        Self::for_covers([(cover, dm)], count)
-    }
-
-    /// Like [`ModifyAllocation::for_cover`], but pooling the over-range
-    /// deltas of several covers (one per array of a loop) into one global
-    /// ranking — modify registers are a machine-wide resource.
-    pub fn for_covers<'a>(
-        items: impl IntoIterator<Item = (&'a PathCover, &'a DistanceModel)>,
-        count: usize,
-    ) -> Self {
-        if count == 0 {
-            return Self::none();
-        }
-        let mut freq: HashMap<i64, u32> = HashMap::new();
-        for (cover, dm) in items {
-            for path in cover.paths() {
-                for delta in path.intra_steps(dm) {
-                    if !dm.is_free(delta) {
-                        *freq.entry(delta).or_insert(0) += 1;
-                    }
-                }
-                let wrap = path.wrap_step(dm);
-                if !dm.is_free(wrap) {
-                    *freq.entry(wrap).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut ranked: Vec<(i64, u32)> = freq.into_iter().collect();
-        ranked
-            .sort_by_key(|&(delta, count)| (std::cmp::Reverse(count), delta.unsigned_abs(), delta));
-        ranked.truncate(count);
-        let savings = ranked.iter().map(|&(_, c)| c).sum();
-        let values = ranked.into_iter().map(|(delta, _)| delta).collect();
-        ModifyAllocation { values, savings }
-    }
-
-    /// The values held in modify registers, most valuable first
-    /// (index = `MrId`).
-    pub fn values(&self) -> &[i64] {
-        &self.values
-    }
-
-    /// Unit-cost updates per iteration eliminated by this allocation.
-    pub fn savings(&self) -> u32 {
-        self.savings
-    }
-
-    /// The modify register holding `delta`, if any.
-    pub fn register_for(&self, delta: i64) -> Option<usize> {
-        self.values.iter().position(|&v| v == delta)
-    }
-
-    /// `true` if `delta` can be applied for free through a modify register.
-    pub fn is_free_delta(&self, delta: i64) -> bool {
-        self.values.contains(&delta)
-    }
-}
+pub use raco_graph::ModifyAllocation;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raco_graph::Path;
+    use raco_graph::{DistanceModel, PathCover};
 
+    /// The re-exported type is the shared one: values picked here are
+    /// exactly what codegen loads and what the cost model prices free.
     #[test]
-    fn none_allocates_nothing() {
-        let a = ModifyAllocation::none();
-        assert!(a.values().is_empty());
-        assert_eq!(a.savings(), 0);
-        assert_eq!(a.register_for(3), None);
-    }
-
-    #[test]
-    fn zero_count_behaves_like_none() {
-        let dm = DistanceModel::from_offsets(&[0, 7], 1, 1);
-        let a = ModifyAllocation::for_cover(&PathCover::single_chain(2), &dm, 0);
-        assert_eq!(a, ModifyAllocation::none());
-    }
-
-    #[test]
-    fn most_frequent_over_range_delta_wins() {
-        // Steps: +5, -9, +5, +5 → over-range freq {5: 3, -9: 1}.
-        let dm = DistanceModel::from_offsets(&[0, 5, -4, 1, 6], 1, 1);
-        let cover = PathCover::single_chain(5);
-        let a = ModifyAllocation::for_cover(&cover, &dm, 1);
-        assert_eq!(a.values(), &[5]);
-        assert_eq!(a.savings(), 3);
-        assert_eq!(a.register_for(5), Some(0));
-    }
-
-    #[test]
-    fn wrap_steps_are_counted() {
-        // Single path 0 → 1 with stride 9: wrap = 0 + 9 - 1 = 8.
-        let dm = DistanceModel::from_offsets(&[0, 1], 9, 1);
-        let cover = PathCover::single_chain(2);
-        let a = ModifyAllocation::for_cover(&cover, &dm, 2);
-        assert_eq!(a.values(), &[8]);
-        assert_eq!(a.savings(), 1);
-    }
-
-    #[test]
-    fn free_deltas_are_never_allocated() {
-        // Stride 4 closes the wrap (0 + 4 - 3 = 1), so every step of the
-        // chain — intra and wrap — is in range.
-        let dm = DistanceModel::from_offsets(&[0, 1, 2, 3], 4, 1);
+    fn reexport_is_the_shared_allocator() {
+        let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
         let cover = PathCover::single_chain(4);
-        let a = ModifyAllocation::for_cover(&cover, &dm, 4);
-        assert!(a.values().is_empty(), "all steps are in range");
-    }
-
-    #[test]
-    fn ties_prefer_small_magnitudes_deterministically() {
-        // Deltas +9 and -9 appear once each; |9| ties, then -9 < 9 picks -9.
-        let p1 = Path::new(vec![0, 1]).unwrap(); // 0 → 9: +9
-        let p2 = Path::new(vec![2, 3]).unwrap(); // 9 → 0: -9
-        let dm = DistanceModel::from_offsets(&[0, 9, 9, 0], 0, 1);
-        // stride 0 is not allowed by LoopSpec but fine for a raw model: it
-        // makes both wraps free (|0 - span| …) — actually wrap p1: 0+0-9 =
-        // -9, p2: 9+0-0 = 9; they tie with the intra steps.
-        let cover = PathCover::new(vec![p1, p2], 4).unwrap();
-        let a = ModifyAllocation::for_cover(&cover, &dm, 1);
-        assert_eq!(a.values(), &[-9]);
-        assert_eq!(a.savings(), 2);
-    }
-
-    #[test]
-    fn count_caps_the_number_of_values() {
-        let dm = DistanceModel::from_offsets(&[0, 10, 30, 60, 100], 1, 1);
-        let cover = PathCover::single_chain(5);
-        let a = ModifyAllocation::for_cover(&cover, &dm, 2);
-        assert_eq!(a.values().len(), 2);
-        assert!(a.savings() >= 2);
+        let a: ModifyAllocation = ModifyAllocation::for_cover(&cover, &dm, 1);
+        let b = raco_graph::ModifyAllocation::for_cover(&cover, &dm, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.values(), &[7]);
     }
 }

@@ -165,7 +165,7 @@ fn bench_warm_hit(c: &mut Criterion) {
                     (pattern.array(), hit)
                 })
                 .collect();
-            LoopAllocation::from_parts(per_array, grants).total_registers()
+            LoopAllocation::from_parts(per_array, grants, options.cost_model).total_registers()
         });
     });
     group.finish();

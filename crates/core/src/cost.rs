@@ -1,6 +1,6 @@
 //! The cost model configuration.
 
-use raco_graph::{DistanceModel, Path, PathCover};
+use raco_graph::{DistanceModel, ModifyAllocation, Path, PathCover};
 
 /// Selects how path costs are measured.
 ///
@@ -13,33 +13,66 @@ use raco_graph::{DistanceModel, Path, PathCover};
 /// and is the default; [`CostModel::paper_literal`] reproduces the
 /// intra-only definition for ablation experiments.
 ///
+/// ## Modify registers
+///
+/// Real AGUs (DSP56k, ADSP-210x) add *modify registers*: a post-update by
+/// the content of a modify register is as free as an in-range auto-modify.
+/// [`CostModel::with_modify_registers`] prices that machine: a cover's
+/// cost charges a delta **zero** cycles when one of the machine's modify
+/// registers would hold it — ranked by per-iteration frequency, exactly
+/// the ranking code generation uses ([`ModifyAllocation`]) — so the
+/// allocator's predicted cost equals the simulator's measured cost on
+/// MR-equipped machines. With zero modify registers (the default, the
+/// plain paper machine) every cost is byte-identical to the base model.
+///
 /// # Examples
 ///
 /// ```
 /// use raco_core::CostModel;
-/// use raco_graph::{DistanceModel, Path};
+/// use raco_graph::{DistanceModel, Path, PathCover};
 ///
 /// let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
 /// let p = Path::new(vec![0, 2, 4, 5]).unwrap(); // (a_1, a_3, a_5, a_6)
 /// assert_eq!(CostModel::paper_literal().path_cost(&p, &dm), 0);
 /// assert_eq!(CostModel::steady_state().path_cost(&p, &dm), 1); // wrap = 2
+///
+/// // A repeated over-range delta becomes free once an MR holds it:
+/// let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
+/// let chain = PathCover::single_chain(4);
+/// assert_eq!(CostModel::steady_state().cover_cost(&chain, &dm), 3);
+/// let mr = CostModel::steady_state().with_modify_registers(1);
+/// assert_eq!(mr.cover_cost(&chain, &dm), 0); // three +7 steps absorbed
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostModel {
     include_wrap: bool,
+    modify_registers: usize,
 }
 
 impl CostModel {
     /// Steady-state cost: intra-path unit costs plus the wrap step.
     pub fn steady_state() -> Self {
-        CostModel { include_wrap: true }
+        CostModel {
+            include_wrap: true,
+            modify_registers: 0,
+        }
     }
 
     /// Paper-literal `C(P)`: intra-path unit costs only.
     pub fn paper_literal() -> Self {
         CostModel {
             include_wrap: false,
+            modify_registers: 0,
         }
+    }
+
+    /// Prices a machine with `count` modify registers (builder style):
+    /// cover costs charge zero for deltas a globally-allocated modify
+    /// register would absorb.
+    #[must_use]
+    pub fn with_modify_registers(mut self, count: usize) -> Self {
+        self.modify_registers = count;
+        self
     }
 
     /// Whether wrap (back-edge) steps are charged.
@@ -47,14 +80,64 @@ impl CostModel {
         self.include_wrap
     }
 
+    /// Modify registers priced by this model (zero on the plain paper
+    /// machine).
+    pub fn modify_registers(&self) -> usize {
+        self.modify_registers
+    }
+
     /// Cost of a single path under this model.
+    ///
+    /// Path costs are deliberately **modify-register-unaware**: which
+    /// deltas a modify register absorbs is a property of the whole cover
+    /// (registers are a machine-wide resource ranked by global delta
+    /// frequency), so only [`cover_cost`](Self::cover_cost) and
+    /// [`covers_cost`](Self::covers_cost) price them.
     pub fn path_cost(&self, path: &Path, dm: &DistanceModel) -> u32 {
         path.cost(dm, self.include_wrap)
     }
 
     /// Total cost of a cover under this model.
+    ///
+    /// With modify registers, the `count` most frequent over-range deltas
+    /// of the cover (the ones [`ModifyAllocation`] would load) are charged
+    /// zero cycles.
     pub fn cover_cost(&self, cover: &PathCover, dm: &DistanceModel) -> u32 {
-        cover.total_cost(dm, self.include_wrap)
+        let raw = cover.total_cost(dm, self.include_wrap);
+        if self.modify_registers == 0 {
+            return raw;
+        }
+        let modify = ModifyAllocation::for_covers_with_wrap(
+            [(cover, dm)],
+            self.modify_registers,
+            self.include_wrap,
+        );
+        raw - modify.savings()
+    }
+
+    /// Total cost of several covers sharing one machine — the cost of a
+    /// whole loop whose arrays were allocated independently.
+    ///
+    /// Modify registers are a machine-wide resource: the ranking pools
+    /// the over-range deltas of *every* cover before picking the most
+    /// frequent values, exactly as code generation does. Summing
+    /// per-cover [`cover_cost`](Self::cover_cost)s instead would let
+    /// each array claim the full modify-register budget for itself and
+    /// under-predict multi-array loops.
+    pub fn covers_cost(&self, items: &[(&PathCover, &DistanceModel)]) -> u32 {
+        let raw: u32 = items
+            .iter()
+            .map(|(cover, dm)| cover.total_cost(dm, self.include_wrap))
+            .sum();
+        if self.modify_registers == 0 {
+            return raw;
+        }
+        let modify = ModifyAllocation::for_covers_with_wrap(
+            items.iter().copied(),
+            self.modify_registers,
+            self.include_wrap,
+        );
+        raw - modify.savings()
     }
 }
 
@@ -74,6 +157,12 @@ mod tests {
         assert_eq!(CostModel::default(), CostModel::steady_state());
         assert!(CostModel::steady_state().includes_wrap());
         assert!(!CostModel::paper_literal().includes_wrap());
+        assert_eq!(CostModel::steady_state().modify_registers(), 0);
+        assert_eq!(
+            CostModel::steady_state().with_modify_registers(0),
+            CostModel::steady_state(),
+            "a zero-MR model is the plain model"
+        );
     }
 
     #[test]
@@ -85,5 +174,64 @@ mod tests {
         assert_eq!(model.cover_cost(&cover, &dm), by_paths);
         assert_eq!(model.cover_cost(&cover, &dm), 5);
         assert_eq!(CostModel::paper_literal().cover_cost(&cover, &dm), 4);
+    }
+
+    #[test]
+    fn modify_registers_absorb_top_ranked_deltas() {
+        // Chain steps: +7, +7, +7; wrap 0 + 22 - 21 = 1 (free).
+        let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
+        let chain = PathCover::single_chain(4);
+        let base = CostModel::steady_state();
+        assert_eq!(base.cover_cost(&chain, &dm), 3);
+        assert_eq!(base.with_modify_registers(1).cover_cost(&chain, &dm), 0);
+        // More registers than distinct deltas: cost still bottoms at 0.
+        assert_eq!(base.with_modify_registers(4).cover_cost(&chain, &dm), 0);
+    }
+
+    #[test]
+    fn modify_cost_is_monotone_in_register_count_for_a_fixed_cover() {
+        let dm = DistanceModel::from_offsets(&[0, 5, -4, 13, 6], 1, 1);
+        let cover = PathCover::single_chain(5);
+        let mut last = u32::MAX;
+        for count in 0..6 {
+            let cost = CostModel::steady_state()
+                .with_modify_registers(count)
+                .cover_cost(&cover, &dm);
+            assert!(cost <= last, "MR {count}: {cost} > {last}");
+            last = cost;
+        }
+    }
+
+    #[test]
+    fn paper_literal_with_modify_registers_ranks_intra_steps_only() {
+        // Only step is the wrap (+8): paper-literal charges nothing and
+        // must not rank the wrap into a modify register either.
+        let dm = DistanceModel::from_offsets(&[0, 1], 9, 1);
+        let cover = PathCover::single_chain(2);
+        let model = CostModel::paper_literal().with_modify_registers(2);
+        assert_eq!(model.cover_cost(&cover, &dm), 0);
+    }
+
+    #[test]
+    fn covers_cost_pools_the_modify_budget_globally() {
+        // Array A repeats +7 three times, array B repeats +9 twice; one
+        // machine-wide modify register holds +7 (more frequent), so B's
+        // over-range steps stay explicit.
+        let dm_a = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
+        let dm_b = DistanceModel::from_offsets(&[0, 9, 18], 19, 1);
+        let a = PathCover::single_chain(4);
+        let b = PathCover::single_chain(3);
+        let model = CostModel::steady_state().with_modify_registers(1);
+        let global = model.covers_cost(&[(&a, &dm_a), (&b, &dm_b)]);
+        assert_eq!(global, 2, "B keeps its two +9 updates");
+        // Summing per-cover costs would give each array its own MR:
+        let summed = model.cover_cost(&a, &dm_a) + model.cover_cost(&b, &dm_b);
+        assert!(summed < global, "per-array sums under-predict: {summed}");
+        // With zero MRs the pooled cost is exactly the raw sum.
+        let base = CostModel::steady_state();
+        assert_eq!(
+            base.covers_cost(&[(&a, &dm_a), (&b, &dm_b)]),
+            base.cover_cost(&a, &dm_a) + base.cover_cost(&b, &dm_b)
+        );
     }
 }

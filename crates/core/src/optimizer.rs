@@ -91,14 +91,26 @@ pub struct Optimizer {
 impl Optimizer {
     /// Creates an optimizer for the given machine with default options
     /// (steady-state cost model, greedy merging).
+    ///
+    /// The cost model prices the *whole* machine: when `agu` has modify
+    /// registers, the model charges zero cycles for deltas a modify
+    /// register would absorb, so predicted costs match what generated
+    /// code measures on that machine.
     pub fn new(agu: AguSpec) -> Self {
-        Optimizer {
-            agu,
-            options: OptimizerOptions::default(),
-        }
+        let mut options = OptimizerOptions::default();
+        options.cost_model = options
+            .cost_model
+            .with_modify_registers(agu.modify_registers());
+        Optimizer { agu, options }
     }
 
     /// Creates an optimizer with explicit options.
+    ///
+    /// The options are taken verbatim — in particular the cost model's
+    /// modify-register count is *not* synchronized with `agu`, so
+    /// ablations can deliberately allocate MR-blind for an MR-equipped
+    /// machine. Use [`Optimizer::new`] for a model that matches the
+    /// machine.
     pub fn with_options(agu: AguSpec, options: OptimizerOptions) -> Self {
         Optimizer { agu, options }
     }
@@ -159,13 +171,7 @@ impl Optimizer {
 
     fn allocate_model_with_registers(&self, dm: DistanceModel, k: usize) -> Allocation {
         let phase1 = phase1::run(&dm, self.options.bb);
-        let phase2 = phase2::merge_until(
-            phase1.cover(),
-            k,
-            &dm,
-            self.options.cost_model,
-            self.options.strategy,
-        );
+        let phase2 = self.best_phase2(&phase1, &dm, k);
         let cost = self.options.cost_model.cover_cost(phase2.cover(), &dm);
         Allocation {
             dm,
@@ -173,6 +179,49 @@ impl Optimizer {
             phase1,
             phase2,
         }
+    }
+
+    /// Runs Phase 2 down to `k` registers under the configured cost
+    /// model.
+    ///
+    /// On machines with modify registers the greedy merge *selection*
+    /// is swept across pricing aggressiveness — each `m' ∈ 0..=MR`
+    /// ranks candidates as if `m'` modify registers were available —
+    /// and every resulting cover is judged under the one true MR-aware
+    /// model; the cheapest wins (ties to the smallest `m'`, i.e. the
+    /// paper's plain greedy). The sweep makes the predicted cost
+    /// monotone in the machine's MR count by construction: the
+    /// candidate set only grows with MR, and a fixed cover never gets
+    /// more expensive when another modify register appears. With zero
+    /// modify registers (or a non-greedy strategy, where selection
+    /// ignores the model) this is a single plain [`phase2::merge_until`]
+    /// run, byte-identical to the pre-MR behaviour.
+    fn best_phase2(&self, phase1: &Phase1Report, dm: &DistanceModel, k: usize) -> Phase2Report {
+        let model = self.options.cost_model;
+        let mr = model.modify_registers();
+        if mr == 0 || self.options.strategy != MergeStrategy::GreedyMinCost {
+            return phase2::merge_until(phase1.cover(), k, dm, model, self.options.strategy);
+        }
+        // A cover has exactly one step per access, so selection pricing
+        // beyond `len` distinct deltas cannot change any ranking.
+        let cap = mr.min(dm.len());
+        let mut best: Option<(u32, Phase2Report)> = None;
+        for priced in 0..=cap {
+            let selection = model.with_modify_registers(priced);
+            let report = phase2::merge_until_with_selection(
+                phase1.cover(),
+                k,
+                dm,
+                model,
+                selection,
+                self.options.strategy,
+            );
+            let cost = model.cover_cost(report.cover(), dm);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, report));
+            }
+        }
+        best.expect("sweep runs at least once").1
     }
 
     /// Allocates every array of a loop, distributing the `K` registers
@@ -213,7 +262,15 @@ impl Optimizer {
                 )
             })
             .collect::<Vec<_>>();
-        let total_cost = per_array.iter().map(|(_, a)| a.cost()).sum();
+        // Modify registers are machine-wide: the loop's total is priced
+        // over the pooled covers (see CostModel::covers_cost), not as a
+        // sum of per-array costs that would each claim the full budget.
+        let covers: Vec<_> = per_array
+            .iter()
+            .map(|(_, a)| (a.cover(), a.distance_model()))
+            .collect();
+        let total_cost = self.options.cost_model.covers_cost(&covers);
+        drop(covers);
         Ok(LoopAllocation {
             per_array,
             registers: assignment,
@@ -236,6 +293,23 @@ impl Optimizer {
     pub fn cost_curve(&self, pattern: &AccessPattern, k_max: usize) -> Vec<u32> {
         let dm = DistanceModel::new(pattern, self.agu.modify_range());
         let phase1 = phase1::run(&dm, self.options.bb);
+        if self.options.cost_model.modify_registers() > 0
+            && self.options.strategy == MergeStrategy::GreedyMinCost
+        {
+            // MR-aware greedy allocations come out of a selection sweep
+            // (see best_phase2), whose result a single merge trajectory
+            // cannot reproduce — run the sweep per register count so
+            // curve entries equal what allocation at that count costs.
+            let mut running_min = u32::MAX;
+            return (1..=k_max)
+                .map(|k| {
+                    let phase2 = self.best_phase2(&phase1, &dm, k);
+                    let at_k = self.options.cost_model.cover_cost(phase2.cover(), &dm);
+                    running_min = running_min.min(at_k);
+                    running_min
+                })
+                .collect();
+        }
         let base_cost = self.options.cost_model.cover_cost(phase1.cover(), &dm);
         let phase2 = phase2::merge_until(
             phase1.cover(),
@@ -362,7 +436,7 @@ impl Allocation {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use raco_core::{LoopAllocation, Optimizer};
+/// use raco_core::{CostModel, LoopAllocation, Optimizer};
 /// use raco_ir::{dsl, AguSpec};
 ///
 /// let spec = dsl::parse_loop(
@@ -375,6 +449,7 @@ impl Allocation {
 /// let rebuilt = LoopAllocation::from_parts(
 ///     whole.per_array().to_vec(), // clones Arcs, not Allocations
 ///     whole.registers().to_vec(),
+///     CostModel::steady_state(),
 /// );
 /// assert_eq!(rebuilt, whole);
 /// // … the per-array allocations are literally the same memory:
@@ -396,18 +471,29 @@ impl LoopAllocation {
     /// instead of [`Optimizer::allocate_loop`]: the cache hands out
     /// `Arc<Allocation>`s, and this constructor stores them as-is —
     /// no allocation data is cloned. The total cost is recomputed from
-    /// the parts.
+    /// the parts under `cost_model` — over the *pooled* covers, so on a
+    /// machine with modify registers the machine-wide budget is priced
+    /// once for the whole loop, never once per array.
     ///
     /// # Panics
     ///
     /// Panics if `registers` and `per_array` have different lengths.
-    pub fn from_parts(per_array: Vec<(ArrayId, Arc<Allocation>)>, registers: Vec<usize>) -> Self {
+    pub fn from_parts(
+        per_array: Vec<(ArrayId, Arc<Allocation>)>,
+        registers: Vec<usize>,
+        cost_model: CostModel,
+    ) -> Self {
         assert_eq!(
             per_array.len(),
             registers.len(),
             "one register grant per allocated array"
         );
-        let total_cost = per_array.iter().map(|(_, a)| a.cost()).sum();
+        let covers: Vec<_> = per_array
+            .iter()
+            .map(|(_, a)| (a.cover(), a.distance_model()))
+            .collect();
+        let total_cost = cost_model.covers_cost(&covers);
+        drop(covers);
         LoopAllocation {
             per_array,
             registers,
@@ -553,8 +639,11 @@ mod tests {
         .unwrap();
         let opt = Optimizer::new(AguSpec::new(4, 1).unwrap());
         let whole = opt.allocate_loop(&spec).unwrap();
-        let rebuilt =
-            LoopAllocation::from_parts(whole.per_array().to_vec(), whole.registers().to_vec());
+        let rebuilt = LoopAllocation::from_parts(
+            whole.per_array().to_vec(),
+            whole.registers().to_vec(),
+            opt.options().cost_model,
+        );
         assert_eq!(rebuilt.total_cost(), whole.total_cost());
         assert_eq!(rebuilt.per_array().len(), whole.per_array().len());
     }
@@ -562,7 +651,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one register grant")]
     fn from_parts_rejects_mismatched_grants() {
-        let _ = LoopAllocation::from_parts(Vec::new(), vec![1]);
+        let _ = LoopAllocation::from_parts(Vec::new(), vec![1], CostModel::steady_state());
     }
 
     #[test]
@@ -582,6 +671,123 @@ mod tests {
         let x = spec.array_id("x").unwrap();
         assert!(alloc.for_array(x).is_some());
         assert!(alloc.for_array(raco_ir::ArrayId::from_index(9)).is_none());
+    }
+
+    #[test]
+    fn machine_modify_registers_enter_the_default_cost_model() {
+        let plain = Optimizer::new(AguSpec::new(2, 1).unwrap());
+        assert_eq!(plain.options().cost_model.modify_registers(), 0);
+        let mr = Optimizer::new(AguSpec::new(2, 1).unwrap().with_modify_registers(3));
+        assert_eq!(mr.options().cost_model.modify_registers(), 3);
+        // with_options takes the model verbatim (MR-blind ablation).
+        let blind = Optimizer::with_options(
+            AguSpec::new(2, 1).unwrap().with_modify_registers(3),
+            OptimizerOptions::default(),
+        );
+        assert_eq!(blind.options().cost_model.modify_registers(), 0);
+    }
+
+    #[test]
+    fn modify_registers_lower_predicted_cost_on_scattered_chains() {
+        // One register chains 0, 10, 20, 30: three +10 steps plus an
+        // over-range wrap. One modify register absorbs all the +10s.
+        let pattern = AccessPattern::from_offsets(&[0, 10, 20, 30], 1);
+        let plain = Optimizer::new(AguSpec::new(1, 1).unwrap()).allocate(&pattern);
+        let with_mr =
+            Optimizer::new(AguSpec::new(1, 1).unwrap().with_modify_registers(1)).allocate(&pattern);
+        assert_eq!(plain.cost(), 4);
+        assert_eq!(with_mr.cost(), 1, "three +10 steps become free");
+        assert_eq!(
+            with_mr.cost(),
+            with_mr.phase2().final_cost(),
+            "phase-2 trajectory records the MR-aware cost"
+        );
+    }
+
+    #[test]
+    fn mr_aware_cost_is_monotone_in_modify_register_count() {
+        let pattern = AccessPattern::from_offsets(&[0, 9, 3, 30, 12, -5], 4);
+        for k in 1..=3 {
+            let mut last = u32::MAX;
+            for mr in 0..=4 {
+                let agu = AguSpec::new(k, 1).unwrap().with_modify_registers(mr);
+                let cost = Optimizer::new(agu).allocate(&pattern).cost();
+                assert!(cost <= last, "K={k} MR={mr}: {cost} > {last}");
+                last = cost;
+            }
+        }
+    }
+
+    #[test]
+    fn mr_aware_selection_can_beat_mr_blind_covers() {
+        // The sweep evaluates the plain greedy cover too, so the
+        // MR-aware allocation is never worse than pricing the blind
+        // cover under the MR model.
+        let pattern = AccessPattern::from_offsets(&[0, 10, 1, 11, 2, 12], 1);
+        let agu = AguSpec::new(2, 1).unwrap().with_modify_registers(1);
+        let aware = Optimizer::new(agu).allocate(&pattern);
+        let blind = Optimizer::with_options(agu, OptimizerOptions::default()).allocate(&pattern);
+        let blind_under_mr = Optimizer::new(agu)
+            .options()
+            .cost_model
+            .cover_cost(blind.cover(), blind.distance_model());
+        assert!(
+            aware.cost() <= blind_under_mr,
+            "aware {} vs blind-repriced {blind_under_mr}",
+            aware.cost()
+        );
+    }
+
+    #[test]
+    fn zero_mr_machines_allocate_byte_identically_to_explicit_options() {
+        // Regression pin for the paper reproduction: a machine without
+        // modify registers must produce exactly the pre-MR allocations.
+        let pattern = paper_pattern();
+        for k in 1..=4 {
+            let agu = AguSpec::new(k, 1).unwrap();
+            let via_new = Optimizer::new(agu).allocate(&pattern);
+            let via_options =
+                Optimizer::with_options(agu, OptimizerOptions::default()).allocate(&pattern);
+            assert_eq!(via_new, via_options, "K = {k}");
+        }
+    }
+
+    #[test]
+    fn cost_curve_matches_allocation_costs_on_mr_machines() {
+        let pattern = AccessPattern::from_offsets(&[0, 10, 3, 30, 12, -5, 7], 2);
+        let agu = AguSpec::new(4, 1).unwrap().with_modify_registers(2);
+        let opt = Optimizer::new(agu);
+        let curve = opt.cost_curve(&pattern, 4);
+        for (i, &cost) in curve.iter().enumerate() {
+            let alloc = opt.allocate_with_registers(&pattern, i + 1);
+            assert_eq!(cost, alloc.cost(), "K = {}", i + 1);
+        }
+        for w in curve.windows(2) {
+            assert!(w[0] >= w[1], "curve must stay monotone: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn multi_array_totals_pool_the_modify_budget() {
+        // With one register per array, `a` chains with three +10 steps
+        // (and a -29 wrap), `b` with two +9 steps (and a -17 wrap). The
+        // single machine-wide MR holds +10 — the most frequent delta
+        // across the whole loop — so `b`'s updates stay explicit.
+        let spec = parse_loop(
+            "for (i = 0; i < 64; i++) {
+                s = a[i] + a[i + 10] + a[i + 20] + a[i + 30]
+                  + b[i] + b[i + 9] + b[i + 18];
+            }",
+        )
+        .unwrap();
+        let agu = AguSpec::new(2, 1).unwrap().with_modify_registers(1);
+        let alloc = Optimizer::new(agu).allocate_loop(&spec).unwrap();
+        // Raw cost 4 + 3, minus the three absorbed +10 steps.
+        assert_eq!(alloc.total_cost(), 4);
+        // Each per-array cost optimistically claims the MR for itself;
+        // the loop total must not sum those claims.
+        let per_array_sum: u32 = alloc.per_array().iter().map(|(_, a)| a.cost()).sum();
+        assert_eq!(per_array_sum, 2);
     }
 
     #[test]

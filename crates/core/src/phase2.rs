@@ -68,6 +68,11 @@ impl Phase2Report {
     /// [`cost_trajectory`](Self::cost_trajectory) accessors, used by
     /// snapshot decoders (`raco_driver::persist`) to rebuild cached
     /// allocations without re-running the merge trajectory.
+    ///
+    /// All recorded costs are evaluated under the *accounting* cost
+    /// model the merge ran with — on a machine with modify registers
+    /// that is the MR-aware predicted cost, the same number the
+    /// simulator measures.
     pub fn from_parts(
         cover: PathCover,
         records: Vec<MergeRecord>,
@@ -105,6 +110,16 @@ impl Phase2Report {
             .iter()
             .find(|&&(count, _)| count == k)
             .map(|&(_, cost)| cost)
+    }
+
+    /// The predicted cost of the final cover — the last trajectory
+    /// entry, evaluated under the accounting cost model the merge ran
+    /// with (MR-aware on machines with modify registers).
+    pub fn final_cost(&self) -> u32 {
+        self.cost_trajectory
+            .last()
+            .map(|&(_, cost)| cost)
+            .unwrap_or(0)
     }
 }
 
@@ -151,26 +166,57 @@ pub fn merge_until(
     cost_model: CostModel,
     strategy: MergeStrategy,
 ) -> Phase2Report {
+    merge_until_with_selection(cover, k, dm, cost_model, cost_model, strategy)
+}
+
+/// [`merge_until`] with the cost model split into two roles:
+///
+/// * `account` prices every recorded cost — merge records, the cost
+///   trajectory, and therefore the final predicted cost. On machines
+///   with modify registers this is the MR-aware model, so Phase 2
+///   reports the same number the simulator measures.
+/// * `selection` ranks merge candidates. With zero modify registers the
+///   ranking is the paper's (minimal merged-path cost, byte-identical
+///   to the pre-MR behaviour); with modify registers it charges a delta
+///   zero cycles when one of `selection`'s modify registers would hold
+///   it, steering merges toward covers whose over-range deltas repeat.
+///
+/// Splitting the roles lets `Optimizer` sweep selection aggressiveness
+/// (`0..=MR` priced registers) while every candidate is judged under
+/// the one true machine model — which is what makes the final predicted
+/// cost monotone in the machine's modify-register count.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn merge_until_with_selection(
+    cover: &PathCover,
+    k: usize,
+    dm: &DistanceModel,
+    account: CostModel,
+    selection: CostModel,
+    strategy: MergeStrategy,
+) -> Phase2Report {
     assert!(k > 0, "cannot allocate to zero registers");
     let mut cover = cover.clone();
     let mut records = Vec::new();
-    let mut trajectory = vec![(cover.register_count(), cost_model.cover_cost(&cover, dm))];
+    let mut trajectory = vec![(cover.register_count(), account.cover_cost(&cover, dm))];
     let mut rng = match strategy {
         MergeStrategy::Random { seed } => Some(SmallRng::seed_from_u64(seed)),
         _ => None,
     };
     while cover.register_count() > k {
         let paths_before = cover.register_count();
-        let (i, j) = select_pair(&cover, dm, cost_model, strategy, rng.as_mut());
+        let (i, j) = select_pair(&cover, dm, selection, strategy, rng.as_mut());
         let merged_lengths = (cover.paths()[i].len(), cover.paths()[j].len());
-        let merged_path_cost = cost_model.path_cost(
+        let merged_path_cost = account.path_cost(
             &cover.paths()[i]
                 .merge(&cover.paths()[j])
                 .expect("cover paths are disjoint"),
             dm,
         );
         cover.merge_pair(i, j).expect("cover paths are disjoint");
-        let total_cost_after = cost_model.cover_cost(&cover, dm);
+        let total_cost_after = account.cover_cost(&cover, dm);
         records.push(MergeRecord {
             paths_before,
             merged_lengths,
@@ -183,7 +229,7 @@ pub fn merge_until(
     // (relaxed Phase-1 covers only; see the function docs).
     if strategy == MergeStrategy::GreedyMinCost {
         while cover.register_count() >= 2 {
-            let Some((i, j, marginal)) = best_marginal_pair(&cover, dm, cost_model) else {
+            let Some((i, j, marginal)) = best_marginal_pair(&cover, dm, selection) else {
                 break;
             };
             if marginal >= 0 {
@@ -191,14 +237,14 @@ pub fn merge_until(
             }
             let paths_before = cover.register_count();
             let merged_lengths = (cover.paths()[i].len(), cover.paths()[j].len());
-            let merged_path_cost = cost_model.path_cost(
+            let merged_path_cost = account.path_cost(
                 &cover.paths()[i]
                     .merge(&cover.paths()[j])
                     .expect("cover paths are disjoint"),
                 dm,
             );
             cover.merge_pair(i, j).expect("cover paths are disjoint");
-            let total_cost_after = cost_model.cover_cost(&cover, dm);
+            let total_cost_after = account.cover_cost(&cover, dm);
             records.push(MergeRecord {
                 paths_before,
                 merged_lengths,
@@ -229,6 +275,11 @@ fn best_marginal_pair(
     if p < 2 {
         return None;
     }
+    if cost_model.modify_registers() > 0 {
+        let before = i64::from(cost_model.cover_cost(cover, dm));
+        let (i, j, cost_after) = best_mr_aware_pair(cover, dm, cost_model, false);
+        return Some((i, j, i64::from(cost_after) - before));
+    }
     let path_costs: Vec<i64> = cover
         .paths()
         .iter()
@@ -249,6 +300,48 @@ fn best_marginal_pair(
         }
     }
     best.map(|((marginal, _, _, _), (i, j))| (i, j, marginal))
+}
+
+/// The MR-aware merge candidate scan shared by greedy selection and the
+/// opportunistic marginal search: with modify registers, a candidate is
+/// judged by the cost of the *whole cover after the merge* — a delta is
+/// free when one of the model's registers would hold it, and which
+/// deltas those are depends on every path's step frequencies, not just
+/// the merged pair's. Returns the selected `(i, j)` plus the cover cost
+/// after that merge; `worst` inverts the primary criterion (ablation).
+/// Ties break toward shorter merged paths, then smaller indices, so
+/// selection stays deterministic.
+///
+/// # Panics
+///
+/// Panics if the cover has fewer than two paths (callers check).
+fn best_mr_aware_pair(
+    cover: &PathCover,
+    dm: &DistanceModel,
+    cost_model: CostModel,
+    worst: bool,
+) -> (usize, usize, u32) {
+    /// Ranking key of an MR-aware candidate: primary criterion, merged
+    /// length, then the pair indices.
+    type MrAwareRank = (u32, usize, usize, usize);
+    let p = cover.register_count();
+    let mut best: Option<(MrAwareRank, (usize, usize, u32))> = None;
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let mut merged_cover = cover.clone();
+            merged_cover
+                .merge_pair(i, j)
+                .expect("cover paths are disjoint");
+            let cost = cost_model.cover_cost(&merged_cover, dm);
+            let primary = if worst { u32::MAX - cost } else { cost };
+            let merged_len = cover.paths()[i].len() + cover.paths()[j].len();
+            let rank = (primary, merged_len, i, j);
+            if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                best = Some((rank, (i, j, cost)));
+            }
+        }
+    }
+    best.expect("at least one pair exists").1
 }
 
 /// Ranking key of a merge candidate in the greedy/worst strategies.
@@ -273,6 +366,13 @@ fn select_pair(
                 j += 1;
             }
             (i.min(j), i.max(j))
+        }
+        MergeStrategy::GreedyMinCost | MergeStrategy::WorstCost
+            if cost_model.modify_registers() > 0 =>
+        {
+            let (i, j, _) =
+                best_mr_aware_pair(cover, dm, cost_model, strategy == MergeStrategy::WorstCost);
+            (i, j)
         }
         MergeStrategy::GreedyMinCost | MergeStrategy::WorstCost => {
             let path_costs: Vec<i64> = cover

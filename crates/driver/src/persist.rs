@@ -35,7 +35,7 @@
 //!
 //! ```text
 //! header   magic  [8]  b"RACOSNP\n"
-//!          version u32  SNAPSHOT_VERSION (currently 1)
+//!          version u32  SNAPSHOT_VERSION (currently 2)
 //!          reserved u32 zero
 //! records  tag u8 (0x01 allocation | 0x02 cost curve)
 //!          len u32      payload length in bytes
@@ -93,7 +93,18 @@ use crate::cache::{AllocationCache, AllocationKey, CurveKey};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RACOSNP\n";
 
 /// The snapshot format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — initial format.
+/// * **2** — the options sub-encoding gained the cost model's
+///   modify-register count: allocation now depends on how many modify
+///   registers the machine has (the allocator prices deltas they can
+///   absorb at zero cycles), so version-1 entries — implicitly priced
+///   at zero modify registers without saying so — must not warm-hit a
+///   version-2 cache. Old snapshots are rejected cleanly and the cache
+///   re-warms.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const TAG_END: u8 = 0x00;
 const TAG_ALLOCATION: u8 = 0x01;
@@ -253,6 +264,7 @@ fn put_offsets(buf: &mut Vec<u8>, offsets: &[i64], stride: i64) {
 
 fn put_options(buf: &mut Vec<u8>, options: &OptimizerOptions) {
     buf.push(u8::from(options.cost_model.includes_wrap()));
+    put_count(buf, options.cost_model.modify_registers());
     put_u64(buf, options.bb.node_limit);
     buf.push(u8::from(options.bb.memoize));
     match options.strategy {
@@ -484,6 +496,7 @@ fn read_options(r: &mut Reader<'_>) -> Decoded<OptimizerOptions> {
         1 => CostModel::steady_state(),
         _ => return Err("unknown cost model"),
     };
+    let cost_model = cost_model.with_modify_registers(r.u32()? as usize);
     let node_limit = r.u64()?;
     let memoize = match r.u8()? {
         0 => false,
@@ -863,6 +876,74 @@ mod tests {
 
         assert_eq!(restored.stats().loaded, 0);
         assert_eq!(decode_into(&restored, b"tiny").warnings.len(), 1);
+    }
+
+    #[test]
+    fn version_one_snapshots_are_rejected_cleanly() {
+        // Regression pin for the v1 → v2 bump (allocation now depends
+        // on the cost model's modify-register count, which v1 never
+        // encoded): a structurally flawless version-1 snapshot must be
+        // rejected whole — one warning, nothing loaded, no panic — so
+        // a v2 cache can never warm-hit entries priced for the wrong
+        // machine.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut buf, 1); // the previous SNAPSHOT_VERSION
+        put_u32(&mut buf, 0);
+        buf.push(TAG_END);
+        let sum = checksum(&buf);
+        put_u64(&mut buf, sum);
+
+        let restored = AllocationCache::new();
+        let report = decode_into(&restored, &buf);
+        assert_eq!(report.loaded(), 0);
+        assert_eq!(report.skipped, 1);
+        assert!(
+            report.warnings[0].contains("version 1"),
+            "{:?}",
+            report.warnings
+        );
+        assert!(report.warnings[0].contains("re-warm"));
+        assert_eq!(restored.stats().loaded, 0);
+    }
+
+    #[test]
+    fn options_round_trip_the_modify_register_count() {
+        // Two caches whose entries differ only in the cost model's
+        // modify-register count must encode to different snapshots and
+        // restore to distinct keys.
+        let options_mr = OptimizerOptions {
+            cost_model: CostModel::steady_state().with_modify_registers(2),
+            ..OptimizerOptions::default()
+        };
+        let optimizer = Optimizer::with_options(
+            raco_ir::AguSpec::new(2, 1)
+                .unwrap()
+                .with_modify_registers(2),
+            options_mr,
+        );
+        let pattern = AccessPattern::from_offsets(&[0, 10, 20, 30], 1);
+        let canonical = CanonicalPattern::of(&pattern);
+        let cache = AllocationCache::new();
+        let _ = cache.allocation(&canonical, 1, 2, &options_mr, || {
+            optimizer.allocate(&pattern)
+        });
+
+        let restored = AllocationCache::new();
+        let report = decode_into(&restored, &encode(&cache));
+        assert_eq!(report.skipped, 0, "{:?}", report.warnings);
+        assert_eq!(report.allocations, 1);
+        // The restored entry answers only to the MR-priced key …
+        let hit = restored.allocation(&canonical, 1, 2, &options_mr, || {
+            panic!("restored MR entry must hit")
+        });
+        assert_eq!(hit.cost(), optimizer.allocate(&pattern).cost());
+        // … while the plain-machine key recomputes from scratch.
+        let plain = OptimizerOptions::default();
+        let miss_marker = Optimizer::with_options(raco_ir::AguSpec::new(2, 1).unwrap(), plain);
+        let _ = restored.allocation(&canonical, 1, 2, &plain, || miss_marker.allocate(&pattern));
+        assert_eq!(restored.stats().allocation_misses, 1);
+        assert_eq!(restored.stats().allocation_entries, 2);
     }
 
     #[test]

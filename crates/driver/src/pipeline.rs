@@ -114,10 +114,16 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// Defaults for `agu`: parallel, validating, caching, no listings.
+    /// The optimizer options price the machine's modify registers (see
+    /// [`PipelineConfig::effective_options`]).
     pub fn new(agu: AguSpec) -> Self {
+        let mut options = OptimizerOptions::default();
+        options.cost_model = options
+            .cost_model
+            .with_modify_registers(agu.modify_registers());
         PipelineConfig {
             agu,
-            options: OptimizerOptions::default(),
+            options,
             parallelism: Parallelism::Auto,
             validate: true,
             validation_iterations: 16,
@@ -127,6 +133,25 @@ impl PipelineConfig {
             cache_policy: CachePolicy::Unbounded,
             listings: false,
         }
+    }
+
+    /// The optimizer options this configuration actually allocates
+    /// with: [`PipelineConfig::options`] with the cost model's
+    /// modify-register count forced to the machine's.
+    ///
+    /// Allocation must price the same machine code generation emits
+    /// for, or predicted and measured costs drift apart — so the
+    /// pipeline never lets the two disagree, even for configurations
+    /// assembled by hand or overridden per request (`raco serve`
+    /// builds the request machine from knobs without touching the
+    /// options). Since the options are part of every allocation-cache
+    /// key, this is also what keys machines by modify-register count.
+    pub fn effective_options(&self) -> OptimizerOptions {
+        let mut options = self.options;
+        options.cost_model = options
+            .cost_model
+            .with_modify_registers(self.agu.modify_registers());
+        options
     }
 }
 
@@ -409,6 +434,7 @@ impl Pipeline {
             units,
             address_registers: config.agu.address_registers(),
             modify_range: config.agu.modify_range(),
+            modify_registers: config.agu.modify_registers(),
             threads: config.parallelism.resolve(loops),
             elapsed: started.elapsed(),
             cache: self.cache.stats(),
@@ -491,11 +517,11 @@ impl Pipeline {
                     let measured = sim_report.explicit_updates_per_iteration();
                     report.measured_cost = Some(measured);
                     report.addresses_checked = sim_report.accesses_checked();
-                    // Modify registers absorb over-range deltas after
-                    // the allocator's cost model: measured <= predicted
-                    // is then expected, equality otherwise.
-                    let exact = config.agu.modify_registers() == 0;
-                    if (exact && measured != report.cost) || measured > report.cost {
+                    // The allocator prices the same machine codegen
+                    // emits for — modify registers included — so the
+                    // predicted cost must equal the measured cost
+                    // exactly, on every machine.
+                    if measured != report.cost {
                         report.failure = Some(LoopFailure::CostMismatch {
                             predicted: report.cost,
                             measured,
@@ -528,7 +554,11 @@ impl Pipeline {
         config: &PipelineConfig,
         spec: &LoopSpec,
     ) -> Result<LoopAllocation, LoopFailure> {
-        let optimizer = Optimizer::with_options(config.agu, config.options);
+        // The effective options price the machine's modify registers
+        // (and, being part of every cache key, keep machines differing
+        // only in MR count on distinct entries).
+        let options = config.effective_options();
+        let optimizer = Optimizer::with_options(config.agu, options);
         if !config.caching {
             return optimizer
                 .allocate_loop(spec)
@@ -552,7 +582,6 @@ impl Pipeline {
             ));
         }
         let modify_range = config.agu.modify_range();
-        let options = config.options;
 
         let canonicals: Vec<CanonicalPattern> = patterns.iter().map(CanonicalPattern::of).collect();
         let curves: Vec<Vec<u32>> = patterns
@@ -587,7 +616,11 @@ impl Pipeline {
                 (pattern.array(), allocation)
             })
             .collect();
-        Ok(LoopAllocation::from_parts(per_array, grants))
+        Ok(LoopAllocation::from_parts(
+            per_array,
+            grants,
+            options.cost_model,
+        ))
     }
 }
 

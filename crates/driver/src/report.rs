@@ -108,6 +108,15 @@ impl LoopReport {
                 "measured_cost".to_owned(),
                 self.measured_cost.map_or(Json::Null, Json::UInt),
             ),
+            // Explicit predicted-vs-measured pair: the allocator's
+            // MR-aware prediction and the simulator's ground truth.
+            // `cost` / `measured_cost` above carry the same values and
+            // stay for pre-existing JSON consumers.
+            ("predicted_cycles".to_owned(), Json::UInt(self.cost)),
+            (
+                "measured_cycles".to_owned(),
+                self.measured_cost.map_or(Json::Null, Json::UInt),
+            ),
             (
                 "addresses_checked".to_owned(),
                 Json::UInt(self.addresses_checked),
@@ -179,6 +188,10 @@ pub struct CompilationReport {
     pub address_registers: usize,
     /// Auto-modify range of the target machine (the paper's `M`).
     pub modify_range: u32,
+    /// Modify registers of the target machine (zero on the plain paper
+    /// machine). Allocation prices them, so `predicted_cycles` equals
+    /// `measured_cycles` on MR-equipped machines too.
+    pub modify_registers: usize,
     /// Worker threads used.
     pub threads: usize,
     /// End-to-end wall time of the batch.
@@ -238,6 +251,10 @@ impl CompilationReport {
                     (
                         "modify_range".to_owned(),
                         Json::UInt(u64::from(self.modify_range)),
+                    ),
+                    (
+                        "modify_registers".to_owned(),
+                        Json::UInt(self.modify_registers as u64),
                     ),
                 ]),
             ),
@@ -342,7 +359,7 @@ impl CompilationReport {
         }
         out.push('\n');
         out.push_str(&format!(
-            "{} loop(s) in {} unit(s): {} ok, {} failed  |  K = {}, M = {}  |  \
+            "{} loop(s) in {} unit(s): {} ok, {} failed  |  K = {}, M = {}, MR = {}  |  \
              {:.1} loops/s on {} thread(s)  |  cache: {} hit(s), {} miss(es) ({:.0}% hit rate)\n",
             self.loop_count(),
             self.units.len(),
@@ -350,6 +367,7 @@ impl CompilationReport {
             self.failed(),
             self.address_registers,
             self.modify_range,
+            self.modify_registers,
             self.loops_per_second(),
             self.threads,
             self.cache.allocation_hits + self.cache.curve_hits,
@@ -400,6 +418,7 @@ mod tests {
             ],
             address_registers: 4,
             modify_range: 1,
+            modify_registers: 0,
             threads: 2,
             elapsed: Duration::from_millis(10),
             cache: CacheStats {
@@ -433,12 +452,15 @@ mod tests {
         let json = sample_report().to_json();
         for needle in [
             r#""address_registers": 4"#,
+            r#""modify_registers": 0"#,
             r#""loops": 3"#,
             r#""hit_rate""#,
             r#""name": "a.dsp""#,
             r#""status": "failed""#,
             r#""failure": "allocation: too many arrays""#,
             r#""measured_cost": null"#,
+            r#""predicted_cycles": 1"#,
+            r#""measured_cycles": 1"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

@@ -21,7 +21,11 @@
 //! * [`bb`] — the exact branch-and-bound minimum **zero-cost** cover
 //!   (their ref \[3\]), i.e. the paper's Phase 1;
 //! * [`brute`] — exhaustive oracles used by tests and ablation
-//!   experiments.
+//!   experiments;
+//! * [`ModifyAllocation`] — frequency-ranked assignment of over-range
+//!   deltas to modify registers, shared by the allocator's cost model
+//!   (`raco-core`) and code generation (`raco-agu`) so both price the
+//!   same machine.
 //!
 //! ## Example: Figure 1 of the paper
 //!
@@ -47,9 +51,11 @@ pub mod brute;
 mod distance;
 mod graph;
 pub mod matching;
+mod modify;
 mod path;
 
 pub use bb::{BbOptions, BbResult, CoverSearchError};
 pub use distance::DistanceModel;
 pub use graph::AccessGraph;
+pub use modify::ModifyAllocation;
 pub use path::{CoverError, Path, PathCover, PathError};

@@ -1,0 +1,303 @@
+//! Modify-register allocation.
+//!
+//! Machines like the Motorola DSP56k or ADSP-210x add *modify registers*:
+//! an address register can be post-updated by the content of a modify
+//! register for free, regardless of the auto-modify range. Which values to
+//! keep in the (few) modify registers is itself an allocation problem; the
+//! classic heuristic (in the spirit of the paper's ref \[2\]) loads the most
+//! *frequent* over-range deltas of the steady-state iteration.
+//!
+//! This lives in `raco-graph` — next to [`Path`](crate::Path) and
+//! [`PathCover`] — because *both* ends of the stack consume it: the
+//! allocator's cost model (`raco_core::CostModel`) prices a delta at zero
+//! cycles when a modify register can hold it, and code generation
+//! (`raco_agu::codegen`) loads exactly the same values into the machine's
+//! modify registers. One shared ranking is what makes the allocator's
+//! predicted cost equal the simulator's measured cost on MR-equipped
+//! machines.
+
+use std::collections::HashMap;
+
+use crate::distance::DistanceModel;
+use crate::path::PathCover;
+
+/// Values assigned to modify registers.
+///
+/// # Examples
+///
+/// ```
+/// use raco_graph::{DistanceModel, ModifyAllocation, PathCover};
+///
+/// // One register chains all four accesses; the repeated +7 delta
+/// // dominates and is worth a modify register.
+/// let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
+/// let cover = PathCover::single_chain(4);
+/// let alloc = ModifyAllocation::for_cover(&cover, &dm, 1);
+/// assert_eq!(alloc.values(), &[7]);
+/// assert!(alloc.is_free_delta(7));
+/// assert!(!alloc.is_free_delta(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModifyAllocation {
+    values: Vec<i64>,
+    savings: u32,
+}
+
+impl ModifyAllocation {
+    /// No modify registers (the plain paper machine).
+    pub fn none() -> Self {
+        ModifyAllocation {
+            values: Vec::new(),
+            savings: 0,
+        }
+    }
+
+    /// Allocates at most `count` modify registers for the steady-state
+    /// execution of `cover`, picking the over-range deltas (intra steps
+    /// and wrap steps) with the highest per-iteration frequency.
+    ///
+    /// Ties are broken toward smaller `|delta|`, then smaller `delta`, so
+    /// the result is deterministic.
+    pub fn for_cover(cover: &PathCover, dm: &DistanceModel, count: usize) -> Self {
+        Self::for_covers([(cover, dm)], count)
+    }
+
+    /// Like [`ModifyAllocation::for_cover`], but pooling the over-range
+    /// deltas of several covers (one per array of a loop) into one global
+    /// ranking — modify registers are a machine-wide resource.
+    pub fn for_covers<'a>(
+        items: impl IntoIterator<Item = (&'a PathCover, &'a DistanceModel)>,
+        count: usize,
+    ) -> Self {
+        Self::for_covers_with_wrap(items, count, true)
+    }
+
+    /// Like [`ModifyAllocation::for_covers`], but with explicit control
+    /// over whether the back-edge (wrap) steps participate in the
+    /// frequency ranking.
+    ///
+    /// Code generation always includes wraps (`true` — the generated
+    /// body applies a wrap delta to every register once per iteration);
+    /// the paper-literal cost model excludes them, and a cost model
+    /// pricing modify registers must rank over exactly the steps it
+    /// charges for, or predicted and measured costs drift apart.
+    pub fn for_covers_with_wrap<'a>(
+        items: impl IntoIterator<Item = (&'a PathCover, &'a DistanceModel)>,
+        count: usize,
+        include_wrap: bool,
+    ) -> Self {
+        if count == 0 {
+            return Self::none();
+        }
+        let mut freq: HashMap<i64, u32> = HashMap::new();
+        for (cover, dm) in items {
+            for path in cover.paths() {
+                for delta in path.intra_steps(dm) {
+                    if !dm.is_free(delta) {
+                        *freq.entry(delta).or_insert(0) += 1;
+                    }
+                }
+                if include_wrap {
+                    let wrap = path.wrap_step(dm);
+                    if !dm.is_free(wrap) {
+                        *freq.entry(wrap).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(i64, u32)> = freq.into_iter().collect();
+        ranked
+            .sort_by_key(|&(delta, count)| (std::cmp::Reverse(count), delta.unsigned_abs(), delta));
+        ranked.truncate(count);
+        let savings = ranked.iter().map(|&(_, c)| c).sum();
+        let values = ranked.into_iter().map(|(delta, _)| delta).collect();
+        ModifyAllocation { values, savings }
+    }
+
+    /// The values held in modify registers, most valuable first
+    /// (index = `MrId`).
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Unit-cost updates per iteration eliminated by this allocation.
+    pub fn savings(&self) -> u32 {
+        self.savings
+    }
+
+    /// The modify register holding `delta`, if any.
+    pub fn register_for(&self, delta: i64) -> Option<usize> {
+        self.values.iter().position(|&v| v == delta)
+    }
+
+    /// `true` if `delta` can be applied for free through a modify register.
+    pub fn is_free_delta(&self, delta: i64) -> bool {
+        self.values.contains(&delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    #[test]
+    fn none_allocates_nothing() {
+        let a = ModifyAllocation::none();
+        assert!(a.values().is_empty());
+        assert_eq!(a.savings(), 0);
+        assert_eq!(a.register_for(3), None);
+    }
+
+    #[test]
+    fn zero_count_behaves_like_none() {
+        let dm = DistanceModel::from_offsets(&[0, 7], 1, 1);
+        let a = ModifyAllocation::for_cover(&PathCover::single_chain(2), &dm, 0);
+        assert_eq!(a, ModifyAllocation::none());
+    }
+
+    #[test]
+    fn most_frequent_over_range_delta_wins() {
+        // Steps: +5, -9, +5, +5 → over-range freq {5: 3, -9: 1}.
+        let dm = DistanceModel::from_offsets(&[0, 5, -4, 1, 6], 1, 1);
+        let cover = PathCover::single_chain(5);
+        let a = ModifyAllocation::for_cover(&cover, &dm, 1);
+        assert_eq!(a.values(), &[5]);
+        assert_eq!(a.savings(), 3);
+        assert_eq!(a.register_for(5), Some(0));
+    }
+
+    #[test]
+    fn wrap_steps_are_counted() {
+        // Single path 0 → 1 with stride 9: wrap = 0 + 9 - 1 = 8.
+        let dm = DistanceModel::from_offsets(&[0, 1], 9, 1);
+        let cover = PathCover::single_chain(2);
+        let a = ModifyAllocation::for_cover(&cover, &dm, 2);
+        assert_eq!(a.values(), &[8]);
+        assert_eq!(a.savings(), 1);
+    }
+
+    #[test]
+    fn wrap_steps_can_be_excluded() {
+        // Same chain: without the wrap step there is no over-range delta
+        // left to allocate (the only intra step is +1, in range).
+        let dm = DistanceModel::from_offsets(&[0, 1], 9, 1);
+        let cover = PathCover::single_chain(2);
+        let a = ModifyAllocation::for_covers_with_wrap([(&cover, &dm)], 2, false);
+        assert!(a.values().is_empty());
+        assert_eq!(a.savings(), 0);
+    }
+
+    #[test]
+    fn free_deltas_are_never_allocated() {
+        // Stride 4 closes the wrap (0 + 4 - 3 = 1), so every step of the
+        // chain — intra and wrap — is in range.
+        let dm = DistanceModel::from_offsets(&[0, 1, 2, 3], 4, 1);
+        let cover = PathCover::single_chain(4);
+        let a = ModifyAllocation::for_cover(&cover, &dm, 4);
+        assert!(a.values().is_empty(), "all steps are in range");
+    }
+
+    #[test]
+    fn ties_prefer_small_magnitudes_deterministically() {
+        // Deltas +9 and -9 appear once each; |9| ties, then -9 < 9 picks -9.
+        let p1 = Path::new(vec![0, 1]).unwrap(); // 0 → 9: +9
+        let p2 = Path::new(vec![2, 3]).unwrap(); // 9 → 0: -9
+        let dm = DistanceModel::from_offsets(&[0, 9, 9, 0], 0, 1);
+        // stride 0 is not allowed by LoopSpec but fine for a raw model:
+        // wrap p1: 0 + 0 - 9 = -9, p2: 9 + 0 - 0 = 9; they tie with the
+        // intra steps.
+        let cover = PathCover::new(vec![p1, p2], 4).unwrap();
+        let a = ModifyAllocation::for_cover(&cover, &dm, 1);
+        assert_eq!(a.values(), &[-9]);
+        assert_eq!(a.savings(), 2);
+    }
+
+    #[test]
+    fn count_caps_the_number_of_values() {
+        let dm = DistanceModel::from_offsets(&[0, 10, 30, 60, 100], 1, 1);
+        let cover = PathCover::single_chain(5);
+        let a = ModifyAllocation::for_cover(&cover, &dm, 2);
+        assert_eq!(a.values().len(), 2);
+        assert!(a.savings() >= 2);
+    }
+
+    /// Table-driven edge cases of the ranking: zero registers, more
+    /// registers than distinct over-range deltas, tied frequencies, and
+    /// deltas exactly on the modify-range boundary.
+    #[test]
+    fn ranking_edge_case_table() {
+        struct Case {
+            name: &'static str,
+            offsets: &'static [i64],
+            stride: i64,
+            modify_range: u32,
+            count: usize,
+            expect_values: &'static [i64],
+            expect_savings: u32,
+        }
+        let cases = [
+            Case {
+                // No modify registers at all: nothing is ever allocated,
+                // whatever the deltas look like.
+                name: "zero_registers",
+                offsets: &[0, 10, 20, 30],
+                stride: 1,
+                modify_range: 1,
+                count: 0,
+                expect_values: &[],
+                expect_savings: 0,
+            },
+            Case {
+                // Steps +10, +10, +10, wrap -29: two distinct over-range
+                // deltas, four registers offered — only the two distinct
+                // values are loaded, never padding.
+                name: "more_registers_than_distinct_deltas",
+                offsets: &[0, 10, 20, 30],
+                stride: 1,
+                modify_range: 1,
+                count: 4,
+                expect_values: &[10, -29],
+                expect_savings: 4,
+            },
+            Case {
+                // Steps +7, -7, +7, -7, wrap +2 (free): +7 and -7 tie at
+                // frequency 2; |7| ties too, then the smaller signed value
+                // (-7) wins the single register deterministically.
+                name: "tied_delta_frequencies",
+                offsets: &[0, 7, 0, 7, 0],
+                stride: 2,
+                modify_range: 2,
+                count: 1,
+                expect_values: &[-7],
+                expect_savings: 2,
+            },
+            Case {
+                // Steps +3 (= M: free), +4 (= M + 1: over-range), wrap -6.
+                // The boundary delta |d| == M must never consume a modify
+                // register; the first over-range value is exactly M + 1.
+                name: "deltas_on_the_modify_range_boundary",
+                offsets: &[0, 3, 7],
+                stride: 1,
+                modify_range: 3,
+                count: 2,
+                expect_values: &[4, -6],
+                expect_savings: 2,
+            },
+        ];
+        for case in cases {
+            let dm = DistanceModel::from_offsets(case.offsets, case.stride, case.modify_range);
+            let cover = PathCover::single_chain(case.offsets.len());
+            let a = ModifyAllocation::for_cover(&cover, &dm, case.count);
+            assert_eq!(a.values(), case.expect_values, "{}", case.name);
+            assert_eq!(a.savings(), case.expect_savings, "{}", case.name);
+            for &v in a.values() {
+                assert!(
+                    !dm.is_free(v),
+                    "{}: in-range delta {v} allocated",
+                    case.name
+                );
+            }
+        }
+    }
+}

@@ -42,6 +42,13 @@
 //! or `{"id":…,"ok":false,"error":"…"}`. Malformed input never kills
 //! the connection; it produces an error response.
 //!
+//! Compile reports carry the full machine (`address_registers`,
+//! `modify_range`, `modify_registers`) and, per loop, the explicit
+//! `predicted_cycles` / `measured_cycles` pair: the allocator prices
+//! modify registers, so the two agree on every machine the server is
+//! asked to target (`measured_cycles` is `null` only when validation
+//! was disabled).
+//!
 //! ```
 //! use raco_serve::protocol::{self, Request};
 //!
@@ -103,6 +110,15 @@ pub enum Request {
     Shutdown,
 }
 
+/// Largest address- or modify-register count a request may ask for.
+///
+/// Real AGUs top out at a handful of registers; the bound exists so a
+/// hostile request cannot make the allocator sweep billions of
+/// register counts or push a machine whose counts overflow the u32
+/// fields of the cache-snapshot format into a long-lived server's
+/// cache.
+pub const MAX_MACHINE_REGISTERS: usize = 4096;
+
 /// Optional per-request overrides of the server's default
 /// [`PipelineConfig`]. `None` everywhere means "use the defaults".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,13 +152,27 @@ impl Knobs {
     /// # Errors
     ///
     /// Returns a human-readable message when the requested machine is
-    /// invalid (e.g. zero address registers).
+    /// invalid (e.g. zero address registers, or register counts beyond
+    /// [`MAX_MACHINE_REGISTERS`] — no real AGU comes close, and
+    /// unbounded counts would let one request stall the allocator's
+    /// per-`K` sweeps or overflow the u32 counts in cache snapshots).
     pub fn apply(&self, base: &PipelineConfig) -> Result<PipelineConfig, String> {
         let mut config = base.clone();
         if self.registers.is_some() || self.modify.is_some() || self.modify_registers.is_some() {
             let registers = self.registers.unwrap_or(base.agu.address_registers());
             let modify = self.modify.unwrap_or(base.agu.modify_range());
             let modify_registers = self.modify_registers.unwrap_or(base.agu.modify_registers());
+            for (knob, count) in [
+                ("registers", registers),
+                ("modify_registers", modify_registers),
+            ] {
+                if count > MAX_MACHINE_REGISTERS {
+                    return Err(format!(
+                        "{knob}: {count} exceeds the supported maximum of \
+                         {MAX_MACHINE_REGISTERS}"
+                    ));
+                }
+            }
             config.agu = AguSpec::new(registers, modify)
                 .map_err(|e| e.to_string())?
                 .with_modify_registers(modify_registers);
@@ -531,6 +561,35 @@ mod tests {
             ..Knobs::default()
         };
         assert!(bad.apply(&base).is_err());
+    }
+
+    #[test]
+    fn knobs_reject_absurd_register_counts() {
+        // Unbounded counts must error (not crash a later snapshot save
+        // or stall the per-K allocation sweep).
+        let base = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+        for knobs in [
+            Knobs {
+                registers: Some(MAX_MACHINE_REGISTERS + 1),
+                ..Knobs::default()
+            },
+            Knobs {
+                modify_registers: Some(usize::MAX),
+                ..Knobs::default()
+            },
+        ] {
+            let err = knobs.apply(&base).unwrap_err();
+            assert!(err.contains("exceeds the supported maximum"), "{err}");
+        }
+        // The boundary itself is accepted.
+        let edge = Knobs {
+            modify_registers: Some(MAX_MACHINE_REGISTERS),
+            ..Knobs::default()
+        };
+        assert_eq!(
+            edge.apply(&base).unwrap().agu.modify_registers(),
+            MAX_MACHINE_REGISTERS
+        );
     }
 
     #[test]

@@ -19,24 +19,14 @@ fn verify_kernel(kernel: &raco::kernels::Kernel, agu: AguSpec, iterations: u64) 
     let trace = Trace::capture(spec, &layout, iterations);
     let report =
         sim::run(&program, &trace, &agu).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
-    if agu.modify_registers() == 0 {
-        assert_eq!(
-            report.explicit_updates_per_iteration(),
-            u64::from(alloc.total_cost()),
-            "{}: predicted vs measured",
-            kernel.name()
-        );
-    } else {
-        // Modify registers are applied at code generation, after the
-        // allocator's cost model: the emitted code can only be cheaper.
-        assert!(
-            report.explicit_updates_per_iteration() <= u64::from(alloc.total_cost()),
-            "{}: measured {} exceeds predicted {}",
-            kernel.name(),
-            report.explicit_updates_per_iteration(),
-            alloc.total_cost()
-        );
-    }
+    // The allocator prices the whole machine — modify registers
+    // included — so prediction equals measurement everywhere.
+    assert_eq!(
+        report.explicit_updates_per_iteration(),
+        u64::from(alloc.total_cost()),
+        "{}: predicted vs measured on {agu}",
+        kernel.name()
+    );
     report.explicit_updates_per_iteration()
 }
 

@@ -315,6 +315,58 @@ fn per_request_machines_share_the_server_cache_soundly() {
 }
 
 #[test]
+fn modify_register_requests_report_matching_predicted_and_measured_cycles() {
+    let server = default_server();
+    // A scattered chain: repeated over-range +10 deltas, absorbed once
+    // the requested machine has modify registers.
+    let source = "for (i = 0; i < 16; i++) { s += x[i] + x[i + 10] + x[i + 20] + x[i + 30]; }";
+    let script = format!(
+        concat!(
+            r#"{{"op":"compile","id":1,"source":"{s}","registers":1}}"#,
+            "\n",
+            r#"{{"op":"compile","id":2,"source":"{s}","registers":1,"modify_registers":2}}"#,
+            "\n",
+        ),
+        s = source
+    );
+    let responses = round_trip(&server, &script);
+    assert!(responses.iter().all(ok));
+    let first = |j: &Json| match j {
+        Json::Arr(items) => items.first().cloned(),
+        _ => None,
+    };
+    let loop0 = |r: &Json| {
+        r.get("report")
+            .and_then(|r| r.get("units"))
+            .and_then(&first)
+            .and_then(|u| u.get("loops").cloned())
+            .and_then(|l| first(&l))
+            .unwrap()
+    };
+    let cycles = |l: &Json, field: &str| l.get(field).and_then(Json::as_u64).unwrap();
+    let plain = loop0(&responses[0]);
+    let with_mr = loop0(&responses[1]);
+    // The machine is echoed, and prediction equals measurement on both.
+    assert_eq!(
+        responses[1]
+            .get("report")
+            .and_then(|r| r.get("machine"))
+            .and_then(|m| m.get("modify_registers"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    for l in [&plain, &with_mr] {
+        assert_eq!(
+            cycles(l, "predicted_cycles"),
+            cycles(l, "measured_cycles"),
+            "predicted == measured: {l:?}"
+        );
+    }
+    // And the modify registers genuinely bought something.
+    assert!(cycles(&with_mr, "predicted_cycles") < cycles(&plain, "predicted_cycles"));
+}
+
+#[test]
 fn tcp_clients_share_one_warm_cache() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let addr = listener.local_addr().unwrap();

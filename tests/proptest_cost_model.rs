@@ -1,0 +1,271 @@
+//! Differential properties of the modify-register-aware cost model.
+//!
+//! The allocator's Phase 2 prices modify registers itself, so its
+//! predicted address-update count must equal what the cycle-accurate
+//! simulator measures on the generated code — on every machine,
+//! including MR-equipped ones. These properties pin that end to end:
+//!
+//! * **differential** — random patterns × machines with 0..=4 modify
+//!   registers: allocate, generate code, simulate, and require
+//!   `predicted == measured` exactly (single- and multi-array loops,
+//!   uncached and through the pipeline's cached path);
+//! * **monotonicity** — more modify registers never increase the
+//!   predicted cost;
+//! * **zero-MR identity** — on machines without modify registers the
+//!   allocation is byte-identical to the pre-change model (the paper's
+//!   Figure 1 reproduction cannot drift);
+//! * **cache-key soundness** — machines differing only in MR count
+//!   never share allocation-cache entries, in memory or through
+//!   snapshots, and pre-bump snapshots are rejected cleanly.
+
+use proptest::prelude::*;
+
+use raco::agu::codegen::CodeGenerator;
+use raco::agu::sim;
+use raco::core::{Optimizer, OptimizerOptions};
+use raco::driver::{persist, AllocationCache, Pipeline, PipelineConfig};
+use raco::ir::{
+    AccessKind, AccessPattern, AguSpec, CanonicalPattern, LoopSpec, MemoryLayout, Trace,
+};
+
+/// Strategy: a random access pattern (offsets, stride, modify range).
+fn pattern() -> impl Strategy<Value = (Vec<i64>, i64, u32)> {
+    (
+        prop::collection::vec(-12i64..=12, 2..=10),
+        prop_oneof![Just(1i64), Just(-1i64), Just(2i64), Just(-3i64), Just(5i64)],
+        0u32..=2,
+    )
+}
+
+/// Builds a single-array loop whose pattern is exactly `offsets`.
+fn single_array_loop(offsets: &[i64], stride: i64) -> LoopSpec {
+    let mut spec = LoopSpec::new("prop", "i", stride);
+    let a = spec.add_array("a", 1);
+    for &off in offsets {
+        spec.push_access(a, off, AccessKind::Read).unwrap();
+    }
+    spec
+}
+
+/// Allocates `spec` on `agu`, generates code, simulates, and returns
+/// `(predicted, measured)` updates per iteration.
+fn predict_and_measure(spec: &LoopSpec, agu: AguSpec, iterations: u64) -> (u64, u64) {
+    let alloc = Optimizer::new(agu).allocate_loop(spec).expect("allocates");
+    let layout = MemoryLayout::contiguous(spec, 0x2000, 0x400);
+    let program = CodeGenerator::new(agu)
+        .generate(spec, &alloc, &layout)
+        .expect("emits");
+    let trace = Trace::capture(spec, &layout, iterations);
+    let report = sim::run(&program, &trace, &agu).expect("simulates");
+    (
+        u64::from(alloc.total_cost()),
+        report.explicit_updates_per_iteration(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core differential: predicted address-update cycles equal the
+    /// simulator's measured cycles for every machine in 0..=4 modify
+    /// registers.
+    #[test]
+    fn predicted_equals_measured_across_modify_register_counts(
+        (offsets, stride, m) in pattern(),
+        k in 1usize..=4,
+        mr in 0usize..=4,
+    ) {
+        let spec = single_array_loop(&offsets, stride);
+        let agu = AguSpec::new(k, m).unwrap().with_modify_registers(mr);
+        let (predicted, measured) = predict_and_measure(&spec, agu, 8);
+        prop_assert_eq!(
+            predicted, measured,
+            "K={} M={} MR={} offsets {:?} stride {}",
+            k, m, mr, &offsets, stride
+        );
+    }
+
+    /// Multi-array loops pool the machine-wide modify-register budget;
+    /// prediction must still match measurement exactly.
+    #[test]
+    fn predicted_equals_measured_for_multi_array_loops(
+        (offsets_a, stride, m) in pattern(),
+        offsets_b in prop::collection::vec(-12i64..=12, 2..=8),
+        k in 2usize..=4,
+        mr in 0usize..=4,
+    ) {
+        let mut spec = LoopSpec::new("prop2", "i", stride);
+        let a = spec.add_array("a", 1);
+        let b = spec.add_array("b", 2);
+        for (pos, &off) in offsets_a.iter().enumerate() {
+            spec.push_access(a, off, AccessKind::Read).unwrap();
+            if let Some(&boff) = offsets_b.get(pos) {
+                spec.push_access(b, boff, AccessKind::Read).unwrap();
+            }
+        }
+        for &boff in offsets_b.iter().skip(offsets_a.len()) {
+            spec.push_access(b, boff, AccessKind::Write).unwrap();
+        }
+        let agu = AguSpec::new(k, m).unwrap().with_modify_registers(mr);
+        let (predicted, measured) = predict_and_measure(&spec, agu, 6);
+        prop_assert_eq!(
+            predicted, measured,
+            "K={} M={} MR={} a {:?} b {:?} stride {}",
+            k, m, mr, &offsets_a, &offsets_b, stride
+        );
+    }
+
+    /// The pipeline's cached path validates every loop against the
+    /// simulator with the strict equality check — a random pattern must
+    /// never trip it, warm or cold.
+    #[test]
+    fn pipeline_validation_never_sees_a_cost_mismatch(
+        (offsets, stride, m) in pattern(),
+        mr in 0usize..=4,
+    ) {
+        let agu = AguSpec::new(4, m).unwrap().with_modify_registers(mr);
+        let mut config = PipelineConfig::new(agu);
+        config.validation_iterations = 6;
+        let pipeline = Pipeline::with_config(config);
+        let spec = single_array_loop(&offsets, stride);
+        for round in 0..2 {
+            // Second round is a warm cache hit; results must validate
+            // identically.
+            let (report, _) = pipeline.compile_loop(&spec);
+            prop_assert!(
+                report.failure.is_none(),
+                "round {}: {:?} (offsets {:?} stride {} MR {})",
+                round, report.failure, &offsets, stride, mr
+            );
+            prop_assert_eq!(report.measured_cost, Some(report.cost));
+        }
+    }
+
+    /// More modify registers never increase the predicted cost.
+    #[test]
+    fn predicted_cost_is_monotone_in_modify_registers(
+        (offsets, stride, m) in pattern(),
+        k in 1usize..=4,
+    ) {
+        let pattern = AccessPattern::from_offsets(&offsets, stride);
+        let mut last = u32::MAX;
+        for mr in 0..=4usize {
+            let agu = AguSpec::new(k, m).unwrap().with_modify_registers(mr);
+            let cost = Optimizer::new(agu).allocate(&pattern).cost();
+            prop_assert!(
+                cost <= last,
+                "K={} M={} MR={}: cost {} > {} with one register fewer (offsets {:?})",
+                k, m, mr, cost, last, &offsets
+            );
+            last = cost;
+        }
+    }
+
+    /// Machines without modify registers allocate byte-identically to
+    /// the pre-change model — no regression to the paper reproduction.
+    #[test]
+    fn zero_mr_allocations_are_byte_identical_to_the_plain_model(
+        (offsets, stride, m) in pattern(),
+        k in 1usize..=4,
+    ) {
+        let pattern = AccessPattern::from_offsets(&offsets, stride);
+        let agu = AguSpec::new(k, m).unwrap();
+        // `new` prices the machine (zero MRs here); explicit default
+        // options are the pre-change model. Identical structs means
+        // identical covers, costs, merge records and trajectories.
+        let via_machine = Optimizer::new(agu).allocate(&pattern);
+        let pre_change = Optimizer::with_options(agu, OptimizerOptions::default())
+            .allocate(&pattern);
+        prop_assert_eq!(via_machine, pre_change);
+    }
+}
+
+/// Machines differing only in modify-register count must produce
+/// distinct allocation-cache keys: the cost model's MR count is part of
+/// the optimizer options, which are part of every key.
+#[test]
+fn cache_keys_distinguish_modify_register_counts() {
+    let cache = AllocationCache::new();
+    let canonical = CanonicalPattern::from_offsets(&[0, 10, 20, 30], 1);
+    let pattern = AccessPattern::from_offsets(&[0, 10, 20, 30], 1);
+    let mut computed = 0u32;
+    for mr in [0usize, 2] {
+        let agu = AguSpec::new(1, 1).unwrap().with_modify_registers(mr);
+        let optimizer = Optimizer::new(agu);
+        let _ = cache.allocation(&canonical, 1, 1, optimizer.options(), || {
+            computed += 1;
+            optimizer.allocate(&pattern)
+        });
+    }
+    assert_eq!(computed, 2, "each machine must compute its own entry");
+    let stats = cache.stats();
+    assert_eq!(stats.allocation_misses, 2);
+    assert_eq!(stats.allocation_entries, 2);
+}
+
+/// A snapshot saved under one modify-register count must not warm-hit a
+/// pipeline targeting another MR count — and must fully warm-hit the
+/// same machine.
+#[test]
+fn snapshots_do_not_cross_modify_register_machines() {
+    let source = "for (i = 0; i < 32; i++) { s += x[i] + x[i + 10] + x[i + 20]; }";
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("raco-mr-key-test-{}.snap", std::process::id()));
+
+    let plain = Pipeline::new(AguSpec::new(2, 1).unwrap());
+    let report = plain.compile_str("warm", source).unwrap();
+    assert_eq!(report.failed(), 0);
+    plain.save_cache(&path).unwrap();
+
+    // Same machine: the first batch after boot is all hits.
+    let same = Pipeline::new(AguSpec::new(2, 1).unwrap());
+    same.load_cache(&path).unwrap();
+    let warm = same.compile_str("warm", source).unwrap();
+    assert_eq!(warm.cache.allocation_misses, 0, "{:?}", warm.cache);
+    assert!(warm.cache.allocation_hits > 0);
+
+    // A machine differing only in MR count: every allocation recomputes
+    // (a false hit would replay MR-blind covers and costs).
+    let other = Pipeline::new(AguSpec::new(2, 1).unwrap().with_modify_registers(2));
+    other.load_cache(&path).unwrap();
+    let cross = other.compile_str("warm", source).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(cross.failed(), 0);
+    assert!(
+        cross.cache.allocation_misses > 0,
+        "MR-equipped machine must not reuse MR-blind snapshot entries: {:?}",
+        cross.cache
+    );
+    assert_eq!(cross.cache.allocation_hits, 0, "{:?}", cross.cache);
+}
+
+/// Cross-version regression for the v1 → v2 snapshot bump: a
+/// structurally valid version-1 file is rejected whole, with a warning,
+/// and the cache stays cold.
+#[test]
+fn version_one_snapshots_are_rejected_by_the_version_two_reader() {
+    assert_eq!(
+        persist::SNAPSHOT_VERSION,
+        2,
+        "this regression test pins the v1 -> v2 bump; revisit it on the next bump"
+    );
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&persist::SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // the pre-bump version
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    bytes.push(0x00); // end marker
+    let sum = persist::checksum(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+
+    let cache = AllocationCache::new();
+    let report = persist::decode_into(&cache, &bytes);
+    assert_eq!(report.loaded(), 0);
+    assert_eq!(report.skipped, 1);
+    assert!(
+        report.warnings[0].contains("unsupported snapshot version 1"),
+        "{:?}",
+        report.warnings
+    );
+    assert_eq!(cache.stats().loaded, 0);
+    assert_eq!(cache.stats().allocation_entries, 0);
+}
