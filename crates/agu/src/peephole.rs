@@ -15,9 +15,20 @@
 //!    (with no use of `r` in between — always true in a prologue) is
 //!    dropped.
 
+use std::sync::{Arc, OnceLock};
+
 use raco_ir::AguSpec;
+use raco_obs::Histogram;
 
 use crate::isa::{AddressInstr, AddressProgram, MrId, Update};
+
+/// Global latency histogram for peephole runs, resolved once (metric
+/// `agu.peephole`, nanoseconds) so the per-codegen hot path skips the
+/// registry lookup.
+fn peephole_histogram() -> &'static Arc<Histogram> {
+    static HISTOGRAM: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HISTOGRAM.get_or_init(|| raco_obs::global().histogram("agu.peephole"))
+}
 
 /// What a peephole run changed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +52,9 @@ impl PeepholeStats {
 /// changed. Semantics are preserved exactly: the same registers hold the
 /// same values at every `USE`.
 pub fn optimize(program: &AddressProgram, agu: &AguSpec) -> (AddressProgram, PeepholeStats) {
+    // Latency lands in the global `agu.peephole` histogram (ns); the
+    // pass has no pipeline wiring of its own, so it times itself.
+    let _span = raco_obs::SpanTimer::new(Arc::clone(peephole_histogram()));
     let mut stats = PeepholeStats::default();
     let prologue = clean_prologue(program.prologue(), &mut stats);
     let mut body = program.body().to_vec();

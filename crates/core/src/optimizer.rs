@@ -1,15 +1,42 @@
 //! The end-to-end optimizer: Phase 1 + Phase 2 behind one call.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use raco_graph::{BbOptions, DistanceModel, PathCover};
 use raco_ir::{AccessPattern, AguSpec, ArrayId, LoopSpec};
+use raco_obs::Histogram;
 
 use crate::cost::CostModel;
 use crate::partition;
 use crate::phase1::{self, Phase1Report};
 use crate::phase2::{self, MergeStrategy, Phase2Report};
+
+/// Global latency histogram for Phase-1 branch-and-bound runs,
+/// resolved once (metric `core.phase1`, nanoseconds).
+fn phase1_histogram() -> &'static Arc<Histogram> {
+    static HISTOGRAM: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HISTOGRAM.get_or_init(|| raco_obs::global().histogram("core.phase1"))
+}
+
+/// Global latency histogram for Phase-2 merge runs (one observation per
+/// [`Optimizer::best_phase2`] call, so MR selection sweeps record each
+/// register count they evaluate; metric `core.phase2`, nanoseconds).
+fn phase2_histogram() -> &'static Arc<Histogram> {
+    static HISTOGRAM: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HISTOGRAM.get_or_init(|| raco_obs::global().histogram("core.phase2"))
+}
+
+/// Phase-1 output bundled with the distance model it ran on.
+///
+/// Prepared once per pattern and shared by the cost curve and the final
+/// allocation, so the branch-and-bound search — the cycle sink of the
+/// whole allocator — runs exactly once per pattern in
+/// [`Optimizer::allocate_loop`].
+struct PreparedPattern {
+    dm: DistanceModel,
+    phase1: Phase1Report,
+}
 
 /// Configuration of the two-phase allocator.
 ///
@@ -170,13 +197,29 @@ impl Optimizer {
     }
 
     fn allocate_model_with_registers(&self, dm: DistanceModel, k: usize) -> Allocation {
-        let phase1 = phase1::run(&dm, self.options.bb);
-        let phase2 = self.best_phase2(&phase1, &dm, k);
-        let cost = self.options.cost_model.cover_cost(phase2.cover(), &dm);
+        let prepared = self.prepare_model(dm);
+        let phase2 = self.best_phase2(&prepared.phase1, &prepared.dm, k);
+        self.finish_allocation(prepared, phase2)
+    }
+
+    /// Runs Phase 1 on a distance model, recording its latency.
+    fn prepare_model(&self, dm: DistanceModel) -> PreparedPattern {
+        let phase1 = phase1_histogram().time(|| phase1::run(&dm, self.options.bb));
+        PreparedPattern { dm, phase1 }
+    }
+
+    /// Assembles an [`Allocation`] from prepared Phase-1 state and a
+    /// Phase-2 result, pricing the final cover. Moves both parts — no
+    /// clones on this path.
+    fn finish_allocation(&self, prepared: PreparedPattern, phase2: Phase2Report) -> Allocation {
+        let cost = self
+            .options
+            .cost_model
+            .cover_cost(phase2.cover(), &prepared.dm);
         Allocation {
-            dm,
+            dm: prepared.dm,
             cost,
-            phase1,
+            phase1: prepared.phase1,
             phase2,
         }
     }
@@ -197,6 +240,15 @@ impl Optimizer {
     /// ignores the model) this is a single plain [`phase2::merge_until`]
     /// run, byte-identical to the pre-MR behaviour.
     fn best_phase2(&self, phase1: &Phase1Report, dm: &DistanceModel, k: usize) -> Phase2Report {
+        phase2_histogram().time(|| self.best_phase2_inner(phase1, dm, k))
+    }
+
+    fn best_phase2_inner(
+        &self,
+        phase1: &Phase1Report,
+        dm: &DistanceModel,
+        k: usize,
+    ) -> Phase2Report {
         let model = self.options.cost_model;
         let mr = model.modify_registers();
         if mr == 0 || self.options.strategy != MergeStrategy::GreedyMinCost {
@@ -245,21 +297,35 @@ impl Optimizer {
                 registers: k,
             });
         }
-        // Cost curve per pattern: cost with 1..=k registers.
+        // Cost curve per pattern: cost with 1..=k registers. Phase 1
+        // runs once per pattern and is shared with the final allocation
+        // below; on MR machines the curve's selection sweep already
+        // produced the Phase-2 report for every register count, so the
+        // granted-k allocation is a lookup, not a re-run (previously
+        // both the branch-and-bound search and the sweep ran twice).
+        let mut prepared = Vec::with_capacity(patterns.len());
         let mut curves: Vec<Vec<u32>> = Vec::with_capacity(patterns.len());
+        let mut swept: Vec<Vec<Phase2Report>> = Vec::with_capacity(patterns.len());
         for p in &patterns {
-            curves.push(self.cost_curve(p, k));
+            let prep = self.prepare_model(DistanceModel::new(p, self.agu.modify_range()));
+            let (curve, reports) = self.curve_from(&prep, k, true);
+            prepared.push(prep);
+            curves.push(curve);
+            swept.push(reports);
         }
         let assignment = partition::distribute_registers(&curves, k).expect("arity checked above");
         let per_array = patterns
             .iter()
+            .zip(prepared)
+            .zip(swept)
             .zip(&assignment)
-            .map(|(p, &ka)| {
-                let dm = DistanceModel::new(p, self.agu.modify_range());
-                (
-                    p.array(),
-                    Arc::new(self.allocate_model_with_registers(dm, ka)),
-                )
+            .map(|(((p, prep), mut reports), &ka)| {
+                let phase2 = if ka <= reports.len() {
+                    reports.swap_remove(ka - 1)
+                } else {
+                    self.best_phase2(&prep.phase1, &prep.dm, ka)
+                };
+                (p.array(), Arc::new(self.finish_allocation(prep, phase2)))
             })
             .collect::<Vec<_>>();
         // Modify registers are machine-wide: the loop's total is priced
@@ -291,8 +357,23 @@ impl Optimizer {
     /// cheaper chain). The curve is therefore non-increasing in `k` by
     /// construction.
     pub fn cost_curve(&self, pattern: &AccessPattern, k_max: usize) -> Vec<u32> {
-        let dm = DistanceModel::new(pattern, self.agu.modify_range());
-        let phase1 = phase1::run(&dm, self.options.bb);
+        let prepared = self.prepare_model(DistanceModel::new(pattern, self.agu.modify_range()));
+        self.curve_from(&prepared, k_max, false).0
+    }
+
+    /// Computes the cost curve from prepared Phase-1 state. With
+    /// `keep_reports`, the MR selection sweep's per-`k` Phase-2 reports
+    /// are returned alongside the curve (indexed by `k - 1`) so a caller
+    /// that goes on to allocate at one of the swept counts can reuse the
+    /// report instead of re-running the sweep; on the single-trajectory
+    /// path the report vector is empty.
+    fn curve_from(
+        &self,
+        prepared: &PreparedPattern,
+        k_max: usize,
+        keep_reports: bool,
+    ) -> (Vec<u32>, Vec<Phase2Report>) {
+        let PreparedPattern { dm, phase1 } = prepared;
         if self.options.cost_model.modify_registers() > 0
             && self.options.strategy == MergeStrategy::GreedyMinCost
         {
@@ -300,32 +381,38 @@ impl Optimizer {
             // (see best_phase2), whose result a single merge trajectory
             // cannot reproduce — run the sweep per register count so
             // curve entries equal what allocation at that count costs.
+            let mut reports = Vec::with_capacity(if keep_reports { k_max } else { 0 });
             let mut running_min = u32::MAX;
-            return (1..=k_max)
+            let curve = (1..=k_max)
                 .map(|k| {
-                    let phase2 = self.best_phase2(&phase1, &dm, k);
-                    let at_k = self.options.cost_model.cover_cost(phase2.cover(), &dm);
+                    let phase2 = self.best_phase2(phase1, dm, k);
+                    let at_k = self.options.cost_model.cover_cost(phase2.cover(), dm);
+                    if keep_reports {
+                        reports.push(phase2);
+                    }
                     running_min = running_min.min(at_k);
                     running_min
                 })
                 .collect();
+            return (curve, reports);
         }
-        let base_cost = self.options.cost_model.cover_cost(phase1.cover(), &dm);
+        let base_cost = self.options.cost_model.cover_cost(phase1.cover(), dm);
         let phase2 = phase2::merge_until(
             phase1.cover(),
             1,
-            &dm,
+            dm,
             self.options.cost_model,
             self.options.strategy,
         );
         let mut running_min = u32::MAX;
-        (1..=k_max)
+        let curve = (1..=k_max)
             .map(|k| {
                 let at_k = phase2.cost_at(k).unwrap_or(base_cost);
                 running_min = running_min.min(at_k);
                 running_min
             })
-            .collect()
+            .collect();
+        (curve, Vec::new())
     }
 }
 
@@ -788,6 +875,45 @@ mod tests {
         // the loop total must not sum those claims.
         let per_array_sum: u32 = alloc.per_array().iter().map(|(_, a)| a.cost()).sum();
         assert_eq!(per_array_sum, 2);
+    }
+
+    #[test]
+    fn deduped_loop_allocation_matches_standalone_allocations() {
+        // allocate_loop reuses Phase 1 (and the MR sweep's Phase-2
+        // reports) across the curve and the final allocation; the
+        // result must stay byte-identical to allocating each array
+        // separately at its granted register count.
+        let spec = parse_loop(
+            "for (i = 0; i < 64; i++) {
+                s = a[i] + a[i + 10] + a[i + 20] + a[i + 30]
+                  + b[i] + b[i + 9] + b[i + 18];
+            }",
+        )
+        .unwrap();
+        for mr in [0, 1, 2] {
+            let agu = AguSpec::new(3, 1).unwrap().with_modify_registers(mr);
+            let opt = Optimizer::new(agu);
+            let whole = opt.allocate_loop(&spec).unwrap();
+            for ((array, alloc), &ka) in whole.per_array().iter().zip(whole.registers()) {
+                let pattern = spec
+                    .patterns()
+                    .into_iter()
+                    .find(|p| p.array() == *array)
+                    .unwrap();
+                let standalone = opt.allocate_with_registers(&pattern, ka);
+                assert_eq!(**alloc, standalone, "MR={mr} array={array:?} K={ka}");
+            }
+        }
+    }
+
+    #[test]
+    fn core_phase_histograms_accumulate() {
+        let opt = Optimizer::new(AguSpec::new(2, 1).unwrap());
+        let before = raco_obs::global().histogram("core.phase1").snapshot().count;
+        let _ = opt.allocate(&paper_pattern());
+        let after = raco_obs::global().histogram("core.phase1").snapshot().count;
+        assert_eq!(after, before + 1, "one Phase-1 run per allocation");
+        assert!(raco_obs::global().histogram("core.phase2").snapshot().count >= 1);
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
+pub mod timings;
 
 pub use cache::{AllocationCache, CachePolicy, CacheStats};
 pub use json::{Json, JsonParseError};
@@ -84,3 +85,4 @@ pub use persist::{LoadReport, PersistError, SaveReport};
 pub use pipeline::{DriverError, Pipeline, PipelineConfig, NEST_VALIDATION_CAP, SOURCE_EXTENSIONS};
 pub use pool::Parallelism;
 pub use report::{CompilationReport, LoopFailure, LoopReport, UnitReport};
+pub use timings::StageTiming;

@@ -27,6 +27,7 @@ use raco_ir::{AguSpec, CanonicalPattern, LoopSpec, MemoryLayout, Trace};
 use crate::cache::{AllocationCache, CachePolicy, CacheStats};
 use crate::pool::{map_parallel, Parallelism};
 use crate::report::{CompilationReport, LoopFailure, LoopReport, UnitReport};
+use crate::timings::{BatchTimings, Stage};
 
 /// Errors that abort a whole batch (per-loop problems are reported in
 /// the [`CompilationReport`] instead).
@@ -221,6 +222,7 @@ impl Pipeline {
         &self,
         path: &Path,
     ) -> Result<crate::persist::LoadReport, crate::persist::PersistError> {
+        let _span = raco_obs::global().time("snapshot.load");
         crate::persist::load(&self.cache, path)
     }
 
@@ -234,6 +236,7 @@ impl Pipeline {
         &self,
         path: &Path,
     ) -> Result<crate::persist::SaveReport, crate::persist::PersistError> {
+        let _span = raco_obs::global().time("snapshot.save");
         crate::persist::save(&self.cache, path)
     }
 
@@ -311,12 +314,13 @@ impl Pipeline {
     pub fn compile_kernels_with(&self, config: &PipelineConfig) -> CompilationReport {
         let kernels = raco_kernels::suite();
         let started = Instant::now();
+        let timings = BatchTimings::new();
         let loops: Vec<(String, LoopSpec)> = kernels
             .iter()
             .map(|k| (k.name().to_owned(), k.spec().clone()))
             .collect();
         let compiled = map_parallel(config.parallelism, &loops, |_, (name, spec)| {
-            let (mut report, program) = self.compile_loop_with(config, spec);
+            let (mut report, program) = self.compile_loop_timed(config, spec, &timings);
             report.name = name.clone();
             (report, program)
         });
@@ -333,7 +337,7 @@ impl Pipeline {
             loops: reports,
             listing: unit_listing.map(|l| l.to_string()),
         }];
-        self.finish_report(config, units, loops.len(), started)
+        self.finish_report(config, units, loops.len(), started, &timings)
     }
 
     /// Compiles named `(name, source)` units as one batch: all loops of
@@ -375,23 +379,44 @@ impl Pipeline {
         units: &[(String, String)],
     ) -> Result<CompilationReport, DriverError> {
         let started = Instant::now();
+        let timings = BatchTimings::new();
         // Parse up front: parse errors abort the batch, and parsing is
-        // cheap relative to allocation.
+        // cheap relative to allocation. Parsing and lowering are timed
+        // as separate stages (this is `dsl::parse_program` split at its
+        // two halves, with identical naming and error mapping). The
+        // stages are timed boundary-to-boundary with one shared clock
+        // read per boundary — reading the clock is not free on every
+        // host, so the glue between stages lands in the following
+        // stage's sample instead of paying an extra read to exclude it.
         let mut work: Vec<(usize, LoopSpec)> = Vec::new();
         let mut unit_names: Vec<String> = Vec::with_capacity(units.len());
+        let mut mark = started;
         for (index, (name, source)) in units.iter().enumerate() {
-            let loops = dsl::parse_program(source).map_err(|error| DriverError::Parse {
+            let parsed = dsl::parse_unit(source);
+            let now = Instant::now();
+            timings.record_ns(Stage::Parse, now.duration_since(mark).as_nanos() as u64);
+            mark = now;
+            let (decls, asts) = parsed.map_err(|error| DriverError::Parse {
                 unit: name.clone(),
                 error,
             })?;
             unit_names.push(name.clone());
-            for spec in loops {
+            for (i, ast) in asts.iter().enumerate() {
+                let lowered = dsl::lower_unit_loop(&decls, ast);
+                let now = Instant::now();
+                timings.record_ns(Stage::Lower, now.duration_since(mark).as_nanos() as u64);
+                mark = now;
+                let mut spec = lowered.map_err(|e| DriverError::Parse {
+                    unit: name.clone(),
+                    error: e.attach_source(source),
+                })?;
+                spec.set_name(&format!("loop{i}"));
                 work.push((index, spec));
             }
         }
 
         let compiled = map_parallel(config.parallelism, &work, |_, (unit, spec)| {
-            (*unit, self.compile_loop_with(config, spec))
+            (*unit, self.compile_loop_timed(config, spec, &timings))
         });
 
         let mut reports: Vec<UnitReport> = unit_names
@@ -420,7 +445,7 @@ impl Pipeline {
             unit.listing = Some(listing.to_string());
         }
         let total = work.len();
-        Ok(self.finish_report(config, reports, total, started))
+        Ok(self.finish_report(config, reports, total, started, &timings))
     }
 
     fn finish_report(
@@ -429,6 +454,7 @@ impl Pipeline {
         units: Vec<UnitReport>,
         loops: usize,
         started: Instant,
+        timings: &BatchTimings,
     ) -> CompilationReport {
         CompilationReport {
             units,
@@ -438,6 +464,7 @@ impl Pipeline {
             threads: config.parallelism.resolve(loops),
             elapsed: started.elapsed(),
             cache: self.cache.stats(),
+            timings: timings.finish(),
         }
     }
 
@@ -459,6 +486,21 @@ impl Pipeline {
         config: &PipelineConfig,
         spec: &LoopSpec,
     ) -> (LoopReport, Option<AddressProgram>) {
+        // Standalone loops still feed the process-wide stage
+        // histograms; batch entry points share one BatchTimings across
+        // the pool instead.
+        let timings = BatchTimings::new();
+        let out = self.compile_loop_timed(config, spec, &timings);
+        timings.finish();
+        out
+    }
+
+    fn compile_loop_timed(
+        &self,
+        config: &PipelineConfig,
+        spec: &LoopSpec,
+        timings: &BatchTimings,
+    ) -> (LoopReport, Option<AddressProgram>) {
         let mut report = LoopReport {
             name: spec.name().to_owned(),
             arrays: 0,
@@ -473,7 +515,7 @@ impl Pipeline {
             failure: None,
         };
 
-        let allocation = match self.allocate(config, spec) {
+        let allocation = match self.allocate(config, spec, timings) {
             Ok(allocation) => allocation,
             Err(failure) => {
                 report.failure = Some(failure);
@@ -491,7 +533,17 @@ impl Pipeline {
 
         let layout = MemoryLayout::contiguous(spec, config.layout_origin, config.array_words);
         let generator = CodeGenerator::new(config.agu);
-        let program = match generator.generate(spec, &allocation, &layout) {
+        // Codegen and simulate are timed boundary-to-boundary: the
+        // clock read that ends the codegen sample starts the simulate
+        // one (see compile_units_with on why reads are rationed).
+        let codegen_started = Instant::now();
+        let generated = generator.generate(spec, &allocation, &layout);
+        let codegen_done = Instant::now();
+        timings.record_ns(
+            Stage::Codegen,
+            codegen_done.duration_since(codegen_started).as_nanos() as u64,
+        );
+        let program = match generated {
             Ok(program) => program,
             Err(error) => {
                 report.failure = Some(LoopFailure::CodeGen(error.to_string()));
@@ -511,8 +563,12 @@ impl Pipeline {
                     .clamp(1, config.validation_iterations.max(NEST_VALIDATION_CAP)),
                 None => config.validation_iterations.max(1),
             };
-            let trace = Trace::capture(spec, &layout, iterations);
-            match sim::run(&program, &trace, &config.agu) {
+            let outcome = {
+                let trace = Trace::capture(spec, &layout, iterations);
+                sim::run(&program, &trace, &config.agu)
+            };
+            timings.record_ns(Stage::Simulate, codegen_done.elapsed().as_nanos() as u64);
+            match outcome {
                 Ok(sim_report) => {
                     let measured = sim_report.explicit_updates_per_iteration();
                     report.measured_cost = Some(measured);
@@ -553,6 +609,7 @@ impl Pipeline {
         &self,
         config: &PipelineConfig,
         spec: &LoopSpec,
+        timings: &BatchTimings,
     ) -> Result<LoopAllocation, LoopFailure> {
         // The effective options price the machine's modify registers
         // (and, being part of every cache key, keep machines differing
@@ -560,8 +617,8 @@ impl Pipeline {
         let options = config.effective_options();
         let optimizer = Optimizer::with_options(config.agu, options);
         if !config.caching {
-            return optimizer
-                .allocate_loop(spec)
+            return timings
+                .time(Stage::Allocate, || optimizer.allocate_loop(spec))
                 .map_err(|e| LoopFailure::Allocation(e.to_string()));
         }
 
@@ -584,38 +641,63 @@ impl Pipeline {
         let modify_range = config.agu.modify_range();
 
         let canonicals: Vec<CanonicalPattern> = patterns.iter().map(CanonicalPattern::of).collect();
-        let curves: Vec<Vec<u32>> = patterns
-            .iter()
-            .zip(&canonicals)
-            .map(|(pattern, canonical)| {
-                self.cache
-                    .cost_curve(canonical, modify_range, k, &options, || {
-                        optimizer.cost_curve(pattern, k)
-                    })
-                    .as_ref()
-                    .clone()
-            })
-            .collect();
-        let grants = partition::distribute_registers(&curves, k)
-            .map_err(|e| LoopFailure::Allocation(e.to_string()))?;
+        // Cache-facing stages time the whole lookup and discriminate by
+        // outcome: the compute closure runs only on a miss, so setting a
+        // flag inside it routes the sample to the hit or miss histogram.
+        // The curve → partition → allocation stages run back to back,
+        // so they are timed boundary-to-boundary with one shared clock
+        // read per boundary (see compile_units_with).
+        let mut mark = Instant::now();
+        let mut curves: Vec<Vec<u32>> = Vec::with_capacity(patterns.len());
+        for (pattern, canonical) in patterns.iter().zip(&canonicals) {
+            let mut missed = false;
+            let curve = self
+                .cache
+                .cost_curve(canonical, modify_range, k, &options, || {
+                    missed = true;
+                    optimizer.cost_curve(pattern, k)
+                })
+                .as_ref()
+                .clone();
+            let now = Instant::now();
+            let stage = if missed {
+                Stage::CurveMiss
+            } else {
+                Stage::CurveHit
+            };
+            timings.record_ns(stage, now.duration_since(mark).as_nanos() as u64);
+            mark = now;
+            curves.push(curve);
+        }
+        let grants = partition::distribute_registers(&curves, k);
+        let now = Instant::now();
+        timings.record_ns(Stage::Partition, now.duration_since(mark).as_nanos() as u64);
+        mark = now;
+        let grants = grants.map_err(|e| LoopFailure::Allocation(e.to_string()))?;
 
-        let per_array = patterns
-            .iter()
-            .zip(&canonicals)
-            .zip(&grants)
-            .map(|((pattern, canonical), &granted)| {
-                let allocation =
-                    self.cache
-                        .allocation(canonical, modify_range, granted, &options, || {
-                            optimizer.allocate_with_registers(pattern, granted)
-                        });
-                // Zero-clone hit path: the Arc handed out by the cache
-                // goes straight into the LoopAllocation, so a warm hit
-                // is a pointer bump — covers, distance models and phase
-                // reports are shared with the cache, never deep-copied.
-                (pattern.array(), allocation)
-            })
-            .collect();
+        let mut per_array = Vec::with_capacity(patterns.len());
+        for ((pattern, canonical), &granted) in patterns.iter().zip(&canonicals).zip(&grants) {
+            let mut missed = false;
+            let allocation =
+                self.cache
+                    .allocation(canonical, modify_range, granted, &options, || {
+                        missed = true;
+                        optimizer.allocate_with_registers(pattern, granted)
+                    });
+            let now = Instant::now();
+            let stage = if missed {
+                Stage::AllocMiss
+            } else {
+                Stage::AllocHit
+            };
+            timings.record_ns(stage, now.duration_since(mark).as_nanos() as u64);
+            mark = now;
+            // Zero-clone hit path: the Arc handed out by the cache
+            // goes straight into the LoopAllocation, so a warm hit
+            // is a pointer bump — covers, distance models and phase
+            // reports are shared with the cache, never deep-copied.
+            per_array.push((pattern.array(), allocation));
+        }
         Ok(LoopAllocation::from_parts(
             per_array,
             grants,
@@ -876,6 +958,55 @@ mod tests {
         let err = pipeline(2).compile_path(&empty).unwrap_err();
         std::fs::remove_dir_all(&empty).ok();
         assert!(matches!(err, DriverError::EmptyBatch { .. }));
+    }
+
+    #[test]
+    fn reports_carry_stage_timings() {
+        let pipeline = pipeline(4);
+        let source = "for (i = 0; i < 64; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }";
+        let cold = pipeline.compile_str("unit", source).unwrap();
+        let stages: Vec<&str> = cold.timings.iter().map(|t| t.stage).collect();
+        for expected in [
+            "parse",
+            "lower",
+            "curve_miss",
+            "partition",
+            "alloc_miss",
+            "codegen",
+            "simulate",
+        ] {
+            assert!(
+                stages.contains(&expected),
+                "missing {expected} in {stages:?}"
+            );
+        }
+        assert!(
+            !stages.contains(&"allocate"),
+            "cached batch never runs the uncached stage"
+        );
+        let parse = cold.timings.iter().find(|t| t.stage == "parse").unwrap();
+        assert_eq!(parse.calls, 1);
+        assert!(parse.total_ns > 0);
+        assert!(parse.p50_ns <= parse.max_ns);
+
+        // A warm identical batch allocates through cache hits.
+        let warm = pipeline.compile_str("unit", source).unwrap();
+        let warm_stages: Vec<&str> = warm.timings.iter().map(|t| t.stage).collect();
+        assert!(warm_stages.contains(&"alloc_hit"), "{warm_stages:?}");
+        assert!(!warm_stages.contains(&"alloc_miss"), "{warm_stages:?}");
+
+        // Uncached runs time whole-loop allocation instead.
+        let mut uncached_config = pipeline.config().clone();
+        uncached_config.caching = false;
+        let uncached = pipeline
+            .compile_units_with(&uncached_config, &[("u".to_owned(), source.to_owned())])
+            .unwrap();
+        let uncached_stages: Vec<&str> = uncached.timings.iter().map(|t| t.stage).collect();
+        assert!(uncached_stages.contains(&"allocate"), "{uncached_stages:?}");
+        assert!(
+            !uncached_stages.contains(&"alloc_hit"),
+            "{uncached_stages:?}"
+        );
     }
 
     #[test]

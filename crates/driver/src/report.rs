@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use crate::cache::CacheStats;
 use crate::json::Json;
+use crate::timings::StageTiming;
 
 /// Why a loop failed to compile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,6 +199,10 @@ pub struct CompilationReport {
     pub elapsed: Duration,
     /// Allocation-cache statistics at the end of the run.
     pub cache: CacheStats,
+    /// Per-stage latency summaries for this batch (stages that never
+    /// ran are omitted). Render with
+    /// [`render_timings_table`](Self::render_timings_table).
+    pub timings: Vec<StageTiming>,
 }
 
 impl CompilationReport {
@@ -238,9 +243,11 @@ impl CompilationReport {
 
     /// The report as a [`Json`] value tree, for callers that embed
     /// reports in larger documents (the serve protocol wraps them in
-    /// response envelopes).
+    /// response envelopes). The `timings` key is present only when
+    /// stage timings exist (the serve path strips them per request —
+    /// see the protocol's `timings` knob).
     pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "machine".to_owned(),
                 Json::Obj(vec![
@@ -291,11 +298,84 @@ impl CompilationReport {
                     ("hit_rate".to_owned(), Json::Num(self.cache.hit_rate())),
                 ]),
             ),
-            (
-                "units".to_owned(),
-                Json::Arr(self.units.iter().map(UnitReport::to_json).collect()),
-            ),
-        ])
+        ];
+        if !self.timings.is_empty() {
+            fields.push((
+                "timings".to_owned(),
+                Json::Arr(self.timings.iter().map(stage_timing_json).collect()),
+            ));
+        }
+        fields.push((
+            "units".to_owned(),
+            Json::Arr(self.units.iter().map(UnitReport::to_json).collect()),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Aligned per-stage timing table (the `--timings` view). Durations
+    /// are microseconds; `total` is exact, quantiles are histogram
+    /// estimates. Empty when no stage recorded anything.
+    pub fn render_timings_table(&self) -> String {
+        if self.timings.is_empty() {
+            return String::new();
+        }
+        let headers = [
+            "stage", "calls", "total_us", "p50_us", "p95_us", "p99_us", "max_us",
+        ];
+        let us = |ns: u64| format!("{:.1}", ns as f64 / 1000.0);
+        let rows: Vec<[String; 7]> = self
+            .timings
+            .iter()
+            .map(|t| {
+                [
+                    t.stage.to_owned(),
+                    t.calls.to_string(),
+                    us(t.total_ns),
+                    us(t.p50_ns),
+                    us(t.p95_ns),
+                    us(t.p99_ns),
+                    us(t.max_ns),
+                ]
+            })
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Right-align numeric columns, left-align the stage name.
+                if i == 0 {
+                    out.push_str(cell);
+                    out.extend(std::iter::repeat_n(' ', width - cell.len()));
+                } else {
+                    out.extend(std::iter::repeat_n(' ', width - cell.len()));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(
+            &mut out,
+            &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+        );
+        write_row(
+            &mut out,
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        );
+        for row in &rows {
+            write_row(&mut out, row.as_slice());
+        }
+        out
     }
 
     /// Human-readable aligned table rendering.
@@ -378,6 +458,21 @@ impl CompilationReport {
     }
 }
 
+/// One [`StageTiming`] as a JSON object. Durations convert from the
+/// recorded nanoseconds to fractional microseconds.
+fn stage_timing_json(timing: &StageTiming) -> Json {
+    let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
+    Json::Obj(vec![
+        ("stage".to_owned(), Json::str(timing.stage)),
+        ("calls".to_owned(), Json::UInt(timing.calls)),
+        ("total_us".to_owned(), us(timing.total_ns)),
+        ("p50_us".to_owned(), us(timing.p50_ns)),
+        ("p95_us".to_owned(), us(timing.p95_ns)),
+        ("p99_us".to_owned(), us(timing.p99_ns)),
+        ("max_us".to_owned(), us(timing.max_ns)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +528,15 @@ mod tests {
                 loaded: 0,
                 persisted: 0,
             },
+            timings: vec![StageTiming {
+                stage: "parse",
+                calls: 2,
+                total_ns: 4000,
+                max_ns: 3000,
+                p50_ns: 1000,
+                p95_ns: 3000,
+                p99_ns: 3000,
+            }],
         }
     }
 
@@ -461,9 +565,26 @@ mod tests {
             r#""measured_cost": null"#,
             r#""predicted_cycles": 1"#,
             r#""measured_cycles": 1"#,
+            r#""stage": "parse""#,
+            r#""total_us": 4"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn timings_table_renders_per_stage_rows() {
+        let table = sample_report().render_timings_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("stage"));
+        assert!(lines[0].contains("p99_us"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].starts_with("parse"));
+        assert!(lines[2].contains("4.0"), "total 4000 ns = 4.0 us:\n{table}");
+        // No timings, no table.
+        let mut empty = sample_report();
+        empty.timings.clear();
+        assert_eq!(empty.render_timings_table(), "");
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Named metric registry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use crate::span::SpanTimer;
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Lookups return `Arc` handles so call sites can resolve a metric once
+/// and record through the atomic handle without touching the registry
+/// lock again. Names are stored in `BTreeMap`s so enumeration order is
+/// deterministic, which keeps rendered tables and JSON stable.
+///
+/// The registry is `Send + Sync`; the worker pool records into shared
+/// handles concurrently.
+///
+/// ```
+/// let registry = raco_obs::Registry::new();
+/// let hits = registry.counter("cache.hits");
+/// hits.inc();
+/// assert_eq!(registry.counter("cache.hits").get(), 1); // same metric
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn resolve<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("metric registry poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut writable = map.write().expect("metric registry poisoned");
+    Arc::clone(writable.entry(name.to_string()).or_default())
+}
+
+fn enumerate<T, V>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    view: impl Fn(&T) -> V,
+) -> Vec<(String, V)> {
+    map.read()
+        .expect("metric registry poisoned")
+        .iter()
+        .map(|(name, metric)| (name.clone(), view(metric)))
+        .collect()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Repeated lookups return handles to the same counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        resolve(&self.counters, name)
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        resolve(&self.gauges, name)
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        resolve(&self.histograms, name)
+    }
+
+    /// Starts a [`SpanTimer`] that records into histogram `name` when
+    /// dropped.
+    pub fn time(&self, name: &str) -> SpanTimer {
+        SpanTimer::new(self.histogram(name))
+    }
+
+    /// All counters with their current values, in name order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        enumerate(&self.counters, |c| c.get())
+    }
+
+    /// All gauges with their current levels, in name order.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        enumerate(&self.gauges, |g| g.get())
+    }
+
+    /// Snapshots of all histograms, in name order.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        enumerate(&self.histograms, |h| h.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_dedupe_by_name() {
+        let registry = Registry::new();
+        let a = registry.histogram("x");
+        let b = registry.histogram("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record(5);
+        assert_eq!(b.snapshot().count, 1);
+    }
+
+    #[test]
+    fn enumeration_is_name_ordered() {
+        let registry = Registry::new();
+        registry.counter("zulu").inc();
+        registry.counter("alpha").inc();
+        registry.counter("mike").inc();
+        let names: Vec<_> = registry.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Registry>();
+    }
+
+    #[test]
+    fn concurrent_resolution_yields_one_metric() {
+        let registry = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        registry.counter("contended").inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.counter("contended").get(), 800);
+        assert_eq!(registry.counters().len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! RAII span timers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// An RAII timer that records elapsed wall time (nanoseconds) into a
+/// histogram when dropped.
+///
+/// Created by [`Registry::time`](crate::Registry::time) or the
+/// [`span!`](crate::span) macro. Bind it to a named variable — `let _span
+/// = ...` — so the span covers the intended scope (a bare `let _ = ...`
+/// drops immediately).
+///
+/// ```
+/// let registry = raco_obs::Registry::new();
+/// {
+///     let _span = registry.time("stage");
+/// }
+/// assert_eq!(registry.histogram("stage").snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl SpanTimer {
+    /// Starts a span that records into `histogram` on drop. Hot paths
+    /// that cache their histogram handle (e.g. in a `OnceLock`) use
+    /// this directly to skip the per-call registry lookup of
+    /// [`Registry::time`](crate::Registry::time).
+    pub fn new(histogram: Arc<Histogram>) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Stops the span early and returns the recorded duration in
+    /// nanoseconds. Dropping after `stop` records nothing further.
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        if self.recorded {
+            return 0;
+        }
+        self.recorded = true;
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        self.histogram.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let histogram = Arc::new(Histogram::new());
+        {
+            let _span = SpanTimer::new(Arc::clone(&histogram));
+        }
+        assert_eq!(histogram.snapshot().count, 1);
+    }
+
+    #[test]
+    fn stop_records_and_defuses_drop() {
+        let histogram = Arc::new(Histogram::new());
+        let span = SpanTimer::new(Arc::clone(&histogram));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let elapsed = span.stop();
+        assert!(elapsed >= 1_000_000, "{elapsed}");
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.sum, snapshot.max);
+    }
+
+    #[test]
+    fn nested_spans_each_record() {
+        let registry = crate::Registry::new();
+        {
+            let _outer = registry.time("outer");
+            {
+                let _inner = registry.time("inner");
+            }
+        }
+        assert_eq!(registry.histogram("outer").snapshot().count, 1);
+        assert_eq!(registry.histogram("inner").snapshot().count, 1);
+        // The outer span strictly contains the inner one.
+        assert!(
+            registry.histogram("outer").snapshot().sum
+                >= registry.histogram("inner").snapshot().sum
+        );
+    }
+}

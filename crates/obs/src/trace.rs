@@ -1,0 +1,183 @@
+//! Optional structured trace sink: captures a per-compile span tree.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed (or still-open) span captured by a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `"phase2"`.
+    pub name: String,
+    /// Index of the parent span within the sink, or `None` for roots.
+    pub parent: Option<usize>,
+    /// Start offset from the sink's creation, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; `None` while the span is still open.
+    pub duration_ns: Option<u64>,
+}
+
+/// Collects a tree of timed spans for a single unit of work.
+///
+/// Unlike the registry histograms (which aggregate across compiles), a
+/// sink is created per compile and captures *which* spans ran, their
+/// nesting, and their individual durations. Parent links are explicit
+/// span ids rather than thread-local ambient state because pipeline work
+/// fans out across a worker pool: a child span may close on a different
+/// thread than its parent.
+///
+/// ```
+/// let sink = std::sync::Arc::new(raco_obs::TraceSink::new());
+/// let compile = sink.span("compile", None);
+/// {
+///     let _phase1 = sink.span("phase1", Some(compile.id()));
+/// }
+/// drop(compile);
+/// let records = sink.records();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].parent, Some(0));
+/// assert!(records.iter().all(|r| r.duration_ns.is_some()));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    epoch: Option<Instant>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceSink {
+    /// Creates an empty sink whose clock starts now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Some(Instant::now()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch
+            .map_or(0, |epoch| epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Opens a span and returns its id. Prefer [`span`](Self::span) for
+    /// RAII closing; use `begin`/[`end`](Self::end) when the span's
+    /// lifetime cannot follow a scope.
+    pub fn begin(&self, name: &str, parent: Option<usize>) -> usize {
+        let mut spans = self.spans.lock().expect("trace sink poisoned");
+        spans.push(SpanRecord {
+            name: name.to_string(),
+            parent,
+            start_ns: self.now_ns(),
+            duration_ns: None,
+        });
+        spans.len() - 1
+    }
+
+    /// Closes the span with the given id. Closing an already-closed or
+    /// unknown id is a no-op.
+    pub fn end(&self, id: usize) {
+        let now = self.now_ns();
+        let mut spans = self.spans.lock().expect("trace sink poisoned");
+        if let Some(span) = spans.get_mut(id) {
+            if span.duration_ns.is_none() {
+                span.duration_ns = Some(now.saturating_sub(span.start_ns));
+            }
+        }
+    }
+
+    /// Opens an RAII span that closes when the guard drops.
+    pub fn span(self: &Arc<Self>, name: &str, parent: Option<usize>) -> TraceSpan {
+        TraceSpan {
+            sink: Arc::clone(self),
+            id: self.begin(name, parent),
+        }
+    }
+
+    /// Returns all captured spans in open order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("trace sink poisoned").clone()
+    }
+}
+
+/// RAII guard for a span opened via [`TraceSink::span`].
+#[derive(Debug)]
+pub struct TraceSpan {
+    sink: Arc<TraceSink>,
+    id: usize,
+}
+
+impl TraceSpan {
+    /// The span's id, usable as the `parent` of child spans.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.sink.end(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_parent_child_tree() {
+        let sink = Arc::new(TraceSink::new());
+        let root = sink.span("compile", None);
+        let phase1 = sink.span("phase1", Some(root.id()));
+        drop(phase1);
+        let phase2 = sink.span("phase2", Some(root.id()));
+        drop(phase2);
+        drop(root);
+
+        let records = sink.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "compile");
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].parent, Some(0));
+        assert_eq!(records[2].parent, Some(0));
+        // Children start no earlier than the root and all spans closed.
+        assert!(records[1].start_ns >= records[0].start_ns);
+        assert!(records.iter().all(|r| r.duration_ns.is_some()));
+        // The root span contains the sum of its children.
+        let children: u64 = records[1..].iter().map(|r| r.duration_ns.unwrap()).sum();
+        assert!(records[0].duration_ns.unwrap() >= children);
+    }
+
+    #[test]
+    fn end_is_idempotent_and_bounds_checked() {
+        let sink = TraceSink::new();
+        let id = sink.begin("once", None);
+        sink.end(id);
+        let first = sink.records()[0].duration_ns;
+        sink.end(id);
+        sink.end(999);
+        assert_eq!(sink.records()[0].duration_ns, first);
+    }
+
+    #[test]
+    fn spans_close_across_threads() {
+        let sink = Arc::new(TraceSink::new());
+        let root = sink.span("root", None);
+        let root_id = root.id();
+        let threads: Vec<_> = (0..4)
+            .map(|worker| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    let _child = sink.span(&format!("worker{worker}"), Some(root_id));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(root);
+        let records = sink.records();
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            records.iter().filter(|r| r.parent == Some(root_id)).count(),
+            4
+        );
+    }
+}

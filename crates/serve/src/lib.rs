@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod metrics;
 pub mod protocol;
 pub mod server;
 

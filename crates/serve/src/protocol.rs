@@ -16,7 +16,8 @@
 //! |------|--------|--------|
 //! | `compile` | `source` (required), `name` | compile a DSL program |
 //! | `kernels` | `kernel` (one name, or omit for the whole suite) | compile built-in kernels |
-//! | `stats` | — | allocation-cache statistics |
+//! | `stats` | — | allocation-cache statistics plus service counters |
+//! | `metrics` | — | service metrics: per-op latency, pipeline stage timings, cache rates |
 //! | `clear_cache` | — | drop every cached entry |
 //! | `save_cache` | `path` (optional) | snapshot the warm cache to disk |
 //! | `ping` | — | liveness check |
@@ -30,17 +31,23 @@
 //!
 //! `compile` and `kernels` accept per-request machine/option knobs
 //! (`registers`, `modify`, `modify_registers`, `threads`,
-//! `iterations`, `validate`, `listings`, `cache`); anything not given
-//! falls back to the server's defaults. The warm allocation cache is
-//! shared across *all* requests and connections — cache keys include
-//! the machine parameters, so mixed-machine traffic is safe.
+//! `iterations`, `validate`, `listings`, `cache`, `timings`); anything
+//! not given falls back to the server's defaults. The warm allocation
+//! cache is shared across *all* requests and connections — cache keys
+//! include the machine parameters, so mixed-machine traffic is safe.
+//! `timings: true` keeps the per-stage `timings` array in the
+//! response's report; serve responses omit it by default (rendering it
+//! costs more than a warm compile — accumulated stage timings are
+//! always available through the `metrics` op).
 //!
 //! ## Responses
 //!
 //! A single line: `{"id":…,"ok":true,…}` with a `report` (the
-//! [`CompilationReport`] JSON), `stats`, or an acknowledgement flag —
-//! or `{"id":…,"ok":false,"error":"…"}`. Malformed input never kills
-//! the connection; it produces an error response.
+//! [`CompilationReport`] JSON), `stats`, `metrics`, or an
+//! acknowledgement flag — or `{"id":…,"ok":false,"error":"…"}`.
+//! Malformed input never kills the connection; it produces an error
+//! response. The server appends an `elapsed_us` field (end-to-end
+//! request wall time, microseconds) to every response it sends.
 //!
 //! Compile reports carry the full machine (`address_registers`,
 //! `modify_range`, `modify_registers`) and, per loop, the explicit
@@ -95,8 +102,11 @@ pub enum Request {
         /// A single kernel name; `None` compiles the whole suite.
         kernel: Option<String>,
     },
-    /// Report allocation-cache statistics.
+    /// Report allocation-cache statistics and service counters.
     Stats,
+    /// Report service metrics: per-op request latency, accumulated
+    /// pipeline stage timings, cache hit/eviction rates.
+    Metrics,
     /// Drop every cached allocation and cost curve.
     ClearCache,
     /// Snapshot the warm cache to disk (see [`raco_driver::persist`]).
@@ -139,6 +149,11 @@ pub struct Knobs {
     pub listings: Option<bool>,
     /// Consult the shared allocation cache.
     pub cache: Option<bool>,
+    /// Include the per-stage `timings` array in this response's report.
+    /// Serve responses omit it by default — rendering it costs more
+    /// than a warm compile, and accumulated stage timings are always
+    /// available through the `metrics` op.
+    pub timings: Option<bool>,
 }
 
 impl Knobs {
@@ -294,6 +309,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
         validate: scalar(&value, &id, "validate", Json::as_bool, "a boolean")?,
         listings: scalar(&value, &id, "listings", Json::as_bool, "a boolean")?,
         cache: scalar(&value, &id, "cache", Json::as_bool, "a boolean")?,
+        timings: scalar(&value, &id, "timings", Json::as_bool, "a boolean")?,
     };
 
     let request = match op.as_str() {
@@ -326,6 +342,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
             )?,
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "clear_cache" => Request::ClearCache,
         "save_cache" => Request::SaveCache {
             path: scalar(
@@ -343,7 +360,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
                 &id,
                 format!(
                     "unknown op `{other}` (expected compile, kernels, stats, \
-                     clear_cache, save_cache, ping or shutdown)"
+                     metrics, clear_cache, save_cache, ping or shutdown)"
                 ),
             ))
         }
@@ -377,6 +394,12 @@ pub fn report_line(id: &Option<Json>, report: &CompilationReport) -> String {
 /// A success response carrying cache statistics.
 pub fn stats_line(id: &Option<Json>, stats: &CacheStats) -> String {
     envelope(id, true, vec![("stats".to_owned(), stats_json(stats))])
+}
+
+/// A success response whose payload fields are supplied by the caller
+/// (the server assembles the extended `stats` and `metrics` payloads).
+pub fn payload_line(id: &Option<Json>, fields: Vec<(String, Json)>) -> String {
+    envelope(id, true, fields)
 }
 
 /// A success acknowledgement: `{"ok":true,"<flag>":true}`.
@@ -479,6 +502,7 @@ mod tests {
     fn control_requests_parse_without_knobs() {
         for (line, expected) in [
             (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"metrics"}"#, Request::Metrics),
             (r#"{"op":"clear_cache"}"#, Request::ClearCache),
             (r#"{"op":"ping"}"#, Request::Ping),
             (r#"{"op":"shutdown","id":3}"#, Request::Shutdown),
@@ -519,6 +543,10 @@ mod tests {
             ),
             (
                 r#"{"op":"ping","registers":4}"#,
+                "takes no configuration knobs",
+            ),
+            (
+                r#"{"op":"metrics","threads":2}"#,
                 "takes no configuration knobs",
             ),
             (r#"{"op":"stats","id":[1]}"#, "`id` must be a JSON scalar"),

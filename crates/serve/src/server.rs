@@ -21,10 +21,12 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use raco_driver::json::Json;
 use raco_driver::{Pipeline, PipelineConfig};
 
+use crate::metrics::{ServiceMetrics, INVALID_OP};
 use crate::protocol::{self, Envelope, Request};
 
 /// How long a drained connection thread may lag behind the stop flag:
@@ -146,6 +148,9 @@ pub struct Server {
     /// Where graceful shutdowns (and default-path `save_cache`
     /// requests) snapshot the warm cache; `None` disables both.
     cache_save_path: Option<PathBuf>,
+    /// Per-op request counters and latency histograms (the `metrics`
+    /// op reads these; every response carries their `elapsed_us`).
+    metrics: ServiceMetrics,
 }
 
 impl Server {
@@ -162,6 +167,7 @@ impl Server {
         Server {
             pipeline,
             cache_save_path: None,
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -205,73 +211,132 @@ impl Server {
     /// This is the transport-free core: both [`serve`](Self::serve)
     /// and [`serve_tcp`](Self::serve_tcp) are loops around it, and
     /// tests and benches call it directly (a "loopback" client).
+    ///
+    /// Every request is counted and timed into the server's per-op
+    /// metrics (see the `metrics` op), and every response line gets an
+    /// `elapsed_us` field with its end-to-end wall time.
     pub fn handle_line(&self, line: &str) -> Reply {
+        let started = Instant::now();
+        self.metrics.begin();
+        let (op, mut reply) = self.dispatch(line);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.metrics.finish(op, elapsed_ns);
+        reply.line = attach_elapsed(reply.line, elapsed_ns);
+        reply
+    }
+
+    /// Decodes and executes one request; returns the op label the
+    /// request is accounted under plus the raw (un-timed) reply.
+    fn dispatch(&self, line: &str) -> (&'static str, Reply) {
         let Envelope { id, request, knobs } = match protocol::parse_line(line) {
             Ok(envelope) => envelope,
             Err(e) => {
-                return Reply {
-                    line: protocol::error_line(&e.id, &e.message),
-                    shutdown: false,
-                }
+                return (
+                    INVALID_OP,
+                    Reply {
+                        line: protocol::error_line(&e.id, &e.message),
+                        shutdown: false,
+                    },
+                )
             }
         };
+        let op = op_label(&request);
         let reply = |line: String| Reply {
             line,
             shutdown: false,
         };
-        match request {
+        // Serve responses omit the per-stage `timings` array unless the
+        // request opts in: rendering it costs more than a warm compile,
+        // and the `metrics` op serves accumulated stage timings anyway.
+        let report_reply = |mut report: raco_driver::CompilationReport| {
+            if knobs.timings != Some(true) {
+                report.timings.clear();
+            }
+            reply(protocol::report_line(&id, &report))
+        };
+        let out = match request {
             Request::Compile { name, source } => {
                 let config = match knobs.apply(self.pipeline.config()) {
                     Ok(config) => config,
-                    Err(message) => return reply(protocol::error_line(&id, &message)),
+                    Err(message) => return (op, reply(protocol::error_line(&id, &message))),
                 };
                 match self.pipeline.compile_units_with(&config, &[(name, source)]) {
-                    Ok(report) => reply(protocol::report_line(&id, &report)),
+                    Ok(report) => report_reply(report),
                     Err(e) => reply(protocol::error_line(&id, &e.to_string())),
                 }
             }
             Request::Kernels { kernel } => {
                 let config = match knobs.apply(self.pipeline.config()) {
                     Ok(config) => config,
-                    Err(message) => return reply(protocol::error_line(&id, &message)),
+                    Err(message) => return (op, reply(protocol::error_line(&id, &message))),
                 };
                 match kernel {
                     None => {
                         let report = self.pipeline.compile_kernels_with(&config);
-                        reply(protocol::report_line(&id, &report))
+                        report_reply(report)
                     }
                     Some(name) => {
                         let suite = raco_kernels::suite();
                         let Some(kernel) = suite.iter().find(|k| k.name() == name) else {
                             let known: Vec<&str> = suite.iter().map(|k| k.name()).collect();
-                            return reply(protocol::error_line(
-                                &id,
-                                &format!("unknown kernel `{name}` (known: {})", known.join(", ")),
-                            ));
+                            return (
+                                op,
+                                reply(protocol::error_line(
+                                    &id,
+                                    &format!(
+                                        "unknown kernel `{name}` (known: {})",
+                                        known.join(", ")
+                                    ),
+                                )),
+                            );
                         };
                         let unit = (name.clone(), kernel.source().to_owned());
                         match self.pipeline.compile_units_with(&config, &[unit]) {
-                            Ok(report) => reply(protocol::report_line(&id, &report)),
+                            Ok(report) => report_reply(report),
                             Err(e) => reply(protocol::error_line(&id, &e.to_string())),
                         }
                     }
                 }
             }
-            Request::Stats => reply(protocol::stats_line(&id, &self.pipeline.cache_stats())),
+            Request::Stats => {
+                // Cache counters first (their layout is load-bearing
+                // for scripted clients), then the service fields.
+                let Json::Obj(mut fields) = protocol::stats_json(&self.pipeline.cache_stats())
+                else {
+                    unreachable!("stats_json returns an object")
+                };
+                fields.extend(self.metrics.stats_fields());
+                reply(protocol::payload_line(
+                    &id,
+                    vec![("stats".to_owned(), Json::Obj(fields))],
+                ))
+            }
+            Request::Metrics => {
+                let payload = self.metrics.payload(&self.pipeline.cache_stats());
+                reply(protocol::payload_line(
+                    &id,
+                    vec![("metrics".to_owned(), payload)],
+                ))
+            }
             Request::ClearCache => {
                 self.pipeline.clear_cache();
                 reply(protocol::ack_line(&id, "cleared"))
             }
             Request::SaveCache { path } => {
-                let target =
-                    match (&path, &self.cache_save_path) {
-                        (Some(path), _) => PathBuf::from(path),
-                        (None, Some(default)) => default.clone(),
-                        (None, None) => return reply(protocol::error_line(
-                            &id,
-                            "save_cache needs a `path` (the server has no --cache-save default)",
-                        )),
-                    };
+                let target = match (&path, &self.cache_save_path) {
+                    (Some(path), _) => PathBuf::from(path),
+                    (None, Some(default)) => default.clone(),
+                    (None, None) => {
+                        return (
+                            op,
+                            reply(protocol::error_line(
+                                &id,
+                                "save_cache needs a `path` (the server has no --cache-save \
+                                 default)",
+                            )),
+                        )
+                    }
+                };
                 match self.pipeline.save_cache(&target) {
                     Ok(report) => reply(protocol::saved_line(&id, &target, &report)),
                     Err(error) => reply(protocol::error_line(&id, &error.to_string())),
@@ -282,17 +347,24 @@ impl Server {
                 line: protocol::ack_line(&id, "shutdown"),
                 shutdown: true,
             },
-        }
+        };
+        (op, out)
     }
 
     /// Produces the error reply for a request line of `total` bytes that
-    /// exceeded [`MAX_REQUEST_LINE`].
-    fn oversized_reply(total: u64) -> Reply {
+    /// exceeded [`MAX_REQUEST_LINE`]. Counted under the `invalid` op
+    /// like any other undecodable request.
+    fn oversized_reply(&self, total: u64) -> Reply {
+        let started = Instant::now();
+        self.metrics.begin();
+        let line = protocol::error_line(
+            &None,
+            &format!("request line of {total} bytes exceeds the {MAX_REQUEST_LINE}-byte limit"),
+        );
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.metrics.finish(INVALID_OP, elapsed_ns);
         Reply {
-            line: protocol::error_line(
-                &None,
-                &format!("request line of {total} bytes exceeds the {MAX_REQUEST_LINE}-byte limit"),
-            ),
+            line: attach_elapsed(line, elapsed_ns),
             shutdown: false,
         }
     }
@@ -327,7 +399,7 @@ impl Server {
                     }
                     self.handle_line(&line)
                 }
-                Err(total) => Self::oversized_reply(total),
+                Err(total) => self.oversized_reply(total),
             };
             output.write_all(reply.line.as_bytes())?;
             output.write_all(b"\n")?;
@@ -415,7 +487,7 @@ impl Server {
                     }
                     self.handle_line(&line)
                 }
-                Err(total) => Self::oversized_reply(total),
+                Err(total) => self.oversized_reply(total),
             };
             if writer
                 .write_all(reply.line.as_bytes())
@@ -432,6 +504,39 @@ impl Server {
         }
         shutdown
     }
+}
+
+/// The op name a decoded request is accounted under.
+fn op_label(request: &Request) -> &'static str {
+    match request {
+        Request::Compile { .. } => "compile",
+        Request::Kernels { .. } => "kernels",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::ClearCache => "clear_cache",
+        Request::SaveCache { .. } => "save_cache",
+        Request::Ping => "ping",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Appends `"elapsed_us":…` as the final field of a rendered response
+/// object. String surgery instead of a reparse: response lines are
+/// always single-line JSON objects, so the closing `}` is the last byte.
+fn attach_elapsed(mut line: String, elapsed_ns: u64) -> String {
+    use std::fmt::Write;
+    debug_assert!(line.ends_with('}'), "response must be a JSON object");
+    line.pop();
+    // Integer formatting (µs + fixed three fractional digits) rather
+    // than an f64 render: this runs on every response, and float
+    // formatting costs several times an integer write.
+    let _ = write!(
+        line,
+        ",\"elapsed_us\":{}.{:03}}}",
+        elapsed_ns / 1_000,
+        elapsed_ns % 1_000
+    );
+    line
 }
 
 #[cfg(test)]
@@ -452,11 +557,115 @@ mod tests {
     fn ping_and_shutdown_round_trip() {
         let server = server();
         let pong = server.handle_line(r#"{"op":"ping","id":1}"#);
-        assert_eq!(pong.line, r#"{"id":1,"ok":true,"pong":true}"#);
+        assert!(
+            pong.line
+                .starts_with(r#"{"id":1,"ok":true,"pong":true,"elapsed_us":"#),
+            "{}",
+            pong.line
+        );
         assert!(!pong.shutdown);
         let bye = server.handle_line(r#"{"op":"shutdown"}"#);
         assert!(bye.shutdown);
-        assert_eq!(bye.line, r#"{"ok":true,"shutdown":true}"#);
+        assert!(
+            bye.line
+                .starts_with(r#"{"ok":true,"shutdown":true,"elapsed_us":"#),
+            "{}",
+            bye.line
+        );
+    }
+
+    #[test]
+    fn every_response_carries_elapsed_us() {
+        let server = server();
+        for line in [
+            r#"{"op":"ping"}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"metrics"}"#,
+            "not json",
+        ] {
+            let reply = server.handle_line(line);
+            let json = parsed(&reply);
+            assert!(
+                json.get("elapsed_us").is_some(),
+                "`{line}` response lacks elapsed_us: {}",
+                reply.line
+            );
+        }
+        let oversized = server.oversized_reply(MAX_REQUEST_LINE as u64 + 1);
+        assert!(parsed(&oversized).get("elapsed_us").is_some());
+    }
+
+    #[test]
+    fn metrics_op_reports_latency_and_pipeline_stages() {
+        let server = server();
+        let compile =
+            r#"{"op":"compile","source":"for (i = 0; i < 8; i++) { y[i] = x[i] + x[i+1]; }"}"#;
+        server.handle_line(compile);
+        server.handle_line(compile);
+        let json = parsed(&server.handle_line(r#"{"op":"metrics","id":5}"#));
+        assert_eq!(json.get("ok"), Some(&Json::Bool(true)));
+        let metrics = json.get("metrics").expect("metrics payload");
+        assert!(metrics.get("uptime_ms").and_then(Json::as_u64).is_some());
+
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(requests.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            requests
+                .get("by_op")
+                .and_then(|o| o.get("compile"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // The metrics request itself is still in flight while its own
+        // payload is rendered.
+        assert_eq!(requests.get("in_flight").and_then(Json::as_i64), Some(1));
+
+        let compile_latency = metrics
+            .get("latency_us")
+            .and_then(|l| l.get("compile"))
+            .expect("compile latency histogram");
+        assert_eq!(compile_latency.get("count").and_then(Json::as_u64), Some(2));
+        assert!(compile_latency.get("p50_us").is_some());
+        assert!(compile_latency.get("p99_us").is_some());
+
+        // The compiles above drove the whole pipeline, so accumulated
+        // per-stage timings are present.
+        let pipeline = metrics.get("pipeline_us").expect("pipeline stages");
+        for stage in ["pipeline.parse", "pipeline.codegen", "pipeline.simulate"] {
+            let entry = pipeline.get(stage).unwrap_or_else(|| panic!("{stage}"));
+            assert!(entry.get("count").and_then(Json::as_u64).unwrap() >= 2);
+        }
+
+        let cache = metrics.get("cache").expect("cache rates");
+        assert!(cache.get("hit_rate").is_some());
+        assert!(
+            cache.get("allocation_hits").and_then(Json::as_u64).unwrap() > 0,
+            "second identical compile hits the warm cache"
+        );
+    }
+
+    #[test]
+    fn stats_keeps_cache_layout_and_adds_service_counters() {
+        let server = server();
+        server.handle_line(r#"{"op":"ping"}"#);
+        let reply = server.handle_line(r#"{"op":"stats","id":2}"#);
+        // Scripted clients key on the cache counters leading the
+        // payload, so the service fields must come after them.
+        assert!(
+            reply.line.contains(r#""stats":{"allocation_hits":"#),
+            "{}",
+            reply.line
+        );
+        let stats = parsed(&reply).get("stats").cloned().expect("stats payload");
+        assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
+        assert_eq!(stats.get("requests_total").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats
+                .get("requests_by_op")
+                .and_then(|o| o.get("ping"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
@@ -482,6 +691,27 @@ mod tests {
                 .and_then(Json::as_str),
             Some("tap3")
         );
+    }
+
+    #[test]
+    fn report_timings_are_opt_in_per_request() {
+        let server = server();
+        let source = r#""source":"for (i = 1; i < 16; i++) { y[i] = x[i-1] + x[i]; }""#;
+        // By default the response's report carries no timings array
+        // (the key is omitted entirely, not rendered empty)...
+        let bare = parsed(&server.handle_line(&format!(r#"{{"op":"compile",{source}}}"#)));
+        assert_eq!(bare.get("ok"), Some(&Json::Bool(true)));
+        assert!(bare.get("report").unwrap().get("timings").is_none());
+        // ...and `timings: true` keeps it.
+        let timed =
+            parsed(&server.handle_line(&format!(r#"{{"op":"compile",{source},"timings":true}}"#)));
+        let Some(Json::Arr(stages)) = timed.get("report").unwrap().get("timings") else {
+            panic!("timings array must be present when requested");
+        };
+        assert!(!stages.is_empty());
+        assert!(stages
+            .iter()
+            .any(|s| s.get("stage").and_then(Json::as_str) == Some("parse")));
     }
 
     #[test]

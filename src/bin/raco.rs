@@ -4,6 +4,7 @@
 //! raco compile <path>… [options]   compile DSL files / directories
 //! raco kernels [options]           compile the built-in kernel suite
 //! raco serve [options]             long-lived NDJSON compile service
+//! raco bench-trajectory [options]  run the pipeline benchmark suite
 //! raco help                        this text
 //! ```
 //!
@@ -21,6 +22,7 @@
 //!     --cache-save <f>   snapshot the warm cache when done (serve: on
 //!                        graceful shutdown and on `save_cache` requests)
 //!     --listing          print assembled per-unit listings
+//!     --timings          print the per-stage pipeline timing table
 //!     --json             print the JSON report to stdout
 //! -o, --output <file>    write the JSON report to a file
 //!     --quiet            suppress the table (useful with --json)
@@ -29,6 +31,10 @@
 //!     --stdio            serve stdin/stdout (the default transport)
 //!     --tcp <addr>       serve TCP connections on <addr> (e.g. 127.0.0.1:4750)
 //!     --cache-max <N>    bound the allocation cache at ~N entries (FIFO eviction)
+//!
+//! bench-trajectory-only:
+//!     --quick            fewer samples (CI smoke mode)
+//!     --label <s>        label stamped into the report (default "local")
 //! ```
 //!
 //! Exit status (uniform across subcommands):
@@ -55,6 +61,9 @@ struct CliOptions {
     cache: bool,
     validate: bool,
     listing: bool,
+    timings: bool,
+    quick: bool,
+    label: Option<String>,
     json: bool,
     output: Option<PathBuf>,
     quiet: bool,
@@ -77,6 +86,9 @@ impl Default for CliOptions {
             cache: true,
             validate: true,
             listing: false,
+            timings: false,
+            quick: false,
+            label: None,
             json: false,
             output: None,
             quiet: false,
@@ -97,6 +109,7 @@ fn usage() -> &'static str {
      \x20 raco compile <path>… [options]   compile DSL files / directories\n\
      \x20 raco kernels [options]           compile the built-in kernel suite\n\
      \x20 raco serve [options]             long-lived NDJSON compile service\n\
+     \x20 raco bench-trajectory [options]  run the pipeline benchmark suite\n\
      \x20 raco help                        this text\n\
      \n\
      options:\n\
@@ -111,6 +124,7 @@ fn usage() -> &'static str {
      \x20     --cache-save <f>   snapshot the warm cache when done (serve: on\n\
      \x20                        graceful shutdown and on `save_cache` requests)\n\
      \x20     --listing          print assembled per-unit listings\n\
+     \x20     --timings          print the per-stage pipeline timing table\n\
      \x20     --json             print the JSON report to stdout\n\
      \x20 -o, --output <file>    write the JSON report to a file\n\
      \x20     --quiet            suppress the table output\n\
@@ -119,6 +133,10 @@ fn usage() -> &'static str {
      \x20     --stdio            serve stdin/stdout (the default transport)\n\
      \x20     --tcp <addr>       serve TCP connections on <addr>\n\
      \x20     --cache-max <N>    bound the allocation cache at ~N entries\n\
+     \n\
+     bench-trajectory-only options:\n\
+     \x20     --quick            fewer samples (CI smoke mode)\n\
+     \x20     --label <s>        label stamped into the report (default \"local\")\n\
      \n\
      exit status:\n\
      \x20 0  every loop compiled (and validated); serve: clean shutdown\n\
@@ -146,6 +164,12 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
             "--no-cache" => options.cache = false,
             "--no-validate" => options.validate = false,
             "--listing" => options.listing = true,
+            "--timings" => options.timings = true,
+            "--quick" => options.quick = true,
+            "--label" => {
+                let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                options.label = Some(value);
+            }
             "--quiet" => options.quiet = true,
             "--json" => options.json = true,
             "--stdio" => options.stdio = true,
@@ -234,6 +258,13 @@ fn save_snapshot(pipeline: &Pipeline, options: &CliOptions) -> Result<(), String
 fn emit(report: &CompilationReport, options: &CliOptions) -> Result<(), String> {
     if !options.quiet {
         print!("{}", report.render_table());
+        if options.timings {
+            let table = report.render_timings_table();
+            if !table.is_empty() {
+                println!("\nper-stage pipeline timings:");
+                print!("{table}");
+            }
+        }
         if options.listing {
             for unit in &report.units {
                 if let Some(listing) = &unit.listing {
@@ -343,6 +374,33 @@ fn run() -> Result<bool, String> {
                         .serve(stdin.lock(), stdout.lock())
                         .map_err(|e| format!("serve: {e}"))?;
                 }
+            }
+            Ok(true)
+        }
+        "bench-trajectory" => {
+            let options = parse_options(args)?;
+            if !options.paths.is_empty() {
+                return Err("bench-trajectory: unexpected positional arguments".to_owned());
+            }
+            let benches = raco_bench::trajectory::run(options.quick);
+            let label = options.label.clone().unwrap_or_else(|| "local".to_owned());
+            let json = raco_bench::trajectory::report_json(&label, &benches);
+            let path = options
+                .output
+                .clone()
+                .unwrap_or_else(raco_bench::trajectory::default_output_path);
+            let mut rendered = json.render();
+            rendered.push('\n');
+            std::fs::write(&path, rendered).map_err(|e| format!("{}: {e}", path.display()))?;
+            if !options.quiet {
+                println!("bench      unit  median  samples");
+                for bench in &benches {
+                    println!(
+                        "{:<24} {:>4} {:>10.1} {:>8}",
+                        bench.name, bench.unit, bench.value, bench.samples
+                    );
+                }
+                println!("trajectory written to {}", path.display());
             }
             Ok(true)
         }

@@ -24,6 +24,7 @@
 //! | [`agu`] | `raco-agu` | address code generation, listings, simulator, modify registers |
 //! | [`oa`] | `raco-oa` | offset assignment for scalars (SOA/GOA, refs \[4,5\]) |
 //! | [`kernels`] | `raco-kernels` | DSPstone-style kernel suite |
+//! | [`obs`] | `raco-obs` | dependency-free metrics: counters, latency histograms, spans |
 //! | [`driver`] | `raco-driver` | batch pipeline: parallel scheduling, allocation cache, reports |
 //! | [`serve`] | `raco-serve` | long-lived compile service: NDJSON protocol over stdio/TCP |
 //!
@@ -64,4 +65,5 @@ pub use raco_graph as graph;
 pub use raco_ir as ir;
 pub use raco_kernels as kernels;
 pub use raco_oa as oa;
+pub use raco_obs as obs;
 pub use raco_serve as serve;

@@ -102,14 +102,15 @@ fn snapshots_load_across_machine_configs_without_false_sharing() {
 }
 
 /// Strips the fields that legitimately differ between two runs
-/// (timing, throughput, cache counters) so the rest must match byte
-/// for byte.
+/// (timing, throughput, cache counters, stage timings — a warm run
+/// takes hit stages where a cold run took miss stages) so the rest
+/// must match byte for byte.
 fn stable_fields(mut json: Json) -> Json {
     if let Json::Obj(fields) = &mut json {
         fields.retain(|(key, _)| {
             !matches!(
                 key.as_str(),
-                "elapsed_us" | "loops_per_second" | "threads" | "cache"
+                "elapsed_us" | "loops_per_second" | "threads" | "cache" | "timings"
             )
         });
     }

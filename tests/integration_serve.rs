@@ -50,7 +50,13 @@ fn golden_stdio_round_trip() {
         ),
     );
     assert_eq!(responses.len(), 4);
-    assert_eq!(responses[0].render(), r#"{"id":1,"ok":true,"pong":true}"#);
+    assert!(
+        responses[0]
+            .render()
+            .starts_with(r#"{"id":1,"ok":true,"pong":true,"elapsed_us":"#),
+        "{}",
+        responses[0].render()
+    );
 
     let report = responses[1].get("report").expect("compile report");
     assert_eq!(report.get("loops").and_then(Json::as_u64), Some(1));
@@ -64,10 +70,78 @@ fn golden_stdio_round_trip() {
     let kernel_report = responses[2].get("report").expect("kernel report");
     assert_eq!(kernel_report.get("failed").and_then(Json::as_u64), Some(0));
 
-    assert_eq!(
-        responses[3].render(),
-        r#"{"id":4,"ok":true,"shutdown":true}"#
+    assert!(
+        responses[3]
+            .render()
+            .starts_with(r#"{"id":4,"ok":true,"shutdown":true,"elapsed_us":"#),
+        "{}",
+        responses[3].render()
     );
+
+    // Every response line carries its end-to-end wall time.
+    for response in &responses {
+        assert!(
+            response.get("elapsed_us").is_some(),
+            "missing elapsed_us: {response:?}"
+        );
+    }
+}
+
+#[test]
+fn metrics_round_trip_reports_request_and_stage_latency() {
+    let server = default_server();
+    let compile = r#"{"op": "compile", "source": "for (i = 0; i < 32; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }"}"#;
+    let script = format!("{compile}\n{compile}\n{}\n", r#"{"op":"metrics","id":"m"}"#);
+    let responses = round_trip(&server, &script);
+    assert_eq!(responses.len(), 3);
+    assert!(responses.iter().all(ok));
+
+    let metrics = responses[2].get("metrics").expect("metrics payload");
+    assert!(metrics.get("uptime_ms").and_then(Json::as_u64).is_some());
+    assert_eq!(
+        metrics
+            .get("requests")
+            .and_then(|r| r.get("by_op"))
+            .and_then(|o| o.get("compile"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+
+    // End-to-end compile latency: both requests counted, quantiles sane.
+    let compile_latency = metrics
+        .get("latency_us")
+        .and_then(|l| l.get("compile"))
+        .expect("compile latency");
+    assert_eq!(compile_latency.get("count").and_then(Json::as_u64), Some(2));
+    let us = |field: &str| match compile_latency.get(field) {
+        Some(Json::Num(n)) => *n,
+        Some(Json::UInt(u)) => *u as f64,
+        Some(Json::Int(i)) => *i as f64,
+        other => panic!("{field} must be a number, got {other:?}"),
+    };
+    let (p50, p99) = (us("p50_us"), us("p99_us"));
+    assert!(p50 > 0.0, "a real compile takes measurable time");
+    assert!(p99 >= p50);
+
+    // The compiles above exercised the pipeline, so per-stage timings
+    // accumulated under their global names.
+    let pipeline = metrics.get("pipeline_us").expect("pipeline stages");
+    for stage in ["pipeline.parse", "pipeline.codegen", "pipeline.simulate"] {
+        assert!(
+            pipeline
+                .get(stage)
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 2,
+            "{stage} must have accumulated two compiles"
+        );
+    }
+
+    // Cache rates ride along: the second identical compile hit.
+    let cache = metrics.get("cache").expect("cache rates");
+    assert!(cache.get("allocation_hits").and_then(Json::as_u64).unwrap() > 0);
+    assert!(cache.get("hit_rate").is_some());
 }
 
 #[test]
@@ -230,9 +304,12 @@ fn clear_cache_empties_entries_over_the_protocol() {
             "\n",
         ),
     );
-    assert_eq!(
-        responses[1].render(),
-        r#"{"id":"c","ok":true,"cleared":true}"#
+    assert!(
+        responses[1]
+            .render()
+            .starts_with(r#"{"id":"c","ok":true,"cleared":true,"elapsed_us":"#),
+        "{}",
+        responses[1].render()
     );
     let entries = responses[2]
         .get("stats")
