@@ -111,6 +111,28 @@ impl AddressInstr {
     pub fn cycles(&self) -> u64 {
         self.words()
     }
+
+    /// The address register this instruction reads or writes, if any.
+    pub fn register(&self) -> Option<RegId> {
+        match self {
+            AddressInstr::Lda { reg, .. }
+            | AddressInstr::Adda { reg, .. }
+            | AddressInstr::Use { reg, .. } => Some(*reg),
+            AddressInstr::Ldm { .. } => None,
+        }
+    }
+
+    /// The modify register this instruction loads or applies, if any.
+    pub fn modify_register(&self) -> Option<MrId> {
+        match self {
+            AddressInstr::Ldm { mr, .. }
+            | AddressInstr::Use {
+                update: Update::Modify { mr },
+                ..
+            } => Some(*mr),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AddressInstr {
@@ -389,5 +411,40 @@ mod tests {
         assert!(listing.contains("; prologue"));
         assert!(listing.contains("LDM  M0, #5"));
         assert!(listing.contains("ADDA AR0, #7"));
+    }
+
+    #[test]
+    fn instruction_accessors_expose_referenced_registers() {
+        let lda = AddressInstr::Lda {
+            reg: RegId(3),
+            address: 0x40,
+        };
+        let ldm = AddressInstr::Ldm {
+            mr: MrId(1),
+            value: -2,
+        };
+        let adda = AddressInstr::Adda {
+            reg: RegId(0),
+            delta: 4,
+        };
+        let use_mr = AddressInstr::Use {
+            reg: RegId(2),
+            position: 0,
+            update: Update::Modify { mr: MrId(0) },
+        };
+        let use_auto = AddressInstr::Use {
+            reg: RegId(1),
+            position: 1,
+            update: Update::Auto { delta: -1 },
+        };
+        assert_eq!(lda.register(), Some(RegId(3)));
+        assert_eq!(lda.modify_register(), None);
+        assert_eq!(ldm.register(), None);
+        assert_eq!(ldm.modify_register(), Some(MrId(1)));
+        assert_eq!(adda.register(), Some(RegId(0)));
+        assert_eq!(use_mr.register(), Some(RegId(2)));
+        assert_eq!(use_mr.modify_register(), Some(MrId(0)));
+        assert_eq!(use_auto.register(), Some(RegId(1)));
+        assert_eq!(use_auto.modify_register(), None);
     }
 }

@@ -1,0 +1,1272 @@
+//! Declarative listing invariants — the second correctness oracle.
+//!
+//! The simulator (`raco_agu::sim`) is an *operational* oracle: it runs
+//! the generated address program against a captured access trace and
+//! compares every served address. This crate is the *declarative* one:
+//! each [`Invariant`] re-derives one property of a correct listing
+//! directly from the instruction rows — without executing them against
+//! a trace — and reports a structured [`Violation`] when the rows break
+//! it. The pipeline runs both oracles on every validated loop; a
+//! listing that one oracle accepts and the other rejects is itself a
+//! reportable bug class (an oracle disagreement), because the two
+//! derivations share no code.
+//!
+//! The invariant inventory lives in [`INVARIANTS`]; each entry carries
+//! a stable kebab-case `name` (used in violation reports, docs, and
+//! fuzz repros) and a `why` sentence explaining what a violation would
+//! mean for generated code. See ARCHITECTURE.md § "Listing invariants"
+//! for the prose version.
+//!
+//! Entry point: [`check_program`] (or [`check`] with a prepared
+//! [`CheckContext`]).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use raco_agu::{AddressInstr, AddressProgram, Update};
+use raco_ir::{AguSpec, ArrayId, LoopSpec, MemoryLayout};
+
+/// Everything an invariant may consult: the loop, the machine, the
+/// memory layout codegen targeted, the generated program, and (when
+/// the caller has one) the cost model's claimed cycles per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckContext<'a> {
+    /// The loop the program was generated for.
+    pub spec: &'a LoopSpec,
+    /// The memory layout the program's absolute addresses target.
+    pub layout: &'a MemoryLayout,
+    /// The machine the program must fit.
+    pub agu: &'a AguSpec,
+    /// The generated address program under check.
+    pub program: &'a AddressProgram,
+    /// Externally claimed addressing cycles per iteration (the cost
+    /// model's prediction), compared by `cycle-accounting` when given.
+    pub expected_cycles: Option<u64>,
+}
+
+/// One violated invariant instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the violated invariant (see [`INVARIANTS`]).
+    pub invariant: &'static str,
+    /// What the rows actually say, with concrete values.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.message)
+    }
+}
+
+/// Structured result of running every invariant over one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    invariants_checked: usize,
+    violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// `true` when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Every violation, in invariant-registry order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of invariants that ran.
+    pub fn invariants_checked(&self) -> usize {
+        self.invariants_checked
+    }
+
+    /// One-line summary: the first violations joined with `; `, with a
+    /// count of the remainder. Empty string when clean.
+    pub fn summary(&self) -> String {
+        const SHOWN: usize = 3;
+        let mut parts: Vec<String> = self
+            .violations
+            .iter()
+            .take(SHOWN)
+            .map(Violation::to_string)
+            .collect();
+        if self.violations.len() > SHOWN {
+            parts.push(format!("… and {} more", self.violations.len() - SHOWN));
+        }
+        parts.join("; ")
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(f, "clean ({} invariants)", self.invariants_checked)
+        } else {
+            write!(
+                f,
+                "{} violation(s): {}",
+                self.violations.len(),
+                self.summary()
+            )
+        }
+    }
+}
+
+/// A named declarative invariant over listing rows.
+pub struct Invariant {
+    /// Stable kebab-case name, referenced by violations and docs.
+    pub name: &'static str,
+    /// Why the invariant must hold on a correct listing.
+    pub why: &'static str,
+    check: fn(&CheckContext<'_>, &mut Vec<Violation>),
+}
+
+impl fmt::Debug for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Invariant")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// The full invariant inventory, in the order they run.
+pub const INVARIANTS: &[Invariant] = &[
+    Invariant {
+        name: "ar-in-machine-range",
+        why: "every address-register index must fit both the program's declared register \
+              count and the machine's K; an out-of-range AR encodes to a register the \
+              hardware does not have",
+        check: ar_in_machine_range,
+    },
+    Invariant {
+        name: "mr-in-machine-range",
+        why: "every modify-register index must fit the program's modify-value table and \
+              the machine's modify-register file; an out-of-range M reads undefined state",
+        check: mr_in_machine_range,
+    },
+    Invariant {
+        name: "prologue-loads-only",
+        why: "the prologue runs once before the loop and may only establish state (LDA/LDM, \
+              each destination exactly once); an ADDA or USE there would execute outside \
+              the steady state the body's delta ledger assumes",
+        check: prologue_loads_only,
+    },
+    Invariant {
+        name: "registers-initialized",
+        why: "each AR the body serves from must be LDA-ed to its first access's address and \
+              each M applied as a post-modify must be LDM-ed to its declared value; an \
+              uninitialized register serves whatever the hardware woke up with",
+        check: registers_initialized,
+    },
+    Invariant {
+        name: "use-sequence",
+        why: "the body must serve access positions 0..N exactly once each, in order — the \
+              data-path instructions consume their addresses in program order, so any \
+              permutation or omission feeds an instruction the wrong operand",
+        check: use_sequence,
+    },
+    Invariant {
+        name: "free-updates-in-range",
+        why: "an auto post-modify is only free when |delta| <= M; a larger immediate would \
+              not encode and must be an explicit ADDA instead",
+        check: free_updates_in_range,
+    },
+    Invariant {
+        name: "delta-coverage",
+        why: "between consecutive serves of one AR, the applied updates (auto post-modify, \
+              modify-register content, explicit ADDAs) must sum exactly to the address \
+              distance between the served accesses — including the wrap back to the next \
+              iteration; any gap leaves the register pointing at the wrong word",
+        check: delta_coverage,
+    },
+    Invariant {
+        name: "steady-state-advance",
+        why: "over one body pass each serving AR must advance by exactly the effective \
+              stride of its array, or addresses drift further off every iteration",
+        check: steady_state_advance,
+    },
+    Invariant {
+        name: "carry-boundaries",
+        why: "carry blocks may appear only at the flattened nest's period boundaries, hold \
+              only ADDAs, and per register must sum to the array's carry at that level — \
+              carries anywhere else fire mid-sweep and corrupt the inner loop",
+        check: carry_boundaries,
+    },
+    Invariant {
+        name: "cycle-accounting",
+        why: "the per-iteration addressing cost must be re-derivable from the rows (one \
+              cycle per body LDA/LDM/ADDA, zero per USE) and equal the cost the model \
+              claims; unaccounted cycles mean the optimizer is minimizing the wrong number",
+        check: cycle_accounting,
+    },
+];
+
+/// Runs every invariant in [`INVARIANTS`] over `ctx`.
+pub fn check(ctx: &CheckContext<'_>) -> CheckReport {
+    let mut violations = Vec::new();
+    for invariant in INVARIANTS {
+        (invariant.check)(ctx, &mut violations);
+    }
+    CheckReport {
+        invariants_checked: INVARIANTS.len(),
+        violations,
+    }
+}
+
+/// Convenience entry point: builds the [`CheckContext`] and runs
+/// [`check`].
+pub fn check_program(
+    spec: &LoopSpec,
+    layout: &MemoryLayout,
+    agu: &AguSpec,
+    program: &AddressProgram,
+    expected_cycles: Option<u64>,
+) -> CheckReport {
+    check(&CheckContext {
+        spec,
+        layout,
+        agu,
+        program,
+        expected_cycles,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Shared row derivations
+// ---------------------------------------------------------------------
+
+/// Where a row sits inside the program (for violation messages).
+#[derive(Debug, Clone, Copy)]
+enum RowLoc {
+    Prologue(usize),
+    Body(usize),
+    Carry(usize, usize),
+}
+
+impl fmt::Display for RowLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowLoc::Prologue(i) => write!(f, "prologue[{i}]"),
+            RowLoc::Body(i) => write!(f, "body[{i}]"),
+            RowLoc::Carry(b, i) => write!(f, "carry[{b}][{i}]"),
+        }
+    }
+}
+
+/// All rows of the program with their locations.
+fn rows(program: &AddressProgram) -> impl Iterator<Item = (RowLoc, &AddressInstr)> {
+    let prologue = program
+        .prologue()
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| (RowLoc::Prologue(i), instr));
+    let body = program
+        .body()
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| (RowLoc::Body(i), instr));
+    let carries = program.carries().iter().enumerate().flat_map(|(b, block)| {
+        block
+            .instrs
+            .iter()
+            .enumerate()
+            .map(move |(i, instr)| (RowLoc::Carry(b, i), instr))
+    });
+    prologue.chain(body).chain(carries)
+}
+
+/// Iteration-0, carry-free address of access `position`:
+/// `base + coefficient * start + offset`.
+fn flat_address(ctx: &CheckContext<'_>, position: usize) -> Option<i64> {
+    let access = ctx.spec.accesses().get(position)?;
+    let base = ctx.layout.base(access.array)?;
+    let info = ctx.spec.array_info(access.array)?;
+    Some(base + info.coefficient() * ctx.spec.start() + access.offset)
+}
+
+/// Per-iteration address advance of access `position`:
+/// `coefficient * loop stride`.
+fn flat_stride(ctx: &CheckContext<'_>, position: usize) -> Option<i64> {
+    let access = ctx.spec.accesses().get(position)?;
+    let info = ctx.spec.array_info(access.array)?;
+    Some(info.coefficient() * ctx.spec.stride())
+}
+
+/// The delta ledger of one address register over one body pass,
+/// re-derived purely from the rows.
+#[derive(Debug, Default, Clone)]
+struct Ledger {
+    /// Served positions with the update sum applied since the previous
+    /// serve (`gap` of the first entry is the head: deltas before the
+    /// register's first serve of the pass).
+    serves: Vec<(usize, i64)>,
+    /// Update sum accumulated since the last serve (the tail once the
+    /// walk ends).
+    pending: i64,
+    /// Sum of every update applied to the register in one body pass.
+    total: i64,
+    /// Set when the body reloads the register absolutely (LDA), which
+    /// makes a steady-state ledger underivable.
+    poisoned: bool,
+}
+
+/// Walks the body once and returns one [`Ledger`] per declared AR.
+/// Out-of-range register ids (reported by `ar-in-machine-range`) are
+/// skipped.
+fn body_ledgers(ctx: &CheckContext<'_>) -> Vec<Ledger> {
+    let declared = ctx.program.address_registers();
+    let modify_values = ctx.program.modify_values();
+    let mut ledgers = vec![Ledger::default(); declared];
+    for instr in ctx.program.body() {
+        match instr {
+            AddressInstr::Adda { reg, delta } => {
+                if let Some(ledger) = ledgers.get_mut(usize::from(reg.0)) {
+                    ledger.pending += delta;
+                    ledger.total += delta;
+                }
+            }
+            AddressInstr::Use {
+                reg,
+                position,
+                update,
+            } => {
+                let applied = match update {
+                    Update::None => 0,
+                    Update::Auto { delta } => *delta,
+                    Update::Modify { mr } => modify_values
+                        .get(usize::from(mr.0))
+                        .copied()
+                        .unwrap_or_default(),
+                };
+                if let Some(ledger) = ledgers.get_mut(usize::from(reg.0)) {
+                    ledger.serves.push((*position, ledger.pending));
+                    ledger.pending = applied;
+                    ledger.total += applied;
+                }
+            }
+            AddressInstr::Lda { reg, .. } => {
+                if let Some(ledger) = ledgers.get_mut(usize::from(reg.0)) {
+                    ledger.poisoned = true;
+                }
+            }
+            AddressInstr::Ldm { .. } => {}
+        }
+    }
+    ledgers
+}
+
+/// The single array a register's serves all belong to, or `None` when
+/// the chain is empty or spans arrays (the latter is reported by
+/// `delta-coverage`).
+fn chain_array(ctx: &CheckContext<'_>, ledger: &Ledger) -> Option<ArrayId> {
+    let accesses = ctx.spec.accesses();
+    let mut arrays = ledger
+        .serves
+        .iter()
+        .filter_map(|&(position, _)| accesses.get(position).map(|a| a.array));
+    let first = arrays.next()?;
+    arrays.all(|a| a == first).then_some(first)
+}
+
+fn push(out: &mut Vec<Violation>, invariant: &'static str, message: String) {
+    out.push(Violation { invariant, message });
+}
+
+// ---------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------
+
+fn ar_in_machine_range(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "ar-in-machine-range";
+    let declared = ctx.program.address_registers();
+    let machine = ctx.agu.address_registers();
+    if declared > machine {
+        push(
+            out,
+            NAME,
+            format!("program declares {declared} address registers but the machine has {machine}"),
+        );
+    }
+    for (loc, instr) in rows(ctx.program) {
+        if let Some(reg) = instr.register() {
+            if usize::from(reg.0) >= declared {
+                push(
+                    out,
+                    NAME,
+                    format!(
+                        "{reg} referenced at {loc} but the program declares only {declared} ARs"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn mr_in_machine_range(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "mr-in-machine-range";
+    let declared = ctx.program.modify_values().len();
+    let machine = ctx.agu.modify_registers();
+    if declared > machine {
+        push(
+            out,
+            NAME,
+            format!("program declares {declared} modify values but the machine has {machine} modify registers"),
+        );
+    }
+    for (loc, instr) in rows(ctx.program) {
+        if let Some(mr) = instr.modify_register() {
+            if usize::from(mr.0) >= declared {
+                push(
+                    out,
+                    NAME,
+                    format!("{mr} referenced at {loc} but the program declares only {declared} modify values"),
+                );
+            }
+        }
+    }
+}
+
+fn prologue_loads_only(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "prologue-loads-only";
+    let mut lda_seen: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut ldm_seen: BTreeMap<u16, usize> = BTreeMap::new();
+    for (i, instr) in ctx.program.prologue().iter().enumerate() {
+        match instr {
+            AddressInstr::Lda { reg, .. } => {
+                if let Some(first) = lda_seen.insert(reg.0, i) {
+                    push(
+                        out,
+                        NAME,
+                        format!("{reg} loaded twice in the prologue (rows {first} and {i})"),
+                    );
+                }
+            }
+            AddressInstr::Ldm { mr, .. } => {
+                if let Some(first) = ldm_seen.insert(mr.0, i) {
+                    push(
+                        out,
+                        NAME,
+                        format!("{mr} loaded twice in the prologue (rows {first} and {i})"),
+                    );
+                }
+            }
+            other => push(out, NAME, format!("prologue[{i}] is `{other}`, not a load")),
+        }
+    }
+}
+
+fn registers_initialized(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "registers-initialized";
+    let mut lda: BTreeMap<u16, i64> = BTreeMap::new();
+    let mut ldm: BTreeMap<u16, i64> = BTreeMap::new();
+    for instr in ctx.program.prologue() {
+        match instr {
+            AddressInstr::Lda { reg, address } => {
+                lda.entry(reg.0).or_insert(*address);
+            }
+            AddressInstr::Ldm { mr, value } => {
+                ldm.entry(mr.0).or_insert(*value);
+            }
+            _ => {}
+        }
+    }
+
+    // Every declared modify value must be LDM-ed to exactly that value:
+    // the delta ledger (and the hardware) read the register, not the
+    // table, so table and load must agree.
+    for (i, &value) in ctx.program.modify_values().iter().enumerate() {
+        let mr = u16::try_from(i).unwrap_or(u16::MAX);
+        match ldm.get(&mr) {
+            None => push(
+                out,
+                NAME,
+                format!("M{i} declares value {value} but the prologue never loads it"),
+            ),
+            Some(&loaded) if loaded != value => push(
+                out,
+                NAME,
+                format!("M{i} declares value {value} but the prologue loads {loaded}"),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    // Every AR referenced after the prologue must be LDA-ed, and a
+    // serving AR must start at its first access's address (adjusted by
+    // any deltas the body applies before that first serve).
+    let ledgers = body_ledgers(ctx);
+    let mut referenced: BTreeMap<u16, RowLoc> = BTreeMap::new();
+    for (loc, instr) in rows(ctx.program) {
+        if matches!(loc, RowLoc::Prologue(_)) {
+            continue;
+        }
+        if let Some(reg) = instr.register() {
+            referenced.entry(reg.0).or_insert(loc);
+        }
+    }
+    for (&reg, &loc) in &referenced {
+        if !lda.contains_key(&reg) {
+            push(
+                out,
+                NAME,
+                format!("AR{reg} used at {loc} but never loaded in the prologue"),
+            );
+        }
+    }
+    for (idx, ledger) in ledgers.iter().enumerate() {
+        let Some(&(first_position, head)) = ledger.serves.first() else {
+            continue;
+        };
+        let (Some(&loaded), Some(expected)) =
+            (lda.get(&(idx as u16)), flat_address(ctx, first_position))
+        else {
+            continue; // missing LDA reported above; bad position elsewhere
+        };
+        if loaded + head != expected {
+            push(
+                out,
+                NAME,
+                format!(
+                    "AR{idx} is loaded to {loaded} but its first serve (position {first_position}) \
+                     needs address {expected}{}",
+                    if head != 0 {
+                        format!(" ({head} applied before the first serve)")
+                    } else {
+                        String::new()
+                    }
+                ),
+            );
+        }
+    }
+}
+
+fn use_sequence(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "use-sequence";
+    let served: Vec<usize> = ctx
+        .program
+        .body()
+        .iter()
+        .filter_map(|instr| match instr {
+            AddressInstr::Use { position, .. } => Some(*position),
+            _ => None,
+        })
+        .collect();
+    let expected = ctx.spec.len();
+    if served.len() != expected {
+        push(
+            out,
+            NAME,
+            format!(
+                "body serves {} accesses but the loop has {expected}",
+                served.len()
+            ),
+        );
+    }
+    for (i, &position) in served.iter().enumerate() {
+        if position != i {
+            push(
+                out,
+                NAME,
+                format!("serve #{i} is position {position}, expected {i}"),
+            );
+            break; // one divergence implies a cascade; report the first
+        }
+    }
+}
+
+fn free_updates_in_range(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "free-updates-in-range";
+    for (loc, instr) in rows(ctx.program) {
+        if let AddressInstr::Use {
+            update: Update::Auto { delta },
+            ..
+        } = instr
+        {
+            if !ctx.agu.is_free_delta(*delta) {
+                push(
+                    out,
+                    NAME,
+                    format!(
+                        "{loc} auto post-modify {delta:+} exceeds the machine's modify range M={}",
+                        ctx.agu.modify_range()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn delta_coverage(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "delta-coverage";
+    for (i, instr) in ctx.program.body().iter().enumerate() {
+        match instr {
+            AddressInstr::Lda { reg, .. } => push(
+                out,
+                NAME,
+                format!("body[{i}] reloads {reg} absolutely; steady-state deltas are underivable"),
+            ),
+            AddressInstr::Ldm { mr, .. } => push(
+                out,
+                NAME,
+                format!("body[{i}] reloads {mr}; modify registers must be loop-invariant"),
+            ),
+            _ => {}
+        }
+    }
+    for (idx, ledger) in body_ledgers(ctx).iter().enumerate() {
+        if ledger.poisoned || ledger.serves.is_empty() {
+            continue;
+        }
+        // Intra-iteration gaps: updates between serve i-1 and serve i
+        // must equal the flat address distance.
+        for pair in ledger.serves.windows(2) {
+            let [(from, _), (to, gap)] = pair else {
+                continue;
+            };
+            let (Some(a), Some(b)) = (flat_address(ctx, *from), flat_address(ctx, *to)) else {
+                push(
+                    out,
+                    NAME,
+                    format!("AR{idx} serves a position outside the loop's access list"),
+                );
+                continue;
+            };
+            let distance = b - a;
+            if *gap != distance {
+                push(
+                    out,
+                    NAME,
+                    format!(
+                        "AR{idx} moves {gap:+} between positions {from} and {to}, but their \
+                         addresses are {distance:+} apart"
+                    ),
+                );
+            }
+        }
+        // Wrap: tail + head must carry the register from its last serve
+        // to its first serve of the next iteration. That distance is
+        // only constant when the chain stays on one effective stride.
+        let strides: Vec<i64> = ledger
+            .serves
+            .iter()
+            .filter_map(|&(position, _)| flat_stride(ctx, position))
+            .collect();
+        let Some(&stride) = strides.first() else {
+            continue;
+        };
+        if strides.iter().any(|&s| s != stride) {
+            push(
+                out,
+                NAME,
+                format!(
+                    "AR{idx} serves arrays with different effective strides; its wrap delta \
+                     cannot be constant"
+                ),
+            );
+            continue;
+        }
+        let (first, head) = ledger.serves[0];
+        let (last, _) = *ledger.serves.last().expect("non-empty");
+        let (Some(first_addr), Some(last_addr)) =
+            (flat_address(ctx, first), flat_address(ctx, last))
+        else {
+            continue;
+        };
+        let wrap = ledger.pending + head;
+        let needed = first_addr + stride - last_addr;
+        if wrap != needed {
+            push(
+                out,
+                NAME,
+                format!(
+                    "AR{idx} wraps {wrap:+} from position {last} back to position {first}, \
+                     but the next iteration needs {needed:+}"
+                ),
+            );
+        }
+    }
+}
+
+fn steady_state_advance(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "steady-state-advance";
+    for (idx, ledger) in body_ledgers(ctx).iter().enumerate() {
+        if ledger.poisoned || ledger.serves.is_empty() {
+            continue;
+        }
+        let strides: Vec<i64> = ledger
+            .serves
+            .iter()
+            .filter_map(|&(position, _)| flat_stride(ctx, position))
+            .collect();
+        let Some(&stride) = strides.first() else {
+            continue;
+        };
+        if strides.iter().any(|&s| s != stride) {
+            continue; // reported by delta-coverage
+        }
+        if ledger.total != stride {
+            push(
+                out,
+                NAME,
+                format!(
+                    "AR{idx} advances {:+} per iteration but its array strides {stride:+}",
+                    ledger.total
+                ),
+            );
+        }
+    }
+}
+
+fn carry_boundaries(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "carry-boundaries";
+    let blocks = ctx.program.carries();
+    let Some(nest) = ctx.spec.nest() else {
+        if !blocks.is_empty() {
+            push(
+                out,
+                NAME,
+                format!(
+                    "program has {} carry block(s) but the loop is not a flattened nest",
+                    blocks.len()
+                ),
+            );
+        }
+        return;
+    };
+    let periods = nest.periods();
+    for (b, block) in blocks.iter().enumerate() {
+        if !periods.contains(&block.period) {
+            push(
+                out,
+                NAME,
+                format!(
+                    "carry block {b} fires every {} iterations, which is not a nest period \
+                     (periods: {periods:?})",
+                    block.period
+                ),
+            );
+        }
+        for (i, instr) in block.instrs.iter().enumerate() {
+            if !matches!(instr, AddressInstr::Adda { .. }) {
+                push(
+                    out,
+                    NAME,
+                    format!("carry[{b}][{i}] is `{instr}`, not an ADDA"),
+                );
+            }
+        }
+    }
+
+    // Per register and period, the ADDA sum across blocks must equal
+    // the summed carries of the register's array at the levels sharing
+    // that period (levels with trip count 1 can share a period).
+    let ledgers = body_ledgers(ctx);
+    let mut actual: BTreeMap<(usize, u64), i64> = BTreeMap::new();
+    for block in blocks {
+        for instr in &block.instrs {
+            if let AddressInstr::Adda { reg, delta } = instr {
+                *actual
+                    .entry((usize::from(reg.0), block.period))
+                    .or_default() += delta;
+            }
+        }
+    }
+    let mut expected: BTreeMap<(usize, u64), i64> = BTreeMap::new();
+    for (idx, ledger) in ledgers.iter().enumerate() {
+        let Some(array) = chain_array(ctx, ledger) else {
+            // Mixed-array chains are reported by delta-coverage; their
+            // expected carries are not well-defined, so exclude them.
+            for period in &periods {
+                actual.remove(&(idx, *period));
+            }
+            continue;
+        };
+        let Some(info) = ctx.spec.array_info(array) else {
+            continue;
+        };
+        for (k, &period) in periods.iter().enumerate() {
+            let carry = info.carries().get(k).copied().unwrap_or(0);
+            if carry != 0 {
+                *expected.entry((idx, period)).or_default() += carry;
+            }
+        }
+    }
+    let keys: std::collections::BTreeSet<(usize, u64)> =
+        actual.keys().chain(expected.keys()).copied().collect();
+    for key in keys {
+        let got = actual.get(&key).copied().unwrap_or(0);
+        let need = expected.get(&key).copied().unwrap_or(0);
+        if got != need {
+            let (reg, period) = key;
+            push(
+                out,
+                NAME,
+                format!(
+                    "AR{reg} carry at period {period}: rows add {got:+}, nest requires {need:+}"
+                ),
+            );
+        }
+    }
+}
+
+fn cycle_accounting(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
+    const NAME: &str = "cycle-accounting";
+    let derived: u64 = ctx.program.body().iter().map(AddressInstr::cycles).sum();
+    if derived != ctx.program.cycles_per_iteration() {
+        push(
+            out,
+            NAME,
+            format!(
+                "rows give {derived} cycles per iteration but the program claims {}",
+                ctx.program.cycles_per_iteration()
+            ),
+        );
+    }
+    if let Some(expected) = ctx.expected_cycles {
+        if expected != derived {
+            push(
+                out,
+                NAME,
+                format!(
+                    "cost model claims {expected} cycles per iteration but the rows give {derived}"
+                ),
+            );
+        }
+    }
+    let words: u64 = rows(ctx.program).map(|(_, instr)| instr.words()).sum();
+    if words != ctx.program.words() {
+        push(
+            out,
+            NAME,
+            format!(
+                "rows occupy {words} instruction words but the program claims {}",
+                ctx.program.words()
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raco_agu::{MrId, RegId};
+    use raco_ir::{AccessKind, LoopNest, NestLevel};
+
+    /// `for (i = 0; i < n; i++) { … x[i] … x[i+2] … }` with x based at
+    /// 100: AR0 serves offset 0, AR1 serves offset 2, both advancing by
+    /// the stride 1 each iteration.
+    fn two_register_loop() -> (LoopSpec, MemoryLayout) {
+        let mut spec = LoopSpec::new("pair", "i", 1);
+        let x = spec.add_array("x", 1);
+        spec.push_access(x, 0, AccessKind::Read).unwrap();
+        spec.push_access(x, 2, AccessKind::Read).unwrap();
+        let layout = MemoryLayout::from_bases(vec![100]);
+        (spec, layout)
+    }
+
+    fn two_register_program() -> AddressProgram {
+        AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 100,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(1),
+                    address: 102,
+                },
+            ],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::Auto { delta: 1 },
+                },
+                AddressInstr::Use {
+                    reg: RegId(1),
+                    position: 1,
+                    update: Update::Auto { delta: 1 },
+                },
+            ],
+            2,
+            vec![],
+        )
+    }
+
+    fn agu() -> AguSpec {
+        AguSpec::new(4, 1).unwrap().with_modify_registers(2)
+    }
+
+    fn run(spec: &LoopSpec, layout: &MemoryLayout, program: &AddressProgram) -> CheckReport {
+        check_program(spec, layout, &agu(), program, None)
+    }
+
+    fn violated(report: &CheckReport) -> Vec<&'static str> {
+        report.violations().iter().map(|v| v.invariant).collect()
+    }
+
+    #[test]
+    fn clean_program_passes_every_invariant() {
+        let (spec, layout) = two_register_loop();
+        let report = run(&spec, &layout, &two_register_program());
+        assert!(report.is_clean(), "unexpected violations: {report}");
+        assert_eq!(report.invariants_checked(), INVARIANTS.len());
+        assert_eq!(report.summary(), "");
+    }
+
+    #[test]
+    fn expected_cycles_are_compared_when_given() {
+        let (spec, layout) = two_register_loop();
+        let program = two_register_program();
+        let clean = check_program(&spec, &layout, &agu(), &program, Some(0));
+        assert!(clean.is_clean());
+        let wrong = check_program(&spec, &layout, &agu(), &program, Some(3));
+        assert_eq!(violated(&wrong), ["cycle-accounting"]);
+    }
+
+    #[test]
+    fn out_of_range_address_register_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let mut program = two_register_program();
+        program = AddressProgram::new(
+            program.prologue().to_vec(),
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(9),
+                    position: 0,
+                    update: Update::Auto { delta: 1 },
+                },
+                AddressInstr::Use {
+                    reg: RegId(1),
+                    position: 1,
+                    update: Update::Auto { delta: 1 },
+                },
+            ],
+            2,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"ar-in-machine-range"));
+    }
+
+    #[test]
+    fn out_of_range_modify_register_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 100,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(1),
+                    address: 102,
+                },
+                AddressInstr::Ldm {
+                    mr: MrId(7),
+                    value: 1,
+                },
+            ],
+            two_register_program().body().to_vec(),
+            2,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"mr-in-machine-range"));
+    }
+
+    #[test]
+    fn adda_in_prologue_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let mut prologue = two_register_program().prologue().to_vec();
+        prologue.push(AddressInstr::Adda {
+            reg: RegId(0),
+            delta: 1,
+        });
+        let program =
+            AddressProgram::new(prologue, two_register_program().body().to_vec(), 2, vec![]);
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"prologue-loads-only"));
+    }
+
+    #[test]
+    fn wrong_initial_address_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 100,
+                },
+                AddressInstr::Lda {
+                    reg: RegId(1),
+                    address: 101, // should be 102
+                },
+            ],
+            two_register_program().body().to_vec(),
+            2,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"registers-initialized"));
+    }
+
+    #[test]
+    fn missing_modify_load_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            two_register_program().prologue().to_vec(),
+            two_register_program().body().to_vec(),
+            2,
+            vec![5], // declared but never LDM-ed
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"registers-initialized"));
+    }
+
+    #[test]
+    fn permuted_use_sequence_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            two_register_program().prologue().to_vec(),
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(1),
+                    position: 1,
+                    update: Update::Auto { delta: 1 },
+                },
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::Auto { delta: 1 },
+                },
+            ],
+            2,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"use-sequence"));
+    }
+
+    #[test]
+    fn oversized_auto_update_is_caught() {
+        // M = 1, so an auto post-modify of +2 cannot be free.
+        let mut spec = LoopSpec::new("wide", "i", 2);
+        let x = spec.add_array("x", 1);
+        spec.push_access(x, 0, AccessKind::Read).unwrap();
+        let layout = MemoryLayout::from_bases(vec![100]);
+        let program = AddressProgram::new(
+            vec![AddressInstr::Lda {
+                reg: RegId(0),
+                address: 100,
+            }],
+            vec![AddressInstr::Use {
+                reg: RegId(0),
+                position: 0,
+                update: Update::Auto { delta: 2 },
+            }],
+            1,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        assert_eq!(violated(&report), ["free-updates-in-range"]);
+    }
+
+    #[test]
+    fn uncovered_delta_is_caught_with_its_positions() {
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            two_register_program().prologue().to_vec(),
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::None, // drops the +1 wrap
+                },
+                AddressInstr::Use {
+                    reg: RegId(1),
+                    position: 1,
+                    update: Update::Auto { delta: 1 },
+                },
+            ],
+            2,
+            vec![],
+        );
+        let report = run(&spec, &layout, &program);
+        let names = violated(&report);
+        assert!(names.contains(&"delta-coverage"));
+        assert!(names.contains(&"steady-state-advance"));
+        let message = &report
+            .violations()
+            .iter()
+            .find(|v| v.invariant == "delta-coverage")
+            .unwrap()
+            .message;
+        assert!(message.contains("AR0"), "message: {message}");
+    }
+
+    #[test]
+    fn modify_register_deltas_participate_in_the_ledger() {
+        // One register serving offsets 0 and 2 with M0 = +2 covering
+        // the intra gap and an explicit ADDA covering the wrap (-1).
+        let (spec, layout) = two_register_loop();
+        let program = AddressProgram::new(
+            vec![
+                AddressInstr::Lda {
+                    reg: RegId(0),
+                    address: 100,
+                },
+                AddressInstr::Ldm {
+                    mr: MrId(0),
+                    value: 2,
+                },
+            ],
+            vec![
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 0,
+                    update: Update::Modify { mr: MrId(0) },
+                },
+                AddressInstr::Use {
+                    reg: RegId(0),
+                    position: 1,
+                    update: Update::Auto { delta: -1 },
+                },
+            ],
+            1,
+            vec![2],
+        );
+        let report = run(&spec, &layout, &program);
+        assert!(report.is_clean(), "unexpected violations: {report}");
+    }
+
+    #[test]
+    fn body_lda_poisons_the_ledger_and_is_reported() {
+        let (spec, layout) = two_register_loop();
+        let mut body = two_register_program().body().to_vec();
+        body.push(AddressInstr::Lda {
+            reg: RegId(0),
+            address: 100,
+        });
+        let program =
+            AddressProgram::new(two_register_program().prologue().to_vec(), body, 2, vec![]);
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"delta-coverage"));
+    }
+
+    /// A 2-level nest `for j in 0..3 { for i in 0..4 { x[i] } }` where
+    /// x carries +10 per outer sweep.
+    fn nested_loop() -> (LoopSpec, MemoryLayout) {
+        let mut spec = LoopSpec::new("nested", "i", 1);
+        let x = spec.add_array("x", 1);
+        spec.push_access(x, 0, AccessKind::Read).unwrap();
+        spec.set_nest(LoopNest::new(
+            vec![NestLevel {
+                var: "j".to_owned(),
+                start: 0,
+                stride: 1,
+                trips: 3,
+            }],
+            4,
+        ));
+        spec.set_array_carries(x, vec![10]).unwrap();
+        let layout = MemoryLayout::from_bases(vec![100]);
+        (spec, layout)
+    }
+
+    fn nested_program(carry: i64) -> AddressProgram {
+        AddressProgram::new(
+            vec![AddressInstr::Lda {
+                reg: RegId(0),
+                address: 100,
+            }],
+            vec![AddressInstr::Use {
+                reg: RegId(0),
+                position: 0,
+                update: Update::Auto { delta: 1 },
+            }],
+            1,
+            vec![],
+        )
+        .with_carries(vec![raco_agu::isa::CarryBlock {
+            period: 4,
+            instrs: vec![AddressInstr::Adda {
+                reg: RegId(0),
+                delta: carry,
+            }],
+        }])
+    }
+
+    #[test]
+    fn correct_carry_block_passes() {
+        let (spec, layout) = nested_loop();
+        let report = run(&spec, &layout, &nested_program(10));
+        assert!(report.is_clean(), "unexpected violations: {report}");
+    }
+
+    #[test]
+    fn wrong_carry_amount_is_caught() {
+        let (spec, layout) = nested_loop();
+        let report = run(&spec, &layout, &nested_program(9));
+        assert_eq!(violated(&report), ["carry-boundaries"]);
+    }
+
+    #[test]
+    fn carry_at_a_non_period_boundary_is_caught() {
+        let (spec, layout) = nested_loop();
+        let program = AddressProgram::new(
+            nested_program(10).prologue().to_vec(),
+            nested_program(10).body().to_vec(),
+            1,
+            vec![],
+        )
+        .with_carries(vec![raco_agu::isa::CarryBlock {
+            period: 5, // nest periods are [4]
+            instrs: vec![AddressInstr::Adda {
+                reg: RegId(0),
+                delta: 10,
+            }],
+        }]);
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"carry-boundaries"));
+    }
+
+    #[test]
+    fn carry_block_on_a_flat_loop_is_caught() {
+        let (spec, layout) = two_register_loop();
+        let program = two_register_program().with_carries(vec![raco_agu::isa::CarryBlock {
+            period: 4,
+            instrs: vec![AddressInstr::Adda {
+                reg: RegId(0),
+                delta: 1,
+            }],
+        }]);
+        let report = run(&spec, &layout, &program);
+        assert!(violated(&report).contains(&"carry-boundaries"));
+    }
+
+    #[test]
+    fn invariant_registry_is_well_formed() {
+        assert!(INVARIANTS.len() >= 8);
+        for invariant in INVARIANTS {
+            assert!(!invariant.name.is_empty());
+            assert!(!invariant.why.is_empty());
+            assert!(
+                invariant
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} is not kebab-case",
+                invariant.name
+            );
+        }
+        let mut names: Vec<_> = INVARIANTS.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), INVARIANTS.len(), "duplicate invariant names");
+    }
+}

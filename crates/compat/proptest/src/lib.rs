@@ -373,12 +373,51 @@ pub mod prelude {
     };
 }
 
+/// Environment variable overriding every property's case count.
+pub const CASES_ENV: &str = "RACO_PROPTEST_CASES";
+
+/// Environment variable replaying one specific case seed (as printed
+/// by a failure) instead of the whole stream.
+pub const SEED_ENV: &str = "RACO_PROPTEST_SEED";
+
+/// Effective case count: `RACO_PROPTEST_CASES` overrides the
+/// per-property config when set, so one knob turns every harness in
+/// the workspace into a quick smoke (`RACO_PROPTEST_CASES=16`) or a
+/// long soak (`RACO_PROPTEST_CASES=65536`) without touching code.
+fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var(CASES_ENV) {
+        Ok(value) => value
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{CASES_ENV}=`{value}` is not a valid case count")),
+        Err(_) => config.cases,
+    }
+}
+
+fn parse_seed(value: &str) -> u64 {
+    let trimmed = value.trim();
+    let parsed = match trimmed.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => trimmed.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("{SEED_ENV}=`{value}` is not a valid seed"))
+}
+
 /// Runs one property: `cases` random cases from a fixed seed; panics on
-/// the first failing case with enough context to reproduce it.
+/// the first failing case printing the exact per-case seed, which
+/// `RACO_PROPTEST_SEED=<seed>` replays as a single case.
 pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
 where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
+    if let Ok(value) = std::env::var(SEED_ENV) {
+        let case_seed = parse_seed(&value);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest property `{name}` failed replaying seed {case_seed:#x}: {e}");
+        }
+        return;
+    }
     // Derive the seed from the property name so distinct properties
     // explore distinct streams, deterministically across runs.
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
@@ -386,12 +425,15 @@ where
         seed ^= u64::from(b);
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    for case_index in 0..config.cases {
-        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(u64::from(case_index)));
+    let cases = effective_cases(config);
+    for case_index in 0..cases {
+        let case_seed = seed.wrapping_add(u64::from(case_index));
+        let mut rng = TestRng::seed_from_u64(case_seed);
         if let Err(e) = case(&mut rng) {
             panic!(
-                "proptest property `{name}` failed at case {case_index} \
-                 (seed {seed:#x}): {e}"
+                "proptest property `{name}` failed at case {case_index}/{cases} \
+                 (case seed {case_seed:#x}): {e}\n\
+                 reproduce this exact case with {SEED_ENV}={case_seed:#x}"
             );
         }
     }
@@ -519,6 +561,8 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::TestRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn union_and_ranges_generate_in_bounds() {
@@ -550,5 +594,65 @@ mod tests {
             let (want, got) = len;
             prop_assert_eq!(want, got);
         }
+    }
+
+    /// Serializes the env-var tests: environment mutation is process
+    /// global and the test harness runs threads in parallel.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn cases_env_overrides_the_config() {
+        let _guard = env_lock();
+        std::env::set_var(super::CASES_ENV, "7");
+        let mut ran = 0u32;
+        crate::run_property("env_cases", &ProptestConfig::with_cases(1000), |_rng| {
+            ran += 1;
+            Ok(())
+        });
+        std::env::remove_var(super::CASES_ENV);
+        assert_eq!(ran, 7, "{} must override config.cases", super::CASES_ENV);
+    }
+
+    #[test]
+    fn seed_env_replays_exactly_one_case() {
+        let _guard = env_lock();
+        std::env::set_var(super::SEED_ENV, "0xdead");
+        let mut values = Vec::new();
+        crate::run_property("env_seed", &ProptestConfig::with_cases(1000), |rng| {
+            values.push(rng.gen::<u64>());
+            Ok(())
+        });
+        std::env::remove_var(super::SEED_ENV);
+        assert_eq!(values.len(), 1, "seed replay runs a single case");
+        let mut replay = TestRng::seed_from_u64(0xdead);
+        assert_eq!(values[0], replay.gen::<u64>(), "replay uses the given seed");
+    }
+
+    #[test]
+    fn failures_print_the_reproducing_seed() {
+        let _guard = env_lock();
+        std::env::remove_var(super::CASES_ENV);
+        std::env::remove_var(super::SEED_ENV);
+        let outcome = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+                Err(TestCaseError::fail("forced"))
+            });
+        });
+        let payload = outcome.expect_err("failing property panics");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(
+            message.contains("case seed 0x"),
+            "failure must print its case seed: {message}"
+        );
+        assert!(
+            message.contains(&format!("{}=0x", super::SEED_ENV)),
+            "failure must say how to replay: {message}"
+        );
     }
 }

@@ -568,8 +568,16 @@ impl Pipeline {
                 sim::run(&program, &trace, &config.agu)
             };
             timings.record_ns(Stage::Simulate, codegen_done.elapsed().as_nanos() as u64);
-            match outcome {
-                Ok(sim_report) => {
+            // Second oracle: the declarative listing checker re-derives
+            // correctness from the rows alone. Both oracles must pass;
+            // a listing exactly one of them rejects is an oracle
+            // disagreement — its own bug class, never silently folded
+            // into a plain validation failure.
+            let checked = timings.time(Stage::Check, || {
+                raco_check::check_program(spec, &layout, &config.agu, &program, Some(report.cost))
+            });
+            match (outcome, checked.is_clean()) {
+                (Ok(sim_report), true) => {
                     let measured = sim_report.explicit_updates_per_iteration();
                     report.measured_cost = Some(measured);
                     report.addresses_checked = sim_report.accesses_checked();
@@ -585,8 +593,27 @@ impl Pipeline {
                         return (report, None);
                     }
                 }
-                Err(error) => {
-                    report.failure = Some(LoopFailure::Validation(error.to_string()));
+                (Ok(sim_report), false) => {
+                    report.measured_cost = Some(sim_report.explicit_updates_per_iteration());
+                    report.addresses_checked = sim_report.accesses_checked();
+                    report.failure = Some(LoopFailure::OracleDisagreement {
+                        simulator: None,
+                        checker: Some(checked.summary()),
+                    });
+                    return (report, None);
+                }
+                (Err(error), false) => {
+                    report.failure = Some(LoopFailure::Validation(format!(
+                        "{error}; checker: {}",
+                        checked.summary()
+                    )));
+                    return (report, None);
+                }
+                (Err(error), true) => {
+                    report.failure = Some(LoopFailure::OracleDisagreement {
+                        simulator: Some(error.to_string()),
+                        checker: None,
+                    });
                     return (report, None);
                 }
             }
@@ -974,6 +1001,7 @@ mod tests {
             "alloc_miss",
             "codegen",
             "simulate",
+            "check",
         ] {
             assert!(
                 stages.contains(&expected),

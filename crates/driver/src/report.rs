@@ -32,6 +32,18 @@ pub enum LoopFailure {
         /// Simulator-measured updates per iteration.
         measured: u64,
     },
+    /// The two validation oracles disagreed: exactly one of the
+    /// simulator (operational) and the declarative listing checker
+    /// rejected the program. Either the program is broken in a way one
+    /// oracle cannot see, or an oracle itself is — a bug class of its
+    /// own, always worth surfacing.
+    OracleDisagreement {
+        /// The simulator's complaint, when it was the one rejecting.
+        simulator: Option<String>,
+        /// The checker's violation summary, when it was the one
+        /// rejecting.
+        checker: Option<String>,
+    },
 }
 
 impl fmt::Display for LoopFailure {
@@ -47,6 +59,23 @@ impl fmt::Display for LoopFailure {
                 f,
                 "cost mismatch: allocator predicted {predicted}, simulator measured {measured}"
             ),
+            LoopFailure::OracleDisagreement { simulator, checker } => match (simulator, checker) {
+                (Some(sim), None) => write!(
+                    f,
+                    "oracle disagreement: checker passed but simulator rejected: {sim}"
+                ),
+                (None, Some(check)) => write!(
+                    f,
+                    "oracle disagreement: simulator passed but checker rejected: {check}"
+                ),
+                // Not constructed by the pipeline (both failing is a
+                // plain validation failure), but Display must total.
+                (sim, check) => write!(
+                    f,
+                    "oracle disagreement: simulator {:?}, checker {:?}",
+                    sim, check
+                ),
+            },
         }
     }
 }
@@ -612,6 +641,22 @@ mod tests {
         assert!(LoopFailure::Validation("boom".into())
             .to_string()
             .contains("boom"));
+        let checker_rejects = LoopFailure::OracleDisagreement {
+            simulator: None,
+            checker: Some("delta-coverage: AR0 drifts".into()),
+        };
+        assert_eq!(
+            checker_rejects.to_string(),
+            "oracle disagreement: simulator passed but checker rejected: delta-coverage: AR0 drifts"
+        );
+        let simulator_rejects = LoopFailure::OracleDisagreement {
+            simulator: Some("address mismatch".into()),
+            checker: None,
+        };
+        assert_eq!(
+            simulator_rejects.to_string(),
+            "oracle disagreement: checker passed but simulator rejected: address mismatch"
+        );
     }
 
     #[test]

@@ -31,10 +31,11 @@ pub(crate) enum Stage {
     Allocate,
     Codegen,
     Simulate,
+    Check,
 }
 
 impl Stage {
-    pub(crate) const ALL: [Stage; 10] = [
+    pub(crate) const ALL: [Stage; 11] = [
         Stage::Parse,
         Stage::Lower,
         Stage::CurveHit,
@@ -45,6 +46,7 @@ impl Stage {
         Stage::Allocate,
         Stage::Codegen,
         Stage::Simulate,
+        Stage::Check,
     ];
 
     pub(crate) fn name(self) -> &'static str {
@@ -59,6 +61,7 @@ impl Stage {
             Stage::Allocate => "allocate",
             Stage::Codegen => "codegen",
             Stage::Simulate => "simulate",
+            Stage::Check => "check",
         }
     }
 }
@@ -162,7 +165,7 @@ impl BatchTimings {
 pub struct StageTiming {
     /// Stage name (`parse`, `lower`, `curve_hit`, `curve_miss`,
     /// `partition`, `alloc_hit`, `alloc_miss`, `allocate`, `codegen`,
-    /// `simulate`).
+    /// `simulate`, `check`).
     pub stage: &'static str,
     /// Number of timed calls.
     pub calls: u64,

@@ -4,6 +4,7 @@
 //! raco compile <path>… [options]   compile DSL files / directories
 //! raco kernels [options]           compile the built-in kernel suite
 //! raco serve [options]             long-lived NDJSON compile service
+//! raco fuzz [options]              adversarial long-runner against `raco serve`
 //! raco bench-trajectory [options]  run the pipeline benchmark suite
 //! raco help                        this text
 //! ```
@@ -31,6 +32,13 @@
 //!     --stdio            serve stdin/stdout (the default transport)
 //!     --tcp <addr>       serve TCP connections on <addr> (e.g. 127.0.0.1:4750)
 //!     --cache-max <N>    bound the allocation cache at ~N entries (FIFO eviction)
+//!
+//! fuzz-only:
+//!     --budget <dur>     wall-clock budget, e.g. 45s, 2m, 500ms (default 45s)
+//!     --seed <N>         master seed (default: derived from the clock)
+//!     --max-cases <N>    stop after N cases even if budget remains
+//!     --failures-dir <d> where minimal repros go (default fuzz-failures/)
+//!     --transport <t>    stdio (default) or tcp
 //!
 //! bench-trajectory-only:
 //!     --quick            fewer samples (CI smoke mode)
@@ -72,6 +80,11 @@ struct CliOptions {
     cache_max: Option<usize>,
     cache_load: Option<PathBuf>,
     cache_save: Option<PathBuf>,
+    budget: Option<String>,
+    seed: Option<u64>,
+    max_cases: Option<u64>,
+    failures_dir: Option<PathBuf>,
+    transport: Option<String>,
     paths: Vec<PathBuf>,
 }
 
@@ -97,6 +110,11 @@ impl Default for CliOptions {
             cache_max: None,
             cache_load: None,
             cache_save: None,
+            budget: None,
+            seed: None,
+            max_cases: None,
+            failures_dir: None,
+            transport: None,
             paths: Vec::new(),
         }
     }
@@ -109,6 +127,7 @@ fn usage() -> &'static str {
      \x20 raco compile <path>… [options]   compile DSL files / directories\n\
      \x20 raco kernels [options]           compile the built-in kernel suite\n\
      \x20 raco serve [options]             long-lived NDJSON compile service\n\
+     \x20 raco fuzz [options]              adversarial long-runner against `raco serve`\n\
      \x20 raco bench-trajectory [options]  run the pipeline benchmark suite\n\
      \x20 raco help                        this text\n\
      \n\
@@ -133,6 +152,13 @@ fn usage() -> &'static str {
      \x20     --stdio            serve stdin/stdout (the default transport)\n\
      \x20     --tcp <addr>       serve TCP connections on <addr>\n\
      \x20     --cache-max <N>    bound the allocation cache at ~N entries\n\
+     \n\
+     fuzz-only options:\n\
+     \x20     --budget <dur>     wall-clock budget, e.g. 45s, 2m (default 45s)\n\
+     \x20     --seed <N>         master seed (default: derived from the clock)\n\
+     \x20     --max-cases <N>    stop after N cases even if budget remains\n\
+     \x20     --failures-dir <d> where minimal repros go (default fuzz-failures/)\n\
+     \x20     --transport <t>    stdio (default) or tcp\n\
      \n\
      bench-trajectory-only options:\n\
      \x20     --quick            fewer samples (CI smoke mode)\n\
@@ -180,6 +206,26 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
                 options.tcp = Some(value);
             }
             "--cache-max" => options.cache_max = Some(parse_number(&arg, iter.next())?),
+            "--budget" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a duration (e.g. 45s)"))?;
+                options.budget = Some(value);
+            }
+            "--seed" => options.seed = Some(parse_number(&arg, iter.next())?),
+            "--max-cases" => options.max_cases = Some(parse_number(&arg, iter.next())?),
+            "--failures-dir" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a directory path"))?;
+                options.failures_dir = Some(PathBuf::from(value));
+            }
+            "--transport" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs `stdio` or `tcp`"))?;
+                options.transport = Some(value);
+            }
             "--cache-load" => {
                 let value = iter
                     .next()
@@ -376,6 +422,60 @@ fn run() -> Result<bool, String> {
                 }
             }
             Ok(true)
+        }
+        "fuzz" => {
+            let options = parse_options(args)?;
+            if !options.paths.is_empty() {
+                return Err("fuzz: unexpected positional arguments".to_owned());
+            }
+            let budget = raco::fuzz::parse_budget(options.budget.as_deref().unwrap_or("45s"))?;
+            let seed = options.seed.unwrap_or_else(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0x5eed)
+            });
+            let binary =
+                std::env::current_exe().map_err(|e| format!("fuzz: cannot locate raco: {e}"))?;
+            let mut config = raco::fuzz::FuzzConfig::new(binary, budget, seed);
+            if let Some(dir) = &options.failures_dir {
+                config.failures_dir = dir.clone();
+            }
+            if let Some(max) = options.max_cases {
+                config.max_cases = max;
+            }
+            config.transport = match options.transport.as_deref() {
+                None | Some("stdio") => raco::fuzz::Transport::Stdio,
+                Some("tcp") => raco::fuzz::Transport::Tcp,
+                Some(other) => {
+                    return Err(format!("fuzz: unknown transport `{other}` (stdio or tcp)"))
+                }
+            };
+            if !options.quiet {
+                eprintln!(
+                    "raco fuzz: seed {seed:#x}, budget {:?}, transport {:?}",
+                    config.budget, config.transport
+                );
+            }
+            let outcome = raco::fuzz::run(&config).map_err(|e| format!("fuzz: {e}"))?;
+            if !options.quiet {
+                eprintln!("raco fuzz: {outcome}");
+            }
+            for failure in &outcome.failures {
+                eprintln!(
+                    "raco fuzz: FAILURE [{}] case {} (seed {:#x}): {}{}",
+                    failure.kind,
+                    failure.case,
+                    failure.seed,
+                    failure.detail,
+                    failure
+                        .repro
+                        .as_deref()
+                        .map(|p| format!("\n  repro: {}", p.display()))
+                        .unwrap_or_default()
+                );
+            }
+            Ok(outcome.failures.is_empty())
         }
         "bench-trajectory" => {
             let options = parse_options(args)?;

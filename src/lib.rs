@@ -22,11 +22,13 @@
 //! | [`graph`] | `raco-graph` | distance graph, path covers, matching, branch-and-bound |
 //! | [`core`] | `raco-core` | the two-phase allocator, merge strategies, exact oracle |
 //! | [`agu`] | `raco-agu` | address code generation, listings, simulator, modify registers |
+//! | [`check`] | `raco-check` | declarative listing invariants — the second correctness oracle |
 //! | [`oa`] | `raco-oa` | offset assignment for scalars (SOA/GOA, refs \[4,5\]) |
 //! | [`kernels`] | `raco-kernels` | DSPstone-style kernel suite |
 //! | [`obs`] | `raco-obs` | dependency-free metrics: counters, latency histograms, spans |
 //! | [`driver`] | `raco-driver` | batch pipeline: parallel scheduling, allocation cache, reports |
 //! | [`serve`] | `raco-serve` | long-lived compile service: NDJSON protocol over stdio/TCP |
+//! | [`fuzz`] | (this crate) | budgeted adversarial long-runner driving the real `raco serve` binary |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub use raco_agu as agu;
+pub use raco_check as check;
 pub use raco_core as core;
 pub use raco_driver as driver;
 pub use raco_graph as graph;
@@ -67,3 +70,5 @@ pub use raco_kernels as kernels;
 pub use raco_oa as oa;
 pub use raco_obs as obs;
 pub use raco_serve as serve;
+
+pub mod fuzz;

@@ -1,0 +1,96 @@
+//! End-to-end runs of the `raco fuzz` harness against the real binary.
+//!
+//! These are short, budgeted smoke runs — the CI long-runner gives the
+//! harness a real budget; here the point is that the whole machinery
+//! (spawn, NDJSON framing over both transports, cross-check against
+//! the in-process reference, snapshot cycles, teardown) works and a
+//! clean tree produces zero failures.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use raco::fuzz::{self, FuzzConfig, Transport};
+
+fn binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_raco"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("raco-fuzz-harness-{tag}-{}", std::process::id()))
+}
+
+fn run_transport(transport: Transport, tag: &str, seed: u64) {
+    let dir = scratch_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = FuzzConfig::new(binary(), Duration::from_secs(5), seed);
+    config.transport = transport;
+    config.failures_dir = dir.clone();
+    config.max_cases = 60;
+    let outcome = fuzz::run(&config).expect("fuzz infrastructure works");
+    assert!(
+        outcome.failures.is_empty(),
+        "clean tree must fuzz clean, got: {:?}",
+        outcome.failures
+    );
+    assert!(outcome.cases > 0, "budget must admit at least one case");
+    assert!(outcome.valid > 0, "mix must include valid compiles");
+    assert!(
+        !dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none(),
+        "no repro files on a clean run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_tree_fuzzes_clean_over_stdio() {
+    run_transport(Transport::Stdio, "stdio", 0x5eed_0001);
+}
+
+#[test]
+fn clean_tree_fuzzes_clean_over_tcp() {
+    run_transport(Transport::Tcp, "tcp", 0x5eed_0002);
+}
+
+#[test]
+fn fuzz_subcommand_reports_outcome_and_exits_zero() {
+    let dir = scratch_dir("cli");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = std::process::Command::new(binary())
+        .args([
+            "fuzz",
+            "--budget",
+            "3s",
+            "--seed",
+            "99",
+            "--max-cases",
+            "30",
+            "--failures-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("raco fuzz runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "exit {:?}, stderr:\n{stderr}",
+        output.status.code()
+    );
+    assert!(stderr.contains("seed 0x63"), "stderr:\n{stderr}");
+    assert!(stderr.contains("0 failure(s)"), "stderr:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_subcommand_rejects_bad_flags() {
+    for args in [
+        vec!["fuzz", "--budget", "ten"],
+        vec!["fuzz", "--transport", "carrier-pigeon"],
+        vec!["fuzz", "extra-positional"],
+    ] {
+        let output = std::process::Command::new(binary())
+            .args(&args)
+            .output()
+            .expect("raco runs");
+        assert_eq!(output.status.code(), Some(2), "args {args:?}");
+    }
+}

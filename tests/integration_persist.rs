@@ -160,3 +160,93 @@ fn second_process_with_cache_load_is_all_hits_and_byte_identical() {
         "cold and snapshot-warmed processes must emit identical reports"
     );
 }
+
+/// One-array shapes: each distinct `gap` canonicalizes to exactly one
+/// allocation entry and one cost-curve entry, so cache arithmetic
+/// below is exact.
+fn sweep_source(gap: usize) -> (String, String) {
+    (
+        format!("sweep{gap}"),
+        format!("for (i = 0; i < 32; i++) {{ s += x[i] + x[i + {gap}]; }}"),
+    )
+}
+
+#[test]
+fn bounded_cache_snapshot_survives_evictions_and_warm_boots_consistently() {
+    use raco::driver::CachePolicy;
+
+    let snap = temp_path("bounded");
+    std::fs::remove_file(&snap).ok();
+
+    const SHAPES: usize = 40;
+    let sweep: Vec<(String, String)> = (1..=SHAPES).map(sweep_source).collect();
+
+    // Cold bounded pipeline: the sweep must overflow the bound and
+    // evict FIFO-style before we snapshot.
+    let mut config = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+    config.cache_policy = CachePolicy::Bounded(16);
+    let bounded = Pipeline::with_config(config.clone());
+    let cold = bounded
+        .compile_units_with(bounded.config(), &sweep)
+        .expect("sweep compiles");
+    assert_eq!(cold.failed(), 0);
+    let stats = bounded.cache_stats();
+    assert!(
+        stats.allocation_evictions > 0,
+        "40 shapes over Bounded(16) must evict: {stats:?}"
+    );
+    let resident = stats.allocation_entries + stats.curve_entries;
+
+    // The snapshot holds exactly the SURVIVING entries — what FIFO
+    // kept, not what the sweep computed.
+    let saved = bounded.save_cache(&snap).expect("snapshot written");
+    assert_eq!(saved.entries(), resident, "snapshot == resident entries");
+    assert!(
+        (saved.allocations as u64) < SHAPES as u64,
+        "evictions must have trimmed the snapshot"
+    );
+
+    // Warm boot into an UNBOUNDED pipeline: every surviving entry
+    // loads, and recompiling the full sweep misses exactly on the
+    // evicted shapes — a single spurious miss of a loaded entry would
+    // break the arithmetic.
+    let warm = Pipeline::with_config(PipelineConfig::new(AguSpec::new(4, 1).unwrap()));
+    let loaded = warm.load_cache(&snap).expect("snapshot read");
+    assert_eq!(loaded.skipped, 0, "{:?}", loaded.warnings);
+    assert_eq!(loaded.duplicates, 0);
+    assert_eq!(loaded.loaded(), saved.entries());
+    assert_eq!(warm.cache_stats().loaded, saved.entries() as u64);
+
+    let resweep = warm
+        .compile_units_with(warm.config(), &sweep)
+        .expect("resweep compiles");
+    assert_eq!(resweep.failed(), 0);
+    let warm_stats = warm.cache_stats();
+    assert_eq!(
+        warm_stats.allocation_hits, saved.allocations as u64,
+        "every loaded allocation must hit exactly once"
+    );
+    assert_eq!(
+        warm_stats.allocation_misses,
+        SHAPES as u64 - saved.allocations as u64,
+        "misses must be exactly the evicted shapes"
+    );
+    assert_eq!(warm_stats.curve_hits, saved.curves as u64);
+    assert_eq!(warm_stats.curve_misses, SHAPES as u64 - saved.curves as u64);
+
+    // Warm boot into another BOUNDED pipeline: the load itself must
+    // respect the bound rather than ballooning past it.
+    let rebounded = Pipeline::with_config(config);
+    let reloaded = rebounded.load_cache(&snap).expect("snapshot read");
+    std::fs::remove_file(&snap).ok();
+    let rebounded_stats = rebounded.cache_stats();
+    assert!(
+        rebounded_stats.allocation_entries <= 16 + 16,
+        "bounded load must stay near the bound: {rebounded_stats:?}"
+    );
+    assert_eq!(
+        rebounded_stats.loaded,
+        reloaded.loaded() as u64,
+        "loaded counter matches the load report"
+    );
+}

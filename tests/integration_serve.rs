@@ -645,3 +645,152 @@ fn drain_gives_half_received_requests_a_grace_to_finish() {
         handle.join().expect("server thread").expect("clean exit");
     });
 }
+
+/// A small valid compile request with a distinctive reply.
+const DRIBBLE_REQUEST: &str =
+    r#"{"id":"dribble","op":"compile","source":"for (i = 0; i < 8; i++) { s += x[i] + y[i]; }"}"#;
+
+/// Reads exactly one reply line from the stream.
+fn one_reply(stream: &TcpStream) -> Json {
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().expect("clone socket"))
+        .read_line(&mut line)
+        .expect("read reply");
+    Json::parse(line.trim()).expect("reply is valid JSON")
+}
+
+/// Projects a reply onto its deterministic parts — id, ok, and the
+/// report's `machine`/`units` subtrees — dropping wall-clock and
+/// cumulative-cache fields that legitimately differ across requests.
+fn stable(reply: &Json) -> Json {
+    let report = reply.get("report");
+    Json::Obj(vec![
+        (
+            "id".to_owned(),
+            reply.get("id").cloned().unwrap_or(Json::Null),
+        ),
+        (
+            "ok".to_owned(),
+            reply.get("ok").cloned().unwrap_or(Json::Null),
+        ),
+        (
+            "machine".to_owned(),
+            report
+                .and_then(|r| r.get("machine"))
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "units".to_owned(),
+            report
+                .and_then(|r| r.get("units"))
+                .cloned()
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+#[test]
+fn dribbled_tcp_writes_parse_identically_to_whole_line_writes() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = default_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        let whole = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            writeln!(stream, "{DRIBBLE_REQUEST}").unwrap();
+            stream.flush().unwrap();
+            one_reply(&stream)
+        };
+        assert!(ok(&whole), "baseline request compiles: {whole:?}");
+
+        // Byte-at-a-time: every byte of the frame (newline included)
+        // arrives in its own TCP segment.
+        let dribbled = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let framed = format!("{DRIBBLE_REQUEST}\n");
+            for byte in framed.as_bytes() {
+                stream.write_all(std::slice::from_ref(byte)).unwrap();
+                stream.flush().unwrap();
+            }
+            one_reply(&stream)
+        };
+
+        // Split at an awkward mid-token boundary with a pause between
+        // the halves, so the frame straddles two reads.
+        let split = {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            let framed = format!("{DRIBBLE_REQUEST}\n");
+            let (head, tail) = framed.as_bytes().split_at(framed.len() / 2);
+            stream.write_all(head).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(120));
+            stream.write_all(tail).unwrap();
+            stream.flush().unwrap();
+            one_reply(&stream)
+        };
+
+        assert_eq!(
+            stable(&dribbled),
+            stable(&whole),
+            "byte-at-a-time delivery must parse to the identical reply"
+        );
+        assert_eq!(
+            stable(&split),
+            stable(&whole),
+            "a frame straddling two reads must parse to the identical reply"
+        );
+
+        let mut bye = TcpStream::connect(addr).expect("connect");
+        writeln!(bye, r#"{{"op":"shutdown"}}"#).unwrap();
+        bye.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&bye).read_line(&mut line).unwrap();
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
+fn coalesced_tcp_frames_each_get_their_own_reply() {
+    // The inverse of dribbling: several frames land in one segment.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = default_server();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let batch = format!(
+                "{}\n{}\n{}\n",
+                r#"{"op":"ping","id":1}"#, DRIBBLE_REQUEST, r#"{"op":"ping","id":2}"#
+            );
+            stream.write_all(batch.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let replies: Vec<Json> = reader
+                .lines()
+                .take(3)
+                .map(|line| Json::parse(&line.expect("read")).expect("valid JSON"))
+                .collect();
+            assert_eq!(replies.len(), 3);
+            assert!(
+                replies.iter().all(ok),
+                "all three frames served: {replies:?}"
+            );
+            assert_eq!(replies[0].get("id"), Some(&Json::Int(1)));
+            assert_eq!(replies[2].get("id"), Some(&Json::Int(2)));
+        }
+
+        let mut bye = TcpStream::connect(addr).expect("connect");
+        writeln!(bye, r#"{{"op":"shutdown"}}"#).unwrap();
+        bye.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&bye).read_line(&mut line).unwrap();
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
