@@ -59,6 +59,9 @@
 mod metrics;
 pub mod protocol;
 pub mod server;
+mod shard;
 
 pub use protocol::{Envelope, Knobs, ProtocolError, Request};
-pub use server::{Reply, Server, MAX_REQUEST_LINE};
+pub use server::{
+    Reply, ServeOptions, Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_QUEUE_DEPTH, MAX_REQUEST_LINE,
+};

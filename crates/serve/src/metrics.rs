@@ -9,6 +9,7 @@
 //! [`raco_obs::global()`] (surfaced here as `pipeline_us`) breaks the
 //! same wall time down by pipeline stage.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +49,20 @@ pub(crate) struct ServiceMetrics {
     in_flight: Arc<Gauge>,
     /// Pre-resolved (counter, histogram) handle per [`OP_LABELS`] entry.
     ops: [(Arc<Counter>, Arc<Histogram>); OP_LABELS.len()],
+    /// Connections refused by the `--max-connections` bound. Plain
+    /// atomics rather than registry counters: [`total_requests`] sums
+    /// every registry counter, and a shed connection never became a
+    /// request.
+    ///
+    /// [`total_requests`]: Self::total_requests
+    shed_connections: AtomicU64,
+    /// Requests refused because their shard's queue was full.
+    shed_queue: AtomicU64,
+    /// Connections closed for not completing a request within the read
+    /// deadline.
+    read_deadlines: AtomicU64,
+    /// Requests whose compile outran the compute deadline.
+    compute_deadlines: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -65,7 +80,37 @@ impl ServiceMetrics {
             started: Instant::now(),
             in_flight,
             ops,
+            shed_connections: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            read_deadlines: AtomicU64::new(0),
+            compute_deadlines: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one connection refused at the `--max-connections` bound.
+    pub(crate) fn note_shed_connection(&self) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request refused by a full shard queue.
+    pub(crate) fn note_shed_queue(&self) {
+        self.shed_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection reaped by the read deadline.
+    pub(crate) fn note_read_deadline(&self) {
+        self.read_deadlines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one compile that outran the compute deadline.
+    pub(crate) fn note_compute_deadline(&self) {
+        self.compute_deadlines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests/connections shed (queue + connection cap).
+    #[cfg(test)]
+    pub(crate) fn total_shed(&self) -> u64 {
+        self.shed_connections.load(Ordering::Relaxed) + self.shed_queue.load(Ordering::Relaxed)
     }
 
     /// Marks one request as entering the service.
@@ -123,8 +168,11 @@ impl ServiceMetrics {
 
     /// The full `metrics` response payload: uptime, request counts,
     /// per-op latency quantiles, accumulated pipeline stage timings
-    /// (from [`raco_obs::global()`]) and cache hit/eviction rates.
-    pub(crate) fn payload(&self, cache: &CacheStats) -> Json {
+    /// (from [`raco_obs::global()`]), shed/deadline counters, cache
+    /// hit/eviction rates (aggregated across shards) and — when the
+    /// server runs more than one shard — a per-shard breakdown the
+    /// caller renders.
+    pub(crate) fn payload(&self, cache: &CacheStats, shards: Option<Json>) -> Json {
         let by_op: Vec<(String, Json)> = self
             .registry
             .counters()
@@ -144,7 +192,7 @@ impl ServiceMetrics {
             .filter(|(_, snapshot)| snapshot.count > 0)
             .map(|(name, snapshot)| (name, histogram_json(&snapshot)))
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("uptime_ms".to_owned(), Json::UInt(self.uptime_ms())),
             (
                 "requests".to_owned(),
@@ -156,14 +204,44 @@ impl ServiceMetrics {
             ),
             ("latency_us".to_owned(), Json::Obj(latency)),
             ("pipeline_us".to_owned(), Json::Obj(pipeline)),
+            (
+                "shed".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "connections".to_owned(),
+                        Json::UInt(self.shed_connections.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "queue".to_owned(),
+                        Json::UInt(self.shed_queue.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "deadlines".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "read".to_owned(),
+                        Json::UInt(self.read_deadlines.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "compute".to_owned(),
+                        Json::UInt(self.compute_deadlines.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             ("cache".to_owned(), protocol::stats_json(cache)),
-        ])
+        ];
+        if let Some(shards) = shards {
+            fields.push(("shards".to_owned(), shards));
+        }
+        Json::Obj(fields)
     }
 }
 
 /// One latency histogram as JSON: exact count/total plus estimated
 /// quantiles, durations converted from nanoseconds to microseconds.
-fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
+pub(crate) fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
     let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
     Json::Obj(vec![
         ("count".to_owned(), Json::UInt(snapshot.count)),
@@ -188,7 +266,7 @@ mod tests {
         metrics.finish("compile", 5_000);
         assert_eq!(metrics.total_requests(), 2);
         assert_eq!(metrics.in_flight.get(), 0);
-        let payload = metrics.payload(&CacheStats::default());
+        let payload = metrics.payload(&CacheStats::default(), None);
         let requests = payload.get("requests").unwrap();
         assert_eq!(requests.get("total").and_then(Json::as_u64), Some(2));
         assert_eq!(
@@ -204,6 +282,27 @@ mod tests {
             .unwrap();
         assert_eq!(compile.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(compile.get("total_us"), Some(&Json::Num(5.0)));
+    }
+
+    #[test]
+    fn shed_and_deadline_counters_stay_out_of_request_totals() {
+        let metrics = ServiceMetrics::new();
+        metrics.note_shed_connection();
+        metrics.note_shed_queue();
+        metrics.note_shed_queue();
+        metrics.note_read_deadline();
+        metrics.note_compute_deadline();
+        // Sheds and deadline reaps never became requests.
+        assert_eq!(metrics.total_requests(), 0);
+        assert_eq!(metrics.total_shed(), 3);
+        let payload = metrics.payload(&CacheStats::default(), None);
+        let shed = payload.get("shed").expect("shed object");
+        assert_eq!(shed.get("connections").and_then(Json::as_u64), Some(1));
+        assert_eq!(shed.get("queue").and_then(Json::as_u64), Some(2));
+        let deadlines = payload.get("deadlines").expect("deadlines object");
+        assert_eq!(deadlines.get("read").and_then(Json::as_u64), Some(1));
+        assert_eq!(deadlines.get("compute").and_then(Json::as_u64), Some(1));
+        assert!(payload.get("shards").is_none(), "single-process payload");
     }
 
     #[test]

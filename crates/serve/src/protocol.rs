@@ -49,6 +49,15 @@
 //! response. The server appends an `elapsed_us` field (end-to-end
 //! request wall time, microseconds) to every response it sends.
 //!
+//! Operational failures of the serve tier additionally carry a
+//! machine-readable `error_kind`: `busy` (the `--max-connections`
+//! bound refused the connection), `shed` (the routed shard's queue was
+//! full), `read_deadline` (no complete request arrived within
+//! `--read-deadline`; the connection is then closed) and
+//! `compute_deadline` (the compile outran `--compute-deadline`; the
+//! connection survives and the shard finishes warming its cache in the
+//! background, so a retry usually hits).
+//!
 //! Compile reports carry the full machine (`address_registers`,
 //! `modify_range`, `modify_registers`) and, per loop, the explicit
 //! `predicted_cycles` / `measured_cycles` pair: the allocator prices
@@ -410,6 +419,24 @@ pub fn ack_line(id: &Option<Json>, flag: &str) -> String {
 /// An error response.
 pub fn error_line(id: &Option<Json>, message: &str) -> String {
     envelope(id, false, vec![("error".to_owned(), Json::str(message))])
+}
+
+/// An error response with a machine-readable kind:
+/// `{"ok":false,"error_kind":"…","error":"…"}`.
+///
+/// The serve tier names its operational failures so clients can react
+/// without parsing prose: `busy` (connection cap reached), `shed`
+/// (shard queue full), `read_deadline` (no complete request in time)
+/// and `compute_deadline` (the compile outran its budget).
+pub fn error_kind_line(id: &Option<Json>, kind: &str, message: &str) -> String {
+    envelope(
+        id,
+        false,
+        vec![
+            ("error_kind".to_owned(), Json::str(kind)),
+            ("error".to_owned(), Json::str(message)),
+        ],
+    )
 }
 
 /// [`CacheStats`] as a JSON object (the `stats` response payload).

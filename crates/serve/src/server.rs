@@ -1,11 +1,12 @@
-//! The service loop: one warm [`Pipeline`] behind stdio or TCP.
+//! The service loop: shard-per-core pipelines behind stdio or TCP.
 //!
-//! A [`Server`] owns exactly one [`Pipeline`], so every request —
-//! whatever its transport or connection — warms the same allocation
-//! cache. That is the whole point of serve mode: the paper's two-phase
-//! allocation is expensive once per *shape*, and long-lived traffic
-//! repeats shapes endlessly, so the second client gets the first
-//! client's search for free.
+//! A [`Server`] owns a set of shards (the private `shard` module), each
+//! with
+//! its own warm [`Pipeline`], and routes every compile by a consistent
+//! hash of its *canonical* cache key — so every repetition of a shape
+//! lands on the shard that already paid for its allocation. In the
+//! default single-shard configuration this degenerates to the original
+//! design: one pipeline, one cache, zero handoff overhead.
 //!
 //! Transports:
 //!
@@ -14,20 +15,35 @@
 //!   buffers in tests).
 //! * [`Server::serve_tcp`] — accepts TCP connections and runs the same
 //!   loop per connection on a scoped thread, so concurrent clients
-//!   compile in parallel against the shared cache. A `shutdown`
-//!   request stops the accept loop.
+//!   compile in parallel against the shard set. A `shutdown` request
+//!   stops the accept loop.
+//!
+//! The TCP tier enforces production bounds, each configured through
+//! [`ServeOptions`]: a connection cap (over-limit connects get a
+//! `busy` error and a clean close), a per-request read deadline (a
+//! client with no complete request in time is answered with a
+//! `read_deadline` error and reaped — the slow-loris fix), a compute
+//! deadline (a compile that outruns it gets a `compute_deadline` error
+//! while the shard finishes warming its cache in the background), and
+//! bounded shard queues (a full queue sheds the request with a `shed`
+//! error instead of queueing unbounded work).
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use raco_driver::json::Json;
-use raco_driver::{Pipeline, PipelineConfig};
+use raco_driver::{
+    persist, AllocationCache, CompilationReport, LoadReport, PersistError, Pipeline,
+    PipelineConfig, SaveReport,
+};
 
-use crate::metrics::{ServiceMetrics, INVALID_OP};
+use crate::metrics::{self, ServiceMetrics, INVALID_OP};
 use crate::protocol::{self, Envelope, Request};
+use crate::shard::{self, ShardSet, ShedError};
 
 /// How long a drained connection thread may lag behind the stop flag:
 /// blocked reads wake at this interval to check whether a shutdown was
@@ -42,20 +58,70 @@ const DRAIN_POLL: Duration = Duration::from_millis(50);
 /// wedge the drain, so the grace is bounded (10 × 50 ms = 500 ms).
 const DRAIN_GRACE_POLLS: u32 = 10;
 
+/// Accept-loop backoff bounds: an idle listener starts polling at the
+/// floor and doubles up to the ceiling, and any accepted connection
+/// resets it — so connect latency right after an idle stretch is
+/// bounded by the ceiling (1 ms), not a fixed sleep.
+const ACCEPT_BACKOFF_FLOOR: Duration = Duration::from_micros(25);
+const ACCEPT_BACKOFF_CEIL: Duration = Duration::from_millis(1);
+
 /// Maximum accepted request line length in bytes (1 MiB). Longer lines
 /// are consumed and answered with an error response — the connection
 /// survives, and a hostile or buggy client can no longer balloon server
 /// memory by never sending a newline.
 pub const MAX_REQUEST_LINE: usize = 1 << 20;
 
+/// Default bound on queued requests per shard.
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default bound on concurrently served TCP connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// Operational limits of the serve tier. [`Default`] reproduces the
+/// pre-shard behaviour exactly: one shard, inline execution, no
+/// deadlines — existing embedders and tests see no change unless they
+/// opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Shard workers to run; `0` means one per available core.
+    pub shards: usize,
+    /// Bound on queued requests per shard; beyond it requests are shed
+    /// with an `ok:false` `shed` response.
+    pub queue_depth: usize,
+    /// A TCP connection with no *complete* request line within this
+    /// window is answered with a `read_deadline` error and closed
+    /// (slow-loris reaping). `None` disables reaping.
+    pub read_deadline: Option<Duration>,
+    /// A compile outrunning this budget gets a `compute_deadline`
+    /// error; the connection survives and the shard finishes the
+    /// compile in the background (warming its cache for a retry).
+    /// `None` disables the deadline (and keeps single-shard servers on
+    /// the inline zero-handoff path).
+    pub compute_deadline: Option<Duration>,
+    /// Bound on concurrently served TCP connections; over-limit
+    /// connects get an `ok:false` `busy` response and a clean close.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: 1,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            read_deadline: None,
+            compute_deadline: None,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        }
+    }
+}
+
 /// Reads one newline-terminated line from `reader`, capping its length
 /// at `limit` bytes (exclusive of the newline).
 ///
-/// Returns `None` at end of input, `Some(Ok(line))` for a line within
-/// the cap, and `Some(Err(total_bytes))` for an oversized line — which
-/// is consumed to its terminating newline (buffering at most one
-/// `BufRead` chunk at a time) so the caller can keep serving the
-/// connection.
+/// Returns `None` at end of input, otherwise a [`ReadOutcome`]: a line
+/// within the cap, an oversized line (consumed to its terminating
+/// newline — buffering at most one `BufRead` chunk at a time — so the
+/// caller can keep serving the connection), or an idle timeout.
 ///
 /// When `stop` is given, the underlying stream is expected to have a
 /// read timeout: a timed-out read re-checks the flag and either keeps
@@ -67,11 +133,19 @@ pub const MAX_REQUEST_LINE: usize = 1 << 20;
 /// for the client to finish it — so a request the client is actively
 /// sending still gets served, but a stalled half-line cannot wedge the
 /// drain forever.
+///
+/// When `idle_deadline` is given, the whole read — from entry to the
+/// terminating newline — must finish within it; otherwise the caller
+/// gets [`ReadOutcome::IdleTimeout`]. This is what unseats a slow
+/// loris: a client that connects and never completes a line used to
+/// park its connection thread until shutdown.
 fn read_limited_line<R: BufRead>(
     reader: &mut R,
     limit: usize,
     stop: Option<&AtomicBool>,
-) -> io::Result<Option<Result<String, u64>>> {
+    idle_deadline: Option<Duration>,
+) -> io::Result<Option<ReadOutcome>> {
+    let deadline = idle_deadline.map(|window| Instant::now() + window);
     let mut line: Vec<u8> = Vec::new();
     let mut total: u64 = 0;
     let mut saw_input = false;
@@ -85,6 +159,11 @@ fn read_limited_line<R: BufRead>(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        return Ok(Some(ReadOutcome::IdleTimeout));
+                    }
+                }
                 match stop {
                     Some(flag) if flag.load(Ordering::Acquire) => {
                         if !saw_input || grace == 0 {
@@ -126,10 +205,23 @@ fn read_limited_line<R: BufRead>(
         }
     }
     if total > limit as u64 {
-        Ok(Some(Err(total)))
+        Ok(Some(ReadOutcome::Oversized(total)))
     } else {
-        Ok(Some(Ok(String::from_utf8_lossy(&line).into_owned())))
+        Ok(Some(ReadOutcome::Line(
+            String::from_utf8_lossy(&line).into_owned(),
+        )))
     }
+}
+
+/// What one bounded line read produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReadOutcome {
+    /// A complete line within the cap.
+    Line(String),
+    /// A line of this many bytes exceeded the cap (fully drained).
+    Oversized(u64),
+    /// No complete line arrived within the idle deadline.
+    IdleTimeout,
 }
 
 /// One response line plus the connection's fate.
@@ -141,10 +233,43 @@ pub struct Reply {
     pub shutdown: bool,
 }
 
-/// A long-lived compile service over one shared warm cache.
+/// What a routed compile runs on its shard.
+enum ComputeWork {
+    /// Named DSL units (a `compile` request, or one named kernel).
+    Units(Vec<(String, String)>),
+    /// The whole built-in kernel suite.
+    KernelSuite,
+}
+
+/// Why a routed compile produced no report.
+enum ComputeError {
+    /// The pipeline itself failed (parse error, driver error…).
+    Driver(String),
+    /// The routed shard's queue was full.
+    Shed(ShedError),
+    /// The compile outran the compute deadline.
+    Deadline(Duration),
+}
+
+/// Runs one unit of compute work against a shard's pipeline.
+fn run_work(
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    work: &ComputeWork,
+) -> Result<CompilationReport, String> {
+    match work {
+        ComputeWork::Units(units) => pipeline
+            .compile_units_with(config, units)
+            .map_err(|e| e.to_string()),
+        ComputeWork::KernelSuite => Ok(pipeline.compile_kernels_with(config)),
+    }
+}
+
+/// A long-lived compile service over a consistent-hash shard set.
 #[derive(Debug)]
 pub struct Server {
-    pipeline: Pipeline,
+    shards: ShardSet,
+    options: ServeOptions,
     /// Where graceful shutdowns (and default-path `save_cache`
     /// requests) snapshot the warm cache; `None` disables both.
     cache_save_path: Option<PathBuf>,
@@ -158,14 +283,40 @@ impl Server {
     /// from `config`. Per-request knobs override everything except the
     /// cache policy, which is fixed for the server's lifetime.
     pub fn new(config: PipelineConfig) -> Self {
-        Self::with_pipeline(Pipeline::with_config(config))
+        Self::with_options(config, ServeOptions::default())
+    }
+
+    /// A server with explicit operational limits: shard count, queue
+    /// depth, read/compute deadlines and the connection cap.
+    pub fn with_options(config: PipelineConfig, options: ServeOptions) -> Self {
+        let mut options = options;
+        if options.shards == 0 {
+            options.shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+        }
+        options.queue_depth = options.queue_depth.max(1);
+        options.max_connections = options.max_connections.max(1);
+        // One shard with no compute deadline needs no worker handoff:
+        // jobs run inline on the submitting thread, exactly like the
+        // pre-shard server (loopback benches and embedders keep their
+        // zero-handoff latency).
+        let inline = options.shards == 1 && options.compute_deadline.is_none();
+        let shards = ShardSet::new(&config, options.shards, options.queue_depth, inline);
+        Server {
+            shards,
+            options,
+            cache_save_path: None,
+            metrics: ServiceMetrics::new(),
+        }
     }
 
     /// Wraps an existing pipeline (e.g. one pre-warmed by a batch run
-    /// or one that loaded a cache snapshot at boot).
+    /// or one that loaded a cache snapshot at boot) as a single-shard
+    /// inline server.
     pub fn with_pipeline(pipeline: Pipeline) -> Self {
+        let options = ServeOptions::default();
         Server {
-            pipeline,
+            shards: ShardSet::from_pipeline(pipeline, options.queue_depth),
+            options,
             cache_save_path: None,
             metrics: ServiceMetrics::new(),
         }
@@ -185,9 +336,58 @@ impl Server {
         self.cache_save_path.as_deref()
     }
 
-    /// The shared pipeline (for stats, cache control, pre-warming).
+    /// The server's operational limits (normalized: `shards` is the
+    /// resolved count, never 0).
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Shard 0's pipeline. With the default single shard this is *the*
+    /// pipeline, exactly as before sharding; with more shards it is
+    /// only one slice of the cache — use
+    /// [`cache_stats`](Self::cache_stats) for fleet-wide numbers.
     pub fn pipeline(&self) -> &Pipeline {
-        &self.pipeline
+        self.shards.first_pipeline()
+    }
+
+    /// Cache statistics aggregated across every shard.
+    pub fn cache_stats(&self) -> raco_driver::CacheStats {
+        self.shards.aggregate_cache_stats()
+    }
+
+    /// Seeds **every** shard's pipeline from the snapshot at `path`, so
+    /// each shard boots warm whatever slice of the keyspace it owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's load failure (shards are seeded in
+    /// order; a failure leaves later shards cold).
+    pub fn load_cache(&self, path: &std::path::Path) -> Result<Vec<LoadReport>, PersistError> {
+        self.shards
+            .shards()
+            .iter()
+            .map(|shard| shard.pipeline.load_cache(path))
+            .collect()
+    }
+
+    /// Snapshots the union of every shard's cache to `path`. A
+    /// single-shard server saves its pipeline's cache directly
+    /// (preserving that cache's `persisted` accounting); a sharded one
+    /// folds all shards into a fresh cache first, so the snapshot
+    /// warms a later boot of *any* shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying persistence failure.
+    pub fn save_cache_merged(&self, path: &std::path::Path) -> Result<SaveReport, PersistError> {
+        if self.shards.len() == 1 {
+            return self.shards.first_pipeline().save_cache(path);
+        }
+        let merged = AllocationCache::new();
+        for shard in self.shards.shards() {
+            merged.absorb_entries(shard.pipeline.cache());
+        }
+        persist::save(&merged, path)
     }
 
     /// Writes the shutdown snapshot, if one is configured. Both serve
@@ -197,7 +397,7 @@ impl Server {
     /// it must not fail the service).
     fn snapshot_on_shutdown(&self) {
         if let Some(path) = &self.cache_save_path {
-            match self.pipeline.save_cache(path) {
+            match self.save_cache_merged(path) {
                 Ok(report) => {
                     eprintln!("raco serve: cache snapshot {} ({report})", path.display());
                 }
@@ -223,6 +423,108 @@ impl Server {
         self.metrics.finish(op, elapsed_ns);
         reply.line = attach_elapsed(reply.line, elapsed_ns);
         reply
+    }
+
+    /// Routes one compile to its shard and waits for the report —
+    /// inline on the calling thread for a single-shard no-deadline
+    /// server, through the shard's bounded queue otherwise.
+    fn execute(
+        &self,
+        key: u64,
+        config: PipelineConfig,
+        work: ComputeWork,
+    ) -> Result<CompilationReport, ComputeError> {
+        let shard = self.shards.route(key);
+        if self.shards.is_inline() {
+            let mut out = None;
+            shard.run_inline(|pipeline| out = Some(run_work(pipeline, &config, &work)));
+            return out
+                .expect("inline job ran on the calling thread")
+                .map_err(ComputeError::Driver);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        shard
+            .submit(Box::new(move |pipeline| {
+                // The receiver may have walked away on a compute
+                // deadline; the compile still warmed the shard cache.
+                let _ = tx.send(run_work(pipeline, &config, &work));
+            }))
+            .map_err(ComputeError::Shed)?;
+        let result = match self.options.compute_deadline {
+            Some(deadline) => match rx.recv_timeout(deadline) {
+                Ok(result) => result,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(ComputeError::Deadline(deadline))
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err("shard worker unavailable".to_owned())
+                }
+            },
+            None => rx
+                .recv()
+                .unwrap_or_else(|_| Err("shard worker unavailable".to_owned())),
+        };
+        result.map_err(ComputeError::Driver)
+    }
+
+    /// Renders a routed compile's failure, counting sheds and deadline
+    /// hits into the service metrics.
+    fn compute_error_line(&self, id: &Option<Json>, error: &ComputeError) -> String {
+        match error {
+            ComputeError::Driver(message) => protocol::error_line(id, message),
+            ComputeError::Shed(shed) => {
+                self.metrics.note_shed_queue();
+                protocol::error_kind_line(
+                    id,
+                    "shed",
+                    &format!(
+                        "shard {} queue full (depth {}); request shed — retry with backoff",
+                        shed.shard, shed.depth
+                    ),
+                )
+            }
+            ComputeError::Deadline(deadline) => {
+                self.metrics.note_compute_deadline();
+                protocol::error_kind_line(
+                    id,
+                    "compute_deadline",
+                    &format!(
+                        "compile exceeded the {} ms compute deadline; the shard keeps \
+                         warming its cache in the background, so a retry may hit",
+                        deadline.as_millis()
+                    ),
+                )
+            }
+        }
+    }
+
+    /// The per-shard `metrics` breakdown: request count, compute
+    /// latency and the shard's own cache statistics (whose hit rates
+    /// show consistent routing keeping each slice hot).
+    fn shards_json(&self) -> Json {
+        Json::Arr(
+            self.shards
+                .shards()
+                .iter()
+                .map(|shard| {
+                    let stats = shard.pipeline.cache_stats();
+                    let mut fields = vec![
+                        ("id".to_owned(), Json::UInt(shard.index as u64)),
+                        (
+                            "requests".to_owned(),
+                            Json::UInt(shard.executed.load(Ordering::Relaxed)),
+                        ),
+                        ("hit_rate".to_owned(), Json::Num(stats.hit_rate())),
+                        ("cache".to_owned(), protocol::stats_json(&stats)),
+                    ];
+                    let latency = shard.latency.snapshot();
+                    if latency.count > 0 {
+                        fields.push(("compute_us".to_owned(), metrics::histogram_json(&latency)));
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        )
     }
 
     /// Decodes and executes one request; returns the op label the
@@ -254,27 +556,27 @@ impl Server {
             }
             reply(protocol::report_line(&id, &report))
         };
+        let base_config = self.shards.first_pipeline().config();
         let out = match request {
             Request::Compile { name, source } => {
-                let config = match knobs.apply(self.pipeline.config()) {
+                let config = match knobs.apply(base_config) {
                     Ok(config) => config,
                     Err(message) => return (op, reply(protocol::error_line(&id, &message))),
                 };
-                match self.pipeline.compile_units_with(&config, &[(name, source)]) {
+                let key = shard::compile_route_key(&source, &config);
+                match self.execute(key, config, ComputeWork::Units(vec![(name, source)])) {
                     Ok(report) => report_reply(report),
-                    Err(e) => reply(protocol::error_line(&id, &e.to_string())),
+                    Err(e) => reply(self.compute_error_line(&id, &e)),
                 }
             }
             Request::Kernels { kernel } => {
-                let config = match knobs.apply(self.pipeline.config()) {
+                let config = match knobs.apply(base_config) {
                     Ok(config) => config,
                     Err(message) => return (op, reply(protocol::error_line(&id, &message))),
                 };
-                match kernel {
-                    None => {
-                        let report = self.pipeline.compile_kernels_with(&config);
-                        report_reply(report)
-                    }
+                let key = shard::kernels_route_key(kernel.as_deref(), &config);
+                let work = match kernel {
+                    None => ComputeWork::KernelSuite,
                     Some(name) => {
                         let suite = raco_kernels::suite();
                         let Some(kernel) = suite.iter().find(|k| k.name() == name) else {
@@ -290,19 +592,18 @@ impl Server {
                                 )),
                             );
                         };
-                        let unit = (name.clone(), kernel.source().to_owned());
-                        match self.pipeline.compile_units_with(&config, &[unit]) {
-                            Ok(report) => report_reply(report),
-                            Err(e) => reply(protocol::error_line(&id, &e.to_string())),
-                        }
+                        ComputeWork::Units(vec![(name.clone(), kernel.source().to_owned())])
                     }
+                };
+                match self.execute(key, config, work) {
+                    Ok(report) => report_reply(report),
+                    Err(e) => reply(self.compute_error_line(&id, &e)),
                 }
             }
             Request::Stats => {
                 // Cache counters first (their layout is load-bearing
                 // for scripted clients), then the service fields.
-                let Json::Obj(mut fields) = protocol::stats_json(&self.pipeline.cache_stats())
-                else {
+                let Json::Obj(mut fields) = protocol::stats_json(&self.cache_stats()) else {
                     unreachable!("stats_json returns an object")
                 };
                 fields.extend(self.metrics.stats_fields());
@@ -312,14 +613,17 @@ impl Server {
                 ))
             }
             Request::Metrics => {
-                let payload = self.metrics.payload(&self.pipeline.cache_stats());
+                let shards = (self.shards.len() > 1).then(|| self.shards_json());
+                let payload = self.metrics.payload(&self.cache_stats(), shards);
                 reply(protocol::payload_line(
                     &id,
                     vec![("metrics".to_owned(), payload)],
                 ))
             }
             Request::ClearCache => {
-                self.pipeline.clear_cache();
+                for shard in self.shards.shards() {
+                    shard.pipeline.clear_cache();
+                }
                 reply(protocol::ack_line(&id, "cleared"))
             }
             Request::SaveCache { path } => {
@@ -337,7 +641,7 @@ impl Server {
                         )
                     }
                 };
-                match self.pipeline.save_cache(&target) {
+                match self.save_cache_merged(&target) {
                     Ok(report) => reply(protocol::saved_line(&id, &target, &report)),
                     Err(error) => reply(protocol::error_line(&id, &error.to_string())),
                 }
@@ -391,15 +695,19 @@ impl Server {
     }
 
     fn serve_inner<R: BufRead, W: Write>(&self, input: &mut R, output: &mut W) -> io::Result<()> {
-        while let Some(read) = read_limited_line(input, MAX_REQUEST_LINE, None)? {
+        // Stdio has no read timeouts, so the idle deadline does not
+        // apply here: a pipe's writer is the server's own supervisor,
+        // not an untrusted remote peer.
+        while let Some(read) = read_limited_line(input, MAX_REQUEST_LINE, None, None)? {
             let reply = match read {
-                Ok(line) => {
+                ReadOutcome::Line(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
                     self.handle_line(&line)
                 }
-                Err(total) => self.oversized_reply(total),
+                ReadOutcome::Oversized(total) => self.oversized_reply(total),
+                ReadOutcome::IdleTimeout => unreachable!("no idle deadline on stdio"),
             };
             output.write_all(reply.line.as_bytes())?;
             output.write_all(b"\n")?;
@@ -412,8 +720,14 @@ impl Server {
     }
 
     /// Accepts connections on `listener` and serves each on its own
-    /// scoped thread against the shared pipeline, until any client
-    /// sends `shutdown`.
+    /// scoped thread against the shard set, until any client sends
+    /// `shutdown`.
+    ///
+    /// Operational bounds ([`ServeOptions`]) are enforced here: at most
+    /// `max_connections` concurrent connections (over-limit connects
+    /// are answered with a `busy` error and closed), and per-connection
+    /// read deadlines (enforced by the capped line reader's idle
+    /// handling).
     ///
     /// Shutdown is a **graceful drain**: the accept loop stops, every
     /// connection thread finishes the request it is currently
@@ -432,19 +746,37 @@ impl Server {
         // shutdown request (on any connection thread) sets.
         listener.set_nonblocking(true)?;
         let stop = AtomicBool::new(false);
+        let active = AtomicUsize::new(0);
         let result = std::thread::scope(|scope| {
+            let mut backoff = ACCEPT_BACKOFF_FLOOR;
             while !stop.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _addr)) => {
+                        backoff = ACCEPT_BACKOFF_FLOOR;
+                        if active.load(Ordering::Acquire) >= self.options.max_connections {
+                            self.metrics.note_shed_connection();
+                            self.refuse_connection(&stream);
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
                         let stop = &stop;
+                        let active = &active;
                         scope.spawn(move || {
-                            if self.serve_stream(&stream, stop) {
+                            let shutdown = self.serve_stream(&stream, stop);
+                            active.fetch_sub(1, Ordering::AcqRel);
+                            if shutdown {
                                 stop.store(true, Ordering::Release);
                             }
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
+                        // Exponential backoff from a 25 µs floor to a
+                        // 1 ms ceiling (reset on every accept): a burst
+                        // arriving after an idle stretch waits at most
+                        // the ceiling, where a fixed 5 ms sleep used to
+                        // put a hard floor under connect latency.
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_CEIL);
                     }
                     Err(e) => return Err(e),
                 }
@@ -457,21 +789,51 @@ impl Server {
         result
     }
 
+    /// Answers an over-limit connection with a `busy` error and drops
+    /// it. Best-effort: a peer that cannot take the write is simply
+    /// closed.
+    fn refuse_connection(&self, stream: &TcpStream) {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let mut line = protocol::error_kind_line(
+            &None,
+            "busy",
+            &format!(
+                "server is at its connection limit ({}); retry with backoff",
+                self.options.max_connections
+            ),
+        );
+        line.push('\n');
+        let mut writer = stream;
+        let _ = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush());
+    }
+
     /// Serves one TCP connection; `true` if the client asked the whole
     /// server to shut down. The read side polls `stop` (via a read
     /// timeout) so a drain elsewhere closes this connection between
-    /// requests instead of waiting for the client to hang up.
+    /// requests instead of waiting for the client to hang up, and — in
+    /// the same polling — enforces the read deadline: a client with no
+    /// complete request within it gets a `read_deadline` error and is
+    /// closed, freeing the thread a slow loris used to pin.
     fn serve_stream(&self, stream: &TcpStream, stop: &AtomicBool) -> bool {
         // Blocking per-connection I/O (the listener's nonblocking flag
         // is inherited on some platforms) with a short read timeout —
         // the timeout is what turns a parked idle connection into one
-        // that notices a server-wide drain.
+        // that notices a server-wide drain or an expired read deadline.
         if stream.set_nonblocking(false).is_err() {
             return false;
         }
         if stream.set_read_timeout(Some(DRAIN_POLL)).is_err() {
             return false;
         }
+        // Replies are written as one buffer, but disable Nagle anyway:
+        // with it on, any reply split across writes has its tail held
+        // hostage by the peer's delayed ACK (~40 ms on Linux) — fatal
+        // to request/response latency on a warm cache.
+        let _ = stream.set_nodelay(true);
         let mut writer = match stream.try_clone() {
             Ok(writer) => writer,
             Err(_) => return false,
@@ -479,19 +841,51 @@ impl Server {
         let mut reader = BufReader::new(stream);
         let mut shutdown = false;
         // Per-connection I/O errors just end this connection.
-        while let Ok(Some(read)) = read_limited_line(&mut reader, MAX_REQUEST_LINE, Some(stop)) {
+        while let Ok(Some(read)) = read_limited_line(
+            &mut reader,
+            MAX_REQUEST_LINE,
+            Some(stop),
+            self.options.read_deadline,
+        ) {
             let reply = match read {
-                Ok(line) => {
+                ReadOutcome::Line(line) => {
                     if line.trim().is_empty() {
                         continue;
                     }
                     self.handle_line(&line)
                 }
-                Err(total) => self.oversized_reply(total),
+                ReadOutcome::Oversized(total) => self.oversized_reply(total),
+                ReadOutcome::IdleTimeout => {
+                    // The slow-loris reap: answer, then close. After a
+                    // mid-line stall the stream offers no resync point,
+                    // and an idle keep-alive past the deadline has had
+                    // its chance — either way the thread is reclaimed.
+                    self.metrics.note_read_deadline();
+                    let deadline = self
+                        .options
+                        .read_deadline
+                        .expect("idle timeout implies a deadline");
+                    let mut line = protocol::error_kind_line(
+                        &None,
+                        "read_deadline",
+                        &format!(
+                            "no complete request within the {} ms read deadline; closing",
+                            deadline.as_millis()
+                        ),
+                    );
+                    line.push('\n');
+                    let _ = writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.flush());
+                    break;
+                }
             };
+            // One framed write per reply: a reply split across writes
+            // would interact with Nagle + delayed ACKs (see above).
+            let mut framed = reply.line;
+            framed.push('\n');
             if writer
-                .write_all(reply.line.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
+                .write_all(framed.as_bytes())
                 .and_then(|()| writer.flush())
                 .is_err()
             {
@@ -636,12 +1030,59 @@ mod tests {
             assert!(entry.get("count").and_then(Json::as_u64).unwrap() >= 2);
         }
 
+        // Zero sheds and deadline hits, but the counters are present.
+        let shed = metrics.get("shed").expect("shed counters");
+        assert_eq!(shed.get("connections").and_then(Json::as_u64), Some(0));
+        assert_eq!(shed.get("queue").and_then(Json::as_u64), Some(0));
+        let deadlines = metrics.get("deadlines").expect("deadline counters");
+        assert_eq!(deadlines.get("read").and_then(Json::as_u64), Some(0));
+        assert_eq!(deadlines.get("compute").and_then(Json::as_u64), Some(0));
+        // A single-shard server reports no per-shard breakdown.
+        assert!(metrics.get("shards").is_none());
+
         let cache = metrics.get("cache").expect("cache rates");
         assert!(cache.get("hit_rate").is_some());
         assert!(
             cache.get("allocation_hits").and_then(Json::as_u64).unwrap() > 0,
             "second identical compile hits the warm cache"
         );
+    }
+
+    #[test]
+    fn sharded_metrics_report_per_shard_breakdown() {
+        let server = Server::with_options(
+            PipelineConfig::new(AguSpec::new(4, 1).unwrap()),
+            ServeOptions {
+                shards: 3,
+                ..ServeOptions::default()
+            },
+        );
+        let compile =
+            r#"{"op":"compile","source":"for (i = 0; i < 8; i++) { y[i] = x[i] + x[i+1]; }"}"#;
+        let first = parsed(&server.handle_line(compile));
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        server.handle_line(compile);
+        let json = parsed(&server.handle_line(r#"{"op":"metrics"}"#));
+        let metrics = json.get("metrics").expect("metrics payload");
+        let Some(Json::Arr(shards)) = metrics.get("shards") else {
+            panic!("sharded server reports a shards array: {json:?}");
+        };
+        assert_eq!(shards.len(), 3);
+        let executed: u64 = shards
+            .iter()
+            .map(|s| s.get("requests").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(executed, 2, "both compiles executed on some shard");
+        // Consistent routing: the identical source hit exactly one shard.
+        let busy: Vec<u64> = shards
+            .iter()
+            .map(|s| s.get("requests").and_then(Json::as_u64).unwrap())
+            .filter(|&n| n > 0)
+            .collect();
+        assert_eq!(busy, vec![2], "one shard took both identical compiles");
+        // And the aggregate cache saw the second compile hit.
+        let cache = metrics.get("cache").expect("aggregate cache");
+        assert!(cache.get("allocation_hits").and_then(Json::as_u64).unwrap() > 0);
     }
 
     #[test]
@@ -754,26 +1195,114 @@ mod tests {
         let input = format!("short\n{}\nafter\n", "x".repeat(100));
         let mut reader = std::io::BufReader::with_capacity(16, input.as_bytes());
         assert_eq!(
-            read_limited_line(&mut reader, 40, None).unwrap(),
-            Some(Ok("short".to_owned()))
+            read_limited_line(&mut reader, 40, None, None).unwrap(),
+            Some(ReadOutcome::Line("short".to_owned()))
         );
         // The long line reports its true length and is fully drained …
         assert_eq!(
-            read_limited_line(&mut reader, 40, None).unwrap(),
-            Some(Err(100))
+            read_limited_line(&mut reader, 40, None, None).unwrap(),
+            Some(ReadOutcome::Oversized(100))
         );
         // … so the next read picks up exactly at the following line.
         assert_eq!(
-            read_limited_line(&mut reader, 40, None).unwrap(),
-            Some(Ok("after".to_owned()))
+            read_limited_line(&mut reader, 40, None, None).unwrap(),
+            Some(ReadOutcome::Line("after".to_owned()))
         );
-        assert_eq!(read_limited_line(&mut reader, 40, None).unwrap(), None);
+        assert_eq!(
+            read_limited_line(&mut reader, 40, None, None).unwrap(),
+            None
+        );
         // A final line without a newline still arrives.
         let mut reader = std::io::BufReader::new("tail".as_bytes());
         assert_eq!(
-            read_limited_line(&mut reader, 40, None).unwrap(),
-            Some(Ok("tail".to_owned()))
+            read_limited_line(&mut reader, 40, None, None).unwrap(),
+            Some(ReadOutcome::Line("tail".to_owned()))
         );
+    }
+
+    #[test]
+    fn sharded_compiles_match_single_shard_reports() {
+        let config = PipelineConfig::new(AguSpec::new(4, 1).unwrap());
+        let single = Server::new(config.clone());
+        let sharded = Server::with_options(
+            config,
+            ServeOptions {
+                shards: 4,
+                ..ServeOptions::default()
+            },
+        );
+        let request = r#"{"id":1,"op":"compile","source":"for (i = 0; i < 32; i++) { y[i] = x[i-2] + x[i] + x[i+2]; }"}"#;
+        let strip = |json: Json| {
+            let Json::Obj(fields) = json else {
+                panic!("object")
+            };
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "elapsed_us")
+                    .map(|(k, v)| {
+                        if k == "report" {
+                            let Json::Obj(inner) = v else {
+                                panic!("report")
+                            };
+                            (
+                                k,
+                                Json::Obj(
+                                    inner
+                                        .into_iter()
+                                        .filter(|(k, _)| {
+                                            !matches!(
+                                                k.as_str(),
+                                                "elapsed_us"
+                                                    | "loops_per_second"
+                                                    | "cache"
+                                                    | "threads"
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        } else {
+                            (k, v)
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let a = strip(parsed(&single.handle_line(request)));
+        let b = strip(parsed(&sharded.handle_line(request)));
+        assert_eq!(a, b, "routing must not change compile results");
+    }
+
+    #[test]
+    fn compute_deadline_returns_named_error_and_keeps_serving() {
+        let server = Server::with_options(
+            PipelineConfig::new(AguSpec::new(4, 1).unwrap()),
+            ServeOptions {
+                compute_deadline: Some(Duration::from_nanos(1)),
+                ..ServeOptions::default()
+            },
+        );
+        // A 1 ns budget cannot cover a cold compile: named error.
+        let reply = parsed(&server.handle_line(
+            r#"{"id":3,"op":"compile","source":"for (i = 0; i < 64; i++) { y[i] = x[i-3] + x[i] + x[i+3]; }"}"#,
+        ));
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            reply.get("error_kind").and_then(Json::as_str),
+            Some("compute_deadline")
+        );
+        assert_eq!(reply.get("id").and_then(Json::as_u64), Some(3));
+        // The server keeps serving (the "connection" survives)…
+        let pong = parsed(&server.handle_line(r#"{"op":"ping"}"#));
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        // …and metrics recorded the deadline.
+        let metrics = parsed(&server.handle_line(r#"{"op":"metrics"}"#));
+        let deadlines = metrics
+            .get("metrics")
+            .and_then(|m| m.get("deadlines"))
+            .expect("deadline counters");
+        assert!(deadlines.get("compute").and_then(Json::as_u64).unwrap() >= 1);
     }
 
     #[test]

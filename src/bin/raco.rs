@@ -4,6 +4,7 @@
 //! raco compile <path>… [options]   compile DSL files / directories
 //! raco kernels [options]           compile the built-in kernel suite
 //! raco serve [options]             long-lived NDJSON compile service
+//! raco loadgen [options]           replay a mixed-machine trace against `raco serve`
 //! raco fuzz [options]              adversarial long-runner against `raco serve`
 //! raco bench-trajectory [options]  run the pipeline benchmark suite
 //! raco help                        this text
@@ -32,6 +33,22 @@
 //!     --stdio            serve stdin/stdout (the default transport)
 //!     --tcp <addr>       serve TCP connections on <addr> (e.g. 127.0.0.1:4750)
 //!     --cache-max <N>    bound the allocation cache at ~N entries (FIFO eviction)
+//!     --shards <N>       shard workers, each with its own cache (default 0 = cores)
+//!     --queue-depth <N>  queued requests per shard before shedding (default 256)
+//!     --read-deadline <ms>     reap connections with no complete request
+//!                              within <ms> (default 10000; 0 disables)
+//!     --compute-deadline <ms>  answer `compute_deadline` when a compile
+//!                              outruns <ms> (default 30000; 0 disables)
+//!     --max-connections <N>    refuse connections past N with `busy` (default 1024)
+//!
+//! loadgen-only (plus the serve knobs above, forwarded to the spawned server):
+//!     --tcp <addr>       attack a running server instead of spawning one
+//!     --requests <N>     total requests to replay (default 100000)
+//!     --connections <N>  concurrent client connections (default 8)
+//!     --shapes <N>       distinct loop shapes in the trace (default 64)
+//!     --seed <N>         trace seed (fully deterministic per seed)
+//!     --label <s>        label stamped into BENCH_serve.json
+//! -o, --output <file>    artifact path (default BENCH_serve.json)
 //!
 //! fuzz-only:
 //!     --budget <dur>     wall-clock budget, e.g. 45s, 2m, 500ms (default 45s)
@@ -57,7 +74,7 @@ use std::process::ExitCode;
 
 use raco::driver::{CachePolicy, CompilationReport, Parallelism, Pipeline, PipelineConfig};
 use raco::ir::AguSpec;
-use raco::serve::Server;
+use raco::serve::{ServeOptions, Server};
 
 #[derive(Debug)]
 struct CliOptions {
@@ -78,6 +95,14 @@ struct CliOptions {
     stdio: bool,
     tcp: Option<String>,
     cache_max: Option<usize>,
+    shards: Option<usize>,
+    read_deadline_ms: Option<u64>,
+    compute_deadline_ms: Option<u64>,
+    queue_depth: Option<usize>,
+    max_connections: Option<usize>,
+    requests: Option<u64>,
+    connections: Option<usize>,
+    shapes: Option<usize>,
     cache_load: Option<PathBuf>,
     cache_save: Option<PathBuf>,
     budget: Option<String>,
@@ -108,6 +133,14 @@ impl Default for CliOptions {
             stdio: false,
             tcp: None,
             cache_max: None,
+            shards: None,
+            read_deadline_ms: None,
+            compute_deadline_ms: None,
+            queue_depth: None,
+            max_connections: None,
+            requests: None,
+            connections: None,
+            shapes: None,
             cache_load: None,
             cache_save: None,
             budget: None,
@@ -127,6 +160,7 @@ fn usage() -> &'static str {
      \x20 raco compile <path>… [options]   compile DSL files / directories\n\
      \x20 raco kernels [options]           compile the built-in kernel suite\n\
      \x20 raco serve [options]             long-lived NDJSON compile service\n\
+     \x20 raco loadgen [options]           replay a mixed-machine trace against `raco serve`\n\
      \x20 raco fuzz [options]              adversarial long-runner against `raco serve`\n\
      \x20 raco bench-trajectory [options]  run the pipeline benchmark suite\n\
      \x20 raco help                        this text\n\
@@ -152,6 +186,20 @@ fn usage() -> &'static str {
      \x20     --stdio            serve stdin/stdout (the default transport)\n\
      \x20     --tcp <addr>       serve TCP connections on <addr>\n\
      \x20     --cache-max <N>    bound the allocation cache at ~N entries\n\
+     \x20     --shards <N>       shard workers (default 0 = one per core)\n\
+     \x20     --queue-depth <N>  queued requests per shard before shedding (default 256)\n\
+     \x20     --read-deadline <ms>     reap slow clients (default 10000; 0 = off)\n\
+     \x20     --compute-deadline <ms>  per-compile budget (default 30000; 0 = off)\n\
+     \x20     --max-connections <N>    refuse connections past N (default 1024)\n\
+     \n\
+     loadgen-only options (serve knobs above reach the spawned server):\n\
+     \x20     --tcp <addr>       attack a running server instead of spawning one\n\
+     \x20     --requests <N>     total requests to replay (default 100000)\n\
+     \x20     --connections <N>  concurrent client connections (default 8)\n\
+     \x20     --shapes <N>       distinct loop shapes in the trace (default 64)\n\
+     \x20     --seed <N>         trace seed (deterministic per seed)\n\
+     \x20     --label <s>        label stamped into BENCH_serve.json\n\
+     \x20 -o, --output <file>    artifact path (default BENCH_serve.json)\n\
      \n\
      fuzz-only options:\n\
      \x20     --budget <dur>     wall-clock budget, e.g. 45s, 2m (default 45s)\n\
@@ -206,6 +254,20 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
                 options.tcp = Some(value);
             }
             "--cache-max" => options.cache_max = Some(parse_number(&arg, iter.next())?),
+            "--shards" => options.shards = Some(parse_number(&arg, iter.next())?),
+            "--read-deadline" => {
+                options.read_deadline_ms = Some(parse_number(&arg, iter.next())?);
+            }
+            "--compute-deadline" => {
+                options.compute_deadline_ms = Some(parse_number(&arg, iter.next())?);
+            }
+            "--queue-depth" => options.queue_depth = Some(parse_number(&arg, iter.next())?),
+            "--max-connections" => {
+                options.max_connections = Some(parse_number(&arg, iter.next())?);
+            }
+            "--requests" => options.requests = Some(parse_number(&arg, iter.next())?),
+            "--connections" => options.connections = Some(parse_number(&arg, iter.next())?),
+            "--shapes" => options.shapes = Some(parse_number(&arg, iter.next())?),
             "--budget" => {
                 let value = iter
                     .next()
@@ -251,7 +313,7 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
     Ok(options)
 }
 
-fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
+fn build_config(options: &CliOptions) -> Result<PipelineConfig, String> {
     let agu = AguSpec::new(options.registers, options.modify_range)
         .map_err(|e| e.to_string())?
         .with_modify_registers(options.modify_registers);
@@ -268,7 +330,32 @@ fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
     if let Some(max) = options.cache_max {
         config.cache_policy = CachePolicy::Bounded(max);
     }
-    Ok(Pipeline::with_config(config))
+    Ok(config)
+}
+
+fn build_pipeline(options: &CliOptions) -> Result<Pipeline, String> {
+    Ok(Pipeline::with_config(build_config(options)?))
+}
+
+/// The serve tier's operational limits from the CLI flags, with the
+/// production defaults (shards = cores, 10 s read / 30 s compute
+/// deadlines; `0` disables a deadline).
+fn serve_options(options: &CliOptions) -> ServeOptions {
+    let deadline = |ms: Option<u64>, default_ms: u64| match ms.unwrap_or(default_ms) {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    ServeOptions {
+        shards: options.shards.unwrap_or(0),
+        queue_depth: options
+            .queue_depth
+            .unwrap_or(raco::serve::DEFAULT_QUEUE_DEPTH),
+        read_deadline: deadline(options.read_deadline_ms, 10_000),
+        compute_deadline: deadline(options.compute_deadline_ms, 30_000),
+        max_connections: options
+            .max_connections
+            .unwrap_or(raco::serve::DEFAULT_MAX_CONNECTIONS),
+    }
 }
 
 /// Warms the pipeline's cache from `--cache-load`, if given. An
@@ -389,14 +476,54 @@ fn run() -> Result<bool, String> {
             if options.stdio && options.tcp.is_some() {
                 return Err("serve: --stdio and --tcp are mutually exclusive".to_owned());
             }
-            let pipeline = build_pipeline(&options)?;
-            warm_from_snapshot(&pipeline, &options)?;
-            let mut server = Server::with_pipeline(pipeline);
+            let mut config = build_config(&options)?;
+            let serve_opts = serve_options(&options);
+            // Several shards compiling concurrently already use the
+            // machine; per-compile thread fan-out on top of that would
+            // oversubscribe it. Shards default to sequential compiles
+            // unless -j asks otherwise.
+            if options.threads.is_none() && serve_opts.shards != 1 {
+                config.parallelism = Parallelism::Sequential;
+            }
+            let mut server = Server::with_options(config, serve_opts);
+            if let Some(path) = &options.cache_load {
+                // Seed *every* shard from the snapshot so each boots
+                // warm on whatever slice of the keyspace it owns.
+                let reports = server.load_cache(path).map_err(|e| e.to_string())?;
+                if let Some(first) = reports.first() {
+                    for warning in &first.warnings {
+                        eprintln!("raco: cache snapshot: {warning}");
+                    }
+                    if !options.quiet {
+                        eprintln!(
+                            "raco: cache loaded from {} into {} shard(s) ({first})",
+                            path.display(),
+                            reports.len()
+                        );
+                    }
+                }
+            }
             if let Some(save) = &options.cache_save {
                 // The server snapshots on graceful shutdown (and on
                 // `save_cache` requests) itself, once every connection
-                // has drained.
+                // has drained; a sharded server merges all shard caches
+                // into the snapshot.
                 server = server.with_cache_save_path(save);
+            }
+            if !options.quiet {
+                let opts = server.options();
+                let ms = |deadline: Option<std::time::Duration>| {
+                    deadline.map_or("off".to_owned(), |d| format!("{} ms", d.as_millis()))
+                };
+                eprintln!(
+                    "raco serve: {} shard(s), queue depth {}, read deadline {}, \
+                     compute deadline {}, max {} connections",
+                    opts.shards,
+                    opts.queue_depth,
+                    ms(opts.read_deadline),
+                    ms(opts.compute_deadline),
+                    opts.max_connections
+                );
             }
             match &options.tcp {
                 Some(addr) => {
@@ -422,6 +549,97 @@ fn run() -> Result<bool, String> {
                 }
             }
             Ok(true)
+        }
+        "loadgen" => {
+            let options = parse_options(args)?;
+            if !options.paths.is_empty() {
+                return Err("loadgen: unexpected positional arguments".to_owned());
+            }
+            let binary =
+                std::env::current_exe().map_err(|e| format!("loadgen: cannot locate raco: {e}"))?;
+            let mut config = raco::loadgen::LoadgenConfig::new(binary);
+            config.addr = options.tcp.clone();
+            if let Some(n) = options.requests {
+                config.requests = n;
+            }
+            if let Some(n) = options.connections {
+                config.connections = n;
+            }
+            if let Some(n) = options.shapes {
+                config.shapes = n;
+            }
+            if let Some(seed) = options.seed {
+                config.seed = seed;
+            }
+            if let Some(label) = &options.label {
+                config.label = label.clone();
+            }
+            if let Some(output) = &options.output {
+                config.output = output.clone();
+            }
+            // Server knobs are forwarded to the spawned server (and
+            // ignored when --tcp targets an external one).
+            let forward: [(&str, Option<String>); 6] = [
+                ("--shards", options.shards.map(|n| n.to_string())),
+                (
+                    "--read-deadline",
+                    options.read_deadline_ms.map(|n| n.to_string()),
+                ),
+                (
+                    "--compute-deadline",
+                    options.compute_deadline_ms.map(|n| n.to_string()),
+                ),
+                ("--queue-depth", options.queue_depth.map(|n| n.to_string())),
+                (
+                    "--max-connections",
+                    options.max_connections.map(|n| n.to_string()),
+                ),
+                ("--cache-max", options.cache_max.map(|n| n.to_string())),
+            ];
+            for (flag, value) in forward {
+                if let Some(value) = value {
+                    config.server_args.push(flag.to_owned());
+                    config.server_args.push(value);
+                }
+            }
+            if !options.quiet {
+                eprintln!(
+                    "raco loadgen: replaying {} requests over {} connections ({} shapes, seed {:#x})",
+                    config.requests, config.connections, config.shapes, config.seed
+                );
+            }
+            let report = raco::loadgen::run(&config)?;
+            if !options.quiet {
+                let us = |ns: u64| ns as f64 / 1000.0;
+                println!(
+                    "requests {}  ok {}  rejected {}  transport errors {}  ({:.0} req/s)",
+                    report.sent,
+                    report.ok,
+                    report.rejected_total(),
+                    report.transport_errors,
+                    report.throughput_rps()
+                );
+                println!(
+                    "latency  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  max {:>8.1} µs",
+                    us(report.latency.quantile(0.50)),
+                    us(report.latency.quantile(0.95)),
+                    us(report.latency.quantile(0.99)),
+                    us(report.latency.max),
+                );
+                println!(
+                    "connect  p50 {:>8.1} µs  p99 {:>8.1} µs  (fresh connection to first reply)",
+                    us(report.connect.quantile(0.50)),
+                    us(report.connect.quantile(0.99)),
+                );
+                if let Some(rate) = report.aggregate_hit_rate() {
+                    println!("cache    aggregate hit rate {rate:.3}");
+                }
+                for (id, requests, rate) in report.shard_summary() {
+                    println!("shard {id}: {requests} requests, hit rate {rate:.3}");
+                }
+                println!("artifact written to {}", config.output.display());
+            }
+            Ok(report.transport_errors == 0)
         }
         "fuzz" => {
             let options = parse_options(args)?;

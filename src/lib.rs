@@ -29,6 +29,7 @@
 //! | [`driver`] | `raco-driver` | batch pipeline: parallel scheduling, allocation cache, reports |
 //! | [`serve`] | `raco-serve` | long-lived compile service: NDJSON protocol over stdio/TCP |
 //! | [`fuzz`] | (this crate) | budgeted adversarial long-runner driving the real `raco serve` binary |
+//! | [`loadgen`] | (this crate) | mixed-machine trace load generator benchmarking the serve tier |
 //!
 //! ## Quickstart
 //!
@@ -72,3 +73,4 @@ pub use raco_obs as obs;
 pub use raco_serve as serve;
 
 pub mod fuzz;
+pub mod loadgen;

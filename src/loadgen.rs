@@ -1,0 +1,631 @@
+//! `raco loadgen` — a load generator for the serve tier.
+//!
+//! Replays a deterministic **mixed-machine trace** against a live
+//! `raco serve` TCP endpoint from many concurrent connections, then
+//! writes a schema-versioned benchmark artifact (`BENCH_serve.json`)
+//! with end-to-end latency quantiles, connect+first-reply latency,
+//! throughput, error counts and the server's own per-shard cache
+//! statistics (fetched through the `metrics` op after the run).
+//!
+//! The trace is what a production addressing workload looks like: a
+//! pool of distinct loop shapes sampled with a hot-head skew (a few
+//! shapes dominate, a long tail recurs occasionally), each request
+//! compiled for one of several machines (`registers`/`modify` knobs
+//! vary per request). Because the serve tier routes on the *canonical*
+//! pattern key, every repetition of a (shape, machine) pair lands on
+//! the same shard — the per-shard hit rates in the artifact are the
+//! direct evidence.
+//!
+//! By default `loadgen` spawns its own `raco serve --tcp 127.0.0.1:0`
+//! child (the binary under test is the binary running loadgen) and
+//! shuts it down afterwards; `--tcp <addr>` points it at an already
+//! running server instead.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use raco_driver::json::Json;
+use raco_obs::{Histogram, HistogramSnapshot};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The artifact's schema tag (`BENCH_serve.json`).
+pub const SCHEMA: &str = "raco-bench-serve";
+/// The artifact's schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default number of requests replayed.
+pub const DEFAULT_REQUESTS: u64 = 100_000;
+/// Default number of concurrent client connections.
+pub const DEFAULT_CONNECTIONS: usize = 8;
+/// Default number of distinct loop shapes in the trace pool.
+pub const DEFAULT_SHAPES: usize = 64;
+/// Connect+ping probes measured after the load phase.
+const CONNECT_PROBES: usize = 100;
+
+/// The machines the mixed trace cycles through (address registers,
+/// auto-modify range) — small enough that every (shape, machine) pair
+/// recurs many times over a 100k-request trace, so a warm server is
+/// mostly cache hits.
+const MACHINES: &[(usize, u32)] = &[(2, 1), (4, 1), (4, 2), (8, 2)];
+
+/// What one loadgen run should do.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The `raco` binary to spawn in serve mode when `addr` is `None`.
+    pub binary: PathBuf,
+    /// Attack an already-running server instead of spawning one.
+    pub addr: Option<String>,
+    /// Total requests replayed across all connections.
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Distinct loop shapes in the trace pool.
+    pub shapes: usize,
+    /// Master seed: the whole trace is a pure function of it.
+    pub seed: u64,
+    /// Extra CLI args for the spawned server (`--shards`, deadlines…).
+    /// Ignored when `addr` targets an external server.
+    pub server_args: Vec<String>,
+    /// Where the benchmark artifact goes.
+    pub output: PathBuf,
+    /// Label stamped into the artifact.
+    pub label: String,
+}
+
+impl LoadgenConfig {
+    /// A config with the documented defaults for `binary`.
+    pub fn new(binary: PathBuf) -> Self {
+        LoadgenConfig {
+            binary,
+            addr: None,
+            requests: DEFAULT_REQUESTS,
+            connections: DEFAULT_CONNECTIONS,
+            shapes: DEFAULT_SHAPES,
+            seed: 0x10ad_9e4e,
+            server_args: Vec::new(),
+            output: PathBuf::from("BENCH_serve.json"),
+            label: "local".to_owned(),
+        }
+    }
+}
+
+/// One run's results (everything the artifact serializes, pre-render).
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Requests sent (equals the configured total on a clean run).
+    pub sent: u64,
+    /// `ok:true` replies.
+    pub ok: u64,
+    /// `ok:false` replies, by `error_kind` (plain `error`s count under
+    /// `"error"`).
+    pub rejected: BTreeMap<String, u64>,
+    /// Connections that died mid-run (I/O errors). Zero on a healthy
+    /// server — the serve tier's whole point.
+    pub transport_errors: u64,
+    /// Wall time of the load phase.
+    pub elapsed: Duration,
+    /// End-to-end request latency (nanoseconds), merged across workers.
+    pub latency: HistogramSnapshot,
+    /// Fresh-connection latency: TCP connect through first `ping`
+    /// reply, measured after the load phase (this is what the accept
+    /// loop's backoff bounds).
+    pub connect: HistogramSnapshot,
+    /// The server's `metrics` payload, captured after the run.
+    pub server_metrics: Option<Json>,
+}
+
+impl LoadgenReport {
+    /// Requests per second over the load phase.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.sent as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total `ok:false` replies.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.values().sum()
+    }
+
+    /// The server's aggregate cache hit rate after the run, if the
+    /// `metrics` capture succeeded.
+    pub fn aggregate_hit_rate(&self) -> Option<f64> {
+        as_f64(
+            self.server_metrics
+                .as_ref()?
+                .get("cache")?
+                .get("hit_rate")?,
+        )
+    }
+
+    /// `(shard id, requests, hit rate)` per shard, when the server ran
+    /// more than one.
+    pub fn shard_summary(&self) -> Vec<(u64, u64, f64)> {
+        let Some(Json::Arr(shards)) = self.server_metrics.as_ref().and_then(|m| m.get("shards"))
+        else {
+            return Vec::new();
+        };
+        shards
+            .iter()
+            .filter_map(|shard| {
+                Some((
+                    shard.get("id")?.as_u64()?,
+                    shard.get("requests")?.as_u64()?,
+                    as_f64(shard.get("hit_rate")?)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Renders the schema-versioned artifact.
+    pub fn to_json(&self, config: &LoadgenConfig) -> Json {
+        let rejected: Vec<(String, Json)> = self
+            .rejected
+            .iter()
+            .map(|(kind, n)| (kind.clone(), Json::UInt(*n)))
+            .collect();
+        let mut fields = vec![
+            ("schema".to_owned(), Json::str(SCHEMA)),
+            ("version".to_owned(), Json::UInt(SCHEMA_VERSION)),
+            ("label".to_owned(), Json::str(&config.label)),
+            ("seed".to_owned(), Json::UInt(config.seed)),
+            ("requests".to_owned(), Json::UInt(self.sent)),
+            (
+                "connections".to_owned(),
+                Json::UInt(config.connections as u64),
+            ),
+            ("shapes".to_owned(), Json::UInt(config.shapes as u64)),
+            (
+                "elapsed_ms".to_owned(),
+                Json::Num(self.elapsed.as_secs_f64() * 1000.0),
+            ),
+            (
+                "throughput_rps".to_owned(),
+                Json::Num(self.throughput_rps()),
+            ),
+            ("ok".to_owned(), Json::UInt(self.ok)),
+            (
+                "errors".to_owned(),
+                Json::Obj(vec![
+                    ("transport".to_owned(), Json::UInt(self.transport_errors)),
+                    ("rejected".to_owned(), Json::UInt(self.rejected_total())),
+                    ("by_kind".to_owned(), Json::Obj(rejected)),
+                ]),
+            ),
+            ("latency_us".to_owned(), histogram_json(&self.latency)),
+            ("connect_us".to_owned(), histogram_json(&self.connect)),
+        ];
+        if let Some(metrics) = &self.server_metrics {
+            fields.push(("server".to_owned(), metrics.clone()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A latency histogram as JSON (microseconds, like the serve `metrics`
+/// op renders).
+fn histogram_json(snapshot: &HistogramSnapshot) -> Json {
+    let us = |ns: u64| Json::Num(ns as f64 / 1000.0);
+    Json::Obj(vec![
+        ("count".to_owned(), Json::UInt(snapshot.count)),
+        ("p50_us".to_owned(), us(snapshot.quantile(0.50))),
+        ("p95_us".to_owned(), us(snapshot.quantile(0.95))),
+        ("p99_us".to_owned(), us(snapshot.quantile(0.99))),
+        ("max_us".to_owned(), us(snapshot.max)),
+    ])
+}
+
+/// An all-zero snapshot (the type has no `Default`).
+fn empty_snapshot() -> HistogramSnapshot {
+    Histogram::new().snapshot()
+}
+
+fn as_f64(json: &Json) -> Option<f64> {
+    match json {
+        Json::Num(n) => Some(*n),
+        Json::UInt(n) => Some(*n as f64),
+        Json::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace generation
+// ---------------------------------------------------------------------
+
+/// Builds the deterministic shape pool: `shapes` distinct single-loop
+/// sources over one or two arrays with bounded offsets — the same
+/// territory the DSL fuzzer and the kernel suite cover, sized so a
+/// compile is cheap but not trivial.
+fn shape_pool(shapes: usize, seed: u64) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    (0..shapes)
+        .map(|_| {
+            let accesses = rng.gen_range(2usize..=5);
+            let bound = rng.gen_range(16i64..=96);
+            let two_arrays: bool = rng.gen();
+            let mut terms = Vec::with_capacity(accesses);
+            for a in 0..accesses {
+                let offset = rng.gen_range(-8i64..=8);
+                let array = if two_arrays && a % 2 == 1 { "h" } else { "x" };
+                let index = match offset {
+                    0 => "i".to_owned(),
+                    o if o > 0 => format!("i+{o}"),
+                    o => format!("i-{}", -o),
+                };
+                terms.push(format!("{array}[{index}]"));
+            }
+            format!(
+                "for (i = 8; i < {bound}; i++) {{ y[i] = {}; }}",
+                terms.join(" + ")
+            )
+        })
+        .collect()
+}
+
+/// Samples the next trace request as one NDJSON line. Shape choice is
+/// hot-head skewed (squaring a uniform sample concentrates mass near
+/// index 0) and the machine cycles through [`MACHINES`] uniformly —
+/// together a mixed-machine trace with realistic reuse.
+fn trace_line(rng: &mut SmallRng, shapes: &[String], id: u64) -> String {
+    let skew: f64 = rng.gen();
+    let shape = &shapes[((skew * skew) * shapes.len() as f64) as usize % shapes.len()];
+    let (registers, modify) = MACHINES[rng.gen_range(0usize..MACHINES.len())];
+    format!(
+        "{{\"id\":{id},\"op\":\"compile\",\"source\":\"{shape}\",\"registers\":{registers},\"modify\":{modify}}}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// The server under load
+// ---------------------------------------------------------------------
+
+/// A spawned `raco serve --tcp` child plus the address it announced.
+struct SpawnedServer {
+    child: Child,
+    addr: String,
+}
+
+impl SpawnedServer {
+    /// Spawns `binary serve --tcp 127.0.0.1:0 <extra>` and scrapes the
+    /// bound address from its stderr announcement.
+    fn spawn(binary: &Path, extra_args: &[String]) -> io::Result<Self> {
+        let mut child = Command::new(binary)
+            .arg("serve")
+            .args(["--tcp", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut lines = BufReader::new(stderr);
+        let addr = loop {
+            let mut line = String::new();
+            if lines.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server exited before announcing its port",
+                ));
+            }
+            if let Some(addr) = line.trim().strip_prefix("raco serve: listening on ") {
+                break addr.to_owned();
+            }
+        };
+        // Keep draining stderr so the child can never block on a full
+        // pipe (shutdown snapshots and warnings land there).
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(lines.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        });
+        Ok(SpawnedServer { child, addr })
+    }
+
+    /// Asks the server to shut down and waits for it to exit.
+    fn shutdown(mut self) -> io::Result<()> {
+        let mut client = Client::connect(&self.addr)?;
+        let _ = client.request(r#"{"op":"shutdown"}"#);
+        drop(client);
+        self.child.wait()?;
+        Ok(())
+    }
+}
+
+impl Drop for SpawnedServer {
+    fn drop(&mut self) {
+        // Normal teardown goes through `shutdown`; this is the escape
+        // hatch so an erroring run never leaks a server process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One framed NDJSON connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // The trace is strictly request/response per connection, so
+        // Nagle+delayed-ACK interplay would serialize every exchange
+        // behind a ~40 ms timer on loopback; disable it.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the non-blank reply line.
+    fn request(&mut self, line: &str) -> io::Result<String> {
+        // One framed write: a split frame would tangle with Nagle and
+        // the server's delayed ACKs even with nodelay set.
+        let framed = format!("{line}\n");
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        loop {
+            reply.clear();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !reply.trim().is_empty() {
+                return Ok(reply.trim().to_owned());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The load phase
+// ---------------------------------------------------------------------
+
+/// What one worker connection accumulated.
+struct WorkerStats {
+    sent: u64,
+    ok: u64,
+    rejected: BTreeMap<String, u64>,
+    transport_errors: u64,
+    latency: Histogram,
+}
+
+/// Replays `quota` trace requests over one connection.
+fn worker(addr: &str, shapes: &[String], seed: u64, first_id: u64, quota: u64) -> WorkerStats {
+    let mut stats = WorkerStats {
+        sent: 0,
+        ok: 0,
+        rejected: BTreeMap::new(),
+        transport_errors: 0,
+        latency: Histogram::new(),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(_) => {
+            stats.transport_errors += 1;
+            return stats;
+        }
+    };
+    for n in 0..quota {
+        let line = trace_line(&mut rng, shapes, first_id + n);
+        let started = Instant::now();
+        let reply = match client.request(&line) {
+            Ok(reply) => reply,
+            Err(_) => {
+                stats.transport_errors += 1;
+                return stats;
+            }
+        };
+        stats.latency.record(started.elapsed().as_nanos() as u64);
+        stats.sent += 1;
+        if reply.contains("\"ok\":true") {
+            stats.ok += 1;
+        } else {
+            // Rejections are rare; a full parse here is fine.
+            let kind = Json::parse(&reply)
+                .ok()
+                .and_then(|json| {
+                    json.get("error_kind")
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                })
+                .unwrap_or_else(|| "error".to_owned());
+            *stats.rejected.entry(kind).or_insert(0) += 1;
+        }
+    }
+    stats
+}
+
+/// Measures fresh-connection latency: TCP connect through the first
+/// `ping` reply, on an otherwise idle server. This is the figure the
+/// accept loop's backoff (vs the old fixed 5 ms sleep) bounds.
+fn connect_probes(addr: &str, probes: usize) -> HistogramSnapshot {
+    let histogram = Histogram::new();
+    for _ in 0..probes {
+        let started = Instant::now();
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.request(r#"{"op":"ping"}"#).is_ok() {
+                histogram.record(started.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    histogram.snapshot()
+}
+
+/// Runs the whole loadgen session: (spawn +) load + probes + metrics
+/// capture (+ shutdown), and writes the artifact to `config.output`.
+///
+/// # Errors
+///
+/// Returns a message for infrastructure failures — spawn/bind/connect
+/// problems or an unwritable artifact path. Per-request rejections and
+/// connection deaths are *results*, reported in the artifact, not
+/// errors.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let spawned = match &config.addr {
+        Some(_) => None,
+        None => Some(
+            SpawnedServer::spawn(&config.binary, &config.server_args)
+                .map_err(|e| format!("loadgen: cannot spawn server: {e}"))?,
+        ),
+    };
+    let addr = config
+        .addr
+        .clone()
+        .unwrap_or_else(|| spawned.as_ref().expect("spawned when no addr").addr.clone());
+
+    let shapes = shape_pool(config.shapes.max(1), config.seed);
+    let connections = config.connections.max(1) as u64;
+    let quota = config.requests / connections;
+    let remainder = config.requests % connections;
+
+    let started = Instant::now();
+    let next_seed = AtomicU64::new(1);
+    let results: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                let quota = quota + u64::from(w < remainder);
+                let first_id = w * (quota + 1);
+                let seed = config.seed ^ next_seed.fetch_add(0x9e37_79b9, Ordering::Relaxed);
+                let addr = &addr;
+                let shapes = &shapes;
+                scope.spawn(move || worker(addr, shapes, seed, first_id, quota))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let latency = Histogram::new();
+    let mut report = LoadgenReport {
+        sent: 0,
+        ok: 0,
+        rejected: BTreeMap::new(),
+        transport_errors: 0,
+        elapsed,
+        latency: empty_snapshot(),
+        connect: empty_snapshot(),
+        server_metrics: None,
+    };
+    for stats in results {
+        report.sent += stats.sent;
+        report.ok += stats.ok;
+        report.transport_errors += stats.transport_errors;
+        for (kind, n) in stats.rejected {
+            *report.rejected.entry(kind).or_insert(0) += n;
+        }
+        latency.merge_from(&stats.latency);
+    }
+    report.latency = latency.snapshot();
+
+    report.connect = connect_probes(&addr, CONNECT_PROBES);
+
+    // Capture the server's own view (per-shard hit rates, shed and
+    // deadline counters) before tearing it down.
+    if let Ok(mut client) = Client::connect(&addr) {
+        if let Ok(reply) = client.request(r#"{"op":"metrics"}"#) {
+            report.server_metrics = Json::parse(&reply)
+                .ok()
+                .and_then(|json| json.get("metrics").cloned());
+        }
+    }
+
+    if let Some(spawned) = spawned {
+        spawned
+            .shutdown()
+            .map_err(|e| format!("loadgen: server shutdown failed: {e}"))?;
+    }
+
+    let mut rendered = report.to_json(config).render_pretty();
+    rendered.push('\n');
+    std::fs::write(&config.output, rendered)
+        .map_err(|e| format!("{}: {e}", config.output.display()))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_pool_is_deterministic_and_parses() {
+        let a = shape_pool(32, 42);
+        let b = shape_pool(32, 42);
+        assert_eq!(a, b);
+        for source in &a {
+            raco_ir::dsl::parse_program(source)
+                .unwrap_or_else(|e| panic!("`{source}` must parse: {e}"));
+        }
+        assert_ne!(a, shape_pool(32, 43), "seed changes the pool");
+    }
+
+    #[test]
+    fn trace_lines_are_valid_requests() {
+        let shapes = shape_pool(8, 7);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for id in 0..200 {
+            let line = trace_line(&mut rng, &shapes, id);
+            let json = Json::parse(&line).expect("trace line is valid JSON");
+            assert_eq!(json.get("op").and_then(Json::as_str), Some("compile"));
+            assert_eq!(json.get("id").and_then(Json::as_u64), Some(id));
+            let registers = json.get("registers").and_then(Json::as_u64).unwrap();
+            assert!(MACHINES.iter().any(|(k, _)| *k as u64 == registers));
+        }
+    }
+
+    #[test]
+    fn report_json_is_schema_versioned() {
+        let config = LoadgenConfig::new(PathBuf::from("raco"));
+        let report = LoadgenReport {
+            sent: 10,
+            ok: 9,
+            rejected: BTreeMap::from([("shed".to_owned(), 1)]),
+            transport_errors: 0,
+            elapsed: Duration::from_millis(500),
+            latency: empty_snapshot(),
+            connect: empty_snapshot(),
+            server_metrics: None,
+        };
+        let json = report.to_json(&config);
+        assert_eq!(json.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(
+            json.get("version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(json.get("requests").and_then(Json::as_u64), Some(10));
+        let errors = json.get("errors").expect("errors object");
+        assert_eq!(errors.get("rejected").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            errors
+                .get("by_kind")
+                .and_then(|k| k.get("shed"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Round-trips through the parser.
+        assert!(Json::parse(&json.render_pretty()).is_ok());
+        assert_eq!(report.throughput_rps(), 20.0);
+    }
+}

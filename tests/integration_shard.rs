@@ -1,0 +1,462 @@
+//! End-to-end tests of the production serve tier: consistent-hash
+//! shard routing (hit-rate parity with a single process), merged
+//! snapshots seeding every shard, read/compute deadlines, the
+//! slow-loris reap, the connection cap, and a `raco loadgen` smoke run
+//! against the real binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use raco::driver::json::Json;
+use raco::driver::PipelineConfig;
+use raco::ir::AguSpec;
+use raco::serve::{ServeOptions, Server};
+
+fn config() -> PipelineConfig {
+    PipelineConfig::new(AguSpec::new(4, 1).unwrap())
+}
+
+fn ok(response: &Json) -> bool {
+    response.get("ok") == Some(&Json::Bool(true))
+}
+
+fn parsed(server: &Server, line: &str) -> Json {
+    Json::parse(&server.handle_line(line).line).expect("valid JSON reply")
+}
+
+/// A small mixed trace: every shape compiled under two machines, the
+/// whole set replayed `rounds` times.
+fn trace(rounds: usize) -> Vec<String> {
+    let shapes = [
+        "for (i = 0; i < 32; i++) { y[i] = x[i-1] + x[i] + x[i+1]; }",
+        "for (i = 0; i < 24; i++) { y[i] = x[i] + x[i+4]; }",
+        "for (i = 2; i < 40; i++) { y[i] = x[i-2] + x[i+2] + x[i+5]; }",
+        "for (i = 0; i < 16; i++) { s += x[i] * h[i]; }",
+        "for (i = 1; i < 28; i++) { y[i] = x[i-1] + x[i+6]; }",
+    ];
+    let machines = [(2u32, 1u32), (4, 2)];
+    let mut lines = Vec::new();
+    for _ in 0..rounds {
+        for source in shapes {
+            for (registers, modify) in machines {
+                lines.push(format!(
+                    "{{\"op\":\"compile\",\"source\":\"{source}\",\"registers\":{registers},\"modify\":{modify}}}"
+                ));
+            }
+        }
+    }
+    lines
+}
+
+/// `(hits, misses)` across allocation and curve caches.
+fn cache_traffic(server: &Server) -> (u64, u64) {
+    let stats = server.cache_stats();
+    (
+        stats.allocation_hits + stats.curve_hits,
+        stats.allocation_misses + stats.curve_misses,
+    )
+}
+
+#[test]
+fn sharded_hit_rate_matches_the_single_process_baseline() {
+    let single = Server::new(config());
+    let sharded = Server::with_options(
+        config(),
+        ServeOptions {
+            shards: 4,
+            ..ServeOptions::default()
+        },
+    );
+    // Round 1 warms both servers (cold-start cross-machine sharing —
+    // the machine-agnostic cost-curve cache — differs by design when
+    // the cache is split by machine key; warmth is what the tier
+    // promises).
+    for line in trace(1) {
+        assert!(ok(&parsed(&single, &line)), "{line}");
+        assert!(ok(&parsed(&sharded, &line)), "{line}");
+    }
+    let (single_hits_warm, single_misses_warm) = cache_traffic(&single);
+    let (sharded_hits_warm, sharded_misses_warm) = cache_traffic(&sharded);
+
+    // The warm replay: consistent routing sends every repetition of a
+    // canonical key to the shard that already compiled it, so the
+    // 4-way split must serve the replay as fully from cache as the
+    // single process does — no new misses, no fewer hits gained.
+    for line in trace(2) {
+        assert!(ok(&parsed(&single, &line)), "{line}");
+        assert!(ok(&parsed(&sharded, &line)), "{line}");
+    }
+    let (single_hits, single_misses) = cache_traffic(&single);
+    let (sharded_hits, sharded_misses) = cache_traffic(&sharded);
+    assert_eq!(
+        sharded_misses, sharded_misses_warm,
+        "a warm replay must not miss on any shard"
+    );
+    assert_eq!(single_misses, single_misses_warm);
+    let baseline = single_hits - single_hits_warm;
+    let routed = sharded_hits - sharded_hits_warm;
+    assert!(baseline > 0, "repeated trace must hit a warm cache");
+    assert!(
+        routed >= baseline,
+        "sharded warm hits {routed} fell below the single-process baseline {baseline}"
+    );
+    // And the shards split the work instead of one taking everything.
+    let metrics = parsed(&sharded, r#"{"op":"metrics"}"#);
+    let Some(Json::Arr(shards)) = metrics.get("metrics").and_then(|m| m.get("shards")) else {
+        panic!("sharded metrics report a shards array");
+    };
+    assert_eq!(shards.len(), 4);
+    let busy = shards
+        .iter()
+        .filter(|s| s.get("requests").and_then(Json::as_u64).unwrap() > 0)
+        .count();
+    assert!(busy >= 2, "a mixed trace must land on several shards");
+}
+
+#[test]
+fn merged_snapshots_seed_every_shard_warm() {
+    let snap = std::env::temp_dir().join(format!("raco-shard-snap-{}.bin", std::process::id()));
+    std::fs::remove_file(&snap).ok();
+
+    // Warm a 4-shard server, then snapshot the union of its caches.
+    let warm = Server::with_options(
+        config(),
+        ServeOptions {
+            shards: 4,
+            ..ServeOptions::default()
+        },
+    );
+    for line in trace(1) {
+        assert!(ok(&parsed(&warm, &line)));
+    }
+    let saved = parsed(
+        &warm,
+        &format!("{{\"op\":\"save_cache\",\"path\":\"{}\"}}", snap.display()),
+    );
+    assert!(ok(&saved), "{saved:?}");
+
+    // A fresh server — with a *different* shard count — seeds every
+    // shard from the snapshot, so the whole first replay hits.
+    let reborn = Server::with_options(
+        config(),
+        ServeOptions {
+            shards: 2,
+            ..ServeOptions::default()
+        },
+    );
+    reborn.load_cache(&snap).expect("snapshot loads");
+    std::fs::remove_file(&snap).ok();
+    for line in trace(1) {
+        assert!(ok(&parsed(&reborn, &line)));
+    }
+    let stats = reborn.cache_stats();
+    assert_eq!(
+        stats.allocation_misses, 0,
+        "every shard booted warm: {stats:?}"
+    );
+    assert!(stats.allocation_hits > 0);
+}
+
+#[test]
+fn compute_deadline_errors_by_name_and_the_connection_survives() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Server::with_options(
+        config(),
+        ServeOptions {
+            compute_deadline: Some(Duration::from_nanos(1)),
+            ..ServeOptions::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+
+        // A 1 ns budget cannot cover a cold compile: a *named* error
+        // comes back instead of a dead connection.
+        writeln!(
+            writer,
+            r#"{{"id":1,"op":"compile","source":"for (i = 0; i < 48; i++) {{ y[i] = x[i-3] + x[i] + x[i+3]; }}"}}"#
+        )
+        .unwrap();
+        reader.read_line(&mut reply).expect("deadline reply");
+        let json = Json::parse(&reply).expect("valid JSON");
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            json.get("error_kind").and_then(Json::as_str),
+            Some("compute_deadline")
+        );
+
+        // Same connection keeps serving…
+        writeln!(writer, r#"{{"op":"ping","id":2}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).expect("ping reply");
+        assert!(reply.contains(r#""pong":true"#), "{reply}");
+
+        // …and metrics counted the deadline hit.
+        writeln!(writer, r#"{{"op":"metrics"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).expect("metrics reply");
+        let metrics = Json::parse(&reply).unwrap();
+        let compute = metrics
+            .get("metrics")
+            .and_then(|m| m.get("deadlines"))
+            .and_then(|d| d.get("compute"))
+            .and_then(Json::as_u64)
+            .expect("deadline counter");
+        assert!(compute >= 1);
+
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).expect("shutdown ack");
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
+fn slow_loris_is_reaped_while_live_clients_keep_being_served() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Server::with_options(
+        config(),
+        ServeOptions {
+            read_deadline: Some(Duration::from_millis(300)),
+            ..ServeOptions::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // The attacker: sends half a request line and then nothing,
+        // forever. Before the read deadline this pinned a connection
+        // thread until process exit.
+        let loris = TcpStream::connect(addr).expect("connect");
+        let mut loris_writer = loris.try_clone().unwrap();
+        loris_writer.write_all(br#"{"op":"comp"#).unwrap();
+        loris_writer.flush().unwrap();
+
+        // Meanwhile a healthy client mixes pings with an oversized
+        // frame — the adversarial mix must cost it nothing.
+        let healthy = TcpStream::connect(addr).expect("connect");
+        let mut healthy_writer = healthy.try_clone().unwrap();
+        let mut healthy_reader = BufReader::new(healthy);
+        let mut reply = String::new();
+        for round in 0..4 {
+            if round == 2 {
+                let oversized = format!("{}\n", "x".repeat(raco::serve::MAX_REQUEST_LINE + 16));
+                healthy_writer.write_all(oversized.as_bytes()).unwrap();
+                reply.clear();
+                healthy_reader
+                    .read_line(&mut reply)
+                    .expect("oversize reply");
+                assert!(reply.contains(r#""ok":false"#), "{reply}");
+            }
+            writeln!(healthy_writer, r#"{{"op":"ping","id":{round}}}"#).unwrap();
+            reply.clear();
+            healthy_reader.read_line(&mut reply).expect("ping reply");
+            assert!(reply.contains(r#""pong":true"#), "{reply}");
+            std::thread::sleep(Duration::from_millis(150));
+        }
+
+        // By now (~600 ms > 300 ms deadline) the loris got a named
+        // error and a close — the thread it pinned is reclaimed.
+        let mut loris_reader = BufReader::new(loris);
+        let mut last_words = String::new();
+        loris_reader
+            .read_to_string(&mut last_words)
+            .expect("loris connection closed cleanly");
+        assert!(
+            last_words.contains(r#""error_kind":"read_deadline""#),
+            "loris must be told why: {last_words:?}"
+        );
+
+        // The reap is visible in metrics, and the healthy client still
+        // gets answers afterwards.
+        writeln!(healthy_writer, r#"{{"op":"metrics"}}"#).unwrap();
+        reply.clear();
+        healthy_reader.read_line(&mut reply).expect("metrics reply");
+        let metrics = Json::parse(&reply).unwrap();
+        let reaped = metrics
+            .get("metrics")
+            .and_then(|m| m.get("deadlines"))
+            .and_then(|d| d.get("read"))
+            .and_then(Json::as_u64)
+            .expect("read deadline counter");
+        assert!(reaped >= 1, "{metrics:?}");
+
+        writeln!(healthy_writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        reply.clear();
+        healthy_reader.read_line(&mut reply).expect("shutdown ack");
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
+fn dribbled_requests_within_the_deadline_still_parse() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Server::with_options(
+        config(),
+        ServeOptions {
+            read_deadline: Some(Duration::from_secs(5)),
+            ..ServeOptions::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // A congested-but-honest client: the frame arrives in 8-byte
+        // pieces with pauses, completing well inside the deadline.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let framed =
+            "{\"id\":7,\"op\":\"compile\",\"source\":\"for (i = 0; i < 8; i++) { s += x[i]; }\"}\n";
+        for piece in framed.as_bytes().chunks(8) {
+            writer.write_all(piece).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        let json = Json::parse(&reply).expect("valid JSON");
+        assert!(ok(&json), "{reply}");
+        assert_eq!(json.get("id").and_then(Json::as_u64), Some(7));
+
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).expect("shutdown ack");
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
+fn over_limit_connections_get_busy_and_a_clean_close() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server = Server::with_options(
+        config(),
+        ServeOptions {
+            max_connections: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_tcp(&listener));
+
+        // The one allowed client, with a round trip to make sure its
+        // accept has been processed.
+        let first = TcpStream::connect(addr).expect("connect");
+        let mut first_writer = first.try_clone().unwrap();
+        let mut first_reader = BufReader::new(first);
+        let mut reply = String::new();
+        writeln!(first_writer, r#"{{"op":"ping","id":1}}"#).unwrap();
+        first_reader.read_line(&mut reply).expect("ping reply");
+        assert!(reply.contains(r#""pong":true"#));
+
+        // One past the cap: an `ok:false` busy response, then EOF.
+        let refused = TcpStream::connect(addr).expect("connect");
+        let mut refused_reader = BufReader::new(refused);
+        let mut last_words = String::new();
+        refused_reader
+            .read_to_string(&mut last_words)
+            .expect("refused connection closes cleanly");
+        assert!(
+            last_words.contains(r#""error_kind":"busy""#),
+            "refused client must be told why: {last_words:?}"
+        );
+
+        // The in-limit client is unaffected, and the shed shows up in
+        // its metrics.
+        writeln!(first_writer, r#"{{"op":"metrics"}}"#).unwrap();
+        reply.clear();
+        first_reader.read_line(&mut reply).expect("metrics reply");
+        let metrics = Json::parse(&reply).unwrap();
+        let shed = metrics
+            .get("metrics")
+            .and_then(|m| m.get("shed"))
+            .and_then(|s| s.get("connections"))
+            .and_then(Json::as_u64)
+            .expect("shed connection counter");
+        assert!(shed >= 1);
+
+        writeln!(first_writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        reply.clear();
+        first_reader.read_line(&mut reply).expect("shutdown ack");
+        handle.join().expect("server thread").expect("clean exit");
+    });
+}
+
+#[test]
+fn loadgen_smoke_produces_a_schema_versioned_artifact() {
+    let artifact =
+        std::env::temp_dir().join(format!("raco-loadgen-smoke-{}.json", std::process::id()));
+    std::fs::remove_file(&artifact).ok();
+    let status = std::process::Command::new(PathBuf::from(env!("CARGO_BIN_EXE_raco")))
+        .args([
+            "loadgen",
+            "--requests",
+            "200",
+            "--connections",
+            "2",
+            "--shards",
+            "2",
+            "--shapes",
+            "8",
+            "--seed",
+            "11",
+            "--quiet",
+            "-o",
+        ])
+        .arg(&artifact)
+        .status()
+        .expect("run raco loadgen");
+    assert!(status.success(), "loadgen exit: {status:?}");
+
+    let json = Json::parse(&std::fs::read_to_string(&artifact).expect("artifact written"))
+        .expect("artifact is valid JSON");
+    std::fs::remove_file(&artifact).ok();
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some(raco::loadgen::SCHEMA)
+    );
+    assert_eq!(
+        json.get("version").and_then(Json::as_u64),
+        Some(raco::loadgen::SCHEMA_VERSION)
+    );
+    assert_eq!(json.get("requests").and_then(Json::as_u64), Some(200));
+    let errors = json.get("errors").expect("errors object");
+    assert_eq!(
+        errors.get("transport").and_then(Json::as_u64),
+        Some(0),
+        "no connection deaths under load: {errors:?}"
+    );
+    assert_eq!(errors.get("rejected").and_then(Json::as_u64), Some(0));
+    assert!(
+        json.get("latency_us")
+            .and_then(|l| l.get("p99_us"))
+            .is_some(),
+        "latency quantiles present"
+    );
+    // The spawned 2-shard server reported per-shard hit rates.
+    let shards = match json.get("server").and_then(|s| s.get("shards")) {
+        Some(Json::Arr(shards)) => shards,
+        other => panic!("per-shard breakdown expected, got {other:?}"),
+    };
+    assert_eq!(shards.len(), 2);
+    let requests: u64 = shards
+        .iter()
+        .map(|s| s.get("requests").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(requests, 200, "every request executed on some shard");
+}
