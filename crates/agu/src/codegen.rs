@@ -307,7 +307,8 @@ impl CodeGenerator {
                 body,
                 usize::from(next_reg),
                 modify.values().to_vec(),
-            ),
+            )
+            .with_cost_table(self.agu.cost_table()),
             registers,
         ))
     }

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use raco_ir::CostTable;
+
 /// Index of an address register (`AR0`, `AR1`, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub u16);
@@ -107,9 +109,21 @@ impl AddressInstr {
         }
     }
 
-    /// Extra cycles this instruction costs.
+    /// Extra cycles this instruction costs on the unit-cost (paper)
+    /// machine. Use [`AddressInstr::cycles_with`] for machines with
+    /// per-opcode costs.
     pub fn cycles(&self) -> u64 {
         self.words()
+    }
+
+    /// Extra cycles this instruction costs under `costs`.
+    pub fn cycles_with(&self, costs: &CostTable) -> u64 {
+        match self {
+            AddressInstr::Lda { .. } => u64::from(costs.lda()),
+            AddressInstr::Ldm { .. } => u64::from(costs.ldm()),
+            AddressInstr::Adda { .. } => u64::from(costs.adda()),
+            AddressInstr::Use { .. } => 0,
+        }
     }
 
     /// The address register this instruction reads or writes, if any.
@@ -183,6 +197,7 @@ pub struct AddressProgram {
     address_registers: usize,
     modify_values: Vec<i64>,
     carries: Vec<CarryBlock>,
+    costs: CostTable,
 }
 
 impl AddressProgram {
@@ -202,6 +217,7 @@ impl AddressProgram {
             address_registers,
             modify_values,
             carries: Vec::new(),
+            costs: CostTable::UNIT,
         }
     }
 
@@ -210,6 +226,20 @@ impl AddressProgram {
     pub fn with_carries(mut self, carries: Vec<CarryBlock>) -> Self {
         self.carries = carries;
         self
+    }
+
+    /// Attaches the machine's per-opcode cost table (builder style) —
+    /// all cycle accounting below prices instructions with it. Unit by
+    /// default, which reproduces the paper machine exactly.
+    #[must_use]
+    pub fn with_cost_table(mut self, costs: CostTable) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// The cost table the program is priced under.
+    pub fn cost_table(&self) -> CostTable {
+        self.costs
     }
 
     /// The prologue instructions (register initialization).
@@ -245,15 +275,20 @@ impl AddressProgram {
             + self.carries.iter().map(CarryBlock::words).sum::<u64>()
     }
 
-    /// Addressing cycles of the prologue.
+    /// Addressing cycles of the prologue (priced by the program's cost
+    /// table).
     pub fn prologue_cycles(&self) -> u64 {
-        self.prologue.iter().map(AddressInstr::cycles).sum()
+        self.prologue
+            .iter()
+            .map(|i| i.cycles_with(&self.costs))
+            .sum()
     }
 
     /// Extra addressing cycles per loop iteration — the quantity the
-    /// paper minimizes (`ADDA` count in the body).
+    /// paper minimizes (`ADDA` cycles in the body, priced by the
+    /// program's cost table).
     pub fn cycles_per_iteration(&self) -> u64 {
-        self.body.iter().map(AddressInstr::cycles).sum()
+        self.body.iter().map(|i| i.cycles_with(&self.costs)).sum()
     }
 
     /// Number of accesses (`USE`s) per iteration.
@@ -267,7 +302,8 @@ impl AddressProgram {
 
 impl fmt::Display for AddressProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "; prologue ({} words)", self.prologue_cycles())?;
+        let prologue_words: u64 = self.prologue.iter().map(AddressInstr::words).sum();
+        writeln!(f, "; prologue ({prologue_words} words)")?;
         for i in &self.prologue {
             writeln!(f, "    {i}")?;
         }
@@ -411,6 +447,43 @@ mod tests {
         assert!(listing.contains("; prologue"));
         assert!(listing.contains("LDM  M0, #5"));
         assert!(listing.contains("ADDA AR0, #7"));
+    }
+
+    #[test]
+    fn cost_table_prices_program_accounting() {
+        let costs = CostTable::new(2, 3, 5).unwrap();
+        let lda = AddressInstr::Lda {
+            reg: RegId(0),
+            address: 0,
+        };
+        let ldm = AddressInstr::Ldm {
+            mr: MrId(0),
+            value: 7,
+        };
+        let adda = AddressInstr::Adda {
+            reg: RegId(0),
+            delta: 7,
+        };
+        let use_ = AddressInstr::Use {
+            reg: RegId(0),
+            position: 0,
+            update: Update::None,
+        };
+        assert_eq!(lda.cycles_with(&costs), 2);
+        assert_eq!(ldm.cycles_with(&costs), 3);
+        assert_eq!(adda.cycles_with(&costs), 5);
+        assert_eq!(use_.cycles_with(&costs), 0);
+        assert_eq!(lda.cycles_with(&CostTable::UNIT), lda.cycles());
+
+        let program = AddressProgram::new(vec![lda, ldm], vec![use_, adda], 1, vec![7])
+            .with_cost_table(costs);
+        assert_eq!(program.cost_table(), costs);
+        assert_eq!(program.prologue_cycles(), 5);
+        assert_eq!(program.cycles_per_iteration(), 5);
+        // Words measure encoding size, not cycles.
+        assert_eq!(program.words(), 3);
+        // The listing header counts words, not scaled cycles.
+        assert!(program.to_string().contains("; prologue (2 words)"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use raco_ir::{AguSpec, Trace};
+use raco_ir::{AguSpec, Trace, UpdateRange};
 
 use crate::isa::{AddressInstr, AddressProgram, Update};
 
@@ -47,8 +47,8 @@ pub enum SimError {
     FreeDeltaViolation {
         /// The offending delta.
         delta: i64,
-        /// The machine's range `M`.
-        modify_range: u32,
+        /// The machine's free update window.
+        range: UpdateRange,
     },
     /// A `USE` referenced a register the program never declared.
     UnknownRegister {
@@ -102,12 +102,9 @@ impl fmt::Display for SimError {
                 "iteration {iteration}, access a_{}: expected address {expected:#x}, register held {got:#x}",
                 position + 1
             ),
-            SimError::FreeDeltaViolation {
-                delta,
-                modify_range,
-            } => write!(
+            SimError::FreeDeltaViolation { delta, range } => write!(
                 f,
-                "auto-modify by {delta} exceeds the machine range M = {modify_range}"
+                "auto-modify by {delta} exceeds the machine range M = {range}"
             ),
             SimError::UnknownRegister { reg } => write!(f, "unknown address register AR{reg}"),
             SimError::UnknownModifyRegister { mr } => {
@@ -212,8 +209,15 @@ pub fn run(program: &AddressProgram, trace: &Trace, agu: &AguSpec) -> Result<Sim
     let mut mrs = vec![0i64; program.modify_values().len()];
     let mut prologue_cycles = 0;
     for instr in program.prologue() {
-        prologue_cycles += instr.cycles();
-        step(instr, &mut regs, &mut mrs, agu, None, 0, &mut 0)?;
+        step(
+            instr,
+            &mut regs,
+            &mut mrs,
+            agu,
+            None,
+            0,
+            &mut prologue_cycles,
+        )?;
     }
 
     let per_iter = trace.accesses_per_iteration();
@@ -287,27 +291,30 @@ fn step(
     iteration: u64,
     explicit: &mut u64,
 ) -> Result<(), SimError> {
+    // Explicit instructions are charged at the machine's per-opcode
+    // price, so measured cycles stay comparable to the (scaled)
+    // allocator prediction on non-unit-cost machines.
     match instr {
         AddressInstr::Lda { reg, address } => {
             let slot = regs
                 .get_mut(usize::from(reg.0))
                 .ok_or(SimError::UnknownRegister { reg: reg.0 })?;
             *slot = *address;
-            *explicit += 1;
+            *explicit += instr.cycles_with(&agu.cost_table());
         }
         AddressInstr::Ldm { mr, value } => {
             let slot = mrs
                 .get_mut(usize::from(mr.0))
                 .ok_or(SimError::UnknownModifyRegister { mr: mr.0 })?;
             *slot = *value;
-            *explicit += 1;
+            *explicit += instr.cycles_with(&agu.cost_table());
         }
         AddressInstr::Adda { reg, delta } => {
             let slot = regs
                 .get_mut(usize::from(reg.0))
                 .ok_or(SimError::UnknownRegister { reg: reg.0 })?;
             *slot += delta;
-            *explicit += 1;
+            *explicit += instr.cycles_with(&agu.cost_table());
         }
         AddressInstr::Use {
             reg,
@@ -349,7 +356,7 @@ fn step(
                     if !agu.is_free_delta(*delta) {
                         return Err(SimError::FreeDeltaViolation {
                             delta: *delta,
-                            modify_range: agu.modify_range(),
+                            range: agu.update_range(),
                         });
                     }
                     *delta
@@ -451,7 +458,7 @@ mod tests {
             err,
             SimError::FreeDeltaViolation {
                 delta: 5,
-                modify_range: 1
+                range: UpdateRange::symmetric(1)
             }
         );
     }

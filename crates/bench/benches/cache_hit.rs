@@ -57,7 +57,7 @@ fn warm(cache: &AllocationCache, spec: &LoopSpec, agu: AguSpec) -> Vec<(Canonica
             cache
                 .cost_curve(
                     &CanonicalPattern::of(p),
-                    agu.modify_range(),
+                    agu.update_range(),
                     k,
                     &options,
                     || optimizer.cost_curve(p, k),
@@ -72,7 +72,7 @@ fn warm(cache: &AllocationCache, spec: &LoopSpec, agu: AguSpec) -> Vec<(Canonica
         .zip(&grants)
         .map(|(pattern, &granted)| {
             let canonical = CanonicalPattern::of(pattern);
-            let _ = cache.allocation(&canonical, agu.modify_range(), granted, &options, || {
+            let _ = cache.allocation(&canonical, agu.update_range(), granted, &options, || {
                 optimizer.allocate_with_registers(pattern, granted)
             });
             (canonical, granted)
@@ -101,7 +101,7 @@ fn bench_warm_hit(c: &mut Criterion) {
             let mut registers = 0;
             for (canonical, granted) in &lookups {
                 let hit =
-                    cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+                    cache.allocation(canonical, agu.update_range(), *granted, &options, || {
                         panic!("warm bench must never miss")
                     });
                 registers += hit.register_count();
@@ -118,7 +118,7 @@ fn bench_warm_hit(c: &mut Criterion) {
             let mut registers = 0;
             for (canonical, granted) in &lookups {
                 let hit =
-                    cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+                    cache.allocation(canonical, agu.update_range(), *granted, &options, || {
                         panic!("warm bench must never miss")
                     });
                 let owned = hit.as_ref().clone();
@@ -141,7 +141,7 @@ fn bench_warm_hit(c: &mut Criterion) {
                     cache
                         .cost_curve(
                             &CanonicalPattern::of(p),
-                            agu.modify_range(),
+                            agu.update_range(),
                             k,
                             &options,
                             || panic!("warm bench must never miss"),
@@ -157,7 +157,7 @@ fn bench_warm_hit(c: &mut Criterion) {
                 .map(|(pattern, &granted)| {
                     let hit = cache.allocation(
                         &CanonicalPattern::of(pattern),
-                        agu.modify_range(),
+                        agu.update_range(),
                         granted,
                         &options,
                         || panic!("warm bench must never miss"),
@@ -173,10 +173,10 @@ fn bench_warm_hit(c: &mut Criterion) {
     // Semantic proof of "zero-clone", independent of timing noise: two
     // warm hits hand back the *same* allocation memory.
     let (canonical, granted) = &lookups[0];
-    let a = cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+    let a = cache.allocation(canonical, agu.update_range(), *granted, &options, || {
         panic!("must hit")
     });
-    let b = cache.allocation(canonical, agu.modify_range(), *granted, &options, || {
+    let b = cache.allocation(canonical, agu.update_range(), *granted, &options, || {
         panic!("must hit")
     });
     assert!(Arc::ptr_eq(&a, &b), "warm hits must share one allocation");

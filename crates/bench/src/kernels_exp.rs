@@ -71,7 +71,7 @@ pub fn compare_kernel(kernel: &Kernel, agu: AguSpec, iterations: u64) -> KernelR
     let chain_cost: u64 = arrays
         .iter()
         .map(|p| {
-            let dm = DistanceModel::new(p, agu.modify_range());
+            let dm = DistanceModel::with_range(p, agu.update_range());
             u64::from(PathCover::single_chain(p.len()).total_cost(&dm, true))
         })
         .sum();

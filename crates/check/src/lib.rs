@@ -592,7 +592,7 @@ fn free_updates_in_range(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
                     NAME,
                     format!(
                         "{loc} auto post-modify {delta:+} exceeds the machine's modify range M={}",
-                        ctx.agu.modify_range()
+                        ctx.agu.update_range()
                     ),
                 );
             }
@@ -815,7 +815,30 @@ fn carry_boundaries(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
 
 fn cycle_accounting(ctx: &CheckContext<'_>, out: &mut Vec<Violation>) {
     const NAME: &str = "cycle-accounting";
-    let derived: u64 = ctx.program.body().iter().map(AddressInstr::cycles).sum();
+    // Prices come from the *machine's* cost table, so a program whose
+    // embedded table disagrees with the target machine is caught here.
+    let costs = ctx.agu.cost_table();
+    if ctx.program.cost_table() != costs {
+        push(
+            out,
+            NAME,
+            format!(
+                "program is priced under a different cost table (lda={}, ldm={}, adda={}) than the machine (lda={}, ldm={}, adda={})",
+                ctx.program.cost_table().lda(),
+                ctx.program.cost_table().ldm(),
+                ctx.program.cost_table().adda(),
+                costs.lda(),
+                costs.ldm(),
+                costs.adda()
+            ),
+        );
+    }
+    let derived: u64 = ctx
+        .program
+        .body()
+        .iter()
+        .map(|i| i.cycles_with(&costs))
+        .sum();
     if derived != ctx.program.cycles_per_iteration() {
         push(
             out,

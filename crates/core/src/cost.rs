@@ -47,6 +47,7 @@ use raco_graph::{DistanceModel, ModifyAllocation, Path, PathCover};
 pub struct CostModel {
     include_wrap: bool,
     modify_registers: usize,
+    adda_cost: u32,
 }
 
 impl CostModel {
@@ -55,6 +56,7 @@ impl CostModel {
         CostModel {
             include_wrap: true,
             modify_registers: 0,
+            adda_cost: 1,
         }
     }
 
@@ -63,6 +65,7 @@ impl CostModel {
         CostModel {
             include_wrap: false,
             modify_registers: 0,
+            adda_cost: 1,
         }
     }
 
@@ -72,6 +75,19 @@ impl CostModel {
     #[must_use]
     pub fn with_modify_registers(mut self, count: usize) -> Self {
         self.modify_registers = count;
+        self
+    }
+
+    /// Prices machines whose explicit `ADDA` costs `cycles` instead of
+    /// one (builder style). Scaling is uniform, so the optimal cover is
+    /// unchanged; only reported costs grow — keeping `predicted ==
+    /// measured` on machines with multi-cycle address arithmetic.
+    ///
+    /// A `cycles` of zero is treated as one (explicit instructions are
+    /// never free).
+    #[must_use]
+    pub fn with_adda_cost(mut self, cycles: u32) -> Self {
+        self.adda_cost = cycles.max(1);
         self
     }
 
@@ -86,6 +102,11 @@ impl CostModel {
         self.modify_registers
     }
 
+    /// Cycles charged per explicit `ADDA` (one on the paper machine).
+    pub fn adda_cost(&self) -> u32 {
+        self.adda_cost
+    }
+
     /// Cost of a single path under this model.
     ///
     /// Path costs are deliberately **modify-register-unaware**: which
@@ -95,6 +116,7 @@ impl CostModel {
     /// [`covers_cost`](Self::covers_cost) price them.
     pub fn path_cost(&self, path: &Path, dm: &DistanceModel) -> u32 {
         path.cost(dm, self.include_wrap)
+            .saturating_mul(self.adda_cost)
     }
 
     /// Total cost of a cover under this model.
@@ -104,15 +126,17 @@ impl CostModel {
     /// zero cycles.
     pub fn cover_cost(&self, cover: &PathCover, dm: &DistanceModel) -> u32 {
         let raw = cover.total_cost(dm, self.include_wrap);
-        if self.modify_registers == 0 {
-            return raw;
-        }
-        let modify = ModifyAllocation::for_covers_with_wrap(
-            [(cover, dm)],
-            self.modify_registers,
-            self.include_wrap,
-        );
-        raw - modify.savings()
+        let count = if self.modify_registers == 0 {
+            raw
+        } else {
+            let modify = ModifyAllocation::for_covers_with_wrap(
+                [(cover, dm)],
+                self.modify_registers,
+                self.include_wrap,
+            );
+            raw - modify.savings()
+        };
+        count.saturating_mul(self.adda_cost)
     }
 
     /// Total cost of several covers sharing one machine — the cost of a
@@ -129,15 +153,17 @@ impl CostModel {
             .iter()
             .map(|(cover, dm)| cover.total_cost(dm, self.include_wrap))
             .sum();
-        if self.modify_registers == 0 {
-            return raw;
-        }
-        let modify = ModifyAllocation::for_covers_with_wrap(
-            items.iter().copied(),
-            self.modify_registers,
-            self.include_wrap,
-        );
-        raw - modify.savings()
+        let count = if self.modify_registers == 0 {
+            raw
+        } else {
+            let modify = ModifyAllocation::for_covers_with_wrap(
+                items.iter().copied(),
+                self.modify_registers,
+                self.include_wrap,
+            );
+            raw - modify.savings()
+        };
+        count.saturating_mul(self.adda_cost)
     }
 }
 
@@ -210,6 +236,29 @@ mod tests {
         let cover = PathCover::single_chain(2);
         let model = CostModel::paper_literal().with_modify_registers(2);
         assert_eq!(model.cover_cost(&cover, &dm), 0);
+    }
+
+    #[test]
+    fn adda_cost_scales_uniformly() {
+        let dm = DistanceModel::from_offsets(&[1, 0, 2, -1, 1, 0, -2], 1, 1);
+        let cover = PathCover::single_chain(7);
+        let base = CostModel::steady_state();
+        let scaled = base.with_adda_cost(3);
+        assert_eq!(scaled.adda_cost(), 3);
+        assert_eq!(
+            scaled.cover_cost(&cover, &dm),
+            3 * base.cover_cost(&cover, &dm)
+        );
+        for p in cover.paths() {
+            assert_eq!(scaled.path_cost(p, &dm), 3 * base.path_cost(p, &dm));
+        }
+        // MR savings are applied before scaling.
+        let dm = DistanceModel::from_offsets(&[0, 7, 14, 21], 22, 1);
+        let chain = PathCover::single_chain(4);
+        let mr = base.with_modify_registers(1).with_adda_cost(5);
+        assert_eq!(mr.cover_cost(&chain, &dm), 0);
+        // Zero is clamped to one: explicit instructions are never free.
+        assert_eq!(base.with_adda_cost(0), base);
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl Optimizer {
     /// Allocates the accesses of a single-array pattern to the machine's
     /// `K` address registers (the paper's core problem).
     pub fn allocate(&self, pattern: &AccessPattern) -> Allocation {
-        self.allocate_model(DistanceModel::new(pattern, self.agu.modify_range()))
+        self.allocate_model(DistanceModel::with_range(pattern, self.agu.update_range()))
     }
 
     /// Allocates directly from a [`DistanceModel`] — the algorithm-only
@@ -193,7 +193,10 @@ impl Optimizer {
     /// each array receives: the per-array sub-problems are allocated
     /// (and cached) independently of the loop they came from.
     pub fn allocate_with_registers(&self, pattern: &AccessPattern, k: usize) -> Allocation {
-        self.allocate_model_with_registers(DistanceModel::new(pattern, self.agu.modify_range()), k)
+        self.allocate_model_with_registers(
+            DistanceModel::with_range(pattern, self.agu.update_range()),
+            k,
+        )
     }
 
     fn allocate_model_with_registers(&self, dm: DistanceModel, k: usize) -> Allocation {
@@ -307,7 +310,7 @@ impl Optimizer {
         let mut curves: Vec<Vec<u32>> = Vec::with_capacity(patterns.len());
         let mut swept: Vec<Vec<Phase2Report>> = Vec::with_capacity(patterns.len());
         for p in &patterns {
-            let prep = self.prepare_model(DistanceModel::new(p, self.agu.modify_range()));
+            let prep = self.prepare_model(DistanceModel::with_range(p, self.agu.update_range()));
             let (curve, reports) = self.curve_from(&prep, k, true);
             prepared.push(prep);
             curves.push(curve);
@@ -357,7 +360,8 @@ impl Optimizer {
     /// cheaper chain). The curve is therefore non-increasing in `k` by
     /// construction.
     pub fn cost_curve(&self, pattern: &AccessPattern, k_max: usize) -> Vec<u32> {
-        let prepared = self.prepare_model(DistanceModel::new(pattern, self.agu.modify_range()));
+        let prepared =
+            self.prepare_model(DistanceModel::with_range(pattern, self.agu.update_range()));
         self.curve_from(&prepared, k_max, false).0
     }
 

@@ -16,7 +16,10 @@
 //!   deltas are all bit-for-bit reusable.
 //! * **cost curves** — keyed by the weaker *cost class* (sign
 //!   normalized) plus `(M, k_max, options)`. Curves only carry costs,
-//!   which are mirror-invariant, so mirrored patterns share entries.
+//!   which are mirror-invariant **on symmetric machines**, so mirrored
+//!   patterns share entries there; under an asymmetric update range
+//!   (e.g. `[0, 1]`) mirroring changes costs, and the curve table falls
+//!   back to the exact canonical key.
 //!
 //! The map is a `DashMap`-style sharded `RwLock<HashMap>`: shard by
 //! key hash, readers never block each other, and a miss computes the
@@ -36,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use raco_core::{Allocation, OptimizerOptions};
-use raco_ir::CanonicalPattern;
+use raco_ir::{CanonicalPattern, UpdateRange};
 
 const SHARDS: usize = 16;
 
@@ -213,18 +216,33 @@ impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct AllocationKey {
     pub(crate) canonical: CanonicalPattern,
-    pub(crate) modify_range: u32,
+    pub(crate) range: UpdateRange,
     pub(crate) registers: usize,
     pub(crate) options: OptimizerOptions,
 }
 
 /// Cost-class key for register-partitioning curves.
+///
+/// On symmetric machines `cost_class` is the mirror-normalized class;
+/// on asymmetric machines it is the exact canonical form (mirror
+/// sharing would be unsound — see [`curve_class`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct CurveKey {
     pub(crate) cost_class: CanonicalPattern,
-    pub(crate) modify_range: u32,
+    pub(crate) range: UpdateRange,
     pub(crate) k_max: usize,
     pub(crate) options: OptimizerOptions,
+}
+
+/// The pattern key a cost curve is shared under for a given machine:
+/// the mirror-normalized cost class when the update range is symmetric
+/// (mirroring preserves costs), the exact canonical form otherwise.
+pub(crate) fn curve_class(canonical: &CanonicalPattern, range: UpdateRange) -> CanonicalPattern {
+    if range.is_symmetric() {
+        canonical.cost_class()
+    } else {
+        canonical.clone()
+    }
 }
 
 /// Every resident allocation entry, exported for serialization.
@@ -338,12 +356,12 @@ impl AllocationCache {
     }
 
     /// Returns the cached allocation for the canonical pattern under
-    /// `(modify_range, registers, options)`, computing it with
-    /// `compute` on a miss.
+    /// `(range, registers, options)`, computing it with `compute` on a
+    /// miss.
     pub fn allocation(
         &self,
         canonical: &CanonicalPattern,
-        modify_range: u32,
+        range: UpdateRange,
         registers: usize,
         options: &OptimizerOptions,
         compute: impl FnOnce() -> Allocation,
@@ -351,7 +369,7 @@ impl AllocationCache {
         self.allocations.get_or_insert_with(
             AllocationKey {
                 canonical: canonical.clone(),
-                modify_range,
+                range,
                 registers,
                 options: *options,
             },
@@ -359,21 +377,22 @@ impl AllocationCache {
         )
     }
 
-    /// Returns the cached register/cost curve for the pattern's cost
-    /// class under `(modify_range, k_max, options)`, computing it with
-    /// `compute` on a miss.
+    /// Returns the cached register/cost curve for the pattern's curve
+    /// class under `(range, k_max, options)`, computing it with
+    /// `compute` on a miss. Mirror-image patterns share a curve only on
+    /// symmetric machines (see `curve_class`).
     pub fn cost_curve(
         &self,
         canonical: &CanonicalPattern,
-        modify_range: u32,
+        range: UpdateRange,
         k_max: usize,
         options: &OptimizerOptions,
         compute: impl FnOnce() -> Vec<u32>,
     ) -> Arc<Vec<u32>> {
         self.curves.get_or_insert_with(
             CurveKey {
-                cost_class: canonical.cost_class(),
-                modify_range,
+                cost_class: curve_class(canonical, range),
+                range,
                 k_max,
                 options: *options,
             },
@@ -471,6 +490,10 @@ mod tests {
         CanonicalPattern::from_offsets(offsets, 1)
     }
 
+    fn sym(m: u32) -> UpdateRange {
+        UpdateRange::symmetric(m)
+    }
+
     #[test]
     fn shifted_patterns_hit_the_allocation_table() {
         let cache = AllocationCache::new();
@@ -480,11 +503,11 @@ mod tests {
             let pattern = AccessPattern::from_offsets(offs, 1);
             optimizer.allocate(&pattern)
         };
-        let a = cache.allocation(&canonical(&[1, 0, 2]), 1, 2, &options, || {
+        let a = cache.allocation(&canonical(&[1, 0, 2]), sym(1), 2, &options, || {
             compute(&[1, 0, 2])
         });
         // Same shape shifted by +7: identical canonical form → hit.
-        let b = cache.allocation(&canonical(&[8, 7, 9]), 1, 2, &options, || {
+        let b = cache.allocation(&canonical(&[8, 7, 9]), sym(1), 2, &options, || {
             panic!("must not recompute")
         });
         assert!(Arc::ptr_eq(&a, &b));
@@ -502,16 +525,16 @@ mod tests {
         // [0, 1, 2] and its mirror [0, -1, -2] (stride negated too).
         let fwd = CanonicalPattern::from_offsets(&[0, 1, 2], 1);
         let bwd = fwd.mirror();
-        let c1 = cache.cost_curve(&fwd, 1, 4, &options, || vec![1, 0, 0, 0]);
-        let c2 = cache.cost_curve(&bwd, 1, 4, &options, || panic!("curve must hit"));
+        let c1 = cache.cost_curve(&fwd, sym(1), 4, &options, || vec![1, 0, 0, 0]);
+        let c2 = cache.cost_curve(&bwd, sym(1), 4, &options, || panic!("curve must hit"));
         assert!(Arc::ptr_eq(&c1, &c2));
         assert_eq!(cache.stats().curve_hits, 1);
 
         let optimizer = Optimizer::new(AguSpec::new(1, 1).unwrap());
-        let _ = cache.allocation(&fwd, 1, 1, &options, || {
+        let _ = cache.allocation(&fwd, sym(1), 1, &options, || {
             optimizer.allocate(&AccessPattern::from_offsets(&[0, 1, 2], 1))
         });
-        let _ = cache.allocation(&bwd, 1, 1, &options, || {
+        let _ = cache.allocation(&bwd, sym(1), 1, &options, || {
             optimizer.allocate(&AccessPattern::from_offsets(&[0, -1, -2], -1))
         });
         // Mirrors are distinct exact keys: no false sharing of deltas.
@@ -520,13 +543,31 @@ mod tests {
     }
 
     #[test]
+    fn asymmetric_ranges_do_not_share_mirrored_curves() {
+        let cache = AllocationCache::new();
+        let options = OptimizerOptions::default();
+        let fwd = CanonicalPattern::from_offsets(&[0, 1, 2], 1);
+        let bwd = fwd.mirror();
+        // Post-increment-only machine: +1 is free, -1 is not, so the
+        // mirror of a pattern genuinely costs differently and must get
+        // its own curve entry.
+        let range = UpdateRange::new(0, 1).unwrap();
+        let c1 = cache.cost_curve(&fwd, range, 4, &options, || vec![0, 0, 0, 0]);
+        let c2 = cache.cost_curve(&bwd, range, 4, &options, || vec![2, 1, 1, 1]);
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        assert_ne!(*c1, *c2);
+        assert_eq!(cache.stats().curve_misses, 2);
+        assert_eq!(cache.stats().curve_entries, 2);
+    }
+
+    #[test]
     fn distinct_machines_do_not_collide() {
         let cache = AllocationCache::new();
         let options = OptimizerOptions::default();
         let key = canonical(&[0, 5]);
-        let _ = cache.cost_curve(&key, 1, 4, &options, || vec![1, 1, 1, 1]);
-        let _ = cache.cost_curve(&key, 2, 4, &options, || vec![0, 0, 0, 0]);
-        let _ = cache.cost_curve(&key, 1, 8, &options, || vec![1; 8]);
+        let _ = cache.cost_curve(&key, sym(1), 4, &options, || vec![1, 1, 1, 1]);
+        let _ = cache.cost_curve(&key, sym(2), 4, &options, || vec![0, 0, 0, 0]);
+        let _ = cache.cost_curve(&key, sym(1), 8, &options, || vec![1; 8]);
         assert_eq!(cache.stats().curve_entries, 3);
         assert_eq!(cache.stats().curve_misses, 3);
     }
@@ -535,7 +576,7 @@ mod tests {
     fn clear_empties_tables_but_keeps_counters() {
         let cache = AllocationCache::new();
         let options = OptimizerOptions::default();
-        let _ = cache.cost_curve(&canonical(&[0, 1]), 1, 2, &options, || vec![0, 0]);
+        let _ = cache.cost_curve(&canonical(&[0, 1]), sym(1), 2, &options, || vec![0, 0]);
         cache.clear();
         let stats = cache.stats();
         assert_eq!(stats.curve_entries, 0);
@@ -549,9 +590,13 @@ mod tests {
         let options = OptimizerOptions::default();
         // Sweep far more distinct shapes than the limit admits.
         for i in 0..1000i64 {
-            let _ = cache.cost_curve(&canonical(&[0, i + 1, 2 * i + 3]), 1, 4, &options, || {
-                vec![1, 0, 0, 0]
-            });
+            let _ = cache.cost_curve(
+                &canonical(&[0, i + 1, 2 * i + 3]),
+                sym(1),
+                4,
+                &options,
+                || vec![1, 0, 0, 0],
+            );
         }
         let stats = cache.stats();
         assert_eq!(stats.curve_misses, 1000);
@@ -566,7 +611,7 @@ mod tests {
 
         // Evicted keys recompute (a miss, not a corrupted hit).
         let first = canonical(&[0, 1, 3]);
-        let recomputed = cache.cost_curve(&first, 1, 4, &options, || vec![9, 9, 9, 9]);
+        let recomputed = cache.cost_curve(&first, sym(1), 4, &options, || vec![9, 9, 9, 9]);
         assert_eq!(*recomputed, vec![9, 9, 9, 9]);
     }
 
@@ -577,8 +622,8 @@ mod tests {
         // Limit 0 still keeps one entry per shard, so an immediate
         // repeat of the same key hits.
         let key = canonical(&[0, 4]);
-        let _ = cache.cost_curve(&key, 1, 2, &options, || vec![1, 1]);
-        let _ = cache.cost_curve(&key, 1, 2, &options, || panic!("must hit"));
+        let _ = cache.cost_curve(&key, sym(1), 2, &options, || vec![1, 1]);
+        let _ = cache.cost_curve(&key, sym(1), 2, &options, || panic!("must hit"));
         assert_eq!(cache.stats().curve_hits, 1);
     }
 
@@ -587,14 +632,14 @@ mod tests {
         let cache = AllocationCache::with_policy(CachePolicy::Bounded(16));
         let options = OptimizerOptions::default();
         for i in 0..64i64 {
-            let _ = cache.cost_curve(&canonical(&[0, i + 1]), 1, 2, &options, || vec![0, 0]);
+            let _ = cache.cost_curve(&canonical(&[0, i + 1]), sym(1), 2, &options, || vec![0, 0]);
         }
         cache.clear();
         assert_eq!(cache.stats().curve_entries, 0);
         // Refill after clear still respects the bound (the FIFO queue
         // was reset along with the entries).
         for i in 0..64i64 {
-            let _ = cache.cost_curve(&canonical(&[0, i + 1]), 1, 2, &options, || vec![0, 0]);
+            let _ = cache.cost_curve(&canonical(&[0, i + 1]), sym(1), 2, &options, || vec![0, 0]);
         }
         assert!(cache.stats().curve_entries <= 16 + SHARDS);
     }
@@ -610,7 +655,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..256i64 {
                         let key = canonical(&[0, 1 + (i * 4 + t) % 97]);
-                        let _ = cache.cost_curve(&key, 1, 2, options, || vec![1, 1]);
+                        let _ = cache.cost_curve(&key, sym(1), 2, options, || vec![1, 1]);
                     }
                 });
             }
@@ -652,11 +697,15 @@ mod tests {
         let options = OptimizerOptions::default();
         let a = AllocationCache::new();
         let b = AllocationCache::new();
-        let _ = a.cost_curve(&canonical(&[0, 1]), 1, 2, &options, || vec![1, 0]);
-        let _ = b.cost_curve(&canonical(&[0, 2]), 1, 2, &options, || vec![1, 1]);
+        let _ = a.cost_curve(&canonical(&[0, 1]), sym(1), 2, &options, || vec![1, 0]);
+        let _ = b.cost_curve(&canonical(&[0, 2]), sym(1), 2, &options, || vec![1, 1]);
         // Overlap: both caches hold the [0, 1] curve key under k_max 4.
-        let _ = a.cost_curve(&canonical(&[0, 1]), 1, 4, &options, || vec![1, 0, 0, 0]);
-        let _ = b.cost_curve(&canonical(&[0, 1]), 1, 4, &options, || vec![1, 0, 0, 0]);
+        let _ = a.cost_curve(&canonical(&[0, 1]), sym(1), 4, &options, || {
+            vec![1, 0, 0, 0]
+        });
+        let _ = b.cost_curve(&canonical(&[0, 1]), sym(1), 4, &options, || {
+            vec![1, 0, 0, 0]
+        });
 
         let merged = AllocationCache::new();
         assert_eq!(merged.absorb_entries(&a), 2);
@@ -668,7 +717,7 @@ mod tests {
         assert_eq!(stats.loaded, 0, "absorption is not a snapshot load");
 
         // The merged entries are live: the next lookup is a hit.
-        let _ = merged.cost_curve(&canonical(&[0, 2]), 1, 2, &options, || {
+        let _ = merged.cost_curve(&canonical(&[0, 2]), sym(1), 2, &options, || {
             panic!("absorbed entry must hit")
         });
         assert_eq!(merged.stats().curve_hits, 1);
@@ -694,7 +743,7 @@ mod tests {
                         let offs = [0i64, (i % 7) as i64, 2 * ((i + t) % 5) as i64];
                         let key = CanonicalPattern::from_offsets(&offs, 1);
                         let curve =
-                            cache.cost_curve(&key, 1, 4, options, || vec![(i % 3) as u32; 4]);
+                            cache.cost_curve(&key, sym(1), 4, options, || vec![(i % 3) as u32; 4]);
                         assert_eq!(curve.len(), 4);
                     }
                 });

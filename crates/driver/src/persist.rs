@@ -35,7 +35,7 @@
 //!
 //! ```text
 //! header   magic  [8]  b"RACOSNP\n"
-//!          version u32  SNAPSHOT_VERSION (currently 2)
+//!          version u32  SNAPSHOT_VERSION (currently 3)
 //!          reserved u32 zero
 //! records  tag u8 (0x01 allocation | 0x02 cost curve)
 //!          len u32      payload length in bytes
@@ -47,10 +47,11 @@
 //! ```
 //!
 //! An *allocation record* payload carries the full cache key (the
-//! shift-normalized canonical pattern, `M`, granted registers, and
-//! optimizer options) and the full [`Allocation`] value (distance
-//! model, cost, both phase reports with their covers). A *curve
-//! record* carries the cost-class key and the `Vec<u32>` cost curve.
+//! shift-normalized canonical pattern, the update range as two i64
+//! bounds, granted registers, and optimizer options) and the full
+//! [`Allocation`] value (distance model, cost, both phase reports with
+//! their covers). A *curve record* carries the curve-class key and the
+//! `Vec<u32>` cost curve.
 //!
 //! ## Versioning and corruption handling
 //!
@@ -85,7 +86,7 @@ use raco_core::{
     Phase1Report, Phase2Report,
 };
 use raco_graph::{BbOptions, DistanceModel, Path, PathCover};
-use raco_ir::CanonicalPattern;
+use raco_ir::{CanonicalPattern, UpdateRange, MAX_INSTRUCTION_COST};
 
 use crate::cache::{AllocationCache, AllocationKey, CurveKey};
 
@@ -104,7 +105,15 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RACOSNP\n";
 ///   at zero modify registers without saying so — must not warm-hit a
 ///   version-2 cache. Old snapshots are rejected cleanly and the cache
 ///   re-warms.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// * **3** — machine descriptions: the `M` radius (one u32) in both
+///   record kinds became the full asymmetric update range (two i64
+///   bounds), and the options sub-encoding gained the cost model's
+///   ADDA cost. A v2 snapshot cannot express `[0, 1]`-style ranges or
+///   non-unit instruction costs, so its entries — implicitly symmetric
+///   and unit-cost — must not warm-hit a v3 cache keyed by the full
+///   description. Old snapshots are rejected cleanly and the cache
+///   re-warms.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 const TAG_END: u8 = 0x00;
 const TAG_ALLOCATION: u8 = 0x01;
@@ -262,9 +271,15 @@ fn put_offsets(buf: &mut Vec<u8>, offsets: &[i64], stride: i64) {
     put_i64(buf, stride);
 }
 
+fn put_range(buf: &mut Vec<u8>, range: UpdateRange) {
+    put_i64(buf, range.min());
+    put_i64(buf, range.max());
+}
+
 fn put_options(buf: &mut Vec<u8>, options: &OptimizerOptions) {
     buf.push(u8::from(options.cost_model.includes_wrap()));
     put_count(buf, options.cost_model.modify_registers());
+    put_u32(buf, options.cost_model.adda_cost());
     put_u64(buf, options.bb.node_limit);
     buf.push(u8::from(options.bb.memoize));
     match options.strategy {
@@ -299,7 +314,7 @@ fn encode_allocation_record(key: &AllocationKey, value: &Allocation) -> Vec<u8> 
     let mut buf = Vec::new();
     // Key.
     put_offsets(&mut buf, key.canonical.offsets(), key.canonical.stride());
-    put_u32(&mut buf, key.modify_range);
+    put_range(&mut buf, key.range);
     put_count(&mut buf, key.registers);
     put_options(&mut buf, &key.options);
     // Value: distance model …
@@ -308,7 +323,7 @@ fn encode_allocation_record(key: &AllocationKey, value: &Allocation) -> Vec<u8> 
         value.distance_model().offsets(),
         value.distance_model().stride(),
     );
-    put_u32(&mut buf, value.distance_model().modify_range());
+    put_range(&mut buf, value.distance_model().range());
     put_u32(&mut buf, value.cost());
     // … Phase 1 …
     let phase1 = value.phase1();
@@ -349,7 +364,7 @@ fn encode_allocation_record(key: &AllocationKey, value: &Allocation) -> Vec<u8> 
 fn encode_curve_record(key: &CurveKey, value: &[u32]) -> Vec<u8> {
     let mut buf = Vec::new();
     put_offsets(&mut buf, key.cost_class.offsets(), key.cost_class.stride());
-    put_u32(&mut buf, key.modify_range);
+    put_range(&mut buf, key.range);
     put_count(&mut buf, key.k_max);
     put_options(&mut buf, &key.options);
     put_count(&mut buf, value.len());
@@ -490,6 +505,12 @@ fn read_canonical(r: &mut Reader<'_>) -> Decoded<CanonicalPattern> {
     Ok(CanonicalPattern::from_offsets(&offsets, stride))
 }
 
+fn read_range(r: &mut Reader<'_>) -> Decoded<UpdateRange> {
+    let min = r.i64()?;
+    let max = r.i64()?;
+    UpdateRange::new(min, max).map_err(|_| "invalid update range")
+}
+
 fn read_options(r: &mut Reader<'_>) -> Decoded<OptimizerOptions> {
     let cost_model = match r.u8()? {
         0 => CostModel::paper_literal(),
@@ -497,6 +518,11 @@ fn read_options(r: &mut Reader<'_>) -> Decoded<OptimizerOptions> {
         _ => return Err("unknown cost model"),
     };
     let cost_model = cost_model.with_modify_registers(r.u32()? as usize);
+    let adda_cost = r.u32()?;
+    if adda_cost == 0 || adda_cost > MAX_INSTRUCTION_COST {
+        return Err("invalid ADDA cost");
+    }
+    let cost_model = cost_model.with_adda_cost(adda_cost);
     let node_limit = r.u64()?;
     let memoize = match r.u8()? {
         0 => false,
@@ -538,13 +564,13 @@ fn read_cover(r: &mut Reader<'_>) -> Decoded<PathCover> {
 fn decode_allocation_record(payload: &[u8]) -> Decoded<(AllocationKey, Allocation)> {
     let r = &mut Reader::new(payload);
     let canonical = read_canonical(r)?;
-    let modify_range = r.u32()?;
+    let range = read_range(r)?;
     let registers = r.u32()? as usize;
     let options = read_options(r)?;
 
     let (offsets, stride) = read_offsets(r)?;
-    let dm_modify_range = r.u32()?;
-    let dm = DistanceModel::from_offsets(&offsets, stride, dm_modify_range);
+    let dm_range = read_range(r)?;
+    let dm = DistanceModel::from_offsets_range(&offsets, stride, dm_range);
     let cost = r.u32()?;
 
     let phase1_cover = read_cover(r)?;
@@ -594,7 +620,7 @@ fn decode_allocation_record(payload: &[u8]) -> Decoded<(AllocationKey, Allocatio
     if registers == 0 || phase2.cover().register_count() > registers {
         return Err("final cover exceeds the key's register grant");
     }
-    if dm.modify_range() != modify_range {
+    if dm.range() != range {
         return Err("distance model disagrees with the cache key");
     }
     if CanonicalPattern::from_offsets(&offsets, stride) != canonical {
@@ -606,7 +632,7 @@ fn decode_allocation_record(payload: &[u8]) -> Decoded<(AllocationKey, Allocatio
 
     let key = AllocationKey {
         canonical,
-        modify_range,
+        range,
         registers,
         options,
     };
@@ -616,7 +642,7 @@ fn decode_allocation_record(payload: &[u8]) -> Decoded<(AllocationKey, Allocatio
 fn decode_curve_record(payload: &[u8]) -> Decoded<(CurveKey, Vec<u32>)> {
     let r = &mut Reader::new(payload);
     let cost_class = read_canonical(r)?;
-    let modify_range = r.u32()?;
+    let range = read_range(r)?;
     let k_max = r.u32()? as usize;
     let options = read_options(r)?;
     let len = r.count(4)?;
@@ -630,13 +656,16 @@ fn decode_curve_record(payload: &[u8]) -> Decoded<(CurveKey, Vec<u32>)> {
     if !r.finished() {
         return Err("trailing bytes after curve record");
     }
-    if cost_class.cost_class() != cost_class {
+    // Symmetric machines key curves by the sign-normalized cost class;
+    // asymmetric machines key by the exact canonical form (mirror
+    // sharing is unsound there), which need not be sign-normalized.
+    if range.is_symmetric() && cost_class.cost_class() != cost_class {
         return Err("curve key is not sign-normalized");
     }
     Ok((
         CurveKey {
             cost_class,
-            modify_range,
+            range,
             k_max,
             options,
         },
@@ -791,6 +820,10 @@ mod tests {
     use raco_core::Optimizer;
     use raco_ir::{AccessPattern, AguSpec};
 
+    fn sym(m: u32) -> UpdateRange {
+        UpdateRange::symmetric(m)
+    }
+
     /// A cache warmed with a few real allocations and curves.
     fn warm_cache() -> AllocationCache {
         let cache = AllocationCache::new();
@@ -799,8 +832,10 @@ mod tests {
         for offsets in [&[1i64, 0, 2, -1][..], &[0, 5, 10][..], &[0, -3][..]] {
             let pattern = AccessPattern::from_offsets(offsets, 1);
             let canonical = CanonicalPattern::of(&pattern);
-            let _ = cache.allocation(&canonical, 1, 2, &options, || optimizer.allocate(&pattern));
-            let _ = cache.cost_curve(&canonical, 1, 4, &options, || {
+            let _ = cache.allocation(&canonical, sym(1), 2, &options, || {
+                optimizer.allocate(&pattern)
+            });
+            let _ = cache.cost_curve(&canonical, sym(1), 4, &options, || {
                 optimizer.cost_curve(&pattern, 4)
             });
         }
@@ -830,11 +865,12 @@ mod tests {
         decode_into(&restored, &encode(&cache));
         let options = OptimizerOptions::default();
         let canonical = CanonicalPattern::from_offsets(&[1, 0, 2, -1], 1);
-        let hit = restored.allocation(&canonical, 1, 2, &options, || {
+        let hit = restored.allocation(&canonical, sym(1), 2, &options, || {
             panic!("loaded entry must hit")
         });
-        let original =
-            cache.allocation(&canonical, 1, 2, &options, || panic!("warm entry must hit"));
+        let original = cache.allocation(&canonical, sym(1), 2, &options, || {
+            panic!("warm entry must hit")
+        });
         assert_eq!(*hit, *original);
         assert_eq!(restored.stats().allocation_hits, 1);
         assert_eq!(restored.stats().allocation_misses, 0);
@@ -908,6 +944,72 @@ mod tests {
     }
 
     #[test]
+    fn version_two_snapshots_are_rejected_cleanly() {
+        // Regression pin for the v2 → v3 bump (cache keys grew from a
+        // symmetric M radius to a full update range, and options now
+        // carry the ADDA cost): a structurally flawless version-2
+        // snapshot must be rejected whole — one warning, nothing
+        // loaded, no panic — so a v3 cache can never warm-hit entries
+        // keyed by an incomplete machine description.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut buf, 2); // the previous SNAPSHOT_VERSION
+        put_u32(&mut buf, 0);
+        buf.push(TAG_END);
+        let sum = checksum(&buf);
+        put_u64(&mut buf, sum);
+
+        let restored = AllocationCache::new();
+        let report = decode_into(&restored, &buf);
+        assert_eq!(report.loaded(), 0);
+        assert_eq!(report.skipped, 1);
+        assert!(
+            report.warnings[0].contains("version 2"),
+            "{:?}",
+            report.warnings
+        );
+        assert!(report.warnings[0].contains("re-warm"));
+        assert_eq!(restored.stats().loaded, 0);
+    }
+
+    #[test]
+    fn asymmetric_range_entries_round_trip() {
+        // A bwdsp-style post-increment machine: the [0, 1] range and
+        // the machine-forced ADDA cost must survive the snapshot and
+        // answer only to the exactly-matching key.
+        let agu = raco_ir::AguSpec::bwdsp_like();
+        let config = crate::PipelineConfig::new(agu);
+        let options = config.effective_options();
+        let optimizer = Optimizer::with_options(agu, options);
+        let pattern = AccessPattern::from_offsets(&[0, 2, 5], 1);
+        let canonical = CanonicalPattern::of(&pattern);
+        let range = agu.update_range();
+        let cache = AllocationCache::new();
+        let _ = cache.allocation(&canonical, range, 2, &options, || {
+            optimizer.allocate_with_registers(&pattern, 2)
+        });
+        let _ = cache.cost_curve(&canonical, range, 4, &options, || {
+            optimizer.cost_curve(&pattern, 4)
+        });
+
+        let bytes = encode(&cache);
+        let restored = AllocationCache::new();
+        let report = decode_into(&restored, &bytes);
+        assert_eq!(report.skipped, 0, "{:?}", report.warnings);
+        assert_eq!(report.loaded(), 2);
+        assert_eq!(encode(&restored), bytes);
+        let _ = restored.allocation(&canonical, range, 2, &options, || {
+            panic!("restored asymmetric entry must hit")
+        });
+        // The symmetric M = 1 key is a different machine: clean miss.
+        let _ = restored.allocation(&canonical, sym(1), 2, &options, || {
+            optimizer.allocate_with_registers(&pattern, 2)
+        });
+        assert_eq!(restored.stats().allocation_hits, 1);
+        assert_eq!(restored.stats().allocation_misses, 1);
+    }
+
+    #[test]
     fn options_round_trip_the_modify_register_count() {
         // Two caches whose entries differ only in the cost model's
         // modify-register count must encode to different snapshots and
@@ -925,7 +1027,7 @@ mod tests {
         let pattern = AccessPattern::from_offsets(&[0, 10, 20, 30], 1);
         let canonical = CanonicalPattern::of(&pattern);
         let cache = AllocationCache::new();
-        let _ = cache.allocation(&canonical, 1, 2, &options_mr, || {
+        let _ = cache.allocation(&canonical, sym(1), 2, &options_mr, || {
             optimizer.allocate(&pattern)
         });
 
@@ -934,14 +1036,16 @@ mod tests {
         assert_eq!(report.skipped, 0, "{:?}", report.warnings);
         assert_eq!(report.allocations, 1);
         // The restored entry answers only to the MR-priced key …
-        let hit = restored.allocation(&canonical, 1, 2, &options_mr, || {
+        let hit = restored.allocation(&canonical, sym(1), 2, &options_mr, || {
             panic!("restored MR entry must hit")
         });
         assert_eq!(hit.cost(), optimizer.allocate(&pattern).cost());
         // … while the plain-machine key recomputes from scratch.
         let plain = OptimizerOptions::default();
         let miss_marker = Optimizer::with_options(raco_ir::AguSpec::new(2, 1).unwrap(), plain);
-        let _ = restored.allocation(&canonical, 1, 2, &plain, || miss_marker.allocate(&pattern));
+        let _ = restored.allocation(&canonical, sym(1), 2, &plain, || {
+            miss_marker.allocate(&pattern)
+        });
         assert_eq!(restored.stats().allocation_misses, 1);
         assert_eq!(restored.stats().allocation_entries, 2);
     }

@@ -138,7 +138,8 @@ impl PipelineConfig {
 
     /// The optimizer options this configuration actually allocates
     /// with: [`PipelineConfig::options`] with the cost model's
-    /// modify-register count forced to the machine's.
+    /// modify-register count and explicit-update cost forced to the
+    /// machine's.
     ///
     /// Allocation must price the same machine code generation emits
     /// for, or predicted and measured costs drift apart — so the
@@ -146,12 +147,14 @@ impl PipelineConfig {
     /// assembled by hand or overridden per request (`raco serve`
     /// builds the request machine from knobs without touching the
     /// options). Since the options are part of every allocation-cache
-    /// key, this is also what keys machines by modify-register count.
+    /// key, this is also what keys machines by modify-register count
+    /// and ADDA cost.
     pub fn effective_options(&self) -> OptimizerOptions {
         let mut options = self.options;
         options.cost_model = options
             .cost_model
-            .with_modify_registers(self.agu.modify_registers());
+            .with_modify_registers(self.agu.modify_registers())
+            .with_adda_cost(self.agu.cost_table().adda());
         options
     }
 }
@@ -460,6 +463,8 @@ impl Pipeline {
             units,
             address_registers: config.agu.address_registers(),
             modify_range: config.agu.modify_range(),
+            update_range: config.agu.update_range(),
+            costs: config.agu.cost_table(),
             modify_registers: config.agu.modify_registers(),
             threads: config.parallelism.resolve(loops),
             elapsed: started.elapsed(),
@@ -628,8 +633,10 @@ impl Pipeline {
     /// Allocates one loop, going through the cache when enabled.
     ///
     /// The cached path mirrors [`Optimizer::allocate_loop`] exactly:
-    /// per-pattern cost curves (cached by mirror-invariant cost class)
-    /// feed the register partition, then each array is allocated with
+    /// per-pattern cost curves (cached by curve class — the
+    /// mirror-invariant cost class on symmetric machines, the exact
+    /// canonical form otherwise) feed the register partition, then
+    /// each array is allocated with
     /// its granted register count (cached by exact canonical form, so
     /// hits reuse covers *and* concrete update deltas).
     fn allocate(
@@ -665,7 +672,7 @@ impl Pipeline {
                 .to_string(),
             ));
         }
-        let modify_range = config.agu.modify_range();
+        let range = config.agu.update_range();
 
         let canonicals: Vec<CanonicalPattern> = patterns.iter().map(CanonicalPattern::of).collect();
         // Cache-facing stages time the whole lookup and discriminate by
@@ -680,7 +687,7 @@ impl Pipeline {
             let mut missed = false;
             let curve = self
                 .cache
-                .cost_curve(canonical, modify_range, k, &options, || {
+                .cost_curve(canonical, range, k, &options, || {
                     missed = true;
                     optimizer.cost_curve(pattern, k)
                 })
@@ -705,12 +712,12 @@ impl Pipeline {
         let mut per_array = Vec::with_capacity(patterns.len());
         for ((pattern, canonical), &granted) in patterns.iter().zip(&canonicals).zip(&grants) {
             let mut missed = false;
-            let allocation =
-                self.cache
-                    .allocation(canonical, modify_range, granted, &options, || {
-                        missed = true;
-                        optimizer.allocate_with_registers(pattern, granted)
-                    });
+            let allocation = self
+                .cache
+                .allocation(canonical, range, granted, &options, || {
+                    missed = true;
+                    optimizer.allocate_with_registers(pattern, granted)
+                });
             let now = Instant::now();
             let stage = if missed {
                 Stage::AllocMiss

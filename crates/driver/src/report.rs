@@ -10,6 +10,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use raco_ir::{CostTable, UpdateRange};
+
 use crate::cache::CacheStats;
 use crate::json::Json;
 use crate::timings::StageTiming;
@@ -216,8 +218,16 @@ pub struct CompilationReport {
     pub units: Vec<UnitReport>,
     /// Address registers of the target machine (the paper's `K`).
     pub address_registers: usize,
-    /// Auto-modify range of the target machine (the paper's `M`).
+    /// Auto-modify range of the target machine (the paper's `M`). On
+    /// asymmetric machines this is the symmetric radius — see
+    /// [`update_range`](Self::update_range) for the exact window.
     pub modify_range: u32,
+    /// Full auto-modify window of the target machine. Equals
+    /// `[-M, M]` on paper-shaped machines; `[0, 1]` on a
+    /// post-increment-only machine.
+    pub update_range: UpdateRange,
+    /// Per-opcode cycle costs of the target machine.
+    pub costs: CostTable,
     /// Modify registers of the target machine (zero on the plain paper
     /// machine). Allocation prices them, so `predicted_cycles` equals
     /// `measured_cycles` on MR-equipped machines too.
@@ -288,9 +298,23 @@ impl CompilationReport {
                         "modify_range".to_owned(),
                         Json::UInt(u64::from(self.modify_range)),
                     ),
+                    ("update_min".to_owned(), Json::Int(self.update_range.min())),
+                    ("update_max".to_owned(), Json::Int(self.update_range.max())),
                     (
                         "modify_registers".to_owned(),
                         Json::UInt(self.modify_registers as u64),
+                    ),
+                    (
+                        "lda_cost".to_owned(),
+                        Json::UInt(u64::from(self.costs.lda())),
+                    ),
+                    (
+                        "ldm_cost".to_owned(),
+                        Json::UInt(u64::from(self.costs.ldm())),
+                    ),
+                    (
+                        "adda_cost".to_owned(),
+                        Json::UInt(u64::from(self.costs.adda())),
                     ),
                 ]),
             ),
@@ -467,16 +491,31 @@ impl CompilationReport {
             write_row(&mut out, row.as_slice());
         }
         out.push('\n');
+        // Symmetric ranges display as the plain radius, so the footer
+        // is byte-identical to the pre-description format on
+        // paper-shaped machines; asymmetric windows print in full, and
+        // non-unit cost tables append their own clause.
+        let costs = if self.costs.is_unit() {
+            String::new()
+        } else {
+            format!(
+                ", costs(lda={}, ldm={}, adda={})",
+                self.costs.lda(),
+                self.costs.ldm(),
+                self.costs.adda()
+            )
+        };
         out.push_str(&format!(
-            "{} loop(s) in {} unit(s): {} ok, {} failed  |  K = {}, M = {}, MR = {}  |  \
+            "{} loop(s) in {} unit(s): {} ok, {} failed  |  K = {}, M = {}, MR = {}{}  |  \
              {:.1} loops/s on {} thread(s)  |  cache: {} hit(s), {} miss(es) ({:.0}% hit rate)\n",
             self.loop_count(),
             self.units.len(),
             self.succeeded(),
             self.failed(),
             self.address_registers,
-            self.modify_range,
+            self.update_range,
             self.modify_registers,
+            costs,
             self.loops_per_second(),
             self.threads,
             self.cache.allocation_hits + self.cache.curve_hits,
@@ -542,6 +581,8 @@ mod tests {
             ],
             address_registers: 4,
             modify_range: 1,
+            update_range: UpdateRange::symmetric(1),
+            costs: CostTable::UNIT,
             modify_registers: 0,
             threads: 2,
             elapsed: Duration::from_millis(10),

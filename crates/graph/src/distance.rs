@@ -1,6 +1,6 @@
 //! Address distances and the zero-/unit-cost classification.
 
-use raco_ir::AccessPattern;
+use raco_ir::{AccessPattern, UpdateRange};
 
 /// Distances between the accesses of one pattern under an auto-modify
 /// range `M`.
@@ -13,9 +13,11 @@ use raco_ir::AccessPattern;
 /// access served in iteration `t`) to `a_j` (first access served in
 /// iteration `t+1`) is `offset(j) + stride - offset(i)`.
 ///
-/// A distance `d` is **free** (zero-cost) iff `|d| <= M`; otherwise the
-/// update costs one extra instruction (unit cost). This is the paper's
-/// Section 2 model.
+/// A distance `d` is **free** (zero-cost) iff it falls inside the
+/// machine's free [`UpdateRange`] — the paper's Section 2 model uses the
+/// symmetric window `|d| <= M`; generalized machines may free an
+/// asymmetric window (e.g. `[0, 1]` on MAC post-increment AGUs).
+/// Any other update costs one extra instruction (unit cost).
 ///
 /// # Examples
 ///
@@ -34,31 +36,48 @@ use raco_ir::AccessPattern;
 pub struct DistanceModel {
     offsets: Vec<i64>,
     stride: i64,
-    modify_range: u32,
+    range: UpdateRange,
 }
 
 impl DistanceModel {
-    /// Builds the distance model of `pattern` under auto-modify range
-    /// `modify_range` (the paper's `M`).
+    /// Builds the distance model of `pattern` under the symmetric
+    /// auto-modify range `modify_range` (the paper's `M`).
     pub fn new(pattern: &AccessPattern, modify_range: u32) -> Self {
+        Self::with_range(pattern, UpdateRange::symmetric(modify_range))
+    }
+
+    /// Builds the distance model of `pattern` under an arbitrary free
+    /// update window.
+    pub fn with_range(pattern: &AccessPattern, range: UpdateRange) -> Self {
         DistanceModel {
             offsets: pattern.offsets(),
             stride: pattern.stride(),
-            modify_range,
+            range,
         }
     }
 
-    /// Builds a model from raw offsets, for algorithm-only use.
+    /// Builds a model from raw offsets under a symmetric range, for
+    /// algorithm-only use.
     ///
     /// # Panics
     ///
     /// Panics if `offsets` is empty.
     pub fn from_offsets(offsets: &[i64], stride: i64, modify_range: u32) -> Self {
+        Self::from_offsets_range(offsets, stride, UpdateRange::symmetric(modify_range))
+    }
+
+    /// Builds a model from raw offsets under an arbitrary free update
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty.
+    pub fn from_offsets_range(offsets: &[i64], stride: i64, range: UpdateRange) -> Self {
         assert!(!offsets.is_empty(), "a distance model needs accesses");
         DistanceModel {
             offsets: offsets.to_vec(),
             stride,
-            modify_range,
+            range,
         }
     }
 
@@ -92,14 +111,20 @@ impl DistanceModel {
         self.stride
     }
 
-    /// The auto-modify range `M`.
+    /// Symmetric auto-modify summary `M` (the largest `M` with `[-M, M]`
+    /// inside the window; exact on paper-shaped machines).
     pub fn modify_range(&self) -> u32 {
-        self.modify_range
+        self.range.symmetric_radius()
     }
 
-    /// `true` iff a post-modify by `d` is free (`|d| <= M`).
+    /// The exact free update window.
+    pub fn range(&self) -> UpdateRange {
+        self.range
+    }
+
+    /// `true` iff a post-modify by `d` is free (inside the window).
     pub fn is_free(&self, d: i64) -> bool {
-        d.unsigned_abs() <= u64::from(self.modify_range)
+        self.range.contains(d)
     }
 
     /// Post-modify needed to go from access `from` to access `to` within
@@ -232,5 +257,24 @@ mod tests {
     #[should_panic(expected = "needs accesses")]
     fn empty_offsets_are_rejected() {
         let _ = DistanceModel::from_offsets(&[], 1, 1);
+    }
+
+    #[test]
+    fn asymmetric_ranges_free_one_direction_only() {
+        // MAC-style [0, 1]: +1 is free, -1 is not.
+        let range = UpdateRange::new(0, 1).unwrap();
+        let dm = DistanceModel::from_offsets_range(&[0, 1, 0], 1, range);
+        assert!(dm.free_intra(0, 1)); // +1
+        assert!(!dm.free_intra(1, 2)); // -1
+        assert!(dm.is_free(0) && dm.is_free(1));
+        assert!(!dm.is_free(-1));
+        assert_eq!(dm.range(), range);
+        assert_eq!(dm.modify_range(), 0, "summary radius of [0,1] is 0");
+        // The symmetric constructors agree with the range constructors.
+        let pattern = raco_ir::AccessPattern::from_offsets(&[0, 1, 0], 1);
+        assert_eq!(
+            DistanceModel::with_range(&pattern, UpdateRange::symmetric(2)),
+            DistanceModel::new(&pattern, 2),
+        );
     }
 }

@@ -76,7 +76,10 @@ pub mod pretty;
 pub mod trace;
 
 pub use canonical::CanonicalPattern;
-pub use machine::{AguSpec, SpecError};
+pub use machine::{
+    AguSpec, CostTable, MachineDescription, MachineParseError, SpecError, UpdateRange,
+    MAX_INSTRUCTION_COST, MAX_MACHINE_REGISTERS,
+};
 pub use model::{
     Access, AccessKind, AccessPattern, ArrayId, ArrayInfo, IrError, LoopNest, LoopSpec, NestLevel,
     PatternAccess,

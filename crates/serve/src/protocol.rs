@@ -30,11 +30,17 @@
 //! graceful shutdown when the server was started with `--cache-save`.
 //!
 //! `compile` and `kernels` accept per-request machine/option knobs
-//! (`registers`, `modify`, `modify_registers`, `threads`,
+//! (`machine`, `registers`, `modify`, `modify_registers`, `threads`,
 //! `iterations`, `validate`, `listings`, `cache`, `timings`); anything
-//! not given falls back to the server's defaults. The warm allocation
-//! cache is shared across *all* requests and connections — cache keys
-//! include the machine parameters, so mixed-machine traffic is safe.
+//! not given falls back to the server's defaults. `machine` selects a
+//! whole machine description — a built-in name (`paper`, `tms320c2x`,
+//! `dsp56k`, `adsp210x`, `bwdsp`, `saris`) or inline `key = value`
+//! description text (see [`raco_ir::MachineDescription::parse`]) —
+//! and the numeric knobs then override on top of it, so one
+//! connection can compile the same source for several back ends. The
+//! warm allocation cache is shared across *all* requests and
+//! connections — cache keys include the machine parameters, so
+//! mixed-machine traffic is safe.
 //! `timings: true` keeps the per-stage `timings` array in the
 //! response's report; serve responses omit it by default (rendering it
 //! costs more than a warm compile — accumulated stage timings are
@@ -82,7 +88,7 @@
 
 use raco_driver::json::Json;
 use raco_driver::{CacheStats, CompilationReport, Parallelism, PipelineConfig, SaveReport};
-use raco_ir::AguSpec;
+use raco_ir::{MachineDescription, UpdateRange};
 
 /// A decoded request line: the operation plus its envelope metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,13 +141,18 @@ pub enum Request {
 /// hostile request cannot make the allocator sweep billions of
 /// register counts or push a machine whose counts overflow the u32
 /// fields of the cache-snapshot format into a long-lived server's
-/// cache.
-pub const MAX_MACHINE_REGISTERS: usize = 4096;
+/// cache. Re-exported from [`raco_ir`] so the protocol and the
+/// description parser enforce one number.
+pub const MAX_MACHINE_REGISTERS: usize = raco_ir::MAX_MACHINE_REGISTERS;
 
 /// Optional per-request overrides of the server's default
 /// [`PipelineConfig`]. `None` everywhere means "use the defaults".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Knobs {
+    /// Whole-machine selection: a built-in description name or inline
+    /// `key = value` description text. Resolved first; the numeric
+    /// machine knobs below then override on top of it.
+    pub machine: Option<String>,
     /// Address registers (the paper's `K`).
     pub registers: Option<usize>,
     /// Auto-modify range (the paper's `M`).
@@ -182,10 +193,15 @@ impl Knobs {
     /// per-`K` sweeps or overflow the u32 counts in cache snapshots).
     pub fn apply(&self, base: &PipelineConfig) -> Result<PipelineConfig, String> {
         let mut config = base.clone();
+        if let Some(machine) = &self.machine {
+            config.agu = *MachineDescription::resolve(machine)
+                .map_err(|e| e.to_string())?
+                .spec();
+        }
         if self.registers.is_some() || self.modify.is_some() || self.modify_registers.is_some() {
-            let registers = self.registers.unwrap_or(base.agu.address_registers());
-            let modify = self.modify.unwrap_or(base.agu.modify_range());
-            let modify_registers = self.modify_registers.unwrap_or(base.agu.modify_registers());
+            let agu = config.agu;
+            let registers = self.registers.unwrap_or(agu.address_registers());
+            let modify_registers = self.modify_registers.unwrap_or(agu.modify_registers());
             for (knob, count) in [
                 ("registers", registers),
                 ("modify_registers", modify_registers),
@@ -197,9 +213,17 @@ impl Knobs {
                     ));
                 }
             }
-            config.agu = AguSpec::new(registers, modify)
+            // Builders, not a fresh spec: a `machine`-selected (or
+            // server-default) description keeps its update range and
+            // cost table under partial numeric overrides.
+            let mut agu = agu
+                .with_address_registers(registers)
                 .map_err(|e| e.to_string())?
                 .with_modify_registers(modify_registers);
+            if let Some(modify) = self.modify {
+                agu = agu.with_update_range(UpdateRange::symmetric(modify));
+            }
+            config.agu = agu;
         }
         if let Some(threads) = self.threads {
             config.parallelism = match threads {
@@ -292,6 +316,13 @@ pub fn parse_line(line: &str) -> Result<Envelope, ProtocolError> {
 
     let as_usize = |v: &Json| v.as_u64().and_then(|u| usize::try_from(u).ok());
     let knobs = Knobs {
+        machine: scalar(
+            &value,
+            &id,
+            "machine",
+            |v| v.as_str().map(str::to_owned),
+            "a string",
+        )?,
         registers: scalar(&value, &id, "registers", as_usize, "a non-negative integer")?,
         modify: scalar(
             &value,
@@ -498,6 +529,7 @@ pub fn saved_line(id: &Option<Json>, path: &std::path::Path, report: &SaveReport
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raco_ir::AguSpec;
 
     #[test]
     fn compile_requests_parse_with_knobs() {
@@ -616,6 +648,58 @@ mod tests {
             ..Knobs::default()
         };
         assert!(bad.apply(&base).is_err());
+    }
+
+    #[test]
+    fn machine_knob_selects_whole_descriptions() {
+        let base = PipelineConfig::new(raco_ir::AguSpec::new(4, 1).unwrap());
+
+        // Built-in name (and alias) selection.
+        let envelope = parse_line(r#"{"op":"kernels","machine":"bwdsp"}"#).unwrap();
+        assert_eq!(envelope.knobs.machine.as_deref(), Some("bwdsp"));
+        let config = envelope.knobs.apply(&base).unwrap();
+        assert_eq!(config.agu, raco_ir::AguSpec::bwdsp_like());
+
+        // Inline description text.
+        let knobs = Knobs {
+            machine: Some(
+                "name = custom\naddress_registers = 3\nupdate_min = 0\nupdate_max = 2\n".to_owned(),
+            ),
+            ..Knobs::default()
+        };
+        let config = knobs.apply(&base).unwrap();
+        assert_eq!(config.agu.address_registers(), 3);
+        assert_eq!(config.agu.update_range(), UpdateRange::new(0, 2).unwrap());
+
+        // Numeric knobs override on top of the selected description
+        // without losing its cost table.
+        let knobs = Knobs {
+            machine: Some("saris".to_owned()),
+            registers: Some(2),
+            ..Knobs::default()
+        };
+        let config = knobs.apply(&base).unwrap();
+        assert_eq!(config.agu.address_registers(), 2);
+        assert_eq!(
+            config.agu.cost_table(),
+            raco_ir::AguSpec::saris_like().cost_table()
+        );
+
+        // Unknown machines and malformed descriptions are positioned,
+        // human-readable errors — never a crash.
+        let unknown = Knobs {
+            machine: Some("z80".to_owned()),
+            ..Knobs::default()
+        };
+        let err = unknown.apply(&base).unwrap_err();
+        assert!(err.contains("unknown machine `z80`"), "{err}");
+        assert!(err.contains("bwdsp"), "{err}");
+        let malformed = Knobs {
+            machine: Some("address_registers = 0".to_owned()),
+            ..Knobs::default()
+        };
+        let err = malformed.apply(&base).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 
     #[test]

@@ -294,9 +294,10 @@ fn mix(hash: u64, value: u64) -> u64 {
 /// so mixed-machine traffic spreads across shards even for one shape.
 fn machine_key(config: &PipelineConfig) -> u64 {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    config.agu.address_registers().hash(&mut hasher);
-    config.agu.modify_range().hash(&mut hasher);
-    config.agu.modify_registers().hash(&mut hasher);
+    // The whole spec, not a field subset: machines differing only in
+    // update-range shape or cost table must route (and cache)
+    // separately.
+    config.agu.hash(&mut hasher);
     config.effective_options().hash(&mut hasher);
     hasher.finish()
 }

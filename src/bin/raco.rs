@@ -13,6 +13,10 @@
 //! Options:
 //!
 //! ```text
+//!     --machine <name|file>  built-in machine description (paper,
+//!                        tms320c2x, dsp56k, adsp210x, bwdsp, saris), a
+//!                        path to a `key = value` description file, or an
+//!                        inline description string
 //! -k, --registers <K>    address registers (default 4)
 //! -m, --modify <M>       auto-modify range (default 1)
 //!     --modify-regs <N>  modify registers (default 0)
@@ -73,14 +77,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use raco::driver::{CachePolicy, CompilationReport, Parallelism, Pipeline, PipelineConfig};
-use raco::ir::AguSpec;
+use raco::ir::{AguSpec, MachineDescription, UpdateRange};
 use raco::serve::{ServeOptions, Server};
 
 #[derive(Debug)]
 struct CliOptions {
-    registers: usize,
-    modify_range: u32,
-    modify_registers: usize,
+    machine: Option<String>,
+    registers: Option<usize>,
+    modify_range: Option<u32>,
+    modify_registers: Option<usize>,
     threads: Option<usize>,
     iterations: u64,
     cache: bool,
@@ -116,9 +121,10 @@ struct CliOptions {
 impl Default for CliOptions {
     fn default() -> Self {
         CliOptions {
-            registers: 4,
-            modify_range: 1,
-            modify_registers: 0,
+            machine: None,
+            registers: None,
+            modify_range: None,
+            modify_registers: None,
             threads: None,
             iterations: 16,
             cache: true,
@@ -166,6 +172,10 @@ fn usage() -> &'static str {
      \x20 raco help                        this text\n\
      \n\
      options:\n\
+     \x20     --machine <m>      machine description: a built-in name (paper,\n\
+     \x20                        tms320c2x, dsp56k, adsp210x, bwdsp, saris),\n\
+     \x20                        a description file, or an inline description;\n\
+     \x20                        -k/-m/--modify-regs override on top\n\
      \x20 -k, --registers <K>    address registers (default 4)\n\
      \x20 -m, --modify <M>       auto-modify range (default 1)\n\
      \x20     --modify-regs <N>  modify registers (default 0)\n\
@@ -230,9 +240,17 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "-k" | "--registers" => options.registers = parse_number(&arg, iter.next())?,
-            "-m" | "--modify" => options.modify_range = parse_number(&arg, iter.next())?,
-            "--modify-regs" => options.modify_registers = parse_number(&arg, iter.next())?,
+            "--machine" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a machine name or description file"))?;
+                options.machine = Some(value);
+            }
+            "-k" | "--registers" => options.registers = Some(parse_number(&arg, iter.next())?),
+            "-m" | "--modify" => options.modify_range = Some(parse_number(&arg, iter.next())?),
+            "--modify-regs" => {
+                options.modify_registers = Some(parse_number(&arg, iter.next())?);
+            }
             "-j" | "--threads" => options.threads = Some(parse_number(&arg, iter.next())?),
             "--iterations" => options.iterations = parse_number(&arg, iter.next())?,
             "--no-cache" => options.cache = false,
@@ -313,10 +331,38 @@ fn parse_options(args: Vec<String>) -> Result<CliOptions, String> {
     Ok(options)
 }
 
+/// Resolves `--machine`: a built-in name, a path to a description
+/// file, or an inline `key = value` description string.
+fn resolve_machine(arg: &str) -> Result<AguSpec, String> {
+    let path = std::path::Path::new(arg);
+    let description = if path.is_file() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("--machine {}: {e}", path.display()))?;
+        MachineDescription::parse(&text)
+            .map_err(|e| format!("--machine {}: {e}", path.display()))?
+    } else {
+        MachineDescription::resolve(arg).map_err(|e| format!("--machine: {e}"))?
+    };
+    Ok(*description.spec())
+}
+
 fn build_config(options: &CliOptions) -> Result<PipelineConfig, String> {
-    let agu = AguSpec::new(options.registers, options.modify_range)
-        .map_err(|e| e.to_string())?
-        .with_modify_registers(options.modify_registers);
+    let mut agu = match &options.machine {
+        Some(arg) => resolve_machine(arg)?,
+        None => AguSpec::new(4, 1).map_err(|e| e.to_string())?,
+    };
+    // Numeric knobs layer on top of the description (or the paper-shaped
+    // default), so e.g. `--machine saris -k 2` keeps the SARIS cost
+    // table while shrinking the register file.
+    if let Some(k) = options.registers {
+        agu = agu.with_address_registers(k).map_err(|e| e.to_string())?;
+    }
+    if let Some(m) = options.modify_range {
+        agu = agu.with_update_range(UpdateRange::symmetric(m));
+    }
+    if let Some(n) = options.modify_registers {
+        agu = agu.with_modify_registers(n);
+    }
     let mut config = PipelineConfig::new(agu);
     config.parallelism = match options.threads {
         None => Parallelism::Auto,
@@ -579,7 +625,8 @@ fn run() -> Result<bool, String> {
             }
             // Server knobs are forwarded to the spawned server (and
             // ignored when --tcp targets an external one).
-            let forward: [(&str, Option<String>); 6] = [
+            let forward: [(&str, Option<String>); 7] = [
+                ("--machine", options.machine.clone()),
                 ("--shards", options.shards.map(|n| n.to_string())),
                 (
                     "--read-deadline",

@@ -6,7 +6,9 @@
 //! `serve` mode, drives it over stdio or TCP with a seeded mix of
 //!
 //! * valid compile requests for randomly generated DSL programs
-//!   (flat loops and 2-level nests, random machine knobs),
+//!   (flat loops and 2-level nests, random machine knobs or whole
+//!   machine descriptions — built-in names and inline `key = value`
+//!   texts),
 //! * the same requests delivered in dribbled partial writes,
 //! * malformed frames (truncated/corrupted JSON, wrong types, unknown
 //!   ops),
@@ -327,9 +329,27 @@ pub fn gen_unit(rng: &mut SmallRng) -> GenUnit {
     GenUnit { loops }
 }
 
+/// The machine-description pool random requests draw from: built-in
+/// names plus valid inline `key = value` descriptions (asymmetric
+/// ranges, non-unit cost tables). Every entry must resolve.
+pub const MACHINE_POOL: &[&str] = &[
+    "paper",
+    "tms320c2x",
+    "dsp56k",
+    "adsp210x",
+    "bwdsp",
+    "saris",
+    "address_registers = 3\nupdate_min = 0\nupdate_max = 2\nmodify_registers = 1",
+    "address_registers = 5\nupdate_range = 2\nlda_cost = 3\nadda_cost = 2",
+];
+
 /// Random machine knobs attached to a compile request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenKnobs {
+    /// A whole machine description from [`MACHINE_POOL`]: when `Some`
+    /// the request carries only the `machine` knob, when `None` it
+    /// carries the numeric knobs below.
+    pub machine: Option<&'static str>,
     /// Address registers (K).
     pub registers: usize,
     /// Auto-modify range (M).
@@ -338,9 +358,13 @@ pub struct GenKnobs {
     pub modify_registers: usize,
 }
 
-/// Generates random machine knobs.
+/// Generates random machine knobs: one request in three compiles for a
+/// whole description, the rest for numeric knob combinations.
 pub fn gen_knobs(rng: &mut SmallRng) -> GenKnobs {
+    let machine =
+        (rng.gen_range(0..3u32) == 0).then(|| MACHINE_POOL[rng.gen_range(0..MACHINE_POOL.len())]);
     GenKnobs {
+        machine,
         registers: rng.gen_range(1..=6),
         modify: rng.gen_range(0..=2),
         modify_registers: rng.gen_range(0..=2),
@@ -349,20 +373,25 @@ pub fn gen_knobs(rng: &mut SmallRng) -> GenKnobs {
 
 /// Builds the NDJSON compile request line for a unit + knobs.
 pub fn compile_request(id: u64, source: &str, knobs: &GenKnobs) -> String {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("id".to_owned(), Json::UInt(id)),
         ("op".to_owned(), Json::str("compile")),
         ("name".to_owned(), Json::str("fuzz")),
         ("source".to_owned(), Json::str(source)),
-        ("registers".to_owned(), Json::UInt(knobs.registers as u64)),
-        ("modify".to_owned(), Json::UInt(u64::from(knobs.modify))),
-        (
-            "modify_registers".to_owned(),
-            Json::UInt(knobs.modify_registers as u64),
-        ),
-        ("validate".to_owned(), Json::Bool(true)),
-    ])
-    .render()
+    ];
+    match knobs.machine {
+        Some(machine) => fields.push(("machine".to_owned(), Json::str(machine))),
+        None => fields.extend([
+            ("registers".to_owned(), Json::UInt(knobs.registers as u64)),
+            ("modify".to_owned(), Json::UInt(u64::from(knobs.modify))),
+            (
+                "modify_registers".to_owned(),
+                Json::UInt(knobs.modify_registers as u64),
+            ),
+        ]),
+    }
+    fields.push(("validate".to_owned(), Json::Bool(true)));
+    Json::Obj(fields).render()
 }
 
 // ---------------------------------------------------------------------
@@ -766,6 +795,12 @@ fn malformed_frame(rng: &mut SmallRng, valid: &str) -> String {
         r#"{"op":"compile","source":"for (i","name":false}"#,
         r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","registers":"four"}"#,
         r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","registers":0}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":"warpdsp"}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":17}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":"address_registers = 0"}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":"address_registers = 4\nupdate_min = 1\nupdate_max = 2"}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":"address_registers = 4\nwhat"}"#,
+        r#"{"op":"compile","source":"for (i = 0; i < 4; i++) { s += x[i]; }","machine":"address_registers = 4\nadda_cost = 99999"}"#,
         r#"{"op":"save_cache"}"#,
         r#"{"op":"kernels","kernel":17}"#,
     ];
@@ -952,7 +987,7 @@ fn run_compile_case(
     if let Err(detail) = cross_check(&reply, &request, base) {
         // Shrink against the live server: the failure must keep
         // reproducing over the same transport.
-        let knobs = *knobs;
+        let mut knobs = *knobs;
         let minimal = shrink_unit(
             unit,
             |candidate| {
@@ -964,6 +999,21 @@ fn run_compile_case(
             },
             SHRINK_EVALS,
         );
+        // Minimize the machine dimension too: if the mismatch survives
+        // without the description (server defaults), drop it from the
+        // repro.
+        if knobs.machine.is_some() {
+            let stripped = GenKnobs {
+                machine: None,
+                ..knobs
+            };
+            let request = compile_request(case, &minimal.render(), &stripped);
+            if matches!(server.request(&request),
+                        Ok(reply) if cross_check(&reply, &request, base).is_err())
+            {
+                knobs = stripped;
+            }
+        }
         let minimal_request = compile_request(case, &minimal.render(), &knobs);
         record_failure(
             config,
@@ -1164,6 +1214,48 @@ mod tests {
             "all but one term dropped"
         );
         assert!(minimal.loops[0].stmts[0].write.is_none());
+    }
+
+    #[test]
+    fn machine_pool_entries_all_resolve() {
+        for entry in MACHINE_POOL {
+            raco_ir::MachineDescription::resolve(entry)
+                .unwrap_or_else(|e| panic!("pool entry {entry:?} must resolve: {e}"));
+        }
+    }
+
+    #[test]
+    fn malformed_machine_descriptions_fail_with_positioned_errors() {
+        // Every malformed-machine corpus row must be rejected by the
+        // protocol layer (the serve loop turns this into an `ok:false`
+        // reply), not crash the reference pipeline.
+        let base = base_config();
+        for text in [
+            "warpdsp",
+            "address_registers = 0",
+            "address_registers = 4\nupdate_min = 1\nupdate_max = 2",
+            "address_registers = 4\nwhat",
+            "address_registers = 4\nadda_cost = 99999",
+        ] {
+            let request = Json::Obj(vec![
+                ("op".to_owned(), Json::str("compile")),
+                (
+                    "source".to_owned(),
+                    Json::str("for (i = 0; i < 4; i++) { s += x[i]; }"),
+                ),
+                ("machine".to_owned(), Json::str(text)),
+            ])
+            .render();
+            let envelope = protocol::parse_line(&request).expect("frame itself is well-formed");
+            let err = envelope
+                .knobs
+                .apply(&base)
+                .expect_err("malformed description must be rejected");
+            assert!(
+                err.contains("machine"),
+                "error names the machine dimension: {err}"
+            );
+        }
     }
 
     #[test]

@@ -48,11 +48,17 @@ pub const DEFAULT_SHAPES: usize = 64;
 /// Connect+ping probes measured after the load phase.
 const CONNECT_PROBES: usize = 100;
 
-/// The machines the mixed trace cycles through (address registers,
-/// auto-modify range) — small enough that every (shape, machine) pair
-/// recurs many times over a 100k-request trace, so a warm server is
-/// mostly cache hits.
+/// The numeric-knob machines the mixed trace cycles through (address
+/// registers, auto-modify range) — small enough that every (shape,
+/// machine) pair recurs many times over a 100k-request trace, so a
+/// warm server is mostly cache hits.
 const MACHINES: &[(usize, u32)] = &[(2, 1), (4, 1), (4, 2), (8, 2)];
+
+/// Named machine descriptions mixed into the trace alongside the
+/// numeric knobs — the asymmetric-range / non-unit-cost backends
+/// (`bwdsp`, `saris`) exercise the description-keyed cache paths under
+/// production-shaped load.
+const NAMED_MACHINES: &[&str] = &["paper", "dsp56k", "bwdsp", "saris"];
 
 /// What one loadgen run should do.
 #[derive(Debug, Clone)]
@@ -274,15 +280,23 @@ fn shape_pool(shapes: usize, seed: u64) -> Vec<String> {
 
 /// Samples the next trace request as one NDJSON line. Shape choice is
 /// hot-head skewed (squaring a uniform sample concentrates mass near
-/// index 0) and the machine cycles through [`MACHINES`] uniformly —
-/// together a mixed-machine trace with realistic reuse.
+/// index 0) and the machine cycles uniformly through [`MACHINES`] and
+/// [`NAMED_MACHINES`] — together a mixed-machine trace with realistic
+/// reuse across both knob-shaped and description-shaped requests.
 fn trace_line(rng: &mut SmallRng, shapes: &[String], id: u64) -> String {
     let skew: f64 = rng.gen();
     let shape = &shapes[((skew * skew) * shapes.len() as f64) as usize % shapes.len()];
-    let (registers, modify) = MACHINES[rng.gen_range(0usize..MACHINES.len())];
-    format!(
-        "{{\"id\":{id},\"op\":\"compile\",\"source\":\"{shape}\",\"registers\":{registers},\"modify\":{modify}}}"
-    )
+    let choice = rng.gen_range(0usize..MACHINES.len() + NAMED_MACHINES.len());
+    if let Some(&(registers, modify)) = MACHINES.get(choice) {
+        format!(
+            "{{\"id\":{id},\"op\":\"compile\",\"source\":\"{shape}\",\"registers\":{registers},\"modify\":{modify}}}"
+        )
+    } else {
+        let machine = NAMED_MACHINES[choice - MACHINES.len()];
+        format!(
+            "{{\"id\":{id},\"op\":\"compile\",\"source\":\"{shape}\",\"machine\":\"{machine}\"}}"
+        )
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -585,13 +599,36 @@ mod tests {
     fn trace_lines_are_valid_requests() {
         let shapes = shape_pool(8, 7);
         let mut rng = SmallRng::seed_from_u64(7);
+        let (mut knob_lines, mut named_lines) = (0u64, 0u64);
         for id in 0..200 {
             let line = trace_line(&mut rng, &shapes, id);
             let json = Json::parse(&line).expect("trace line is valid JSON");
             assert_eq!(json.get("op").and_then(Json::as_str), Some("compile"));
             assert_eq!(json.get("id").and_then(Json::as_u64), Some(id));
-            let registers = json.get("registers").and_then(Json::as_u64).unwrap();
-            assert!(MACHINES.iter().any(|(k, _)| *k as u64 == registers));
+            if let Some(machine) = json.get("machine").and_then(Json::as_str) {
+                named_lines += 1;
+                assert!(NAMED_MACHINES.contains(&machine), "{machine}");
+                assert!(
+                    json.get("registers").is_none(),
+                    "named lines carry no knobs"
+                );
+            } else {
+                knob_lines += 1;
+                let registers = json.get("registers").and_then(Json::as_u64).unwrap();
+                assert!(MACHINES.iter().any(|(k, _)| *k as u64 == registers));
+            }
+        }
+        assert!(
+            knob_lines > 0 && named_lines > 0,
+            "the trace mixes both forms"
+        );
+    }
+
+    #[test]
+    fn named_trace_machines_all_resolve() {
+        for name in NAMED_MACHINES {
+            raco_ir::MachineDescription::resolve(name)
+                .unwrap_or_else(|e| panic!("`{name}` must resolve: {e}"));
         }
     }
 

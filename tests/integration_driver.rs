@@ -204,3 +204,111 @@ fn modify_register_machines_validate_with_bounded_cost() {
     // the measurement may undercut the allocator's prediction.
     assert!(lr.measured_cost.unwrap() <= lr.cost);
 }
+
+// ---------------------------------------------------------------------
+// Backward-compat pin: the classic machines re-expressed as declarative
+// descriptions must reproduce the pre-refactor toolchain byte for byte.
+// The fixtures under `tests/fixtures/` were captured from the seed
+// (knob-configured) build: per-machine listings for three nested
+// kernels, the full kernel cost table, and the canonical-pattern
+// fingerprints the cache and shard router key on.
+// ---------------------------------------------------------------------
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The four machines the seed supported via numeric knobs, now looked
+/// up as built-in descriptions.
+const CLASSIC_MACHINES: [&str; 4] = ["paper", "tms320c2x", "dsp56k", "adsp210x"];
+
+fn kernel_report_for(machine: &str) -> raco::driver::CompilationReport {
+    let spec = *raco::ir::MachineDescription::builtin(machine)
+        .unwrap_or_else(|| panic!("`{machine}` is a built-in"))
+        .spec();
+    let mut config = PipelineConfig::new(spec);
+    config.listings = true;
+    config.parallelism = Parallelism::Sequential;
+    Pipeline::with_config(config).compile_kernels()
+}
+
+#[test]
+fn classic_descriptions_reproduce_seed_listings_byte_identically() {
+    for machine in CLASSIC_MACHINES {
+        let report = kernel_report_for(machine);
+        assert_eq!(report.failed(), 0, "{machine}:\n{}", report.render_table());
+        for lr in report.loops() {
+            if !matches!(lr.name.as_str(), "conv2d" | "transpose" | "stencil5") {
+                continue;
+            }
+            let expected = fixture(&format!("listing_{machine}_{}.txt", lr.name));
+            let actual = lr.listing.as_deref().expect("listings requested");
+            assert_eq!(
+                actual, expected,
+                "{machine}/{}: listing drifted from the seed capture",
+                lr.name
+            );
+        }
+    }
+}
+
+#[test]
+fn classic_descriptions_reproduce_seed_kernel_costs() {
+    let mut pinned = std::collections::BTreeMap::new();
+    for line in fixture("kernel_costs_classic.txt").lines() {
+        let mut parts = line.split_whitespace();
+        let machine = parts.next().expect("machine").to_owned();
+        let kernel = parts.next().expect("kernel").to_owned();
+        let cost: u64 = parts.next().expect("cost").parse().expect("numeric cost");
+        pinned.insert((machine, kernel), cost);
+    }
+    assert_eq!(
+        pinned.len(),
+        CLASSIC_MACHINES.len() * raco::kernels::suite().len()
+    );
+    for machine in CLASSIC_MACHINES {
+        let report = kernel_report_for(machine);
+        for lr in report.loops() {
+            let key = (machine.to_owned(), lr.name.clone());
+            assert_eq!(
+                Some(&lr.cost),
+                pinned.get(&key),
+                "{machine}/{}: cost drifted from the seed capture",
+                lr.name
+            );
+            assert_eq!(
+                lr.measured_cost,
+                Some(lr.cost),
+                "{machine}/{}: predicted != measured",
+                lr.name
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_fingerprints_match_the_seed_capture() {
+    // The allocation cache and the serve tier's shard router both key
+    // on these fingerprints; a drift would silently invalidate every
+    // persisted snapshot and re-shard warm traffic.
+    let mut actual = String::new();
+    for kernel in raco::kernels::suite() {
+        for pattern in kernel.spec().patterns() {
+            let canonical = raco::ir::CanonicalPattern::of(&pattern);
+            actual.push_str(&format!(
+                "FP {} {} {:#018x}\n",
+                kernel.name(),
+                pattern.array_name(),
+                canonical.fingerprint()
+            ));
+        }
+    }
+    assert_eq!(
+        actual,
+        fixture("canonical_fingerprints.txt"),
+        "canonical cache keys drifted from the seed capture"
+    );
+}

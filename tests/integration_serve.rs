@@ -794,3 +794,72 @@ fn coalesced_tcp_frames_each_get_their_own_reply() {
         handle.join().expect("server thread").expect("clean exit");
     });
 }
+
+#[test]
+fn one_connection_compiles_the_same_source_on_two_backends() {
+    // The `machine` knob swaps the whole description per request: the
+    // same source on `paper` and `saris` over one session must come
+    // back with each machine's own parameters and costs, and switching
+    // back must reproduce the first answer exactly.
+    let server = default_server();
+    let source = "for (i = 0; i < 32; i++) { s += x[i] + x[i + 3] + x[i + 7]; }";
+    let script = format!(
+        concat!(
+            r#"{{"op":"compile","id":1,"source":"{s}","machine":"paper"}}"#,
+            "\n",
+            r#"{{"op":"compile","id":2,"source":"{s}","machine":"saris"}}"#,
+            "\n",
+            r#"{{"op":"compile","id":3,"source":"{s}","machine":"paper"}}"#,
+            "\n",
+        ),
+        s = source
+    );
+    let responses = round_trip(&server, &script);
+    assert_eq!(responses.len(), 3);
+    assert!(responses.iter().all(ok), "{responses:?}");
+
+    let machine = |r: &Json, field: &str| {
+        r.get("report")
+            .and_then(|r| r.get("machine"))
+            .and_then(|m| m.get(field))
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("machine.{field} missing: {r:?}"))
+    };
+    // paper: K=4, symmetric +/-1, no modify registers.
+    assert_eq!(machine(&responses[0], "address_registers"), 4);
+    assert_eq!(machine(&responses[0], "modify_registers"), 0);
+    // saris: K=8, update range [0, 0], MR=8 -- every stride is streamed.
+    assert_eq!(machine(&responses[1], "address_registers"), 8);
+    assert_eq!(machine(&responses[1], "update_min"), 0);
+    assert_eq!(machine(&responses[1], "update_max"), 0);
+    assert_eq!(machine(&responses[1], "modify_registers"), 8);
+
+    // Prediction equals measurement on both backends.
+    for response in &responses {
+        let units = response
+            .get("report")
+            .and_then(|r| r.get("units"))
+            .expect("report.units");
+        let Json::Arr(units) = units else {
+            panic!("units is an array: {units:?}")
+        };
+        let loops = units[0].get("loops").expect("units[0].loops");
+        let Json::Arr(loops) = loops else {
+            panic!("loops is an array: {loops:?}")
+        };
+        for lp in loops {
+            assert_eq!(
+                lp.get("predicted_cycles"),
+                lp.get("measured_cycles"),
+                "{lp:?}"
+            );
+        }
+    }
+
+    // Flipping back to the first backend reproduces its answer exactly
+    // (no cross-machine cache bleed within the session).
+    assert_eq!(
+        responses[0].get("report").and_then(|r| r.get("units")),
+        responses[2].get("report").and_then(|r| r.get("units"))
+    );
+}

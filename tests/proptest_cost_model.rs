@@ -192,10 +192,16 @@ fn cache_keys_distinguish_modify_register_counts() {
     for mr in [0usize, 2] {
         let agu = AguSpec::new(1, 1).unwrap().with_modify_registers(mr);
         let optimizer = Optimizer::new(agu);
-        let _ = cache.allocation(&canonical, 1, 1, optimizer.options(), || {
-            computed += 1;
-            optimizer.allocate(&pattern)
-        });
+        let _ = cache.allocation(
+            &canonical,
+            raco_ir::UpdateRange::symmetric(1),
+            1,
+            optimizer.options(),
+            || {
+                computed += 1;
+                optimizer.allocate(&pattern)
+            },
+        );
     }
     assert_eq!(computed, 2, "each machine must compute its own entry");
     let stats = cache.stats();
@@ -246,26 +252,32 @@ fn snapshots_do_not_cross_modify_register_machines() {
 fn version_one_snapshots_are_rejected_by_the_version_two_reader() {
     assert_eq!(
         persist::SNAPSHOT_VERSION,
-        2,
-        "this regression test pins the v1 -> v2 bump; revisit it on the next bump"
+        3,
+        "this regression test pins the v2 -> v3 bump; revisit it on the next bump"
     );
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(&persist::SNAPSHOT_MAGIC);
-    bytes.extend_from_slice(&1u32.to_le_bytes()); // the pre-bump version
-    bytes.extend_from_slice(&0u32.to_le_bytes()); // reserved
-    bytes.push(0x00); // end marker
-    let sum = persist::checksum(&bytes);
-    bytes.extend_from_slice(&sum.to_le_bytes());
+    // Both prior on-disk formats must be rejected whole: v1 predates
+    // option-discriminated keys, v2 cannot express update ranges or
+    // ADDA costs, so neither may warm-hit a v3 cache.
+    for stale in [1u32, 2u32] {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&persist::SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&stale.to_le_bytes()); // the pre-bump version
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        bytes.push(0x00); // end marker
+        let sum = persist::checksum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
 
-    let cache = AllocationCache::new();
-    let report = persist::decode_into(&cache, &bytes);
-    assert_eq!(report.loaded(), 0);
-    assert_eq!(report.skipped, 1);
-    assert!(
-        report.warnings[0].contains("unsupported snapshot version 1"),
-        "{:?}",
-        report.warnings
-    );
-    assert_eq!(cache.stats().loaded, 0);
-    assert_eq!(cache.stats().allocation_entries, 0);
+        let cache = AllocationCache::new();
+        let report = persist::decode_into(&cache, &bytes);
+        assert_eq!(report.loaded(), 0);
+        assert_eq!(report.skipped, 1);
+        let needle = format!("unsupported snapshot version {stale}");
+        assert!(
+            report.warnings[0].contains(&needle),
+            "{:?}",
+            report.warnings
+        );
+        assert_eq!(cache.stats().loaded, 0);
+        assert_eq!(cache.stats().allocation_entries, 0);
+    }
 }

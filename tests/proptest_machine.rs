@@ -1,0 +1,193 @@
+//! Differential properties over *randomly generated machine
+//! descriptions* — the declarative-backend analogue of
+//! `proptest_cost_model.rs`. A backend here is pure data (register
+//! count, update-range shape, modify registers, per-opcode costs), so
+//! these properties quantify over the description space itself:
+//!
+//! * **differential** — random descriptions × random 1D patterns and
+//!   random 1D/2D DSL programs: the pipeline's predicted cycles equal
+//!   the simulator's measured cycles under both validation oracles;
+//! * **curve/allocate agreement** — `cost_curve(p, k)[k-1]` equals
+//!   `allocate_with_registers(p, k).cost()` for every budget on every
+//!   description;
+//! * **monotonicity** — more address registers never increase the
+//!   predicted cost, whatever the range shape or cost table;
+//! * **description round-trip** — `parse(to_text(d))` reproduces the
+//!   spec exactly, for random descriptions.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use raco::driver::{Parallelism, Pipeline, PipelineConfig};
+use raco::ir::{
+    AccessKind, AccessPattern, AguSpec, CostTable, LoopSpec, MachineDescription, UpdateRange,
+};
+
+/// Strategy: a random machine description. Ranges cover the symmetric
+/// classics, post-increment-only (bwdsp-shaped), stream-only
+/// (saris-shaped), and skewed asymmetric shapes; cost tables cover
+/// unit and non-unit opcodes.
+fn machine() -> impl Strategy<Value = AguSpec> {
+    (
+        1usize..=6,
+        prop_oneof![
+            Just(UpdateRange::symmetric(0)),
+            Just(UpdateRange::symmetric(1)),
+            Just(UpdateRange::symmetric(2)),
+            Just(UpdateRange::new(0, 1).unwrap()),
+            Just(UpdateRange::new(0, 2).unwrap()),
+            Just(UpdateRange::new(-1, 2).unwrap()),
+            Just(UpdateRange::new(-2, 1).unwrap()),
+        ],
+        0usize..=4,
+        (1u32..=3, 1u32..=3, 1u32..=2),
+    )
+        .prop_map(|(k, range, mr, (lda, ldm, adda))| {
+            AguSpec::new(k, 1)
+                .unwrap()
+                .with_update_range(range)
+                .with_modify_registers(mr)
+                .with_cost_table(CostTable::new(lda, ldm, adda).unwrap())
+        })
+}
+
+/// Strategy: a random single-array access pattern.
+fn pattern() -> impl Strategy<Value = (Vec<i64>, i64)> {
+    (
+        prop::collection::vec(-10i64..=10, 2..=9),
+        prop_oneof![Just(1i64), Just(-1i64), Just(2i64), Just(-3i64)],
+    )
+}
+
+fn single_array_loop(offsets: &[i64], stride: i64) -> LoopSpec {
+    let mut spec = LoopSpec::new("prop", "i", stride);
+    let a = spec.add_array("a", 1);
+    for &off in offsets {
+        spec.push_access(a, off, AccessKind::Read).unwrap();
+    }
+    spec
+}
+
+fn pipeline_for(agu: AguSpec) -> Pipeline {
+    let mut config = PipelineConfig::new(agu);
+    config.parallelism = Parallelism::Sequential;
+    Pipeline::with_config(config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core differential: on a random description, the pipeline's
+    /// predicted cycles equal what the simulator measures — and the
+    /// declarative checker agrees (the pipeline gates on both oracles;
+    /// a disagreement is reported as its own failure class).
+    #[test]
+    fn predicted_equals_measured_on_random_descriptions(
+        agu in machine(),
+        (offsets, stride) in pattern(),
+    ) {
+        let spec = single_array_loop(&offsets, stride);
+        let (lr, _) = pipeline_for(agu).compile_loop(&spec);
+        prop_assert!(
+            lr.succeeded(),
+            "{agu:?} offsets {:?} stride {}: {:?}",
+            &offsets, stride, lr.failure
+        );
+        prop_assert_eq!(
+            lr.measured_cost, Some(lr.cost),
+            "{:?} offsets {:?} stride {}: predicted != measured",
+            agu, &offsets, stride
+        );
+    }
+
+    /// Same differential over whole random DSL programs (1D loops and
+    /// 2-level nests from the fuzzer's generator), through the batch
+    /// entry point — carries and multi-array pooling included.
+    #[test]
+    fn random_programs_validate_on_random_descriptions(
+        agu in machine(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let unit = raco::fuzz::gen_unit(&mut rng);
+        // Generated loops draw from up to three arrays; a machine with
+        // fewer address registers fails allocation legitimately, which
+        // is not what this property is about.
+        let agu = agu
+            .with_address_registers(agu.address_registers().max(3))
+            .expect("within the register cap");
+        let report = pipeline_for(agu)
+            .compile_str("prop", &unit.render())
+            .expect("generated units parse");
+        prop_assert_eq!(
+            report.failed(), 0,
+            "{:?} seed {:#x}:\n{}\nsource:\n{}",
+            agu, seed, report.render_table(), unit.render()
+        );
+        for lr in report.loops() {
+            prop_assert_eq!(
+                lr.measured_cost, Some(lr.cost),
+                "{:?} seed {:#x} loop {}: predicted != measured",
+                agu, seed, &lr.name
+            );
+        }
+    }
+
+    /// The register sweep and the per-budget allocator must tell the
+    /// same story on every description: `curve[k-1] == allocate(k)`.
+    #[test]
+    fn cost_curve_agrees_with_per_budget_allocation(
+        agu in machine(),
+        (offsets, stride) in pattern(),
+    ) {
+        let optimizer = raco::core::Optimizer::new(agu);
+        let pattern = AccessPattern::from_offsets(&offsets, stride);
+        let k_max = agu.address_registers();
+        let curve = optimizer.cost_curve(&pattern, k_max);
+        prop_assert_eq!(curve.len(), k_max);
+        for k in 1..=k_max {
+            let allocation = optimizer.allocate_with_registers(&pattern, k);
+            prop_assert_eq!(
+                curve[k - 1],
+                allocation.cost(),
+                "{:?} offsets {:?} stride {}: curve[{}] != allocate({})",
+                agu, &offsets, stride, k - 1, k
+            );
+        }
+    }
+
+    /// More address registers never hurt, whatever the range shape or
+    /// cost table.
+    #[test]
+    fn predicted_cost_is_monotone_in_the_register_budget(
+        agu in machine(),
+        (offsets, stride) in pattern(),
+    ) {
+        let optimizer = raco::core::Optimizer::new(agu);
+        let pattern = AccessPattern::from_offsets(&offsets, stride);
+        let mut previous = u32::MAX;
+        for k in 1..=agu.address_registers() {
+            let cost = optimizer.allocate_with_registers(&pattern, k).cost();
+            prop_assert!(
+                cost <= previous,
+                "{:?} offsets {:?} stride {}: cost({}) = {} > cost({}) = {}",
+                agu, &offsets, stride, k, cost, k - 1, previous
+            );
+            previous = cost;
+        }
+    }
+
+    /// A description rendered to text and parsed back is the same
+    /// machine — the snapshot fingerprint and the `--machine <file>`
+    /// path both lean on this.
+    #[test]
+    fn descriptions_round_trip_through_text(agu in machine()) {
+        let description = MachineDescription::new("prop", agu);
+        let text = description.to_text();
+        let reparsed = MachineDescription::parse(&text)
+            .unwrap_or_else(|e| panic!("rendered description must parse: {e}\n{text}"));
+        prop_assert_eq!(reparsed.spec(), description.spec());
+        prop_assert_eq!(reparsed.name(), description.name());
+    }
+}

@@ -16,15 +16,22 @@ use proptest::prelude::*;
 use raco::core::{MergeStrategy, Optimizer, OptimizerOptions};
 use raco::driver::persist::{self, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use raco::driver::AllocationCache;
-use raco::ir::{AccessPattern, AguSpec, CanonicalPattern};
+use raco::ir::{AccessPattern, AguSpec, CanonicalPattern, UpdateRange};
 
 /// Strategy: a batch of random small patterns plus machine parameters
-/// and optimizer options — i.e. random cache contents.
-fn contents() -> impl Strategy<Value = (Vec<Vec<i64>>, i64, u32, usize, u8, u64)> {
+/// and optimizer options — i.e. random cache contents. Update ranges
+/// cover symmetric paper machines and asymmetric (post-increment /
+/// skewed) description-backed machines.
+fn contents() -> impl Strategy<Value = (Vec<Vec<i64>>, i64, UpdateRange, usize, u8, u64)> {
     (
         prop::collection::vec(prop::collection::vec(-9i64..=9, 1..=8), 1..=6),
         prop_oneof![Just(1i64), Just(-1i64), Just(2i64)],
-        1u32..=2,
+        prop_oneof![
+            Just(UpdateRange::symmetric(1)),
+            Just(UpdateRange::symmetric(2)),
+            Just(UpdateRange::new(0, 1).unwrap()),
+            Just(UpdateRange::new(-1, 2).unwrap()),
+        ],
         1usize..=4,
         0u8..=2, // merge strategy selector
         0u64..=u64::from(u32::MAX),
@@ -46,19 +53,20 @@ fn options_for(selector: u8, seed: u64) -> OptimizerOptions {
 fn warm_cache(
     patterns: &[Vec<i64>],
     stride: i64,
-    modify: u32,
+    range: UpdateRange,
     k: usize,
     options: &OptimizerOptions,
 ) -> AllocationCache {
     let cache = AllocationCache::new();
-    let optimizer = Optimizer::with_options(AguSpec::new(k, modify).unwrap(), *options);
+    let agu = AguSpec::new(k, 1).unwrap().with_update_range(range);
+    let optimizer = Optimizer::with_options(agu, *options);
     for offsets in patterns {
         let pattern = AccessPattern::from_offsets(offsets, stride);
         let canonical = CanonicalPattern::of(&pattern);
-        let _ = cache.cost_curve(&canonical, modify, k, options, || {
+        let _ = cache.cost_curve(&canonical, range, k, options, || {
             optimizer.cost_curve(&pattern, k)
         });
-        let _ = cache.allocation(&canonical, modify, k, options, || {
+        let _ = cache.allocation(&canonical, range, k, options, || {
             optimizer.allocate(&pattern)
         });
     }
@@ -70,10 +78,10 @@ proptest! {
 
     #[test]
     fn snapshot_round_trip_is_byte_identical(
-        (patterns, stride, modify, k, strategy, seed) in contents()
+        (patterns, stride, range, k, strategy, seed) in contents()
     ) {
         let options = options_for(strategy, seed);
-        let cache = warm_cache(&patterns, stride, modify, k, &options);
+        let cache = warm_cache(&patterns, stride, range, k, &options);
         let bytes = persist::encode(&cache);
 
         let restored = AllocationCache::new();
@@ -89,26 +97,26 @@ proptest! {
 
     #[test]
     fn restored_entries_answer_lookups_identically(
-        (patterns, stride, modify, k, strategy, seed) in contents()
+        (patterns, stride, range, k, strategy, seed) in contents()
     ) {
         let options = options_for(strategy, seed);
-        let cache = warm_cache(&patterns, stride, modify, k, &options);
+        let cache = warm_cache(&patterns, stride, range, k, &options);
         let restored = AllocationCache::new();
         persist::decode_into(&restored, &persist::encode(&cache));
 
         for offsets in &patterns {
             let canonical = CanonicalPattern::of(&AccessPattern::from_offsets(offsets, stride));
-            let original = cache.allocation(&canonical, modify, k, &options, || {
+            let original = cache.allocation(&canonical, range, k, &options, || {
                 panic!("warm cache must hit")
             });
-            let loaded = restored.allocation(&canonical, modify, k, &options, || {
+            let loaded = restored.allocation(&canonical, range, k, &options, || {
                 panic!("restored cache must hit")
             });
             prop_assert_eq!(&*original, &*loaded, "allocation for {:?}", offsets);
-            let original_curve = cache.cost_curve(&canonical, modify, k, &options, || {
+            let original_curve = cache.cost_curve(&canonical, range, k, &options, || {
                 panic!("warm cache must hit")
             });
-            let loaded_curve = restored.cost_curve(&canonical, modify, k, &options, || {
+            let loaded_curve = restored.cost_curve(&canonical, range, k, &options, || {
                 panic!("restored cache must hit")
             });
             prop_assert_eq!(&*original_curve, &*loaded_curve, "curve for {:?}", offsets);
@@ -137,7 +145,7 @@ fn reference_snapshot() -> (AllocationCache, Vec<u8>) {
     let cache = warm_cache(
         &[vec![1, 0, 2, -1], vec![0, 5, 10], vec![0, -2, 4]],
         1,
-        1,
+        UpdateRange::symmetric(1),
         2,
         &options,
     );
@@ -170,6 +178,18 @@ fn corrupt_snapshots_are_skipped_with_counted_warnings() {
             },
             expect_loaded: Some(0),
             needle: "unsupported snapshot version",
+        },
+        Case {
+            name: "previous-version (v2) snapshot",
+            mutate: |b| {
+                // A v2 header over otherwise-valid bytes: rejected
+                // whole with a counted warning — v2 keys cannot
+                // express update ranges or ADDA costs.
+                b[8..12].copy_from_slice(&2u32.to_le_bytes());
+                reseal(b);
+            },
+            expect_loaded: Some(0),
+            needle: "unsupported snapshot version 2",
         },
         Case {
             name: "bad checksum",
